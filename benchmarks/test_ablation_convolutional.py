@@ -1,0 +1,90 @@
+"""Ablation: parity CED with bounded latency vs convolutional-code CED.
+
+The paper's §1/§2 position the convolutional-code scheme ([14]) as the
+only prior art with a latency bound, but note it "becomes cumbersome" for
+latencies above one cycle.  This bench quantifies that: the convolutional
+checker must hold the previous L observable words (2·L·n flip-flops),
+while bounded-latency parity CED holds only 2q parity bits — so its cost
+grows with the latency budget where the parity scheme's *shrinks*.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.ced.convolutional import (
+    ConvolutionalChecker,
+    ConvolutionalCode,
+    convolutional_checker_stats,
+)
+from repro.ced.checker import CedMachine
+from repro.core.search import SolveConfig
+from repro.flow import design_ced_sweep
+from repro.util.rng import rng_for
+from repro.util.tables import format_table
+
+CIRCUIT = "dk512"
+LATENCIES = (1, 2, 3)
+
+
+def compare_schemes():
+    designs = design_ced_sweep(
+        CIRCUIT,
+        latencies=list(LATENCIES),
+        semantics="trajectory",
+        max_faults=200,
+        solve_config=SolveConfig(iterations=400),
+        multilevel=True,
+    )
+    synthesis = next(iter(designs.values())).synthesis
+    rows = []
+    for latency in LATENCIES:
+        parity_cost = designs[latency].cost
+        code = ConvolutionalCode.random(
+            synthesis.num_bits,
+            num_keys=designs[latency].num_parity_bits,
+            memory_depth=latency - 1 if latency > 1 else 1,
+        )
+        conv_cost = convolutional_checker_stats(code).cost
+        rows.append(
+            [latency, designs[latency].num_parity_bits, parity_cost,
+             code.memory_depth, conv_cost]
+        )
+
+    # Behavioural sanity: the convolutional checker catches a transient
+    # single-word corruption the memoryless parity scheme would need the
+    # persistence assumption for.
+    machine = CedMachine(synthesis, designs[2].hardware)
+    rng = rng_for(7, "conv-ablation")
+    inputs = rng.integers(1 << synthesis.num_inputs, size=24).tolist()
+    trace = machine.run(inputs)
+    predicted = [step.good_word for step in trace]
+    actual = list(predicted)
+    actual[10] ^= 0b1  # one-cycle upset
+    code = ConvolutionalCode.random(synthesis.num_bits, 3, 2)
+    latency = ConvolutionalChecker(code).detection_latency(actual, predicted)
+    return rows, latency
+
+
+def test_ablation_convolutional(benchmark, out_dir):
+    rows, seu_latency = benchmark.pedantic(
+        compare_schemes, rounds=1, iterations=1
+    )
+    emit(
+        out_dir,
+        "ablation_convolutional.txt",
+        format_table(
+            ["p", "parity q", "parity CED cost", "conv. memory L",
+             "conv. CED cost"],
+            rows,
+            title=f"Parity-with-latency vs convolutional CED ({CIRCUIT})"
+            + (f"; SEU caught with latency {seu_latency}" if seu_latency
+               else ""),
+        ),
+    )
+    parity_costs = [row[2] for row in rows]
+    conv_costs = [row[4] for row in rows]
+    # Parity cost is non-increasing with the latency budget...
+    assert parity_costs == sorted(parity_costs, reverse=True)
+    # ...while the convolutional checker's holding cost grows with memory.
+    assert conv_costs[-1] >= conv_costs[0]
+    assert seu_latency is not None

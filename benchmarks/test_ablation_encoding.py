@@ -1,0 +1,59 @@
+"""Ablation: state-assignment effect on machine and CED cost.
+
+The paper performs state assignment before synthesis (via SIS) but does
+not study its interaction with the CED overhead.  This bench runs the
+full flow under the four bundled encodings and records both the machine
+cost and the checker cost.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.core.detectability import TableConfig
+from repro.core.search import SolveConfig
+from repro.flow import design_ced
+from repro.fsm.benchmarks import load_benchmark
+from repro.util.tables import format_table
+
+CIRCUITS = ("vending", "dk512")
+ENCODINGS = ("binary", "gray", "onehot", "weighted")
+
+
+def encoding_sweep():
+    rows = []
+    for name in CIRCUITS:
+        fsm = load_benchmark(name)
+        for encoding in ENCODINGS:
+            design = design_ced(
+                fsm,
+                latency=2,
+                semantics="trajectory",
+                encoding=encoding,
+                max_faults=200,
+                solve_config=SolveConfig(iterations=400),
+            )
+            rows.append(
+                [name, encoding, design.synthesis.stats.cost,
+                 design.num_parity_bits, design.cost]
+            )
+    return rows
+
+
+def test_ablation_encoding(benchmark, out_dir):
+    rows = benchmark.pedantic(encoding_sweep, rounds=1, iterations=1)
+    emit(
+        out_dir,
+        "ablation_encoding.txt",
+        format_table(
+            ["Circuit", "Encoding", "FSM cost", "q", "CED cost"],
+            rows,
+            title="State-encoding ablation (latency p=2)",
+        ),
+    )
+    # One-hot machines have more observable bits; their CED budget should
+    # not be smaller than the dense encodings'.
+    for name in CIRCUITS:
+        subset = {r[1]: r for r in rows if r[0] == name}
+        assert subset["onehot"][3] >= min(
+            subset["binary"][3], subset["gray"][3]
+        )

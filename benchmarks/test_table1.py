@@ -1,0 +1,75 @@
+"""Experiment: the paper's Table 1 (and the §5 aggregate statistics).
+
+One pytest-benchmark case per MCNC-signature circuit runs the complete
+flow (synthesis → fault universe → detectability tables at p=1..3 →
+Algorithm 1 → CED hardware); the closing case assembles the printed table
+and the three text statistics (vs duplication, p1→p2, p2→p3) next to the
+paper's values.
+
+Shape assertions encode what the paper's table shows: the number of
+parity trees never exceeds duplication's n functions, is monotone
+non-increasing in the latency bound, and the dk16-style cost anomaly
+(fewer trees but more area) is allowed — cost monotonicity is NOT
+asserted.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_TABLE1_CONFIG, emit
+from repro.experiments.summary import PAPER_STATS, summarize
+from repro.experiments.table1 import (
+    Table1Result,
+    format_table1,
+    run_circuit,
+)
+from repro.fsm.benchmarks import TABLE1_CIRCUITS
+
+
+@pytest.mark.parametrize("circuit", TABLE1_CIRCUITS)
+def test_table1_circuit(benchmark, circuit, table1_rows):
+    row = benchmark.pedantic(
+        run_circuit, args=(circuit, BENCH_TABLE1_CONFIG), rounds=1, iterations=1
+    )
+    table1_rows[circuit] = row
+
+    # Paper-shape assertions.
+    latencies = sorted(row.entries)
+    trees = [row.entries[p].num_trees for p in latencies]
+    assert trees == sorted(trees, reverse=True), "q must not grow with latency"
+    assert trees[0] <= row.duplication_functions
+    for entry in row.entries.values():
+        assert entry.cost > 0 and entry.gates > 0
+
+
+def test_table1_summary(benchmark, table1_rows, out_dir):
+    """Assemble Table 1 and the §5 statistics from the benchmarked rows."""
+
+    def assemble() -> Table1Result:
+        missing = [c for c in TABLE1_CIRCUITS if c not in table1_rows]
+        for circuit in missing:  # direct invocation outside a full bench run
+            table1_rows[circuit] = run_circuit(circuit, BENCH_TABLE1_CONFIG)
+        return Table1Result(
+            config=BENCH_TABLE1_CONFIG,
+            rows=[table1_rows[c] for c in TABLE1_CIRCUITS],
+        )
+
+    result = benchmark.pedantic(assemble, rounds=1, iterations=1)
+    stats = summarize(result)
+    emit(out_dir, "table1.txt",
+         format_table1(result) + "\n\n" + stats.format())
+
+    from repro.experiments.report import write_table1_json
+
+    write_table1_json(result, out_dir / "table1.json")
+
+    # Aggregate shape: the parity method beats duplication on functions
+    # (paper: 53%) and trees keep shrinking as latency grows (paper: 17%
+    # then 7.2%).  Exact magnitudes differ — see EXPERIMENTS.md.
+    assert stats.vs_duplication_functions > 0
+    assert stats.p2_vs_p1_functions >= 0
+    assert stats.p3_vs_p2_functions >= 0
+    assert stats.p2_vs_p1_functions + stats.p3_vs_p2_functions > 0, (
+        "added latency should reduce parity count somewhere in the suite"
+    )

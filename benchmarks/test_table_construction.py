@@ -1,0 +1,48 @@
+"""Experiment: Fig. 2 — building the error detectability table itself.
+
+Benchmarks the extraction pass (fault simulation + memoized path
+enumeration + canonical reduction) for both reference semantics on a
+mid-size machine, and records the table dimensions the paper's Fig. 2
+sketches (m erroneous cases × n bits × p steps).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.detectability import TableConfig, extract_tables
+from repro.faults.model import StuckAtModel
+from repro.fsm.benchmarks import load_benchmark
+from repro.logic.synthesis import synthesize_fsm
+from repro.util.tables import format_table
+
+
+@pytest.mark.parametrize("semantics", ["trajectory", "checker"])
+def test_table_construction(benchmark, semantics, out_dir):
+    synthesis = synthesize_fsm(load_benchmark("keyb"))
+    model = StuckAtModel(synthesis, max_faults=300)
+    config = TableConfig(latency=3, semantics=semantics)
+
+    tables = benchmark.pedantic(
+        extract_tables, args=(synthesis, model, config), rounds=1, iterations=1
+    )
+
+    rows = [
+        [p, tables[p].num_rows, tables[p].num_bits, tables[p].width,
+         tables[p].stats.num_activations]
+        for p in sorted(tables)
+    ]
+    emit(
+        out_dir,
+        f"fig2_table_dims_{semantics}.txt",
+        format_table(
+            ["p", "m (cases)", "n (bits)", "width", "activations"],
+            rows,
+            title=f"Error detectability table dimensions — keyb, {semantics}",
+        ),
+    )
+    for p in (1, 2):
+        assert tables[p].num_rows > 0
+    # p=1 rows are single-option sets by construction.
+    assert tables[1].width == 1

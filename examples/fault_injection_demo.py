@@ -1,0 +1,62 @@
+"""Cycle-by-cycle view of the checker catching an injected fault.
+
+Builds the full Fig.-3 machine (FSM + parity trees + predictor + delayed
+comparator) for the sequence detector at latency 2, injects a stuck-at
+fault into the synthesized netlist, and prints the transition trace: when
+the error first corrupts the observable word and when the comparator
+fires.
+
+Run:  python examples/fault_injection_demo.py
+"""
+
+from repro import design_ced, load_benchmark
+from repro.ced import CedMachine
+from repro.util.rng import rng_for
+
+
+def main() -> None:
+    design = design_ced("seqdet", latency=2, semantics="checker")
+    synthesis = design.synthesis
+    machine = CedMachine(synthesis, design.hardware)
+    print(design.summary())
+    print(f"parity vectors: {[bin(b) for b in design.hardware.betas]}")
+    print()
+
+    rng = rng_for(42, "demo-inputs")
+    inputs = rng.integers(2, size=24).tolist()
+
+    # Pick a fault that actually disturbs this input sequence.
+    for node in synthesis.netlist.logic_nodes():
+        trace = machine.run(inputs, fault=(node, 1))
+        if any(step.erroneous for step in trace):
+            break
+    else:
+        raise SystemExit("no fault disturbed the run — try another seed")
+
+    print(f"injected: stuck-at-1 on netlist node {node}")
+    print(f"{'cycle':>5} {'state':>5} {'in':>3} {'observable':>12} "
+          f"{'status':<20}")
+    activation = None
+    for step in trace:
+        status = ""
+        if step.erroneous and activation is None:
+            activation = step.cycle
+            status = "ERROR OCCURS"
+        elif step.erroneous:
+            status = "still corrupted"
+        if step.detected:
+            status += "  << DETECTED"
+        word = format(step.actual_word, f"0{synthesis.num_bits}b")
+        print(f"{step.cycle:>5} {step.state_code:>5} "
+              f"{step.input_value:>3} {word:>12} {status}")
+
+    detection = next(s.cycle for s in trace if s.detected)
+    print()
+    print(f"first error at cycle {activation}, detected at cycle {detection} "
+          f"-> observed latency {detection - activation + 1} "
+          f"(bound was {design.latency})")
+    assert detection - activation + 1 <= design.latency
+
+
+if __name__ == "__main__":
+    main()

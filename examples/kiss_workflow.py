@@ -1,0 +1,55 @@
+"""Bring your own FSM: KISS2 in, CED design out, encoding comparison.
+
+Parses a KISS2 description written inline (a small bus-grant controller),
+checks it structurally, and compares the CED cost of the four state
+assignments the library ships.
+
+Run:  python examples/kiss_workflow.py
+"""
+
+from repro import TableConfig, design_ced, parse_kiss
+from repro.fsm.analysis import analyze
+
+CONTROLLER = """\
+.i 2
+.o 2
+.s 3
+.p 7
+.r IDLE
+00 IDLE IDLE 00
+1- IDLE REQ  00
+01 IDLE REQ  00
+-1 REQ  GRANT 01
+-0 REQ  IDLE  00
+-1 GRANT GRANT 10
+-0 GRANT IDLE  00
+.e
+"""
+
+
+def main() -> None:
+    fsm = parse_kiss(CONTROLLER, name="bus-ctrl")
+    print(analyze(fsm))
+    print()
+
+    print(f"{'encoding':>10} {'orig cost':>10} {'q':>3} {'CED cost':>9}")
+    for encoding in ("binary", "gray", "onehot", "weighted"):
+        design = design_ced(
+            fsm,
+            latency=2,
+            semantics="checker",
+            encoding=encoding,
+            table_config=TableConfig(latency=2, semantics="checker"),
+        )
+        print(
+            f"{encoding:>10} {design.synthesis.stats.cost:>10.1f} "
+            f"{design.num_parity_bits:>3} {design.cost:>9.1f}"
+        )
+    print()
+    print("State assignment changes both the machine and its checker — "
+          "the paper performs assignment before synthesis for the same "
+          "reason.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""repro — bounded-latency concurrent error detection in FSMs.
+
+A from-scratch reproduction of Almukhaizim, Drineas & Makris, *On
+Concurrent Error Detection with Bounded Latency in FSMs* (DATE 2004):
+parity-based CED whose detection latency is bounded by ``p`` cycles,
+trading a small, guaranteed latency for less checking hardware.
+
+Top-level API::
+
+    from repro import design_ced, design_ced_sweep, load_benchmark
+
+    design = design_ced("traffic", latency=2, verify=True)
+    print(design.summary())
+
+Sub-packages: :mod:`repro.fsm` (machines, KISS2, encodings, benchmarks),
+:mod:`repro.logic` (two-level synthesis, netlists, cost model),
+:mod:`repro.faults` (fault models and simulation), :mod:`repro.core`
+(detectability tables, IP/LP/rounding solver), :mod:`repro.ced` (checker
+hardware and verification), :mod:`repro.experiments` (paper-table
+harnesses).
+"""
+
+from repro.ced import build_ced_hardware, verify_bounded_latency
+from repro.core import (
+    SolveConfig,
+    TableConfig,
+    extract_table,
+    extract_tables,
+    minimize_parity_bits,
+    solve_for_latencies,
+)
+from repro.faults import StuckAtModel, TransitionFaultModel
+from repro.flow import CedDesign, design_ced, design_ced_sweep
+from repro.fsm import FSM, Transition, load_benchmark, parse_kiss, write_kiss
+from repro.logic import synthesize_fsm
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CedDesign",
+    "FSM",
+    "SolveConfig",
+    "StuckAtModel",
+    "TableConfig",
+    "Transition",
+    "TransitionFaultModel",
+    "build_ced_hardware",
+    "design_ced",
+    "design_ced_sweep",
+    "extract_table",
+    "extract_tables",
+    "load_benchmark",
+    "minimize_parity_bits",
+    "parse_kiss",
+    "solve_for_latencies",
+    "synthesize_fsm",
+    "verify_bounded_latency",
+    "write_kiss",
+]

@@ -1,0 +1,54 @@
+"""Concurrent-error-detection hardware construction (the paper's Fig. 3).
+
+Given a synthesized FSM and a set of parity vectors β, this package builds
+the CED circuitry — XOR parity trees over the observable bits
+(:mod:`repro.ced.parity_hw`), the combinational parity predictor fed by the
+input and present state (:mod:`repro.ced.predictor`), and the hold-register
++ comparator stage that delays the compare by one cycle so state-register
+faults are also caught (:mod:`repro.ced.comparator`, after Zeng, Saxena &
+McCluskey) — assembles them into a cycle-accurate checked machine
+(:mod:`repro.ced.checker`), and provides the duplication baseline
+(:mod:`repro.ced.duplication`) and a fault-injection verifier of the
+bounded-latency guarantee (:mod:`repro.ced.verify`).
+"""
+
+from repro.ced.checker import CedMachine, CycleResult
+from repro.ced.comparator import build_comparator_netlist, comparator_stats
+from repro.ced.convolutional import (
+    ConvolutionalChecker,
+    ConvolutionalCode,
+    convolutional_checker_stats,
+)
+from repro.ced.duplication import DuplicationBaseline, duplication_stats
+from repro.ced.hardware import CedHardware, build_ced_hardware
+from repro.ced.parity_hw import build_parity_netlist, parity_tree_stats
+from repro.ced.predictor import PredictorResult, synthesize_predictor
+from repro.ced.spare import SpareDesign, design_spare
+from repro.ced.verify import (
+    VerificationReport,
+    verify_bounded_latency,
+    verify_no_false_alarms,
+)
+
+__all__ = [
+    "CedHardware",
+    "CedMachine",
+    "ConvolutionalChecker",
+    "ConvolutionalCode",
+    "CycleResult",
+    "DuplicationBaseline",
+    "PredictorResult",
+    "SpareDesign",
+    "VerificationReport",
+    "build_ced_hardware",
+    "convolutional_checker_stats",
+    "design_spare",
+    "build_comparator_netlist",
+    "build_parity_netlist",
+    "comparator_stats",
+    "duplication_stats",
+    "parity_tree_stats",
+    "synthesize_predictor",
+    "verify_bounded_latency",
+    "verify_no_false_alarms",
+]

@@ -1,0 +1,139 @@
+"""Cycle-accurate simulation of the CED-augmented machine.
+
+Timing follows Fig. 3 and the Zeng/Saxena/McCluskey scheme the paper
+adopts: during cycle ``t`` the predictor (fed by the shared input and
+present-state register) produces the expected parities of the transition's
+next-state/output word, and the primary outputs are captured in hold
+registers; at cycle ``t+1`` the parity trees re-compute over the *actual
+state register contents* plus the held outputs, and the comparator flags
+any mismatch with the held prediction.  Re-computing over the registered
+state is what extends coverage to faults in the state flip-flops
+themselves.
+
+Fault hooks:
+
+* ``fault=(node, value)`` — a stuck-at fault inside the monitored
+  combinational netlist (the CED circuitry itself is fault-free,
+  matching the paper's non-intrusive single-fault assumption);
+* ``register_fault=(bit, value)`` — a stuck-at fault on a state flip-flop
+  output, applied after every state update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.ced.hardware import CedHardware
+from repro.logic.sim import evaluate_batch
+from repro.logic.synthesis import SynthesisResult
+from repro.util.bitops import int_to_bits, parity
+
+
+@dataclass(frozen=True)
+class CycleResult:
+    """One transition of the checked machine."""
+
+    cycle: int
+    state_code: int
+    input_value: int
+    good_word: int  # fault-free response the predictor is based on
+    actual_word: int  # checker-visible word: registered state + held outputs
+    erroneous: bool  # actual differs from good (an error occurred here)
+    detected: bool  # the comparator flags this transition (at cycle+1)
+
+
+class CedMachine:
+    """The original FSM plus its CED circuitry, simulated together."""
+
+    def __init__(self, synthesis: SynthesisResult, hardware: CedHardware) -> None:
+        if hardware.synthesis is not synthesis:
+            raise ValueError("hardware was built for a different synthesis result")
+        self.synthesis = synthesis
+        self.hardware = hardware
+
+    def run(
+        self,
+        inputs: Sequence[int],
+        fault: tuple[int, int] | None = None,
+        register_fault: tuple[int, int] | None = None,
+        initial_state: int | None = None,
+    ) -> list[CycleResult]:
+        """Simulate a sequence of input words from ``initial_state``."""
+        synthesis = self.synthesis
+        s = synthesis.num_state_bits
+        state = synthesis.reset_code if initial_state is None else initial_state
+        if register_fault is not None:
+            state = _apply_register_fault(state, register_fault)
+
+        results: list[CycleResult] = []
+        for cycle, input_value in enumerate(inputs):
+            pattern = synthesis.pattern(state, int(input_value))[None, :]
+
+            actual = evaluate_batch(synthesis.netlist, pattern, fault=fault)[0]
+            good = evaluate_batch(synthesis.netlist, pattern)[0]
+            good_word = _pack(good)
+
+            predicted = self._predict(pattern)
+
+            next_state, out_word = synthesis.split_response(actual)
+            if register_fault is not None:
+                next_state = _apply_register_fault(next_state, register_fault)
+            actual_word = next_state | (out_word << s)
+
+            actual_parities = self._compact(actual_word)
+            detected = actual_parities != predicted
+            erroneous = actual_word != good_word
+            results.append(
+                CycleResult(
+                    cycle=cycle,
+                    state_code=state,
+                    input_value=int(input_value),
+                    good_word=good_word,
+                    actual_word=actual_word,
+                    erroneous=erroneous,
+                    detected=detected,
+                )
+            )
+            state = next_state
+        return results
+
+    # ------------------------------------------------------------------
+    # CED circuitry evaluation (uses the synthesized netlists)
+    # ------------------------------------------------------------------
+    def _predict(self, pattern: np.ndarray) -> tuple[int, ...]:
+        if not self.hardware.betas:
+            return ()
+        values = evaluate_batch(self.hardware.predictor.netlist, pattern)[0]
+        return tuple(int(v) for v in values)
+
+    def _compact(self, word: int) -> tuple[int, ...]:
+        if not self.hardware.betas:
+            return ()
+        bits = np.array(
+            [int_to_bits(word, self.synthesis.num_bits)], dtype=np.uint8
+        )
+        values = evaluate_batch(self.hardware.parity_netlist, bits)[0]
+        parities = tuple(int(v) for v in values)
+        # Cross-check the structural netlist against the algebraic parity.
+        expected = tuple(
+            parity(word & beta) for beta in self.hardware.betas
+        )
+        if parities != expected:  # pragma: no cover - structural bug guard
+            raise AssertionError("parity netlist disagrees with algebraic parity")
+        return parities
+
+
+def _apply_register_fault(state: int, register_fault: tuple[int, int]) -> int:
+    bit, value = register_fault
+    mask = 1 << bit
+    return (state | mask) if value else (state & ~mask)
+
+
+def _pack(bits: np.ndarray) -> int:
+    word = 0
+    for index, bit in enumerate(bits.tolist()):
+        word |= int(bit) << index
+    return word

@@ -1,0 +1,46 @@
+"""Hold registers and the inequality comparator.
+
+Following the paper (and Zeng/Saxena/McCluskey's scheme it cites), the
+compacted observables and the prediction are registered and compared one
+clock cycle later, so that faults in the state register itself are also
+caught: the parity trees re-compute over the *registered* state bits, and
+a flipped register bit breaks the held prediction's parity.
+
+Hardware accounted here: 2q hold flip-flops, q XOR cells (bit-wise
+inequality), and an OR tree raising the error flag.
+"""
+
+from __future__ import annotations
+
+from repro.logic.netlist import GateKind, Netlist
+from repro.logic.tech import DEFAULT_LIBRARY, CellLibrary, CircuitStats, circuit_stats
+
+
+def build_comparator_netlist(q: int) -> Netlist:
+    """Combinational part: error = OR_l (held_par_l XOR held_pred_l)."""
+    if q < 1:
+        raise ValueError("comparator needs at least one parity bit")
+    netlist = Netlist()
+    parities = [netlist.add_input(f"hpar{l}") for l in range(q)]
+    predictions = [netlist.add_input(f"hpred{l}") for l in range(q)]
+    mismatches = [
+        netlist.add_gate(GateKind.XOR, [parities[l], predictions[l]])
+        for l in range(q)
+    ]
+    error = (
+        mismatches[0]
+        if q == 1
+        else netlist.add_gate(GateKind.OR, mismatches)
+    )
+    netlist.add_output("error", error)
+    return netlist
+
+
+def comparator_stats(
+    q: int,
+    library: CellLibrary = DEFAULT_LIBRARY,
+) -> CircuitStats:
+    """Mapped stats of the comparator plus its 2q hold registers."""
+    if q == 0:
+        return CircuitStats.zero()
+    return circuit_stats(build_comparator_netlist(q), library, num_flipflops=2 * q)

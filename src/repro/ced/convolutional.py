@@ -1,0 +1,206 @@
+"""Convolutional-code CED — the related-work alternative ([14], Holmquist
+& Kinney) the paper positions itself against.
+
+Instead of comparing a per-cycle parity prediction, the machine emits
+*key bits* that form a valid convolutional-code sequence iff operation is
+correct: the key at cycle ``t`` is a GF(2) combination of the current and
+the previous ``L`` observable words,
+
+    key_t = ⊕_{d=0..L} parity(word_{t-d} & G_d),
+
+checked against the same combination computed from predictions.  Because
+the code constrains a *window* of cycles, a single corrupted word keeps
+violating keys for up to ``L`` further cycles — which is what lets this
+scheme bound detection latency even for single-event upsets (the paper's
+§2 notes bounded-latency parity CED cannot cover SEUs without such
+memory).
+
+The price, and the reason the paper calls the approach "cumbersome" for
+latencies above one: the checker must *hold* the previous ``L`` observable
+words (``L·n`` flip-flops) and XOR across all of them.  The cost model
+here quantifies exactly that, and ``benchmarks/test_ablation_convolutional``
+shows the crossover against parity CED with bounded latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.logic.synthesis import SynthesisResult
+from repro.logic.tech import DEFAULT_LIBRARY, CellLibrary, CircuitStats
+from repro.util.bitops import parity
+from repro.util.rng import rng_for
+
+
+@dataclass(frozen=True)
+class ConvolutionalCode:
+    """Generator masks G_0..G_L over n observable bits, one key per mask set.
+
+    ``generators[k][d]`` is the mask applied to the word ``d`` cycles ago
+    when producing key bit ``k``.
+    """
+
+    num_bits: int
+    generators: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        if not self.generators:
+            raise ValueError("at least one key generator required")
+        depth = len(self.generators[0])
+        for masks in self.generators:
+            if len(masks) != depth:
+                raise ValueError("all generators must share the memory depth")
+            if masks[0] == 0:
+                raise ValueError("G_0 must tap the current word")
+            for mask in masks:
+                if mask < 0 or mask >= (1 << self.num_bits):
+                    raise ValueError("generator mask out of range")
+
+    @property
+    def num_keys(self) -> int:
+        return len(self.generators)
+
+    @property
+    def memory_depth(self) -> int:
+        """L: number of past words the keys depend on."""
+        return len(self.generators[0]) - 1
+
+    def keys(self, window: Sequence[int]) -> tuple[int, ...]:
+        """Key bits for a window ``[word_t, word_{t-1}, ..., word_{t-L}]``.
+
+        Missing history (start-up) must be padded by the caller.
+        """
+        if len(window) != self.memory_depth + 1:
+            raise ValueError("window length must be memory depth + 1")
+        return tuple(
+            parity_fold(masks, window) for masks in self.generators
+        )
+
+    @classmethod
+    def random(
+        cls,
+        num_bits: int,
+        num_keys: int,
+        memory_depth: int,
+        seed: int = 2004,
+    ) -> "ConvolutionalCode":
+        """A seeded random code (dense masks give good error mixing)."""
+        rng = rng_for(seed, "conv-code", num_bits, num_keys, memory_depth)
+        generators = []
+        for _ in range(num_keys):
+            masks = [int(rng.integers(1, 1 << num_bits))]
+            masks += [
+                int(rng.integers(1 << num_bits))
+                for _ in range(memory_depth)
+            ]
+            generators.append(tuple(masks))
+        return cls(num_bits=num_bits, generators=tuple(generators))
+
+
+def parity_fold(masks: Sequence[int], window: Sequence[int]) -> int:
+    value = 0
+    for mask, word in zip(masks, window):
+        value ^= parity(word & mask)
+    return value
+
+
+@dataclass
+class ConvolutionalChecker:
+    """Online checker: compares observed keys against predicted keys."""
+
+    code: ConvolutionalCode
+
+    def run(
+        self,
+        actual_words: Sequence[int],
+        predicted_words: Sequence[int],
+    ) -> list[bool]:
+        """Per cycle: does the observed key stream violate the code?
+
+        ``predicted_words`` is the fault-free reference stream (in real
+        hardware, produced by prediction logic analogous to the parity
+        predictor).  Start-up history is zero-padded on both sides.
+        """
+        if len(actual_words) != len(predicted_words):
+            raise ValueError("streams must have equal length")
+        depth = self.code.memory_depth
+        flags: list[bool] = []
+        for t in range(len(actual_words)):
+            window_actual = [
+                actual_words[t - d] if t - d >= 0 else 0
+                for d in range(depth + 1)
+            ]
+            window_predicted = [
+                predicted_words[t - d] if t - d >= 0 else 0
+                for d in range(depth + 1)
+            ]
+            flags.append(
+                self.code.keys(window_actual)
+                != self.code.keys(window_predicted)
+            )
+        return flags
+
+    def detection_latency(
+        self,
+        actual_words: Sequence[int],
+        predicted_words: Sequence[int],
+    ) -> int | None:
+        """Cycles from first corrupted word to first key violation."""
+        first_error = next(
+            (
+                t
+                for t, (a, p) in enumerate(zip(actual_words, predicted_words))
+                if a != p
+            ),
+            None,
+        )
+        if first_error is None:
+            return None
+        flags = self.run(actual_words, predicted_words)
+        hit = next(
+            (t for t in range(first_error, len(flags)) if flags[t]), None
+        )
+        if hit is None:
+            return None
+        return hit - first_error + 1
+
+
+def convolutional_checker_stats(
+    code: ConvolutionalCode,
+    library: CellLibrary = DEFAULT_LIBRARY,
+) -> CircuitStats:
+    """Mapped cost of the key-generation and checking hardware.
+
+    Per key: an XOR tree over all tapped (current + held) bits, twice
+    (observed side and predicted side), plus a compare XOR.  Shared across
+    keys: ``L·n`` hold registers for the observed words and ``L·n`` for the
+    predicted words, plus the final OR tree.  This is the ``L ≥ 1`` memory
+    cost the paper calls cumbersome.
+    """
+    cells: dict[str, int] = {}
+
+    def take(cell: str, count: int) -> None:
+        if count > 0:
+            cells[cell] = cells.get(cell, 0) + count
+
+    for masks in code.generators:
+        taps = sum(bin(mask).count("1") for mask in masks)
+        take("XOR2", 2 * max(0, taps - 1))  # observed + predicted trees
+        take("XOR2", 1)  # inequality per key
+    take("OR2", max(0, code.num_keys - 1))
+    take("DFF", 2 * code.memory_depth * code.num_bits)
+    gates = sum(cells.values())
+    cost = sum(library.area(cell) * count for cell, count in cells.items())
+    return CircuitStats(gates=gates, cost=cost, cells=cells)
+
+
+def checker_words_from_design(
+    synthesis: SynthesisResult,
+    trace,
+) -> tuple[list[int], list[int]]:
+    """Extract (actual, predicted) observable word streams from a
+    :class:`repro.ced.checker.CedMachine` trace."""
+    actual = [step.actual_word for step in trace]
+    predicted = [step.good_word for step in trace]
+    return actual, predicted

@@ -1,0 +1,83 @@
+"""Assembly of the complete CED circuitry and its cost breakdown.
+
+``CED hardware = parity trees + parity predictor + hold registers +
+inequality comparator`` — the right-hand side of the paper's Fig. 3.  The
+"Gates"/"Cost" columns of Table 1 are the mapped totals of exactly these
+four pieces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ced.comparator import comparator_stats
+from repro.ced.parity_hw import build_parity_netlist, parity_tree_stats
+from repro.ced.predictor import PredictorResult, synthesize_predictor
+from repro.logic.netlist import Netlist
+from repro.logic.synthesis import SynthesisResult
+from repro.logic.tech import CircuitStats
+
+
+@dataclass
+class CedHardware:
+    """The CED circuitry for one machine and one parity-vector set."""
+
+    synthesis: SynthesisResult
+    betas: list[int]
+    parity_netlist: Netlist
+    predictor: PredictorResult
+    parity_stats: CircuitStats
+    predictor_stats: CircuitStats
+    comparator_stats: CircuitStats
+
+    @property
+    def num_parity_bits(self) -> int:
+        return len(self.betas)
+
+    @property
+    def total_stats(self) -> CircuitStats:
+        return self.parity_stats + self.predictor_stats + self.comparator_stats
+
+    @property
+    def gates(self) -> int:
+        return self.total_stats.gates
+
+    @property
+    def cost(self) -> float:
+        return self.total_stats.cost
+
+    def overhead_vs(self, baseline: CircuitStats) -> float:
+        """Area overhead relative to a baseline (e.g. the original FSM)."""
+        if baseline.cost == 0:
+            raise ValueError("baseline has zero cost")
+        return self.cost / baseline.cost
+
+
+def build_ced_hardware(
+    synthesis: SynthesisResult,
+    betas: list[int],
+    unreachable_dc: bool = True,
+    predictor_mode: str = "best",
+    multilevel: bool = False,
+) -> CedHardware:
+    """Synthesize and map all CED pieces for a parity-vector set."""
+    betas = sorted(dict.fromkeys(betas))
+    predictor = synthesize_predictor(
+        synthesis,
+        betas,
+        unreachable_dc=unreachable_dc,
+        mode=predictor_mode,
+        multilevel=multilevel,
+    )
+    parity_netlist = (
+        build_parity_netlist(synthesis.num_bits, betas) if betas else Netlist()
+    )
+    return CedHardware(
+        synthesis=synthesis,
+        betas=betas,
+        parity_netlist=parity_netlist,
+        predictor=predictor,
+        parity_stats=parity_tree_stats(betas, synthesis.library),
+        predictor_stats=predictor.stats,
+        comparator_stats=comparator_stats(len(betas), synthesis.library),
+    )

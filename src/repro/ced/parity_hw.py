@@ -1,0 +1,35 @@
+"""XOR parity trees over the observable next-state/output bits.
+
+Each selected parity vector β becomes a balanced tree of 2-input XOR cells
+compacting the bits set in β.  A single-bit "tree" is a wire (no cells) —
+its cost shows up in the predictor and comparator instead.
+"""
+
+from __future__ import annotations
+
+from repro.logic.netlist import GateKind, Netlist
+from repro.logic.tech import DEFAULT_LIBRARY, CellLibrary, CircuitStats, circuit_stats
+
+
+def build_parity_netlist(num_bits: int, betas: list[int]) -> Netlist:
+    """Netlist computing one parity output per β over inputs b0..b{n-1}."""
+    netlist = Netlist()
+    bit_nodes = [netlist.add_input(f"b{j}") for j in range(num_bits)]
+    for index, beta in enumerate(betas):
+        if beta <= 0 or beta >= (1 << num_bits):
+            raise ValueError(f"parity vector {beta:#x} out of range")
+        taps = [bit_nodes[j] for j in range(num_bits) if (beta >> j) & 1]
+        node = taps[0] if len(taps) == 1 else netlist.add_gate(GateKind.XOR, taps)
+        netlist.add_output(f"par{index}", node)
+    return netlist
+
+
+def parity_tree_stats(
+    betas: list[int],
+    library: CellLibrary = DEFAULT_LIBRARY,
+) -> CircuitStats:
+    """Mapped cell statistics of the parity trees."""
+    if not betas:
+        return CircuitStats.zero()
+    num_bits = max(beta.bit_length() for beta in betas)
+    return circuit_stats(build_parity_netlist(num_bits, betas), library)

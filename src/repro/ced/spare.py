@@ -1,0 +1,111 @@
+"""SPaRe-style selective partial replication baseline.
+
+The paper's introduction cites the authors' earlier SPaRe approach
+(Drineas & Makris, VLSI Design 2003 [11]): instead of compacting the
+observable bits through parity trees, replicate a *subset* of the
+next-state/output logic cones and compare each replicated bit directly.
+Detection is immediate (latency 1) and per-bit: an erroneous case is
+caught iff some replicated bit lies in its first-step difference set —
+i.e. exactly the single-bit-parity special case of the covering problem.
+
+This module selects a minimum replicated-bit set greedily over the p=1
+table and prices the result honestly: the replicated cones are
+re-synthesized (two-level, shared among the selected bits), plus one
+XOR per bit and an OR tree.  The comparison against parity CED
+illustrates the trade the paper makes: parity trees share logic across
+bits via the predictor where replication duplicates cones outright.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.detectability import DetectabilityTable
+from repro.core.greedy import greedy_parity_cover
+from repro.logic.netlist import GateKind, Netlist
+from repro.logic.synthesis import SynthesisResult, emit_cover
+from repro.logic.tech import CircuitStats, circuit_stats
+
+
+@dataclass
+class SpareDesign:
+    """A selective-replication CED design."""
+
+    synthesis: SynthesisResult
+    replicated_bits: list[int]
+    netlist: Netlist
+    stats: CircuitStats
+
+    @property
+    def num_replicated(self) -> int:
+        return len(self.replicated_bits)
+
+    @property
+    def cost(self) -> float:
+        return self.stats.cost
+
+
+def design_spare(
+    synthesis: SynthesisResult,
+    table: DetectabilityTable,
+) -> SpareDesign:
+    """Select and build a minimum replicated-bit checker.
+
+    ``table`` must be a latency-1 table (replication has no latency
+    freedom); the selection is the greedy minimum cover over single-bit
+    candidates, which is exact for this special case up to greedy's
+    ln(m) factor.
+    """
+    if table.latency != 1:
+        raise ValueError("SPaRe replication requires a latency-1 table")
+    if table.num_bits != synthesis.num_bits:
+        raise ValueError("table does not match the synthesis result")
+    selected_masks = greedy_parity_cover(table, pool="singles")
+    bits = sorted(mask.bit_length() - 1 for mask in selected_masks)
+    netlist = _replication_netlist(synthesis, bits)
+    stats = circuit_stats(
+        netlist, synthesis.library,
+        # Replicated state bits need their own flip-flops to stay
+        # independent of the (possibly faulty) main register.
+        num_flipflops=sum(1 for b in bits if b < synthesis.num_state_bits),
+    )
+    return SpareDesign(
+        synthesis=synthesis,
+        replicated_bits=bits,
+        netlist=netlist,
+        stats=stats,
+    )
+
+
+def _replication_netlist(
+    synthesis: SynthesisResult, bits: list[int]
+) -> Netlist:
+    """Replicated cones for the selected bits + per-bit compare + OR tree.
+
+    Inputs: the machine's (input, present state) variables followed by the
+    observed values of the selected bits (named ``obs{j}``).
+    """
+    netlist = Netlist()
+    variable_nodes = [
+        netlist.add_input(name)
+        for name in (
+            [f"in{j}" for j in range(synthesis.num_inputs)]
+            + [f"ps{j}" for j in range(synthesis.num_state_bits)]
+        )
+    ]
+    observed = {bit: netlist.add_input(f"obs{bit}") for bit in bits}
+    mismatches = []
+    for bit in bits:
+        replica = emit_cover(netlist, variable_nodes, synthesis.covers[bit])
+        netlist.add_output(f"rep{bit}", replica)
+        mismatches.append(
+            netlist.add_gate(GateKind.XOR, [replica, observed[bit]])
+        )
+    if mismatches:
+        error = (
+            mismatches[0]
+            if len(mismatches) == 1
+            else netlist.add_gate(GateKind.OR, mismatches)
+        )
+        netlist.add_output("error", error)
+    return netlist

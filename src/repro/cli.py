@@ -1,0 +1,180 @@
+"""Command-line interface.
+
+Installed as ``repro-ced`` (also ``python -m repro``).  Subcommands:
+
+* ``info CIRCUIT``     — structural report of a benchmark FSM;
+* ``synth CIRCUIT``    — synthesize and print gate/cost statistics;
+* ``design CIRCUIT``   — full bounded-latency CED design (+ verification);
+* ``sweep CIRCUIT``    — latency-saturation curve;
+* ``table1``           — reproduce the paper's Table 1 (+ summary stats);
+* ``list``             — list available benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments.figures import latency_saturation_curve
+from repro.experiments.summary import summarize
+from repro.experiments.table1 import Table1Config, format_table1, run_table1
+from repro.flow import design_ced
+from repro.fsm.analysis import analyze
+from repro.fsm.benchmarks import TABLE1_CIRCUITS, benchmark_names, load_benchmark
+from repro.logic.synthesis import synthesize_fsm
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handler = {
+        "list": _cmd_list,
+        "info": _cmd_info,
+        "synth": _cmd_synth,
+        "design": _cmd_design,
+        "sweep": _cmd_sweep,
+        "table1": _cmd_table1,
+    }[args.command]
+    return handler(args)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-ced",
+        description="Bounded-latency concurrent error detection in FSMs "
+        "(DATE 2004 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available benchmark FSMs")
+
+    info = sub.add_parser("info", help="structural report of a benchmark")
+    info.add_argument("circuit")
+
+    synth = sub.add_parser("synth", help="synthesize a benchmark")
+    synth.add_argument("circuit")
+    synth.add_argument("--encoding", default="binary",
+                       choices=("binary", "gray", "onehot", "weighted"))
+    synth.add_argument("--multilevel", action="store_true",
+                       help="apply the algebraic multilevel pass")
+    synth.add_argument("--minimize-states", action="store_true",
+                       help="merge equivalent states first")
+    synth.add_argument("--blif", metavar="PATH",
+                       help="export the synthesized netlist as BLIF")
+
+    design = sub.add_parser("design", help="design CED hardware")
+    design.add_argument("circuit")
+    design.add_argument("--latency", type=int, default=1)
+    design.add_argument("--semantics", default="checker",
+                        choices=("checker", "trajectory"))
+    design.add_argument("--encoding", default="binary",
+                        choices=("binary", "gray", "onehot", "weighted"))
+    design.add_argument("--max-faults", type=int, default=800)
+    design.add_argument("--verify", action="store_true",
+                        help="run the fault-injection verifier")
+
+    sweep = sub.add_parser("sweep", help="latency saturation curve")
+    sweep.add_argument("circuit")
+    sweep.add_argument("--max-latency", type=int, default=4)
+    sweep.add_argument("--semantics", default="trajectory",
+                       choices=("checker", "trajectory"))
+
+    table1 = sub.add_parser("table1", help="reproduce the paper's Table 1")
+    table1.add_argument("--circuits", nargs="*", default=list(TABLE1_CIRCUITS))
+    table1.add_argument("--semantics", default="trajectory",
+                        choices=("checker", "trajectory"))
+    table1.add_argument("--max-faults", type=int, default=800)
+    table1.add_argument("--seed", type=int, default=2004)
+    return parser
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    for name in benchmark_names():
+        print(name)
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    print(analyze(load_benchmark(args.circuit)))
+    return 0
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    fsm = load_benchmark(args.circuit)
+    if args.minimize_states:
+        from repro.fsm.minimize import minimize_states
+
+        before = fsm.num_states
+        fsm = minimize_states(fsm)
+        print(f"state minimization: {before} -> {fsm.num_states} states")
+    synthesis = synthesize_fsm(
+        fsm, encoding=args.encoding, multilevel=args.multilevel
+    )
+    stats = synthesis.stats
+    print(
+        f"{args.circuit}: {synthesis.num_inputs} in / "
+        f"{synthesis.num_state_bits} state bits / "
+        f"{synthesis.num_fsm_outputs} out — {stats.gates} gates, "
+        f"cost {stats.cost:.1f} ({args.encoding} encoding"
+        f"{', multilevel' if args.multilevel else ''})"
+    )
+    for cell, count in sorted(stats.cells.items()):
+        print(f"  {cell:6s} x{count}")
+    if args.blif:
+        from repro.logic.blif import write_blif_file
+
+        write_blif_file(synthesis.netlist, args.blif, model_name=args.circuit)
+        print(f"BLIF written to {args.blif}")
+    return 0
+
+
+def _cmd_design(args: argparse.Namespace) -> int:
+    design = design_ced(
+        args.circuit,
+        latency=args.latency,
+        semantics=args.semantics,
+        encoding=args.encoding,
+        max_faults=args.max_faults,
+        verify=args.verify,
+    )
+    print(design.summary())
+    print(f"  parity vectors: {[hex(b) for b in design.solve_result.betas]}")
+    breakdown = {
+        "parity trees": design.hardware.parity_stats,
+        "predictor": design.hardware.predictor_stats,
+        "comparator+holds": design.hardware.comparator_stats,
+    }
+    for label, stats in breakdown.items():
+        print(f"  {label:17s} {stats.gates:4d} gates, cost {stats.cost:8.1f}")
+    if args.verify and design.verification is not None:
+        report = design.verification
+        print(
+            f"  verification: {report.num_activated_runs} activated runs, "
+            f"{len(report.violations)} violations, "
+            f"latency histogram {report.detection_latencies}"
+        )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    curve = latency_saturation_curve(
+        args.circuit, max_latency=args.max_latency, semantics=args.semantics
+    )
+    print(curve.format())
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    config = Table1Config(
+        semantics=args.semantics, max_faults=args.max_faults, seed=args.seed
+    )
+    result = run_table1(tuple(args.circuits), config)
+    print(format_table1(result))
+    print()
+    print(summarize(result).format())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""GF(2) coverage checks for parity vectors.
+
+A parity function is a bitmask ``β`` over the ``n`` observable bits.  It
+*covers* erroneous case ``i`` iff at some step ``k`` the overlap between β
+and the step's difference set has odd cardinality — that is exactly when
+the XOR tree's output differs from its prediction at step ``k``:
+
+    covered(i) = ∃ k:  popcount(rows[i, k] & β) is odd.
+
+These checks are the inner loop of randomized rounding, greedy covering and
+the exact solver, so they are fully vectorised (``np.bitwise_count``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def coverage_mask(rows: np.ndarray, beta: int) -> np.ndarray:
+    """Boolean (m,) mask of the rows covered by a single parity vector."""
+    rows = np.asarray(rows, dtype=np.uint64)
+    if beta < 0:
+        raise ValueError("parity vectors are non-negative bitmasks")
+    masked = rows & np.uint64(beta)
+    odd = (np.bitwise_count(masked) & np.uint64(1)).astype(bool)
+    return odd.any(axis=1)
+
+
+def covered_rows(rows: np.ndarray, betas: Iterable[int]) -> np.ndarray:
+    """Boolean (m,) mask of rows covered by the union of parity vectors."""
+    rows = np.asarray(rows, dtype=np.uint64)
+    covered = np.zeros(rows.shape[0], dtype=bool)
+    for beta in betas:
+        covered |= coverage_mask(rows, beta)
+        if covered.all():
+            break
+    return covered
+
+
+def covers_all(rows: np.ndarray, betas: Iterable[int]) -> bool:
+    """True iff every erroneous case is covered by some parity vector."""
+    return bool(covered_rows(rows, betas).all())
+
+
+def batch_coverage(rows: np.ndarray, betas: Sequence[int]) -> np.ndarray:
+    """(len(betas), m) coverage matrix for a candidate pool.
+
+    Processed in row chunks so the intermediate (C, m, width) tensor stays
+    bounded regardless of table size.
+    """
+    rows = np.asarray(rows, dtype=np.uint64)
+    beta_array = np.asarray(list(betas), dtype=np.uint64)
+    num_rows = rows.shape[0]
+    result = np.zeros((beta_array.shape[0], num_rows), dtype=bool)
+    if num_rows == 0 or beta_array.shape[0] == 0:
+        return result
+    chunk = max(1, 4_000_000 // max(1, beta_array.shape[0] * rows.shape[1]))
+    for start in range(0, num_rows, chunk):
+        block = rows[start : start + chunk]
+        masked = block[None, :, :] & beta_array[:, None, None]
+        odd = (np.bitwise_count(masked) & np.uint64(1)).astype(bool)
+        result[:, start : start + block.shape[0]] = odd.any(axis=2)
+    return result

@@ -1,0 +1,559 @@
+"""Error detectability table extraction (the paper's Fig. 2).
+
+For every fault ``f`` of a restricted model, every good-machine-reachable
+activation state ``c`` and every input ``a_1`` for which the faulty circuit's
+next-state/output word differs from the fault-free one, an *erroneous case*
+is one length-``p`` input path from that activation; the paper's table
+records, per step ``k``, the set of observable bits on which the faulty
+response differs from the reference (``V(i, j, k)``).
+
+Two reference **semantics** are provided (DESIGN.md §2 discusses the
+difference at length; it is a genuine subtlety of the paper):
+
+* ``"trajectory"`` (paper-faithful, the default for the Table-1
+  reproduction): step-``k`` difference between the good machine's response
+  along the *good* trajectory from ``c`` and the faulty machine's response
+  along the *faulty* trajectory — the quantity ``GM(A,c) ⊕ BM_f(A,c)`` the
+  paper defines.  Once the state diverges these differences are rich, which
+  is what gives added latency its leverage.
+* ``"checker"`` (hardware-accurate): step-``k`` difference between the
+  faulty circuit's response and the fault-free combinational function
+  evaluated **at the faulty circuit's own present state** — exactly the
+  mismatch a non-intrusive predictor + parity-tree checker (Fig. 3, shared
+  state register) can observe.  The :mod:`repro.ced.verify` fault-injection
+  campaign validates built hardware against this semantics.
+
+Canonical row representation
+----------------------------
+A parity set covers a path iff some step's difference word has odd overlap
+with some parity vector — a predicate that depends only on the *set* of
+distinct non-zero difference words along the path, not on their order or
+multiplicity.  Rows are therefore canonicalized to **detection option
+sets** and reduced to the ⊆-minimal antichain (a path offering a superset
+of another path's options is implied by it).  This is an exact,
+optimum-preserving reduction of the paper's table, and it is what keeps
+the path enumeration tractable: suffix antichains are memoized per
+(reference state, faulty state, remaining depth), so loops and input
+vectors with identical behaviour collapse, and one extraction emits the
+tables for *all* latencies up to the configured bound.
+
+The stored ``rows`` array is ``(m, width)`` uint64 with each row's option
+words sorted descending and zero-padded; ``width ≤ latency``.  The paper's
+``V`` tensor is recovered by :meth:`DetectabilityTable.tensor` (with the
+per-row step permutation implied by canonicalization, which the Statement
+4/5 programs are insensitive to).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.faults.model import Fault, FaultModel
+from repro.logic.sim import evaluate_batch
+from repro.logic.synthesis import SynthesisResult
+
+SEMANTICS = ("trajectory", "checker")
+
+
+@dataclass(frozen=True)
+class TableConfig:
+    """Knobs of the detectability-table extraction."""
+
+    latency: int = 1
+    #: "trajectory" = the paper's GM-vs-BM difference; "checker" = the
+    #: difference observable by the Fig. 3 hardware.  See module docstring.
+    semantics: str = "trajectory"
+    #: Use the full 2**r input alphabet when r <= this; otherwise one
+    #: representative minterm per distinct specification input cube plus
+    #: ``extra_random_inputs`` random vectors.
+    exhaustive_input_limit: int = 6
+    extra_random_inputs: int = 8
+    #: Hard cap on the alphabet in cube mode (deterministic subsample).
+    max_alphabet: int = 64
+    #: Safety valve on the memoized per-pair suffix antichains.  Hitting it
+    #: sets ``TableStats.truncated`` (the bounded-latency guarantee then
+    #: only holds for the enumerated paths; consult the verifier).
+    max_suffixes_per_state: int = 4096
+    #: Per-fault and global caps on erroneous cases per latency.  The
+    #: largest trajectory-semantics machines otherwise produce millions of
+    #: distinct option sets; exceeding a cap subsamples deterministically
+    #: and sets ``TableStats.truncated``.
+    max_rows_per_fault: int = 4000
+    max_rows: int = 200_000
+    seed: int = 2004
+
+    def __post_init__(self) -> None:
+        if self.latency < 1:
+            raise ValueError("latency must be at least 1")
+        if self.semantics not in SEMANTICS:
+            raise ValueError(f"semantics must be one of {SEMANTICS}")
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Provenance of a detectability table."""
+
+    fsm_name: str
+    num_faults: int
+    num_activations: int
+    num_rows: int
+    alphabet_size: int
+    input_mode: str
+    semantics: str
+    num_reachable_states: int
+    truncated: bool
+
+
+@dataclass
+class DetectabilityTable:
+    """The paper's m × n × p table in canonical option-set form."""
+
+    num_bits: int
+    latency: int
+    rows: np.ndarray  # (m, width) uint64, width <= latency
+    stats: TableStats | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        self.rows = np.asarray(self.rows, dtype=np.uint64)
+        if self.rows.ndim != 2:
+            raise ValueError("rows must be 2-dimensional")
+        if self.rows.shape[1] > max(1, self.latency):
+            raise ValueError("row width exceeds the latency bound")
+        if self.num_bits > 62:
+            raise ValueError("bitmask row encoding supports at most 62 bits")
+
+    @property
+    def num_rows(self) -> int:
+        return int(self.rows.shape[0])
+
+    @property
+    def width(self) -> int:
+        """Number of stored option columns (≤ latency)."""
+        return int(self.rows.shape[1])
+
+    def tensor(self) -> np.ndarray:
+        """Dense boolean V with shape (m, n, width)."""
+        bits = np.arange(self.num_bits, dtype=np.uint64)
+        return ((self.rows[:, None, :] >> bits[None, :, None]) & 1).astype(bool)
+
+    def step_matrix(self, step: int) -> np.ndarray:
+        """V(:, :, k) as an (m, n) boolean matrix (k counted from 1)."""
+        if not 1 <= step <= self.width:
+            raise ValueError("step out of range")
+        bits = np.arange(self.num_bits, dtype=np.uint64)
+        return ((self.rows[:, step - 1][:, None] >> bits[None, :]) & 1).astype(bool)
+
+
+# ----------------------------------------------------------------------
+# Option-set algebra
+# ----------------------------------------------------------------------
+def minimal_option_sets(
+    option_sets: Iterable[frozenset[int]],
+) -> set[frozenset[int]]:
+    """⊆-minimal antichain of a family of option sets.
+
+    A set is dropped when one of its proper subsets is also present
+    (covering the subset's options necessarily covers the superset's).
+    """
+    family = set(option_sets)
+    if frozenset() in family:
+        # The empty set is a proper subset of everything: a path offering
+        # no detection option makes every other constraint from the same
+        # collection redundant only in the antichain sense — the empty row
+        # itself is unsatisfiable and is kept alone so callers notice.
+        return {frozenset()}
+    kept: set[frozenset[int]] = set()
+    for options in family:
+        if not _has_proper_subset_in(options, family):
+            kept.add(options)
+    return kept
+
+
+def _has_proper_subset_in(
+    options: frozenset[int], family: set[frozenset[int]]
+) -> bool:
+    if len(options) <= 1:
+        return False
+    elements = sorted(options)
+    # Enumerate proper non-empty subsets; |options| ≤ latency, so tiny.
+    for mask in range(1, (1 << len(elements)) - 1):
+        subset = frozenset(
+            elements[idx] for idx in range(len(elements)) if (mask >> idx) & 1
+        )
+        if subset in family:
+            return True
+    return False
+
+
+def _cheap_reduce(family: set[frozenset[int]]) -> set[frozenset[int]]:
+    """Fast partial antichain reduction used inside the hot memoized path.
+
+    Handles the two dominant cases exactly: an empty option set absorbs
+    everything (the path offers no detection opportunity beyond what the
+    activation step must provide), and singleton sets absorb all their
+    supersets.  The full :func:`minimal_option_sets` pass runs once per
+    latency on the final collection.
+    """
+    if frozenset() in family:
+        return {frozenset()}
+    singles = {next(iter(s)) for s in family if len(s) == 1}
+    if not singles:
+        return family
+    return {s for s in family if len(s) == 1 or not (s & singles)}
+
+
+def pack_option_sets(
+    option_sets: Sequence[frozenset[int]], min_width: int = 1
+) -> np.ndarray:
+    """(m, width) uint64 array of zero-padded, descending-sorted sets."""
+    width = max([min_width] + [len(s) for s in option_sets])
+    packed = np.zeros((len(option_sets), width), dtype=np.uint64)
+    for row_index, options in enumerate(sorted(option_sets, key=sorted)):
+        for col_index, word in enumerate(sorted(options, reverse=True)):
+            packed[row_index, col_index] = word
+    return packed
+
+
+# ----------------------------------------------------------------------
+# Input alphabet and reachability
+# ----------------------------------------------------------------------
+def input_alphabet(
+    synthesis: SynthesisResult, config: TableConfig
+) -> tuple[np.ndarray, str]:
+    """Input vectors used at every path step, plus the mode name."""
+    r = synthesis.num_inputs
+    if r <= config.exhaustive_input_limit:
+        return np.arange(1 << r, dtype=np.int64), "exhaustive"
+    from repro.util.rng import rng_for
+
+    representatives: set[int] = set()
+    for transition in synthesis.fsm.transitions:
+        cube = transition.cube()
+        representatives.add(cube.value)  # the cube's all-free-bits-0 minterm
+    rng = rng_for(config.seed, "alphabet", synthesis.fsm.name)
+    for _ in range(config.extra_random_inputs):
+        representatives.add(int(rng.integers(1 << r)))
+    ordered = sorted(representatives)
+    if len(ordered) > config.max_alphabet:
+        chosen = rng.choice(len(ordered), size=config.max_alphabet, replace=False)
+        ordered = [ordered[idx] for idx in sorted(chosen.tolist())]
+    return np.array(ordered, dtype=np.int64), "cube"
+
+
+def reachable_state_codes(
+    synthesis: SynthesisResult, alphabet: np.ndarray
+) -> list[int]:
+    """State codes reachable from reset in the synthesized good machine."""
+    evaluator = _StateEvaluator(synthesis, alphabet)
+    seen = {synthesis.reset_code}
+    frontier = [synthesis.reset_code]
+    while frontier:
+        evaluator.ensure(frontier)
+        next_frontier: list[int] = []
+        for code in frontier:
+            _, next_codes = evaluator.info(code)
+            for next_code in {int(c) for c in next_codes}:
+                if next_code not in seen:
+                    seen.add(next_code)
+                    next_frontier.append(next_code)
+        frontier = next_frontier
+    return sorted(seen)
+
+
+# ----------------------------------------------------------------------
+# Extraction
+# ----------------------------------------------------------------------
+def extract_tables(
+    synthesis: SynthesisResult,
+    fault_model: FaultModel,
+    config: TableConfig,
+    latencies: Sequence[int] | None = None,
+) -> dict[int, DetectabilityTable]:
+    """Build tables for every requested latency in one enumeration pass.
+
+    ``latencies`` defaults to ``1 .. config.latency``; all values must be
+    within the configured bound.
+    """
+    if latencies is None:
+        latencies = list(range(1, config.latency + 1))
+    latencies = sorted(set(int(p) for p in latencies))
+    if not latencies or latencies[0] < 1 or latencies[-1] > config.latency:
+        raise ValueError("latencies must lie in [1, config.latency]")
+
+    alphabet, input_mode = input_alphabet(synthesis, config)
+    good = _StateEvaluator(synthesis, alphabet)
+    reachable = reachable_state_codes(synthesis, alphabet)
+    good.ensure(reachable)
+
+    per_latency: dict[int, set[frozenset[int]]] = {p: set() for p in latencies}
+    num_activations = 0
+    truncated = False
+    faults = fault_model.faults()
+    for fault in faults:
+        extractor = _FaultExtractor(
+            synthesis, fault_model, fault, alphabet, good, config
+        )
+        local = {p: set() for p in latencies}
+        activations = extractor.collect(reachable, latencies, local)
+        num_activations += activations
+        truncated = truncated or extractor.truncated
+        for p in latencies:
+            contribution = _cheap_reduce(local[p])
+            if len(contribution) > config.max_rows_per_fault:
+                contribution = _deterministic_subset(
+                    contribution, config.max_rows_per_fault
+                )
+                truncated = True
+            per_latency[p].update(contribution)
+
+    tables: dict[int, DetectabilityTable] = {}
+    for p in latencies:
+        option_sets = minimal_option_sets(per_latency[p])
+        rows = (
+            pack_option_sets(sorted(option_sets, key=sorted))
+            if option_sets
+            else np.zeros((0, 1), dtype=np.uint64)
+        )
+        table_truncated = truncated
+        if rows.shape[0] > config.max_rows:
+            from repro.util.rng import rng_for
+
+            rng = rng_for(config.seed, "row-cap", synthesis.fsm.name, p)
+            chosen = rng.choice(
+                rows.shape[0], size=config.max_rows, replace=False
+            )
+            rows = rows[np.sort(chosen)]
+            table_truncated = True
+        stats = TableStats(
+            fsm_name=synthesis.fsm.name,
+            num_faults=len(faults),
+            num_activations=num_activations,
+            num_rows=int(rows.shape[0]),
+            alphabet_size=int(alphabet.shape[0]),
+            input_mode=input_mode,
+            semantics=config.semantics,
+            num_reachable_states=len(reachable),
+            truncated=table_truncated,
+        )
+        tables[p] = DetectabilityTable(
+            num_bits=synthesis.num_bits, latency=p, rows=rows, stats=stats
+        )
+    return tables
+
+
+def _deterministic_subset(
+    family: set[frozenset[int]], size: int
+) -> set[frozenset[int]]:
+    """Evenly-spaced deterministic subsample of an option-set family."""
+    ordered = sorted(family, key=sorted)
+    step = len(ordered) / size
+    return {ordered[int(idx * step)] for idx in range(size)}
+
+
+def extract_table(
+    synthesis: SynthesisResult,
+    fault_model: FaultModel,
+    config: TableConfig,
+) -> DetectabilityTable:
+    """Single-latency convenience wrapper around :func:`extract_tables`."""
+    return extract_tables(synthesis, fault_model, config, [config.latency])[
+        config.latency
+    ]
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+class _StateEvaluator:
+    """Batch evaluation of the *good* netlist, cached per state code."""
+
+    def __init__(self, synthesis: SynthesisResult, alphabet: np.ndarray) -> None:
+        self.synthesis = synthesis
+        self.alphabet = alphabet
+        self._cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    def ensure(self, codes: list[int]) -> None:
+        missing = [code for code in codes if code not in self._cache]
+        if not missing:
+            return
+        patterns = _patterns(self.synthesis, missing, self.alphabet)
+        responses = evaluate_batch(self.synthesis.netlist, patterns)
+        packed = _pack_bits(responses).reshape(len(missing), -1)
+        mask = (1 << self.synthesis.num_state_bits) - 1
+        for idx, code in enumerate(missing):
+            self._cache[code] = (packed[idx], packed[idx] & mask)
+
+    def info(self, code: int) -> tuple[np.ndarray, np.ndarray]:
+        """(packed responses, next-state codes), one entry per alphabet input."""
+        if code not in self._cache:
+            self.ensure([code])
+        return self._cache[code]
+
+
+class _BadEvaluator:
+    """Batch evaluation of one fault's faulty responses, cached per state."""
+
+    def __init__(
+        self,
+        synthesis: SynthesisResult,
+        fault_model: FaultModel,
+        fault: Fault,
+        alphabet: np.ndarray,
+    ) -> None:
+        self.synthesis = synthesis
+        self.fault_model = fault_model
+        self.fault = fault
+        self.alphabet = alphabet
+        self._cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    def ensure(self, codes: list[int]) -> None:
+        missing = [code for code in codes if code not in self._cache]
+        if not missing:
+            return
+        patterns = _patterns(self.synthesis, missing, self.alphabet)
+        responses = self.fault_model.faulty_responses(self.fault, patterns)
+        packed = _pack_bits(responses).reshape(len(missing), -1)
+        mask = (1 << self.synthesis.num_state_bits) - 1
+        for idx, code in enumerate(missing):
+            self._cache[code] = (packed[idx], packed[idx] & mask)
+
+    def info(self, code: int) -> tuple[np.ndarray, np.ndarray]:
+        if code not in self._cache:
+            self.ensure([code])
+        return self._cache[code]
+
+
+class _FaultExtractor:
+    """Per-fault path enumeration with memoized suffix antichains.
+
+    A path position is a *pair* ``(reference state, faulty state)``.  Under
+    trajectory semantics the reference evolves through the good machine;
+    under checker semantics the reference is the faulty machine's own state
+    (the pair stays diagonal).
+    """
+
+    def __init__(
+        self,
+        synthesis: SynthesisResult,
+        fault_model: FaultModel,
+        fault: Fault,
+        alphabet: np.ndarray,
+        good: _StateEvaluator,
+        config: TableConfig,
+    ) -> None:
+        self.synthesis = synthesis
+        self.alphabet = alphabet
+        self.good = good
+        self.bad = _BadEvaluator(synthesis, fault_model, fault, alphabet)
+        self.config = config
+        self.trajectory = config.semantics == "trajectory"
+        self.truncated = False
+        self._suffix_memo: dict[
+            tuple[int, int, int], list[frozenset[int]]
+        ] = {}
+        self._step_memo: dict[tuple[int, int], list[tuple[int, int, int]]] = {}
+
+    def collect(
+        self,
+        reachable: list[int],
+        latencies: list[int],
+        per_latency: dict[int, set[frozenset[int]]],
+    ) -> int:
+        """Add this fault's option sets for every requested latency."""
+        self.bad.ensure(reachable)
+        activations = 0
+        for code in reachable:
+            good_packed, good_next = self.good.info(code)
+            bad_packed, bad_next = self.bad.info(code)
+            diffs = good_packed ^ bad_packed
+            activations += int(np.count_nonzero(diffs))
+            branches = {
+                (int(d), int(g), int(b))
+                for d, g, b in zip(diffs, good_next, bad_next)
+                if int(d) != 0
+            }
+            for diff, good_code, bad_code in branches:
+                reference = good_code if self.trajectory else bad_code
+                for p in latencies:
+                    if p == 1:
+                        per_latency[p].add(frozenset((diff,)))
+                        continue
+                    for suffix in self._suffixes(reference, bad_code, p - 1):
+                        per_latency[p].add(suffix | {diff})
+        return activations
+
+    def _pair_step(
+        self, reference: int, faulty: int
+    ) -> list[tuple[int, int, int]]:
+        """Distinct (diff, next reference, next faulty) branches of a pair."""
+        key = (reference, faulty)
+        cached = self._step_memo.get(key)
+        if cached is not None:
+            return cached
+        ref_packed, ref_next = self.good.info(reference)
+        bad_packed, bad_next = self.bad.info(faulty)
+        diffs = ref_packed ^ bad_packed
+        if self.trajectory:
+            branches = {
+                (int(d), int(g), int(b))
+                for d, g, b in zip(diffs, ref_next, bad_next)
+            }
+        else:
+            branches = {
+                (int(d), int(b), int(b)) for d, b in zip(diffs, bad_next)
+            }
+        result = sorted(branches)
+        self._step_memo[key] = result
+        return result
+
+    def _suffixes(
+        self, reference: int, faulty: int, depth: int
+    ) -> list[frozenset[int]]:
+        """Minimal antichain of option sets over all depth-``depth`` paths."""
+        if depth == 0:
+            return [frozenset()]
+        key = (reference, faulty, depth)
+        cached = self._suffix_memo.get(key)
+        if cached is not None:
+            return cached
+        collected: set[frozenset[int]] = set()
+        limit = self.config.max_suffixes_per_state
+        for diff, next_reference, next_faulty in self._pair_step(
+            reference, faulty
+        ):
+            suffixes = self._suffixes(next_reference, next_faulty, depth - 1)
+            if diff == 0:
+                collected.update(suffixes)
+            else:
+                extension = frozenset((diff,))
+                for suffix in suffixes:
+                    collected.add(suffix | extension)
+            if len(collected) >= limit:
+                self.truncated = True
+                break
+        result = sorted(_cheap_reduce(collected), key=sorted)
+        self._suffix_memo[key] = result
+        return result
+
+
+def _patterns(
+    synthesis: SynthesisResult, codes: list[int], alphabet: np.ndarray
+) -> np.ndarray:
+    """(len(codes) * len(alphabet), r + s) pattern matrix, code-major order."""
+    r = synthesis.num_inputs
+    s = synthesis.num_state_bits
+    input_bits = ((alphabet[:, None] >> np.arange(r)) & 1).astype(np.uint8)
+    code_array = np.asarray(codes, dtype=np.int64)
+    state_bits = ((code_array[:, None] >> np.arange(s)) & 1).astype(np.uint8)
+    tiled_inputs = np.tile(input_bits, (len(codes), 1))
+    repeated_states = np.repeat(state_bits, alphabet.shape[0], axis=0)
+    return np.concatenate([tiled_inputs, repeated_states], axis=1)
+
+
+def _pack_bits(responses: np.ndarray) -> np.ndarray:
+    """Pack (P, n) 0/1 responses into int64 words (bit j = column j)."""
+    weights = (1 << np.arange(responses.shape[1], dtype=np.int64)).astype(np.int64)
+    return responses.astype(np.int64) @ weights

@@ -1,0 +1,82 @@
+"""Greedy set-cover baseline for parity selection.
+
+The paper notes the problem "may be modelled as an NP-complete minimum
+cover problem, for which several heuristics exist" but that enumerating all
+parity combinations explicitly is infeasible.  This module is that classic
+heuristic, made tractable by restricting the candidate pool:
+
+* ``singles`` — the n single-bit functions (always a feasible cover, since
+  every erroneous case has a non-empty difference set at some step);
+* ``pairs`` — singles plus all 2-bit XORs;
+* ``triples`` — pairs plus all 3-bit XORs (only for modest n);
+* ``all`` — every non-empty subset (only for small n).
+
+It serves both as the LP+RR comparison point in the solver ablation and as
+a fast upper bound inside :mod:`repro.core.search`.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.core.cover import batch_coverage
+from repro.core.detectability import DetectabilityTable
+
+POOLS = ("singles", "pairs", "triples", "all")
+_MAX_ALL_BITS = 16
+
+
+def candidate_pool(num_bits: int, pool: str) -> list[int]:
+    """Materialise a candidate parity-vector pool."""
+    if pool not in POOLS:
+        raise ValueError(f"pool must be one of {POOLS}")
+    if pool == "all":
+        if num_bits > _MAX_ALL_BITS:
+            raise ValueError(
+                f"'all' pool limited to {_MAX_ALL_BITS} bits, got {num_bits}"
+            )
+        return list(range(1, 1 << num_bits))
+    max_size = {"singles": 1, "pairs": 2, "triples": 3}[pool]
+    candidates: list[int] = []
+    for size in range(1, max_size + 1):
+        for subset in combinations(range(num_bits), size):
+            mask = 0
+            for bit in subset:
+                mask |= 1 << bit
+            candidates.append(mask)
+    return candidates
+
+
+def greedy_parity_cover(
+    table: DetectabilityTable,
+    pool: str | list[int] = "pairs",
+) -> list[int]:
+    """Greedy minimum-cover heuristic over a candidate pool.
+
+    Picks, at each step, the candidate covering the most still-uncovered
+    erroneous cases (ties broken toward fewer XOR inputs, then smaller
+    mask).  Raises if the pool cannot cover the table — impossible for the
+    built-in pools, which all contain the single-bit functions.
+    """
+    if table.num_rows == 0:
+        return []
+    candidates = (
+        candidate_pool(table.num_bits, pool) if isinstance(pool, str) else list(pool)
+    )
+    coverage = batch_coverage(table.rows, candidates)  # (C, m)
+    uncovered = np.ones(table.num_rows, dtype=bool)
+    chosen: list[int] = []
+    while uncovered.any():
+        gains = (coverage & uncovered[None, :]).sum(axis=1)
+        best_gain = int(gains.max())
+        if best_gain == 0:
+            raise ValueError("candidate pool cannot cover the table")
+        best_index = min(
+            np.flatnonzero(gains == best_gain).tolist(),
+            key=lambda idx: (bin(candidates[idx]).count("1"), candidates[idx]),
+        )
+        chosen.append(candidates[best_index])
+        uncovered &= ~coverage[best_index]
+    return chosen

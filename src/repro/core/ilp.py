@@ -1,0 +1,156 @@
+"""The Statement-4 integer program.
+
+Variables, in one flat vector ``x`` (all indices 0-based here, the paper's
+are 1-based):
+
+* ``β^(l)_j``   for ``l < q``, ``j < n``  — parity-membership bits;
+* ``r^(lk)_i``  for ``l < q``, ``k < p``, ``i < m`` — "β^(l) detects EC_i at
+  step k" indicators (the mod-2 remainder);
+* ``w^(lk)_i``  — the quotient removing the mod-2 operation.
+
+Constraints:
+
+* for every l, k:  ``V_k β^(l) − 2 w^(lk) − r^(lk) = 0``  (m rows each);
+* ``Σ_{l,k} r^(lk) ≥ 1`` element-wise (every erroneous case detected).
+
+This module owns the sparse constraint matrices; :mod:`repro.core.lp`
+relaxes the integrality (Statement 5) and hands the rest to HiGHS.
+Integer feasibility of a candidate β set is *checked* directly with the
+GF(2) cover predicate — mathematically identical to checking Statement 4
+with ``r``/``w`` eliminated, and much cheaper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.cover import covers_all
+from repro.core.detectability import DetectabilityTable
+
+
+@dataclass
+class IntegerProgram:
+    """Statement 4 for a given table and parity-function count ``q``."""
+
+    num_bits: int  # n
+    latency: int  # p
+    num_cases: int  # m
+    q: int
+    step_matrices: list[np.ndarray]  # p entries of shape (m, n), 0/1
+    rows: np.ndarray  # (m, p) packed bitmasks (for fast feasibility checks)
+
+    @classmethod
+    def from_table(cls, table: DetectabilityTable, q: int) -> "IntegerProgram":
+        if q < 1:
+            raise ValueError("q must be positive")
+        # The canonical table stores ``width`` option columns per case;
+        # they play the role of the paper's p latency steps.
+        steps = [
+            table.step_matrix(k).astype(np.int8)
+            for k in range(1, table.width + 1)
+        ]
+        return cls(
+            num_bits=table.num_bits,
+            latency=table.width,
+            num_cases=table.num_rows,
+            q=q,
+            step_matrices=steps,
+            rows=table.rows,
+        )
+
+    # ------------------------------------------------------------------
+    # Variable layout
+    # ------------------------------------------------------------------
+    @property
+    def num_beta_vars(self) -> int:
+        return self.q * self.num_bits
+
+    @property
+    def num_r_vars(self) -> int:
+        return self.q * self.latency * self.num_cases
+
+    @property
+    def num_variables(self) -> int:
+        return self.num_beta_vars + 2 * self.num_r_vars
+
+    def beta_offset(self, l: int) -> int:
+        return l * self.num_bits
+
+    def r_offset(self, l: int, k: int) -> int:
+        return self.num_beta_vars + (l * self.latency + k) * self.num_cases
+
+    def w_offset(self, l: int, k: int) -> int:
+        return self.num_beta_vars + self.num_r_vars + (
+            l * self.latency + k
+        ) * self.num_cases
+
+    # ------------------------------------------------------------------
+    # Constraint matrices (shared by the LP relaxation)
+    # ------------------------------------------------------------------
+    def equality_constraints(self) -> tuple[sparse.csr_matrix, np.ndarray]:
+        """``V_k β^(l) − 2 w^(lk) − r^(lk) = 0`` stacked over (l, k)."""
+        m, n, p, q = self.num_cases, self.num_bits, self.latency, self.q
+        blocks_row: list[int] = []
+        blocks_col: list[int] = []
+        blocks_val: list[float] = []
+        row_base = 0
+        case_indices = np.arange(m)
+        for l in range(q):
+            for k in range(p):
+                vk = self.step_matrices[k]
+                nz_rows, nz_cols = np.nonzero(vk)
+                blocks_row.extend((row_base + nz_rows).tolist())
+                blocks_col.extend((self.beta_offset(l) + nz_cols).tolist())
+                blocks_val.extend([1.0] * len(nz_rows))
+                blocks_row.extend((row_base + case_indices).tolist())
+                blocks_col.extend((self.w_offset(l, k) + case_indices).tolist())
+                blocks_val.extend([-2.0] * m)
+                blocks_row.extend((row_base + case_indices).tolist())
+                blocks_col.extend((self.r_offset(l, k) + case_indices).tolist())
+                blocks_val.extend([-1.0] * m)
+                row_base += m
+        matrix = sparse.coo_matrix(
+            (blocks_val, (blocks_row, blocks_col)),
+            shape=(row_base, self.num_variables),
+        ).tocsr()
+        return matrix, np.zeros(row_base)
+
+    def detection_constraints(self) -> tuple[sparse.csr_matrix, np.ndarray]:
+        """``−Σ_{l,k} r^(lk) ≤ −1`` element-wise over the m cases."""
+        m, p, q = self.num_cases, self.latency, self.q
+        rows: list[int] = []
+        cols: list[int] = []
+        case_indices = np.arange(m)
+        for l in range(q):
+            for k in range(p):
+                rows.extend(case_indices.tolist())
+                cols.extend((self.r_offset(l, k) + case_indices).tolist())
+        matrix = sparse.coo_matrix(
+            (np.full(len(rows), -1.0), (rows, cols)),
+            shape=(m, self.num_variables),
+        ).tocsr()
+        return matrix, np.full(m, -1.0)
+
+    def variable_bounds(self) -> list[tuple[float, float]]:
+        bounds: list[tuple[float, float]] = []
+        bounds.extend([(0.0, 1.0)] * self.num_beta_vars)
+        bounds.extend([(0.0, 1.0)] * self.num_r_vars)
+        bounds.extend([(0.0, float(self.num_bits // 2))] * self.num_r_vars)
+        return bounds
+
+    # ------------------------------------------------------------------
+    # Integer feasibility
+    # ------------------------------------------------------------------
+    def is_feasible(self, betas: list[int]) -> bool:
+        """Check a candidate β set against Statement 4.
+
+        With β fixed, ``w``/``r`` are determined (quotient/remainder of
+        ``V_k β`` by 2), so Statement 4 holds iff every erroneous case is
+        covered in the GF(2) sense.
+        """
+        if len(betas) > self.q:
+            return False
+        return covers_all(self.rows, betas)

@@ -1,0 +1,120 @@
+"""Statement 5: the linear programming relaxation.
+
+The integrality constraints of :class:`repro.core.ilp.IntegerProgram` are
+relaxed to boxes and the result is handed to ``scipy.optimize.linprog``
+(HiGHS).  The paper's formulation is a pure feasibility problem; a
+feasibility LP returns an arbitrary vertex, which makes for poor rounding
+probabilities, so by default we maximise ``Σ r`` — pushing the relaxation
+toward fractional β's whose parities actually detect things.  (Any feasible
+point of the paper's LP stays feasible; the objective only selects among
+them.)  ``objective="feasibility"`` reproduces the bare formulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from repro.core.detectability import DetectabilityTable
+from repro.core.ilp import IntegerProgram
+
+OBJECTIVES = ("max-r", "min-beta", "feasibility")
+
+
+@dataclass
+class LpSolution:
+    """Fractional solution of the Statement-5 relaxation."""
+
+    q: int
+    num_bits: int
+    beta_fractional: np.ndarray  # (q, n) in [0, 1]
+    status: str
+    objective_value: float
+
+    @property
+    def feasible(self) -> bool:
+        return self.status == "optimal"
+
+
+def solve_lp_relaxation(
+    table: DetectabilityTable,
+    q: int,
+    objective: str = "max-r",
+) -> LpSolution:
+    """Solve the LP relaxation for a fixed parity-function count ``q``."""
+    if objective not in OBJECTIVES:
+        raise ValueError(f"objective must be one of {OBJECTIVES}")
+    if table.num_rows == 0:
+        return LpSolution(
+            q=q,
+            num_bits=table.num_bits,
+            beta_fractional=np.zeros((q, table.num_bits)),
+            status="optimal",
+            objective_value=0.0,
+        )
+
+    program = IntegerProgram.from_table(table, q)
+    a_eq, b_eq = program.equality_constraints()
+    a_ub, b_ub = program.detection_constraints()
+    bounds = program.variable_bounds()
+
+    cost = np.zeros(program.num_variables)
+    if objective == "max-r":
+        r_start = program.num_beta_vars
+        cost[r_start : r_start + program.num_r_vars] = -1.0
+    elif objective == "min-beta":
+        cost[: program.num_beta_vars] = 1.0
+
+    result = linprog(
+        cost,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=bounds,
+        method="highs",
+    )
+    if not result.success:
+        status = "infeasible" if result.status == 2 else f"failed({result.status})"
+        return LpSolution(
+            q=q,
+            num_bits=table.num_bits,
+            beta_fractional=np.zeros((q, table.num_bits)),
+            status=status,
+            objective_value=float("nan"),
+        )
+    beta = result.x[: program.num_beta_vars].reshape(q, table.num_bits)
+    beta = np.clip(beta, 0.0, 1.0)
+    return LpSolution(
+        q=q,
+        num_bits=table.num_bits,
+        beta_fractional=beta,
+        status="optimal",
+        objective_value=float(result.fun),
+    )
+
+
+def subsample_table(
+    table: DetectabilityTable, max_rows: int, seed: int
+) -> DetectabilityTable:
+    """Deterministic row subsample used to keep big LPs tractable.
+
+    The *search* still verifies rounded solutions against the full table,
+    so subsampling can only make the search conservative (a candidate that
+    covers the sample but not the full table is rejected), never unsound.
+    """
+    if table.num_rows <= max_rows:
+        return table
+    from repro.util.rng import rng_for
+
+    rng = rng_for(seed, "lp-row-sample", table.num_rows, max_rows)
+    chosen = rng.choice(table.num_rows, size=max_rows, replace=False)
+    rows = table.rows[np.sort(chosen)]
+    return DetectabilityTable(table.num_bits, table.latency, rows, table.stats)
+
+
+def _nonzero(matrix: sparse.csr_matrix) -> int:  # pragma: no cover - debug aid
+    return matrix.nnz

@@ -1,0 +1,107 @@
+"""Raghavan–Thompson randomized rounding (Statement 5 → Statement 4).
+
+Each fractional β entry is rounded to 1 with probability equal to its LP
+value; the rounded set is accepted iff it covers every erroneous case (the
+integer-feasibility check of Statement 4).  As in the paper, rounding is
+retried up to a fixed iteration budget (the paper uses ITER = 10^3).
+
+One practical addition: HiGHS often returns *vertex* solutions where β is
+already integral; if that point happens not to cover, re-rounding it
+verbatim would repeat the identical failure forever.  A small probability
+jitter (``jitter``, default 0.02) keeps every bit flippable while staying
+faithful to the LP guidance.  ``jitter=0`` reproduces the bare scheme.
+
+The best (highest-coverage) failed attempt is reported so the search layer
+can repair it by greedy completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cover import covered_rows
+from repro.util.bitops import bits_to_int
+
+
+@dataclass
+class RoundingResult:
+    """Outcome of a rounding campaign."""
+
+    betas: list[int] | None
+    attempts: int
+    best_betas: list[int]
+    best_covered: int
+
+    @property
+    def success(self) -> bool:
+        return self.betas is not None
+
+
+def round_once(
+    beta_fractional: np.ndarray,
+    rng: np.random.Generator,
+    jitter: float = 0.0,
+) -> list[int]:
+    """One probabilistic rounding of a (q, n) fractional β matrix."""
+    probabilities = np.clip(beta_fractional, jitter, 1.0 - jitter)
+    sampled = rng.random(beta_fractional.shape) < probabilities
+    return [bits_to_int(row.astype(int).tolist()) for row in sampled]
+
+
+def randomized_rounding(
+    rows: np.ndarray,
+    beta_fractional: np.ndarray,
+    iterations: int,
+    rng: np.random.Generator,
+    jitter: float = 0.02,
+    quick_rows: np.ndarray | None = None,
+) -> RoundingResult:
+    """Round until a β set covers all rows or the budget is exhausted.
+
+    Duplicate and zero vectors inside a candidate set are pruned (they
+    contribute no coverage), so the returned list may be shorter than q.
+
+    ``quick_rows`` is an optional small subset of ``rows`` used as a cheap
+    pre-filter: candidates that already fail on it are rejected without
+    paying the full-table check (the search layer passes the LP's row
+    subsample).  Acceptance is always decided on the full ``rows``.
+    """
+    rows = np.asarray(rows, dtype=np.uint64)
+    if rows.shape[0] == 0:
+        return RoundingResult(betas=[], attempts=0, best_betas=[], best_covered=0)
+    use_quick = (
+        quick_rows is not None and quick_rows.shape[0] < rows.shape[0]
+    )
+    best_betas: list[int] = []
+    best_covered = -1
+    for attempt in range(1, iterations + 1):
+        betas = round_once(beta_fractional, rng, jitter=jitter)
+        candidate = [b for b in dict.fromkeys(betas) if b != 0]
+        if use_quick and not covered_rows(quick_rows, candidate).all():
+            continue
+        covered = covered_rows(rows, candidate)
+        count = int(covered.sum())
+        if count > best_covered:
+            best_covered = count
+            best_betas = candidate
+        if count == rows.shape[0]:
+            return RoundingResult(
+                betas=candidate,
+                attempts=attempt,
+                best_betas=candidate,
+                best_covered=count,
+            )
+    if best_covered < 0:
+        # Every attempt failed the quick filter; fall back to scoring the
+        # last candidate on the full table so repair has a starting point.
+        best_betas = [b for b in dict.fromkeys(
+            round_once(beta_fractional, rng, jitter=jitter)) if b != 0]
+        best_covered = int(covered_rows(rows, best_betas).sum())
+    return RoundingResult(
+        betas=None,
+        attempts=iterations,
+        best_betas=best_betas,
+        best_covered=best_covered,
+    )

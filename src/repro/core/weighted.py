@@ -1,0 +1,61 @@
+"""Area-aware parity selection (the paper's future-work direction).
+
+The paper closes §5 observing that the literature "lacks solutions that
+consider the actual area cost of parity functions as a metric" — dk16's
+cost *rises* from p=2 to p=3 even though the function count drops, because
+one complex parity tree can outweigh several simple ones.
+
+This module implements the natural first step: weighted greedy set cover
+where a candidate β costs its XOR-tree size (``popcount(β) − 1`` two-input
+XORs, floored at 1 so single-bit functions still cost something — they need
+a predictor output and a comparator slice).  The ablation benchmark
+compares its area against the count-minimal solution's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cover import batch_coverage
+from repro.core.detectability import DetectabilityTable
+from repro.core.greedy import candidate_pool
+
+
+def parity_weight(beta: int) -> int:
+    """Hardware weight of a parity vector: XOR-tree size + compare slice."""
+    inputs = bin(beta).count("1")
+    return max(1, inputs - 1) + 1
+
+
+def area_aware_parity_cover(
+    table: DetectabilityTable,
+    pool: str | list[int] = "pairs",
+) -> list[int]:
+    """Greedy weighted cover: maximise newly-covered cases per unit weight."""
+    if table.num_rows == 0:
+        return []
+    candidates = (
+        candidate_pool(table.num_bits, pool) if isinstance(pool, str) else list(pool)
+    )
+    coverage = batch_coverage(table.rows, candidates)
+    weights = np.array([parity_weight(beta) for beta in candidates], dtype=float)
+    uncovered = np.ones(table.num_rows, dtype=bool)
+    chosen: list[int] = []
+    while uncovered.any():
+        gains = (coverage & uncovered[None, :]).sum(axis=1)
+        if not gains.any():
+            raise ValueError("candidate pool cannot cover the table")
+        ratio = gains / weights
+        best_ratio = ratio.max()
+        best_index = min(
+            np.flatnonzero(ratio >= best_ratio - 1e-12).tolist(),
+            key=lambda idx: (weights[idx], candidates[idx]),
+        )
+        chosen.append(candidates[best_index])
+        uncovered &= ~coverage[best_index]
+    return chosen
+
+
+def solution_weight(betas: list[int]) -> int:
+    """Total hardware weight of a parity-vector set."""
+    return sum(parity_weight(beta) for beta in betas)

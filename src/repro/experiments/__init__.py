@@ -1,0 +1,42 @@
+"""Paper-experiment harnesses.
+
+One module per reported artefact: :mod:`repro.experiments.table1` rebuilds
+the paper's Table 1 (per-circuit original cost and CED trees/gates/cost at
+latencies 1–3), :mod:`repro.experiments.summary` computes the running
+text's aggregate statistics (vs duplication; p1→p2; p2→p3), and
+:mod:`repro.experiments.figures` produces the §2 latency-saturation curve.
+The pytest-benchmark wrappers in ``benchmarks/`` call straight into these.
+"""
+
+from repro.experiments.figures import SaturationPoint, latency_saturation_curve
+from repro.experiments.report import (
+    table1_to_dict,
+    table1_to_json,
+    write_table1_json,
+)
+from repro.experiments.summary import PAPER_STATS, SummaryStats, summarize
+from repro.experiments.table1 import (
+    Table1Config,
+    Table1Result,
+    Table1Row,
+    format_table1,
+    run_circuit,
+    run_table1,
+)
+
+__all__ = [
+    "PAPER_STATS",
+    "SaturationPoint",
+    "SummaryStats",
+    "Table1Config",
+    "Table1Result",
+    "Table1Row",
+    "format_table1",
+    "latency_saturation_curve",
+    "run_circuit",
+    "run_table1",
+    "summarize",
+    "table1_to_dict",
+    "table1_to_json",
+    "write_table1_json",
+]

@@ -1,0 +1,97 @@
+"""The §2 latency-saturation curve.
+
+The paper argues (without plotting it) that the overhead reduction from
+added latency *saturates*: once every faulty machine's enumeration has
+wrapped a loop, more latency adds no detection freedom, and the saturation
+point is bounded by the longest shortest-loop over the faulty machines.
+This module sweeps the latency bound and reports (q, CED cost) per p,
+together with the :func:`repro.core.latency.max_useful_latency` prediction
+— the series behind ``benchmarks/test_fig_latency_saturation.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.detectability import TableConfig
+from repro.core.latency import max_useful_latency
+from repro.core.search import SolveConfig
+from repro.faults.model import StuckAtModel
+from repro.flow import design_ced_sweep
+from repro.fsm.benchmarks import load_benchmark
+from repro.fsm.machine import FSM
+from repro.logic.synthesis import synthesize_fsm
+from repro.util.tables import format_table
+
+
+@dataclass(frozen=True)
+class SaturationPoint:
+    """One latency step of the sweep."""
+
+    latency: int
+    num_trees: int
+    gates: int
+    cost: float
+
+
+@dataclass
+class SaturationCurve:
+    """Full sweep plus the predicted saturation bound."""
+
+    name: str
+    semantics: str
+    points: list[SaturationPoint]
+    predicted_max_useful_latency: int
+
+    def format(self) -> str:
+        rows = [
+            [point.latency, point.num_trees, point.gates, point.cost]
+            for point in self.points
+        ]
+        title = (
+            f"Latency saturation for {self.name} (semantics={self.semantics}; "
+            f"predicted saturation ≤ p={self.predicted_max_useful_latency})"
+        )
+        return format_table(["p", "Trees", "Gates", "Cost"], rows, title=title)
+
+
+def latency_saturation_curve(
+    fsm: FSM | str,
+    max_latency: int = 4,
+    semantics: str = "trajectory",
+    max_faults: int | None = 400,
+    solve_config: SolveConfig = SolveConfig(),
+    seed: int = 2004,
+) -> SaturationCurve:
+    """Sweep the latency bound and record q / gates / cost per step."""
+    if isinstance(fsm, str):
+        fsm = load_benchmark(fsm, seed=seed)
+    latencies = list(range(1, max_latency + 1))
+    designs = design_ced_sweep(
+        fsm,
+        latencies=latencies,
+        semantics=semantics,
+        max_faults=max_faults,
+        solve_config=solve_config,
+    )
+    synthesis = next(iter(designs.values())).synthesis
+    predicted = max_useful_latency(
+        synthesis,
+        StuckAtModel(synthesis, max_faults=min(max_faults or 200, 200)),
+        TableConfig(latency=max_latency, semantics=semantics, seed=seed),
+    )
+    points = [
+        SaturationPoint(
+            latency=p,
+            num_trees=designs[p].num_parity_bits,
+            gates=designs[p].gates,
+            cost=designs[p].cost,
+        )
+        for p in latencies
+    ]
+    return SaturationCurve(
+        name=fsm.name,
+        semantics=semantics,
+        points=points,
+        predicted_max_useful_latency=predicted,
+    )

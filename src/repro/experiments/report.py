@@ -1,0 +1,66 @@
+"""Machine-readable experiment artefacts.
+
+`table1_to_json` serialises a :class:`repro.experiments.table1.Table1Result`
+(rows, latency entries, duplication baseline and the aggregate statistics)
+so downstream analysis — plotting, regression tracking across seeds, the
+EXPERIMENTS.md tables — can consume one stable format instead of scraping
+the printed table.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.experiments.summary import PAPER_STATS, summarize
+from repro.experiments.table1 import Table1Result
+
+
+def table1_to_dict(result: Table1Result) -> dict:
+    """Plain-dict form of a Table-1 run (JSON-serialisable)."""
+    stats = summarize(result)
+    return {
+        "config": {
+            "latencies": list(result.config.latencies),
+            "semantics": result.config.semantics,
+            "encoding": result.config.encoding,
+            "max_faults": result.config.max_faults,
+            "seed": result.config.seed,
+            "multilevel": result.config.multilevel,
+            "solve": asdict(result.config.solve),
+        },
+        "rows": [
+            {
+                "name": row.name,
+                "inputs": row.inputs,
+                "state_bits": row.state_bits,
+                "outputs": row.outputs,
+                "gates": row.gates,
+                "cost": row.cost,
+                "duplication_functions": row.duplication_functions,
+                "duplication_cost": row.duplication_cost,
+                "latencies": {
+                    str(p): {
+                        "trees": entry.num_trees,
+                        "gates": entry.gates,
+                        "cost": entry.cost,
+                    }
+                    for p, entry in sorted(row.entries.items())
+                },
+            }
+            for row in result.rows
+        ],
+        "summary": {
+            "measured": stats.as_dict(),
+            "paper": dict(PAPER_STATS),
+        },
+    }
+
+
+def table1_to_json(result: Table1Result, indent: int = 2) -> str:
+    return json.dumps(table1_to_dict(result), indent=indent)
+
+
+def write_table1_json(result: Table1Result, path: str | Path) -> None:
+    Path(path).write_text(table1_to_json(result) + "\n")

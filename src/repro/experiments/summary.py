@@ -1,0 +1,96 @@
+"""Aggregate statistics quoted in the paper's running text (§5).
+
+Paper values, for reference (stuck-at faults, MCNC circuits, SIS mapping):
+
+* **A** — the p=1 parity method needs on average 53.0% fewer functions and
+  22.4% less hardware than duplicating the circuit;
+* **B** — raising the bound to p=2 reduces the number of parity bits by a
+  further 17.0% and the hardware cost by 7.8% (vs p=1);
+* **C** — p=3 yields an additional 7.23% / 7.08% reduction (vs p=2).
+
+:func:`summarize` computes the same three pairs from a
+:class:`repro.experiments.table1.Table1Result`; EXPERIMENTS.md records the
+paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.table1 import Table1Result
+
+PAPER_STATS = {
+    "vs_duplication_functions": 53.00,
+    "vs_duplication_cost": 22.40,
+    "p2_vs_p1_functions": 17.0,
+    "p2_vs_p1_cost": 7.8,
+    "p3_vs_p2_functions": 7.23,
+    "p3_vs_p2_cost": 7.08,
+}
+
+
+@dataclass
+class SummaryStats:
+    """Mean percentage reductions across all circuits (positive = better)."""
+
+    vs_duplication_functions: float
+    vs_duplication_cost: float
+    p2_vs_p1_functions: float
+    p2_vs_p1_cost: float
+    p3_vs_p2_functions: float
+    p3_vs_p2_cost: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "vs_duplication_functions": self.vs_duplication_functions,
+            "vs_duplication_cost": self.vs_duplication_cost,
+            "p2_vs_p1_functions": self.p2_vs_p1_functions,
+            "p2_vs_p1_cost": self.p2_vs_p1_cost,
+            "p3_vs_p2_functions": self.p3_vs_p2_functions,
+            "p3_vs_p2_cost": self.p3_vs_p2_cost,
+        }
+
+    def format(self) -> str:
+        lines = ["Aggregate reductions (measured vs paper):"]
+        for key, measured in self.as_dict().items():
+            lines.append(
+                f"  {key:28s} measured {measured:6.2f}%   paper {PAPER_STATS[key]:6.2f}%"
+            )
+        return "\n".join(lines)
+
+
+def summarize(result: Table1Result) -> SummaryStats:
+    """Compute the three aggregate statistic pairs from a Table-1 run."""
+    latencies = sorted(result.config.latencies)
+    if latencies[:1] != [1]:
+        raise ValueError("summary statistics require latency 1 in the run")
+
+    def mean(values: list[float]) -> float:
+        return sum(values) / len(values) if values else float("nan")
+
+    vs_dup_fn: list[float] = []
+    vs_dup_cost: list[float] = []
+    p2_fn: list[float] = []
+    p2_cost: list[float] = []
+    p3_fn: list[float] = []
+    p3_cost: list[float] = []
+    for row in result.rows:
+        p1 = row.entries[1]
+        vs_dup_fn.append(100.0 * (1 - p1.num_trees / row.duplication_functions))
+        vs_dup_cost.append(100.0 * (1 - p1.cost / row.duplication_cost))
+        if 2 in row.entries:
+            p2 = row.entries[2]
+            p2_fn.append(100.0 * (1 - p2.num_trees / p1.num_trees))
+            p2_cost.append(100.0 * (1 - p2.cost / p1.cost))
+            if 3 in row.entries:
+                p3 = row.entries[3]
+                p3_fn.append(100.0 * (1 - p3.num_trees / p2.num_trees))
+                p3_cost.append(100.0 * (1 - p3.cost / p2.cost))
+    return SummaryStats(
+        vs_duplication_functions=mean(vs_dup_fn),
+        vs_duplication_cost=mean(vs_dup_cost),
+        p2_vs_p1_functions=mean(p2_fn),
+        p2_vs_p1_cost=mean(p2_cost),
+        p3_vs_p2_functions=mean(p3_fn),
+        p3_vs_p2_cost=mean(p3_cost),
+    )

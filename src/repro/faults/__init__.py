@@ -1,0 +1,31 @@
+"""Fault substrate: fault models, collapsing, injection, fault simulation.
+
+The paper's experiments use single stuck-at faults on the synthesized gate
+level ("the stuck-at fault model has been used as the source of errors") but
+stress that the method works for *any restricted error model*; the
+:class:`repro.faults.model.FaultModel` protocol keeps the CED flow agnostic,
+and :mod:`repro.faults.model` ships both the stuck-at universe and a
+specification-level transition-fault model as a second instance.
+"""
+
+from repro.faults.collapse import collapse_faults
+from repro.faults.model import (
+    Fault,
+    FaultModel,
+    StuckAtModel,
+    TransitionFaultModel,
+    stuck_at_universe,
+)
+from repro.faults.simulator import FaultSimResult, detected_faults, fault_coverage
+
+__all__ = [
+    "Fault",
+    "FaultModel",
+    "FaultSimResult",
+    "StuckAtModel",
+    "TransitionFaultModel",
+    "collapse_faults",
+    "detected_faults",
+    "fault_coverage",
+    "stuck_at_universe",
+]

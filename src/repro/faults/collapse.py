@@ -1,0 +1,58 @@
+"""Structural fault collapsing.
+
+Classic equivalence rules shrink the stuck-at universe without changing the
+set of distinguishable faulty behaviours:
+
+* through an inverter, output-sa0 ≡ input-sa1 and output-sa1 ≡ input-sa0
+  (when the input net has no other fanout);
+* through a buffer, faults map polarity-preserving;
+* for an AND/NAND gate, output-sa0 (resp. NAND output-sa1) is equivalent to
+  any single input-sa0 — we keep the gate-output fault and drop the
+  fanout-free input faults it subsumes; dually for OR/NOR with sa1.
+
+Only *fanout-free* input faults are dropped (a fault on a net with fanout is
+shared by several gates and is not equivalent to any single gate-local
+fault).  The collapsed set is therefore conservative: every behaviour of the
+full universe is still represented.
+"""
+
+from __future__ import annotations
+
+from repro.faults import model as _model
+from repro.logic.netlist import GateKind, Netlist
+
+
+def collapse_faults(
+    netlist: Netlist, faults: list["_model.Fault"]
+) -> list["_model.Fault"]:
+    """Remove structurally-equivalent stuck-at faults from ``faults``."""
+    fanout = netlist.fanout_map()
+    drop: set[tuple[int, int]] = set()
+
+    for node, gate in enumerate(netlist.gates):
+        kind = gate.kind
+        if kind in (GateKind.NOT, GateKind.BUF):
+            source = gate.fanin[0]
+            if len(fanout[source]) == 1:
+                # Input faults are equivalent to (possibly inverted) output
+                # faults of this gate; keep the output ones.
+                drop.add((source, 0))
+                drop.add((source, 1))
+        elif kind in (GateKind.AND, GateKind.NAND):
+            controlled = 0  # input sa0 forces the AND to 0
+            for source in gate.fanin:
+                if len(fanout[source]) == 1:
+                    drop.add((source, controlled))
+        elif kind in (GateKind.OR, GateKind.NOR):
+            controlled = 1  # input sa1 forces the OR to 1
+            for source in gate.fanin:
+                if len(fanout[source]) == 1:
+                    drop.add((source, controlled))
+        # XOR/XNOR inputs are never equivalent to output faults: keep all.
+
+    collapsed = [
+        fault
+        for fault in faults
+        if tuple(fault.payload) not in drop  # type: ignore[arg-type]
+    ]
+    return collapsed

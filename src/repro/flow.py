@@ -1,0 +1,154 @@
+"""End-to-end convenience flow: FSM in, verified CED design out.
+
+This is the public high-level API tying the whole stack together::
+
+    from repro import design_ced
+
+    design = design_ced("traffic", latency=2)
+    print(design.solve_result.q, design.hardware.cost)
+
+For latency sweeps (one extraction, chained solving — the cheap and
+monotone way) use :func:`design_ced_sweep`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ced.hardware import CedHardware, build_ced_hardware
+from repro.ced.verify import VerificationReport, verify_bounded_latency
+from repro.core.detectability import (
+    DetectabilityTable,
+    TableConfig,
+    extract_tables,
+)
+from repro.core.search import SolveConfig, SolveResult, solve_for_latencies
+from repro.faults.model import FaultModel, StuckAtModel
+from repro.fsm.benchmarks import load_benchmark
+from repro.fsm.machine import FSM
+from repro.logic.synthesis import SynthesisResult, synthesize_fsm
+
+
+@dataclass
+class CedDesign:
+    """A complete bounded-latency CED design for one machine."""
+
+    synthesis: SynthesisResult
+    latency: int
+    table: DetectabilityTable
+    solve_result: SolveResult
+    hardware: CedHardware
+    verification: VerificationReport | None = None
+
+    @property
+    def num_parity_bits(self) -> int:
+        return self.solve_result.q
+
+    @property
+    def gates(self) -> int:
+        return self.hardware.gates
+
+    @property
+    def cost(self) -> float:
+        return self.hardware.cost
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        fsm = self.synthesis.fsm
+        text = (
+            f"{fsm.name}: latency={self.latency} parity bits={self.num_parity_bits} "
+            f"CED gates={self.gates} cost={self.cost:.1f} "
+            f"(original gates={self.synthesis.stats.gates} "
+            f"cost={self.synthesis.stats.cost:.1f})"
+        )
+        if self.verification is not None:
+            text += (
+                f" verified: {self.verification.num_activated_runs} activations, "
+                f"{len(self.verification.violations)} violations"
+            )
+        return text
+
+
+def design_ced(
+    fsm: FSM | str,
+    latency: int = 1,
+    semantics: str = "checker",
+    encoding: str = "binary",
+    max_faults: int | None = 800,
+    table_config: TableConfig | None = None,
+    solve_config: SolveConfig = SolveConfig(),
+    fault_model: FaultModel | None = None,
+    verify: bool = False,
+    multilevel: bool = False,
+) -> CedDesign:
+    """Design bounded-latency CED hardware for a machine.
+
+    The default ``semantics="checker"`` makes the built hardware carry the
+    detection guarantee (verifiable with ``verify=True``); pass
+    ``"trajectory"`` for the paper-faithful table construction.
+    ``multilevel=True`` applies the algebraic extraction pass to both the
+    machine and the predictor.
+    """
+    designs = design_ced_sweep(
+        fsm,
+        latencies=[latency],
+        semantics=semantics,
+        encoding=encoding,
+        max_faults=max_faults,
+        table_config=table_config,
+        solve_config=solve_config,
+        fault_model=fault_model,
+        verify=verify,
+        multilevel=multilevel,
+    )
+    return designs[latency]
+
+
+def design_ced_sweep(
+    fsm: FSM | str,
+    latencies: list[int],
+    semantics: str = "checker",
+    encoding: str = "binary",
+    max_faults: int | None = 800,
+    table_config: TableConfig | None = None,
+    solve_config: SolveConfig = SolveConfig(),
+    fault_model: FaultModel | None = None,
+    verify: bool = False,
+    multilevel: bool = False,
+) -> dict[int, CedDesign]:
+    """Design CED hardware for several latency bounds in one pass."""
+    if isinstance(fsm, str):
+        fsm = load_benchmark(fsm)
+    if not latencies:
+        raise ValueError("at least one latency bound required")
+    synthesis = synthesize_fsm(fsm, encoding=encoding, multilevel=multilevel)
+    if fault_model is None:
+        fault_model = StuckAtModel(synthesis, max_faults=max_faults)
+    if table_config is None:
+        table_config = TableConfig(latency=max(latencies), semantics=semantics)
+    tables = extract_tables(synthesis, fault_model, table_config, latencies)
+    results = solve_for_latencies(tables, solve_config)
+
+    designs: dict[int, CedDesign] = {}
+    for latency in latencies:
+        hardware = build_ced_hardware(
+            synthesis, results[latency].betas, multilevel=multilevel
+        )
+        verification = None
+        if verify:
+            verification = verify_bounded_latency(
+                synthesis,
+                hardware,
+                fault_model.faults(),
+                latency=latency,
+                seed=solve_config.seed,
+            )
+        designs[latency] = CedDesign(
+            synthesis=synthesis,
+            latency=latency,
+            table=tables[latency],
+            solve_result=results[latency],
+            hardware=hardware,
+            verification=verification,
+        )
+    return designs

@@ -1,0 +1,43 @@
+"""Finite state machine substrate.
+
+Symbolic (pre-encoding) FSMs, the KISS2 interchange format used by the MCNC
+benchmark suite, state assignment, structural analysis, simulation, and the
+benchmark registry (hand-written genuine machines plus MCNC-signature
+synthetic machines — see DESIGN.md §4 for the substitution rationale).
+"""
+
+from repro.fsm.analysis import (
+    FsmReport,
+    analyze,
+    reachable_states,
+    shortest_cycle_lengths,
+    transition_graph,
+)
+from repro.fsm.benchmarks import benchmark_names, load_benchmark
+from repro.fsm.encoding import Encoding, encode_states
+from repro.fsm.generate import GeneratorSpec, generate_fsm
+from repro.fsm.kiss import parse_kiss, write_kiss
+from repro.fsm.machine import FSM, Transition
+from repro.fsm.minimize import minimize_states
+from repro.fsm.simulate import simulate, step
+
+__all__ = [
+    "FSM",
+    "Encoding",
+    "FsmReport",
+    "GeneratorSpec",
+    "Transition",
+    "analyze",
+    "benchmark_names",
+    "encode_states",
+    "generate_fsm",
+    "load_benchmark",
+    "minimize_states",
+    "parse_kiss",
+    "reachable_states",
+    "shortest_cycle_lengths",
+    "simulate",
+    "step",
+    "transition_graph",
+    "write_kiss",
+]

@@ -1,0 +1,116 @@
+"""State assignment.
+
+The CED cost of a machine depends on the synthesized logic, which in turn
+depends on the state encoding.  The paper performs state assignment before
+synthesis (via SIS); we provide four strategies:
+
+* ``binary`` — states get consecutive codes in declaration order (reset = 0);
+* ``gray``   — consecutive states differ in one bit;
+* ``onehot`` — one flip-flop per state;
+* ``weighted`` — a greedy heuristic in the NOVA spirit: states connected by
+  many transitions are placed at small Hamming distance.
+
+All encodings give the reset state code 0 when possible (onehot gives it the
+unit code 1) so power-up behaviour is uniform across strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fsm.machine import FSM
+from repro.util.bitops import bit_length_for, gray_code
+
+STRATEGIES = ("binary", "gray", "onehot", "weighted")
+
+
+@dataclass(frozen=True)
+class Encoding:
+    """A state assignment: state name → integer code on ``num_bits`` bits."""
+
+    num_bits: int
+    codes: dict[str, int]
+    strategy: str
+
+    def code(self, state: str) -> int:
+        return self.codes[state]
+
+    def state_of(self, code: int) -> str | None:
+        """Inverse lookup; ``None`` for unused codes."""
+        for state, assigned in self.codes.items():
+            if assigned == code:
+                return state
+        return None
+
+    def used_codes(self) -> set[int]:
+        return set(self.codes.values())
+
+    def unused_codes(self) -> set[int]:
+        return set(range(1 << self.num_bits)) - self.used_codes()
+
+
+def encode_states(fsm: FSM, strategy: str = "binary") -> Encoding:
+    """Assign binary codes to the states of ``fsm``."""
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown encoding strategy {strategy!r}")
+    ordered = [fsm.reset_state] + [
+        state for state in fsm.states if state != fsm.reset_state
+    ]
+    if strategy == "onehot":
+        num_bits = fsm.num_states
+        codes = {state: 1 << idx for idx, state in enumerate(ordered)}
+        return Encoding(num_bits, codes, strategy)
+
+    num_bits = bit_length_for(fsm.num_states)
+    if strategy == "binary":
+        codes = {state: idx for idx, state in enumerate(ordered)}
+    elif strategy == "gray":
+        codes = {state: gray_code(idx) for idx, state in enumerate(ordered)}
+    else:
+        codes = _weighted_assignment(fsm, ordered, num_bits)
+    return Encoding(num_bits, codes, strategy)
+
+
+def _weighted_assignment(
+    fsm: FSM, ordered: list[str], num_bits: int
+) -> dict[str, int]:
+    """Greedy embedding: heavy state pairs at small Hamming distance."""
+    weight: dict[tuple[str, str], int] = {}
+    for transition in fsm.transitions:
+        if transition.src == transition.dst:
+            continue
+        key = tuple(sorted((transition.src, transition.dst)))
+        weight[key] = weight.get(key, 0) + transition.cube().size
+
+    placed: dict[str, int] = {ordered[0]: 0}
+    free_codes = set(range(1 << num_bits)) - {0}
+    remaining = ordered[1:]
+    # Place the state most strongly attached to already-placed states next,
+    # on the free code minimising its weighted Hamming distance to them.
+    while remaining:
+        def attachment(state: str) -> int:
+            return sum(
+                w
+                for (a, b), w in weight.items()
+                if (a == state and b in placed) or (b == state and a in placed)
+            )
+
+        state = max(remaining, key=attachment)
+        remaining.remove(state)
+
+        def placement_cost(code: int) -> tuple[int, int]:
+            cost = 0
+            for (a, b), w in weight.items():
+                other = None
+                if a == state and b in placed:
+                    other = placed[b]
+                elif b == state and a in placed:
+                    other = placed[a]
+                if other is not None:
+                    cost += w * bin(code ^ other).count("1")
+            return (cost, code)
+
+        best = min(free_codes, key=placement_cost)
+        placed[state] = best
+        free_codes.remove(best)
+    return placed

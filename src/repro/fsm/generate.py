@@ -1,0 +1,176 @@
+"""Synthetic controller-FSM generation.
+
+The paper evaluates on the MCNC/LGSynth91 FSM benchmarks, whose ``.kiss2``
+sources are not redistributable here.  This module generates, from a fixed
+seed, machines with the *published signatures* of those benchmarks
+(#inputs, #states, #outputs, approximate row count) and with the structural
+knobs the paper's observations hinge on:
+
+* ``self_loop_rate`` — small controllers like donfile/s27/s386 are self-loop
+  heavy, which saturates the latency benefit early;
+* ``specified_fraction`` — controllers are typically incompletely specified,
+  which is what gives the two-level minimizer (and the CED predictor) its
+  don't-care freedom;
+* ``output_dc_rate`` — KISS output fields routinely contain ``-``.
+
+Construction guarantees determinism (per-state input cubes are generated as
+disjoint blocks of a shared literal set) and reachability of every state
+from reset (a spanning set of transitions is embedded first).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fsm.machine import FSM, Transition
+from repro.util.rng import rng_for
+
+
+@dataclass(frozen=True)
+class GeneratorSpec:
+    """Parameters of a synthetic benchmark FSM."""
+
+    name: str
+    num_inputs: int
+    num_states: int
+    num_outputs: int
+    cubes_per_state: int = 4
+    self_loop_rate: float = 0.25
+    specified_fraction: float = 1.0
+    output_dc_rate: float = 0.1
+    #: "state": outputs are a per-destination-state base word with a little
+    #: per-transition noise — the structure real controllers have, and what
+    #: makes state/output compaction (and hence latency) effective.
+    #: "random": i.i.d. output bits, the adversarial unstructured case.
+    output_mode: str = "state"
+    output_one_rate: float = 0.3
+    output_noise: float = 0.02
+    #: Number of distinct base output words shared among states (real
+    #: controllers emit far fewer distinct output words than transitions).
+    output_pool: int = 6
+
+    def __post_init__(self) -> None:
+        if self.num_inputs < 1 or self.num_states < 2 or self.num_outputs < 1:
+            raise ValueError("degenerate generator spec")
+        if not 0.0 <= self.self_loop_rate <= 1.0:
+            raise ValueError("self_loop_rate must be in [0, 1]")
+        if not 0.0 < self.specified_fraction <= 1.0:
+            raise ValueError("specified_fraction must be in (0, 1]")
+        if not 0.0 <= self.output_dc_rate < 1.0:
+            raise ValueError("output_dc_rate must be in [0, 1)")
+        if self.output_mode not in ("state", "random"):
+            raise ValueError("output_mode must be 'state' or 'random'")
+        if not 0.0 < self.output_one_rate < 1.0:
+            raise ValueError("output_one_rate must be in (0, 1)")
+        if not 0.0 <= self.output_noise < 1.0:
+            raise ValueError("output_noise must be in [0, 1)")
+        if self.output_pool < 1:
+            raise ValueError("output_pool must be positive")
+
+
+def generate_fsm(spec: GeneratorSpec, seed: int = 2004) -> FSM:
+    """Generate a deterministic, reachable, seeded FSM matching ``spec``."""
+    rng = rng_for(seed, "fsm-generate", spec.name)
+    states = [f"s{idx}" for idx in range(spec.num_states)]
+
+    # Per state: a disjoint family of input cubes.  Pick d split variables,
+    # enumerate their 2^d assignments, keep a 'specified_fraction' subset.
+    state_cubes: list[list[str]] = []
+    for _ in states:
+        requested = max(1, min(spec.cubes_per_state, 1 << spec.num_inputs))
+        depth = min(
+            spec.num_inputs, max(1, int(np.ceil(np.log2(requested))))
+        )
+        split_vars = sorted(
+            rng.choice(spec.num_inputs, size=depth, replace=False).tolist()
+        )
+        blocks = []
+        for assignment in range(1 << depth):
+            pattern = ["-"] * spec.num_inputs
+            for position, var in enumerate(split_vars):
+                pattern[var] = "1" if (assignment >> position) & 1 else "0"
+            blocks.append("".join(pattern))
+        keep = max(1, round(len(blocks) * spec.specified_fraction))
+        chosen = rng.choice(len(blocks), size=keep, replace=False)
+        state_cubes.append([blocks[idx] for idx in sorted(chosen.tolist())])
+
+    # Destination assignment.  Slot (state, cube index) → destination state.
+    destinations: dict[tuple[int, int], int] = {}
+
+    # Spanning reachability: state i>0 gets an incoming edge from some j<i
+    # with a free slot (there is always one: state i-1 starts fully free).
+    for target in range(1, spec.num_states):
+        candidates = [
+            j
+            for j in range(target)
+            if any(
+                (j, c) not in destinations for c in range(len(state_cubes[j]))
+            )
+        ]
+        source = int(rng.choice(candidates))
+        free = [
+            c
+            for c in range(len(state_cubes[source]))
+            if (source, c) not in destinations
+        ]
+        destinations[(source, int(rng.choice(free)))] = target
+
+    # Remaining slots: self-loop or uniform random destination.
+    for state_idx in range(spec.num_states):
+        for cube_idx in range(len(state_cubes[state_idx])):
+            if (state_idx, cube_idx) in destinations:
+                continue
+            if rng.random() < spec.self_loop_rate:
+                destinations[(state_idx, cube_idx)] = state_idx
+            else:
+                destinations[(state_idx, cube_idx)] = int(
+                    rng.integers(spec.num_states)
+                )
+
+    # Per-state base output words, drawn from a small shared pool (the
+    # structured output mode; real controllers reuse a handful of words).
+    pool_size = min(spec.output_pool, spec.num_states)
+    word_pool = [
+        [1 if rng.random() < spec.output_one_rate else 0
+         for _ in range(spec.num_outputs)]
+        for _ in range(pool_size)
+    ]
+    base_outputs = [
+        word_pool[int(rng.integers(pool_size))] for _ in range(spec.num_states)
+    ]
+
+    transitions: list[Transition] = []
+    for state_idx, cubes in enumerate(state_cubes):
+        for cube_idx, pattern in enumerate(cubes):
+            destination = destinations[(state_idx, cube_idx)]
+            output_chars = []
+            for bit in range(spec.num_outputs):
+                if rng.random() < spec.output_dc_rate:
+                    output_chars.append("-")
+                    continue
+                if spec.output_mode == "state":
+                    value = base_outputs[destination][bit]
+                    if rng.random() < spec.output_noise:
+                        value ^= 1
+                else:
+                    value = 1 if rng.random() < 0.5 else 0
+                output_chars.append(str(value))
+            transitions.append(
+                Transition(
+                    input_cube=pattern,
+                    src=states[state_idx],
+                    dst=states[destinations[(state_idx, cube_idx)]],
+                    output="".join(output_chars),
+                )
+            )
+
+    return FSM(
+        name=spec.name,
+        num_inputs=spec.num_inputs,
+        num_outputs=spec.num_outputs,
+        states=states,
+        transitions=transitions,
+        reset_state=states[0],
+    )

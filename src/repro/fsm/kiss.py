@@ -1,0 +1,133 @@
+"""KISS2 state-transition-table format: parser and writer.
+
+KISS2 is the interchange format of the MCNC/LGSynth FSM benchmark suites and
+of SIS's ``read_kiss``.  A file looks like::
+
+    .i 2
+    .o 1
+    .s 4
+    .p 11
+    .r st0
+    0- st0 st0 0
+    1- st0 st1 0
+    ...
+    .e
+
+``.s`` (state count), ``.p`` (product-term count) and ``.r`` (reset state)
+are optional; when present they are cross-checked against the table.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.fsm.machine import FSM, Transition
+
+
+def parse_kiss(text: str, name: str = "fsm") -> FSM:
+    """Parse KISS2 text into an :class:`FSM`."""
+    num_inputs: int | None = None
+    num_outputs: int | None = None
+    declared_states: int | None = None
+    declared_products: int | None = None
+    reset_state = ""
+    rows: list[Transition] = []
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            fields = line.split()
+            directive = fields[0]
+            if directive == ".e":
+                break
+            if directive in (".i", ".o", ".s", ".p"):
+                if len(fields) != 2 or not fields[1].lstrip("-").isdigit():
+                    raise KissFormatError(line_number, f"malformed {directive}")
+                value = int(fields[1])
+                if directive == ".i":
+                    num_inputs = value
+                elif directive == ".o":
+                    num_outputs = value
+                elif directive == ".s":
+                    declared_states = value
+                else:
+                    declared_products = value
+            elif directive == ".r":
+                if len(fields) != 2:
+                    raise KissFormatError(line_number, "malformed .r")
+                reset_state = fields[1]
+            elif directive in (".ilb", ".ob", ".type"):
+                continue  # informational headers used by some tools
+            else:
+                raise KissFormatError(line_number, f"unknown directive {directive}")
+            continue
+        fields = line.split()
+        if len(fields) != 4:
+            raise KissFormatError(
+                line_number, f"expected 4 fields in transition row, got {len(fields)}"
+            )
+        rows.append(Transition(fields[0], fields[1], fields[2], fields[3]))
+
+    if num_inputs is None or num_outputs is None:
+        raise KissFormatError(0, "missing .i or .o header")
+    if not rows:
+        raise KissFormatError(0, "no transition rows")
+
+    states: list[str] = []
+    if reset_state:
+        states.append(reset_state)
+    for row in rows:
+        for state in (row.src, row.dst):
+            if state not in states:
+                states.append(state)
+
+    fsm = FSM(
+        name=name,
+        num_inputs=num_inputs,
+        num_outputs=num_outputs,
+        states=states,
+        transitions=rows,
+        reset_state=reset_state or states[0],
+    )
+    if declared_states is not None and declared_states != fsm.num_states:
+        raise KissFormatError(
+            0, f".s declares {declared_states} states, table has {fsm.num_states}"
+        )
+    if declared_products is not None and declared_products != len(rows):
+        raise KissFormatError(
+            0, f".p declares {declared_products} products, table has {len(rows)}"
+        )
+    return fsm
+
+
+def parse_kiss_file(path: str | Path) -> FSM:
+    """Parse a ``.kiss`` file; the FSM takes the file's stem as its name."""
+    path = Path(path)
+    return parse_kiss(path.read_text(), name=path.stem)
+
+
+def write_kiss(fsm: FSM) -> str:
+    """Serialise an :class:`FSM` to KISS2 text (round-trips with parse_kiss)."""
+    lines = [
+        f".i {fsm.num_inputs}",
+        f".o {fsm.num_outputs}",
+        f".s {fsm.num_states}",
+        f".p {len(fsm.transitions)}",
+        f".r {fsm.reset_state}",
+    ]
+    lines.extend(
+        f"{t.input_cube} {t.src} {t.dst} {t.output}" for t in fsm.transitions
+    )
+    lines.append(".e")
+    return "\n".join(lines) + "\n"
+
+
+class KissFormatError(ValueError):
+    """Raised for malformed KISS2 input, with the offending line number."""
+
+    def __init__(self, line_number: int, message: str) -> None:
+        location = f"line {line_number}: " if line_number else ""
+        super().__init__(f"{location}{message}")
+        self.line_number = line_number

@@ -1,0 +1,178 @@
+"""Symbolic FSM model.
+
+An :class:`FSM` is a possibly incompletely-specified Mealy machine: each
+:class:`Transition` pairs an input *cube* (a ``0``/``1``/``-`` pattern over
+the input lines) in a source state with a destination state and an output
+pattern (which may itself contain ``-`` don't-cares).  Input combinations
+not matched by any transition of a state are unspecified: the synthesized
+circuit may do anything there, and the minimizer exploits that freedom.
+
+Determinism is enforced structurally: within a state, input cubes must be
+pairwise disjoint (this is how all in-repo machines are written and
+generated; overlapping-but-consistent KISS specifications are rejected with
+a clear error rather than silently resolved).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.logic.cube import Cube
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One row of a KISS-style state transition table."""
+
+    input_cube: str
+    src: str
+    dst: str
+    output: str
+
+    def matches(self, input_bits: Sequence[int]) -> bool:
+        """True iff the concrete input vector lies in this transition's cube."""
+        if len(input_bits) != len(self.input_cube):
+            raise ValueError("input width mismatch")
+        return all(
+            spec == "-" or int(spec) == bit
+            for spec, bit in zip(self.input_cube, input_bits)
+        )
+
+    def cube(self) -> Cube:
+        """The input part as a :class:`Cube` (variable i = input line i)."""
+        return Cube.from_string(self.input_cube)
+
+
+@dataclass
+class FSM:
+    """A symbolic, incompletely-specified Mealy machine."""
+
+    name: str
+    num_inputs: int
+    num_outputs: int
+    states: list[str]
+    transitions: list[Transition]
+    reset_state: str = ""
+    _by_state: dict[str, list[Transition]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if not self.states:
+            raise ValueError("FSM needs at least one state")
+        if len(set(self.states)) != len(self.states):
+            raise ValueError("duplicate state names")
+        if not self.reset_state:
+            self.reset_state = self.states[0]
+        if self.reset_state not in self.states:
+            raise ValueError(f"reset state {self.reset_state!r} unknown")
+        self.validate()
+        self._by_state = {state: [] for state in self.states}
+        for transition in self.transitions:
+            self._by_state[transition.src].append(transition)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        known = set(self.states)
+        per_state: dict[str, list[Transition]] = {}
+        for transition in self.transitions:
+            if len(transition.input_cube) != self.num_inputs:
+                raise ValueError(
+                    f"input cube {transition.input_cube!r} has wrong width "
+                    f"(expected {self.num_inputs})"
+                )
+            if len(transition.output) != self.num_outputs:
+                raise ValueError(
+                    f"output pattern {transition.output!r} has wrong width "
+                    f"(expected {self.num_outputs})"
+                )
+            if set(transition.input_cube) - set("01-"):
+                raise ValueError(f"bad input cube {transition.input_cube!r}")
+            if set(transition.output) - set("01-"):
+                raise ValueError(f"bad output pattern {transition.output!r}")
+            if transition.src not in known or transition.dst not in known:
+                raise ValueError(
+                    f"transition references unknown state: {transition}"
+                )
+            per_state.setdefault(transition.src, []).append(transition)
+        for state, rows in per_state.items():
+            for i, first in enumerate(rows):
+                first_cube = first.cube()
+                for second in rows[i + 1 :]:
+                    if first_cube.intersects(second.cube()):
+                        raise ValueError(
+                            f"nondeterministic spec in state {state!r}: "
+                            f"{first.input_cube} overlaps {second.input_cube}"
+                        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_states(self) -> int:
+        return len(self.states)
+
+    def state_index(self, state: str) -> int:
+        return self.states.index(state)
+
+    def transitions_from(self, state: str) -> list[Transition]:
+        return list(self._by_state[state])
+
+    def lookup(
+        self, state: str, input_bits: Sequence[int]
+    ) -> Transition | None:
+        """The unique transition matching the input in ``state``, if any."""
+        for transition in self._by_state[state]:
+            if transition.matches(input_bits):
+                return transition
+        return None
+
+    def specified_fraction(self, state: str) -> float:
+        """Fraction of the input space specified in ``state``."""
+        total = 1 << self.num_inputs
+        covered = sum(t.cube().size for t in self._by_state[state])
+        return covered / total
+
+    def is_completely_specified(self) -> bool:
+        return all(
+            self.specified_fraction(state) == 1.0 for state in self.states
+        )
+
+    def renamed(self, name: str) -> "FSM":
+        return FSM(
+            name=name,
+            num_inputs=self.num_inputs,
+            num_outputs=self.num_outputs,
+            states=list(self.states),
+            transitions=list(self.transitions),
+            reset_state=self.reset_state,
+        )
+
+    @classmethod
+    def from_rows(
+        cls,
+        name: str,
+        num_inputs: int,
+        num_outputs: int,
+        rows: Iterable[tuple[str, str, str, str]],
+        reset_state: str = "",
+    ) -> "FSM":
+        """Build from ``(input_cube, src, dst, output)`` rows, inferring states
+        in first-appearance order."""
+        transitions = [Transition(*row) for row in rows]
+        states: list[str] = []
+        for transition in transitions:
+            for state in (transition.src, transition.dst):
+                if state not in states:
+                    states.append(state)
+        return cls(
+            name=name,
+            num_inputs=num_inputs,
+            num_outputs=num_outputs,
+            states=states,
+            transitions=transitions,
+            reset_state=reset_state,
+        )

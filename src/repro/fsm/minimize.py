@@ -1,0 +1,128 @@
+"""State minimization.
+
+Classic partition refinement (Hopcroft/Moore style) for the
+completely-specified case: two states are equivalent iff for every input
+they emit identical outputs and step to equivalent states; the algorithm
+iteratively splits blocks of a partition until stable and rebuilds the
+machine over the blocks.
+
+Incompletely-specified machines are handled conservatively: two states are
+only merged when their specified behaviours are *identical-up-to-don't-
+cares that agree* on the full input space partition built from both
+states' cubes — i.e. when compatibility holds without any covering/closure
+search (exact ISFSM minimization is NP-hard and out of scope; this safe
+subset already collapses the redundant states our generator and hand
+machines produce).
+
+The CED relevance: fewer states → fewer state bits and a smaller machine,
+which shifts both the original-cost and CED-cost columns; the tests check
+behavioural equivalence of the minimized machine.
+"""
+
+from __future__ import annotations
+
+from repro.fsm.machine import FSM, Transition
+from repro.util.bitops import int_to_bits
+
+
+def minimize_states(fsm: FSM) -> FSM:
+    """Return an equivalent machine with equivalent states merged.
+
+    Unreachable states are dropped first.  For completely-specified
+    machines the result is the unique minimal machine; for incompletely-
+    specified ones it is a safe (possibly non-minimal) reduction.
+    """
+    from repro.fsm.analysis import reachable_states
+
+    reachable = reachable_states(fsm)
+    states = [s for s in fsm.states if s in reachable]
+
+    # Signature per state and input vector: (output pattern, next state).
+    # For incompletely-specified machines unspecified entries are None and
+    # only merge with None (conservative).
+    behaviour: dict[str, list[tuple[str, str] | None]] = {}
+    for state in states:
+        rows: list[tuple[str, str] | None] = []
+        for value in range(1 << fsm.num_inputs):
+            transition = fsm.lookup(state, int_to_bits(value, fsm.num_inputs))
+            rows.append(
+                None
+                if transition is None
+                else (transition.output, transition.dst)
+            )
+        behaviour[state] = rows
+
+    # Initial partition: group by output behaviour only.
+    def output_signature(state: str) -> tuple:
+        return tuple(
+            None if row is None else row[0] for row in behaviour[state]
+        )
+
+    blocks: dict[str, int] = {}
+    signature_to_block: dict[tuple, int] = {}
+    for state in states:
+        signature = output_signature(state)
+        if signature not in signature_to_block:
+            signature_to_block[signature] = len(signature_to_block)
+        blocks[state] = signature_to_block[signature]
+
+    # Refine: split blocks whose members disagree on successor blocks.
+    while True:
+        def full_signature(state: str) -> tuple:
+            parts = [blocks[state]]
+            for row in behaviour[state]:
+                parts.append(None if row is None else blocks[row[1]])
+            return tuple(parts)
+
+        new_ids: dict[tuple, int] = {}
+        new_blocks: dict[str, int] = {}
+        for state in states:
+            signature = full_signature(state)
+            if signature not in new_ids:
+                new_ids[signature] = len(new_ids)
+            new_blocks[state] = new_ids[signature]
+        if len(new_ids) == len(set(blocks.values())):
+            blocks = new_blocks
+            break
+        blocks = new_blocks
+
+    # Rebuild over block representatives (first member in state order).
+    representative: dict[int, str] = {}
+    for state in states:
+        representative.setdefault(blocks[state], state)
+    block_name = {
+        block: rep for block, rep in representative.items()
+    }
+
+    transitions: list[Transition] = []
+    emitted: set[tuple] = set()
+    for state in states:
+        if representative[blocks[state]] != state:
+            continue
+        for transition in fsm.transitions_from(state):
+            if transition.dst not in blocks:  # dst unreachable: impossible
+                continue
+            row = Transition(
+                input_cube=transition.input_cube,
+                src=block_name[blocks[state]],
+                dst=block_name[blocks[transition.dst]],
+                output=transition.output,
+            )
+            key = (row.input_cube, row.src, row.dst, row.output)
+            if key not in emitted:
+                emitted.add(key)
+                transitions.append(row)
+
+    ordered = [
+        block_name[blocks[s]]
+        for s in states
+        if representative[blocks[s]] == s
+    ]
+    return FSM(
+        name=fsm.name,
+        num_inputs=fsm.num_inputs,
+        num_outputs=fsm.num_outputs,
+        states=ordered,
+        transitions=transitions,
+        reset_state=block_name[blocks[fsm.reset_state]],
+    )

@@ -1,0 +1,53 @@
+"""Symbolic (specification-level) FSM simulation.
+
+This simulates the *specification*, not the synthesized circuit: stepping
+into an unspecified (state, input) combination raises
+:class:`UnspecifiedBehaviour` instead of inventing a value.  Circuit-level
+simulation (where don't-cares have been resolved by synthesis) lives in
+:mod:`repro.logic.sim` and :mod:`repro.ced.checker`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.fsm.machine import FSM
+
+
+class UnspecifiedBehaviour(RuntimeError):
+    """Stepping an FSM on an input its specification leaves open."""
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Outcome of one specification-level transition."""
+
+    next_state: str
+    output: str  # may contain '-' where the spec leaves outputs open
+
+
+def step(fsm: FSM, state: str, input_bits: Sequence[int]) -> StepResult:
+    """Apply one input vector in ``state``."""
+    transition = fsm.lookup(state, input_bits)
+    if transition is None:
+        raise UnspecifiedBehaviour(
+            f"{fsm.name}: state {state!r} has no transition for input "
+            f"{''.join(str(b) for b in input_bits)}"
+        )
+    return StepResult(transition.dst, transition.output)
+
+
+def simulate(
+    fsm: FSM,
+    input_sequence: Iterable[Sequence[int]],
+    initial_state: str | None = None,
+) -> list[StepResult]:
+    """Run an input sequence from ``initial_state`` (default: reset)."""
+    state = initial_state or fsm.reset_state
+    trace: list[StepResult] = []
+    for input_bits in input_sequence:
+        result = step(fsm, state, input_bits)
+        trace.append(result)
+        state = result.next_state
+    return trace

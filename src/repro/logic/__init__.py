@@ -1,0 +1,46 @@
+"""Two-level logic synthesis substrate.
+
+This package stands in for the SIS flow the paper relies on: it turns a
+state-assigned FSM into minimized two-level covers
+(:mod:`repro.logic.synthesis`, :mod:`repro.logic.espresso`), builds a
+gate-level netlist from those covers (:mod:`repro.logic.netlist`), maps the
+netlist onto a documented standard-cell library with an area cost model
+(:mod:`repro.logic.tech`), and simulates netlists over pattern batches
+(:mod:`repro.logic.sim`).
+"""
+
+from repro.logic.cube import Cube
+from repro.logic.cover import Cover
+from repro.logic.espresso import espresso
+from repro.logic.netlist import Gate, Netlist
+from repro.logic.qm import quine_mccluskey
+from repro.logic.sim import evaluate, evaluate_batch
+from repro.logic.tech import DEFAULT_LIBRARY, CellLibrary, circuit_stats
+
+
+def __getattr__(name: str):
+    # synthesize_fsm/SynthesisResult live in repro.logic.synthesis, which
+    # imports repro.fsm (state encodings).  repro.fsm.machine in turn imports
+    # repro.logic.cube, so loading synthesis eagerly here would create an
+    # import cycle; resolve these two names lazily instead.
+    if name in ("SynthesisResult", "synthesize_fsm", "covers_to_netlist"):
+        from repro.logic import synthesis
+
+        return getattr(synthesis, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "CellLibrary",
+    "Cover",
+    "Cube",
+    "DEFAULT_LIBRARY",
+    "Gate",
+    "Netlist",
+    "SynthesisResult",
+    "circuit_stats",
+    "espresso",
+    "evaluate",
+    "evaluate_batch",
+    "quine_mccluskey",
+    "synthesize_fsm",
+]

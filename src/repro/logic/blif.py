@@ -1,0 +1,223 @@
+"""BLIF (Berkeley Logic Interchange Format) export/import for netlists.
+
+SIS — the tool behind the paper's synthesis numbers — speaks BLIF, so this
+module makes the reproduction's netlists interchangeable with the classic
+toolchain: ``write_blif`` dumps any :class:`~repro.logic.netlist.Netlist`
+as ``.names`` logic nodes (one cover row per product term), and
+``parse_blif`` reads the combinational subset back (``.model``,
+``.inputs``, ``.outputs``, ``.names``).
+
+Latches are out of scope on purpose: the repository keeps the flip-flop
+boundary in :class:`~repro.logic.synthesis.SynthesisResult` rather than in
+the netlist (see that module's docstring), and exported models are the
+combinational next-state/output blocks.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.logic.netlist import Gate, GateKind, Netlist
+
+
+def write_blif(netlist: Netlist, model_name: str = "repro") -> str:
+    """Serialise a netlist to BLIF text."""
+    names = _node_names(netlist)
+    lines = [f".model {model_name}"]
+    lines.append(
+        ".inputs " + " ".join(names[node] for node in netlist.input_ids)
+    )
+    lines.append(".outputs " + " ".join(netlist.output_names))
+
+    for node, gate in enumerate(netlist.gates):
+        if gate.kind in (GateKind.INPUT,):
+            continue
+        lines.extend(_names_block(gate, node, names))
+
+    # Output aliases: each named output is a buffer of its driver node.
+    for name, node in zip(netlist.output_names, netlist.output_ids):
+        if names[node] != name:
+            lines.append(f".names {names[node]} {name}")
+            lines.append("1 1")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def write_blif_file(netlist: Netlist, path: str | Path,
+                    model_name: str = "repro") -> None:
+    Path(path).write_text(write_blif(netlist, model_name))
+
+
+def _node_names(netlist: Netlist) -> dict[int, str]:
+    names: dict[int, str] = {}
+    for node in netlist.input_ids:
+        names[node] = netlist.gates[node].name
+    for node, gate in enumerate(netlist.gates):
+        if node not in names:
+            names[node] = f"n{node}"
+    return names
+
+
+def _names_block(gate: Gate, node: int, names: dict[int, str]) -> list[str]:
+    inputs = [names[src] for src in gate.fanin]
+    header = ".names " + " ".join(inputs + [names[node]])
+    kind = gate.kind
+    k = len(inputs)
+    if kind is GateKind.CONST0:
+        return [f".names {names[node]}"]
+    if kind is GateKind.CONST1:
+        return [f".names {names[node]}", "1"]
+    if kind is GateKind.NOT:
+        return [header, "0 1"]
+    if kind is GateKind.BUF:
+        return [header, "1 1"]
+    if kind is GateKind.AND:
+        return [header, "1" * k + " 1"]
+    if kind is GateKind.NAND:
+        return [header] + [
+            "-" * i + "0" + "-" * (k - i - 1) + " 1" for i in range(k)
+        ]
+    if kind is GateKind.OR:
+        return [header] + [
+            "-" * i + "1" + "-" * (k - i - 1) + " 1" for i in range(k)
+        ]
+    if kind is GateKind.NOR:
+        return [header, "0" * k + " 1"]
+    if kind in (GateKind.XOR, GateKind.XNOR):
+        rows = []
+        want = 1 if kind is GateKind.XOR else 0
+        for assignment in range(1 << k):
+            ones = bin(assignment).count("1")
+            if ones % 2 == want:
+                pattern = "".join(
+                    "1" if (assignment >> i) & 1 else "0" for i in range(k)
+                )
+                rows.append(pattern + " 1")
+        return [header] + rows
+    raise ValueError(f"cannot export gate kind {kind}")  # pragma: no cover
+
+
+# ----------------------------------------------------------------------
+# Parsing (combinational subset)
+# ----------------------------------------------------------------------
+def parse_blif(text: str) -> Netlist:
+    """Parse the combinational BLIF subset back into a netlist.
+
+    Each ``.names`` block becomes OR-of-AND logic.  Only ``1`` output
+    polarity is supported (the polarity our writer emits).
+    """
+    inputs: list[str] = []
+    outputs: list[str] = []
+    blocks: list[tuple[list[str], str, list[str]]] = []
+
+    current: tuple[list[str], str, list[str]] | None = None
+    for raw_line in _joined_lines(text):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("."):
+            fields = line.split()
+            directive = fields[0]
+            if directive == ".model":
+                continue
+            if directive == ".inputs":
+                inputs.extend(fields[1:])
+            elif directive == ".outputs":
+                outputs.extend(fields[1:])
+            elif directive == ".names":
+                signals = fields[1:]
+                if not signals:
+                    raise BlifFormatError("empty .names header")
+                current = (signals[:-1], signals[-1], [])
+                blocks.append(current)
+            elif directive == ".end":
+                break
+            else:
+                raise BlifFormatError(f"unsupported directive {directive}")
+            if directive != ".names":
+                current = None
+            continue
+        if current is None:
+            raise BlifFormatError(f"cover row outside .names: {line!r}")
+        current[2].append(line)
+
+    netlist = Netlist()
+    nodes: dict[str, int] = {}
+    for name in inputs:
+        nodes[name] = netlist.add_input(name)
+
+    by_target = {target: (srcs, rows) for srcs, target, rows in blocks}
+
+    def build(name: str) -> int:
+        if name in nodes:
+            return nodes[name]
+        if name not in by_target:
+            raise BlifFormatError(f"undriven signal {name!r}")
+        sources, rows = by_target[name]
+        source_nodes = [build(src) for src in sources]
+        node = _cover_logic(netlist, source_nodes, rows, name)
+        nodes[name] = node
+        return node
+
+    for name in outputs:
+        netlist.add_output(name, build(name))
+    return netlist
+
+
+def _cover_logic(
+    netlist: Netlist, source_nodes: list[int], rows: list[str], name: str
+) -> int:
+    if not rows:
+        return netlist.add_const(0)
+    products: list[int] = []
+    for row in rows:
+        fields = row.split()
+        if len(source_nodes) == 0:
+            if fields != ["1"]:
+                raise BlifFormatError(f"bad constant row {row!r} for {name}")
+            return netlist.add_const(1)
+        if len(fields) != 2 or fields[1] != "1":
+            raise BlifFormatError(
+                f"unsupported cover row {row!r} for {name} "
+                "(only on-set covers are supported)"
+            )
+        pattern = fields[0]
+        if len(pattern) != len(source_nodes):
+            raise BlifFormatError(f"row width mismatch in {name}")
+        literals = []
+        for char, src in zip(pattern, source_nodes):
+            if char == "1":
+                literals.append(src)
+            elif char == "0":
+                literals.append(netlist.add_not(src))
+            elif char != "-":
+                raise BlifFormatError(f"bad cover character {char!r}")
+        if not literals:
+            return netlist.add_const(1)
+        products.append(
+            literals[0]
+            if len(literals) == 1
+            else netlist.add_gate(GateKind.AND, literals)
+        )
+    if len(products) == 1:
+        return products[0]
+    return netlist.add_gate(GateKind.OR, products)
+
+
+def _joined_lines(text: str) -> list[str]:
+    """Resolve BLIF's backslash line continuations."""
+    joined: list[str] = []
+    pending = ""
+    for line in text.splitlines():
+        if line.rstrip().endswith("\\"):
+            pending += line.rstrip()[:-1] + " "
+            continue
+        joined.append(pending + line)
+        pending = ""
+    if pending:
+        joined.append(pending)
+    return joined
+
+
+class BlifFormatError(ValueError):
+    """Raised for malformed or unsupported BLIF input."""

@@ -1,0 +1,158 @@
+"""Covers: sums of cubes, plus dense truth-table bridging.
+
+The synthesis flow keeps functions in two interchangeable forms:
+
+* a :class:`Cover` — an explicit sum of :class:`~repro.logic.cube.Cube`
+  products, which is what gets turned into gates; and
+* a dense numpy boolean array of length ``2**num_vars`` indexed by minterm,
+  which is what the minimizers validate against.
+
+Controller FSMs in this reproduction have at most ~16 input+state variables,
+so dense arrays (≤ 64K entries) are cheap; :data:`MAX_DENSE_VARS` guards
+against accidental blow-ups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.logic.cube import Cube
+
+MAX_DENSE_VARS = 22
+
+
+def _check_dense_arity(num_vars: int) -> None:
+    if num_vars > MAX_DENSE_VARS:
+        raise ValueError(
+            f"dense truth tables limited to {MAX_DENSE_VARS} variables, "
+            f"got {num_vars}"
+        )
+
+
+@dataclass
+class Cover:
+    """A sum-of-products over a fixed number of binary variables."""
+
+    num_vars: int
+    cubes: list[Cube] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for cube in self.cubes:
+            if cube.num_vars != self.num_vars:
+                raise ValueError("cube arity does not match cover arity")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_strings(cls, num_vars: int, patterns: Iterable[str]) -> "Cover":
+        """Build a cover from positional-cube strings."""
+        cubes = [Cube.from_string(p) for p in patterns]
+        return cls(num_vars, cubes)
+
+    @classmethod
+    def from_dense(cls, table: np.ndarray) -> "Cover":
+        """One fully-specified cube per true minterm (canonical, unminimized)."""
+        num_vars = _arity_of(table)
+        minterms = np.flatnonzero(table)
+        cubes = [Cube.from_minterm(int(m), num_vars) for m in minterms]
+        return cls(num_vars, cubes)
+
+    @classmethod
+    def empty(cls, num_vars: int) -> "Cover":
+        return cls(num_vars, [])
+
+    @classmethod
+    def universal(cls, num_vars: int) -> "Cover":
+        return cls(num_vars, [Cube.universal(num_vars)])
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_cubes(self) -> int:
+        return len(self.cubes)
+
+    @property
+    def num_literals(self) -> int:
+        """Total literal count — the classic two-level cost metric."""
+        return sum(cube.num_literals for cube in self.cubes)
+
+    def covers_minterm(self, minterm: int) -> bool:
+        return any(cube.contains_minterm(minterm) for cube in self.cubes)
+
+    def evaluate(self, assignment: int) -> int:
+        """Evaluate the SOP at a packed variable assignment (0 or 1)."""
+        return 1 if self.covers_minterm(assignment) else 0
+
+    def dense(self) -> np.ndarray:
+        """Dense truth table: ``table[minterm] = True`` iff covered."""
+        _check_dense_arity(self.num_vars)
+        table = np.zeros(1 << self.num_vars, dtype=bool)
+        for cube in self.cubes:
+            table[cube.minterm_array()] = True
+        return table
+
+    def is_empty_function(self) -> bool:
+        """True iff the cover represents the constant-0 function."""
+        return not self.cubes
+
+    def is_tautology(self) -> bool:
+        """True iff the cover covers the whole Boolean space."""
+        _check_dense_arity(self.num_vars)
+        if any(cube.care == 0 for cube in self.cubes):
+            return True
+        return bool(self.dense().all())
+
+    def equivalent(self, other: "Cover") -> bool:
+        """Semantic equality of the represented functions."""
+        if self.num_vars != other.num_vars:
+            return False
+        return bool(np.array_equal(self.dense(), other.dense()))
+
+    def __iter__(self) -> Iterator[Cube]:
+        return iter(self.cubes)
+
+    def __len__(self) -> int:
+        return len(self.cubes)
+
+    # ------------------------------------------------------------------
+    # Simple transformations
+    # ------------------------------------------------------------------
+    def deduplicated(self) -> "Cover":
+        """Remove duplicate cubes and cubes single-cube-contained in another."""
+        kept: list[Cube] = []
+        for cube in sorted(
+            set(self.cubes), key=lambda c: -c.size
+        ):  # big cubes first so they absorb smaller ones
+            if not any(other.contains(cube) for other in kept):
+                kept.append(cube)
+        return Cover(self.num_vars, kept)
+
+    def union(self, other: "Cover") -> "Cover":
+        if self.num_vars != other.num_vars:
+            raise ValueError("cover arity mismatch")
+        return Cover(self.num_vars, [*self.cubes, *other.cubes])
+
+    def to_strings(self) -> list[str]:
+        return [cube.to_string() for cube in self.cubes]
+
+
+def _arity_of(table: np.ndarray) -> int:
+    size = int(table.shape[0])
+    num_vars = size.bit_length() - 1
+    if table.ndim != 1 or (1 << num_vars) != size:
+        raise ValueError("dense table length must be a power of two")
+    return num_vars
+
+
+def dense_of_cubes(num_vars: int, cubes: Sequence[Cube]) -> np.ndarray:
+    """Dense truth table of a cube list without building a Cover."""
+    _check_dense_arity(num_vars)
+    table = np.zeros(1 << num_vars, dtype=bool)
+    for cube in cubes:
+        table[cube.minterm_array()] = True
+    return table

@@ -1,0 +1,197 @@
+"""Cubes: products of literals over a fixed set of binary variables.
+
+A cube over ``num_vars`` variables is stored as a pair of bitmasks:
+
+* ``care``  — bit ``j`` set iff variable ``j`` appears as a literal;
+* ``value`` — for caring positions, the polarity of the literal
+  (``value`` is always normalised so that bits outside ``care`` are zero).
+
+The all-don't-care cube (``care == 0``) is the universal cube covering every
+minterm.  Cubes are immutable and hashable so covers can deduplicate them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.util.bitops import minterm_indices
+
+
+@dataclass(frozen=True, order=True)
+class Cube:
+    """An immutable product term over ``num_vars`` binary variables."""
+
+    num_vars: int
+    care: int
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.num_vars < 0:
+            raise ValueError("num_vars must be non-negative")
+        universe = (1 << self.num_vars) - 1
+        if self.care & ~universe:
+            raise ValueError("care mask has bits beyond num_vars")
+        if self.value & ~self.care:
+            # Normalise: value bits are only meaningful where care is set.
+            object.__setattr__(self, "value", self.value & self.care)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def universal(cls, num_vars: int) -> "Cube":
+        """The cube covering the whole Boolean space."""
+        return cls(num_vars, 0, 0)
+
+    @classmethod
+    def from_string(cls, text: str) -> "Cube":
+        """Parse a positional-cube string, e.g. ``"1-0"``.
+
+        Character ``i`` of the string is variable ``i`` (so the string reads
+        variable 0 first).  ``0``/``1`` are literals, ``-`` (or ``2``) is a
+        don't-care.
+        """
+        care = 0
+        value = 0
+        for position, char in enumerate(text):
+            if char == "1":
+                care |= 1 << position
+                value |= 1 << position
+            elif char == "0":
+                care |= 1 << position
+            elif char in "-2":
+                continue
+            else:
+                raise ValueError(f"invalid cube character {char!r} in {text!r}")
+        return cls(len(text), care, value)
+
+    @classmethod
+    def from_minterm(cls, minterm: int, num_vars: int) -> "Cube":
+        """The fully-specified cube covering exactly one minterm."""
+        universe = (1 << num_vars) - 1
+        if minterm & ~universe:
+            raise ValueError("minterm has bits beyond num_vars")
+        return cls(num_vars, universe, minterm)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_literals(self) -> int:
+        """Number of specified literals."""
+        return bin(self.care).count("1")
+
+    @property
+    def size(self) -> int:
+        """Number of minterms covered."""
+        return 1 << (self.num_vars - self.num_literals)
+
+    def contains_minterm(self, minterm: int) -> bool:
+        """True iff the cube covers the given minterm."""
+        return (minterm & self.care) == self.value
+
+    def contains(self, other: "Cube") -> bool:
+        """True iff every minterm of ``other`` is covered by this cube."""
+        self._check_compatible(other)
+        if self.care & ~other.care:
+            return False
+        return (other.value & self.care) == self.value
+
+    def intersects(self, other: "Cube") -> bool:
+        """True iff the two cubes share at least one minterm."""
+        self._check_compatible(other)
+        common = self.care & other.care
+        return (self.value & common) == (other.value & common)
+
+    def intersection(self, other: "Cube") -> "Cube | None":
+        """The cube of shared minterms, or ``None`` if disjoint."""
+        if not self.intersects(other):
+            return None
+        return Cube(
+            self.num_vars,
+            self.care | other.care,
+            self.value | other.value,
+        )
+
+    def distance(self, other: "Cube") -> int:
+        """Number of variables on which the cubes conflict (0 = intersect)."""
+        self._check_compatible(other)
+        common = self.care & other.care
+        return bin((self.value ^ other.value) & common).count("1")
+
+    def supercube(self, other: "Cube") -> "Cube":
+        """Smallest cube containing both cubes."""
+        self._check_compatible(other)
+        common = self.care & other.care
+        agree = common & ~(self.value ^ other.value)
+        return Cube(self.num_vars, agree, self.value & agree)
+
+    def without_literal(self, var: int) -> "Cube":
+        """Copy of the cube with variable ``var`` made a don't-care."""
+        bit = 1 << var
+        return Cube(self.num_vars, self.care & ~bit, self.value & ~bit)
+
+    def with_literal(self, var: int, polarity: int) -> "Cube":
+        """Copy of the cube with variable ``var`` fixed to ``polarity``."""
+        if polarity not in (0, 1):
+            raise ValueError("polarity must be 0 or 1")
+        bit = 1 << var
+        value = (self.value & ~bit) | (bit if polarity else 0)
+        return Cube(self.num_vars, self.care | bit, value)
+
+    def cofactor(self, var: int, polarity: int) -> "Cube | None":
+        """Shannon cofactor with respect to ``var = polarity``.
+
+        Returns ``None`` when the cube does not intersect that half-space;
+        otherwise the cube with the variable dropped.
+        """
+        bit = 1 << var
+        if self.care & bit:
+            actual = 1 if self.value & bit else 0
+            if actual != polarity:
+                return None
+        return self.without_literal(var)
+
+    def minterms(self) -> Iterator[int]:
+        """Iterate covered minterms (exponential in free variables)."""
+        free = [j for j in range(self.num_vars) if not (self.care >> j) & 1]
+        for assignment in range(1 << len(free)):
+            minterm = self.value
+            for idx, var in enumerate(free):
+                if (assignment >> idx) & 1:
+                    minterm |= 1 << var
+            yield minterm
+
+    def minterm_array(self) -> np.ndarray:
+        """Covered minterms as a numpy int64 array."""
+        return minterm_indices(self.care, self.value, self.num_vars)
+
+    def to_string(self) -> str:
+        """Positional-cube string, variable 0 first."""
+        chars = []
+        for var in range(self.num_vars):
+            if (self.care >> var) & 1:
+                chars.append("1" if (self.value >> var) & 1 else "0")
+            else:
+                chars.append("-")
+        return "".join(chars)
+
+    def literals(self) -> list[tuple[int, int]]:
+        """List of ``(variable, polarity)`` pairs, ascending by variable."""
+        return [
+            (var, 1 if (self.value >> var) & 1 else 0)
+            for var in range(self.num_vars)
+            if (self.care >> var) & 1
+        ]
+
+    def _check_compatible(self, other: "Cube") -> None:
+        if self.num_vars != other.num_vars:
+            raise ValueError(
+                f"cube arity mismatch: {self.num_vars} vs {other.num_vars}"
+            )
+
+    def __str__(self) -> str:  # pragma: no cover - convenience only
+        return self.to_string()

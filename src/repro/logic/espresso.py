@@ -1,0 +1,197 @@
+"""Espresso-style heuristic two-level minimization.
+
+This is a from-scratch reimplementation of the EXPAND → IRREDUNDANT → REDUCE
+improvement loop popularised by Espresso, operating against dense on-set /
+don't-care-set truth tables (controller logic in this project never exceeds
+~16 variables, see :data:`repro.logic.cover.MAX_DENSE_VARS`).
+
+It is not a literal port: expansion order and literal-raising order use
+simple deterministic heuristics.  What matters for the reproduction is that
+(a) the result is always a *correct* cover (asserted on every call:
+``on ⊆ cover ⊆ on ∪ dc``), and (b) the cube/literal counts are close enough
+to Espresso's that relative hardware-cost comparisons hold.  Tests compare
+its cube counts against the exact :mod:`repro.logic.qm` minimum on small
+functions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.logic.cover import Cover, _check_dense_arity
+from repro.logic.cube import Cube
+
+_MAX_PASSES = 12
+
+
+def espresso(
+    num_vars: int,
+    on: np.ndarray,
+    dc: np.ndarray | None = None,
+    initial: Cover | None = None,
+) -> Cover:
+    """Minimize a single-output incompletely-specified function.
+
+    Parameters
+    ----------
+    num_vars:
+        Number of input variables.
+    on:
+        Dense boolean array of length ``2**num_vars``: required minterms.
+    dc:
+        Dense boolean don't-care set (disjoint from ``on``; overlap is
+        resolved in favour of ``on``).
+    initial:
+        Optional starting cover (e.g. the cubes of an FSM specification).
+        It must cover ``on`` and stay inside ``on | dc``; when omitted the
+        canonical minterm cover of ``on`` is used.
+    """
+    _check_dense_arity(num_vars)
+    on = np.asarray(on, dtype=bool)
+    if on.shape != (1 << num_vars,):
+        raise ValueError("on-set shape does not match num_vars")
+    if dc is None:
+        dc = np.zeros_like(on)
+    else:
+        dc = np.asarray(dc, dtype=bool).copy()
+        if dc.shape != on.shape:
+            raise ValueError("dc-set shape does not match on-set")
+        dc &= ~on
+
+    if not on.any():
+        return Cover.empty(num_vars)
+    valid = on | dc
+    if valid.all():
+        return Cover.universal(num_vars)
+
+    if initial is None:
+        cover = Cover.from_dense(on)
+    else:
+        cover = Cover(num_vars, list(initial.cubes))
+        _assert_correct(cover, on, valid, context="initial cover")
+
+    cubes = list(cover.cubes)
+    best_cost = _cost(cubes)
+    for _ in range(_MAX_PASSES):
+        cubes = _expand(num_vars, cubes, valid)
+        cubes = _irredundant(num_vars, cubes, on)
+        cost = _cost(cubes)
+        if cost >= best_cost:
+            break
+        best_cost = cost
+        cubes = _reduce(num_vars, cubes, on)
+
+    cubes = _expand(num_vars, cubes, valid)
+    cubes = _irredundant(num_vars, cubes, on)
+    result = Cover(num_vars, sorted(set(cubes)))
+    _assert_correct(result, on, valid, context="minimized cover")
+    return result
+
+
+def _cost(cubes: list[Cube]) -> tuple[int, int]:
+    return (len(cubes), sum(cube.num_literals for cube in cubes))
+
+
+def _assert_correct(
+    cover: Cover, on: np.ndarray, valid: np.ndarray, context: str
+) -> None:
+    dense = cover.dense()
+    if (on & ~dense).any():
+        raise AssertionError(f"{context} fails to cover the on-set")
+    if (dense & ~valid).any():
+        raise AssertionError(f"{context} intersects the off-set")
+
+
+# ----------------------------------------------------------------------
+# EXPAND: grow each cube into a prime of (on ∪ dc), absorbing others.
+# ----------------------------------------------------------------------
+def _expand(num_vars: int, cubes: list[Cube], valid: np.ndarray) -> list[Cube]:
+    # Smallest cubes first: they benefit most and their expansion can absorb
+    # the bigger ones processed later.
+    pending = sorted(set(cubes), key=lambda c: (-c.num_literals, c.care, c.value))
+    result: list[Cube] = []
+    while pending:
+        cube = pending.pop(0)
+        if any(done.contains(cube) for done in result):
+            continue
+        cube = _expand_one(num_vars, cube, valid)
+        pending = [c for c in pending if not cube.contains(c)]
+        result = [c for c in result if not cube.contains(c)]
+        result.append(cube)
+    return result
+
+
+def _expand_one(num_vars: int, cube: Cube, valid: np.ndarray) -> Cube:
+    """Raise literals of ``cube`` while it stays inside ``valid``."""
+    changed = True
+    while changed:
+        changed = False
+        # Prefer raising the literal whose opposite half is "most valid"
+        # (all-or-nothing here, so order is just deterministic ascending).
+        for var in range(num_vars):
+            bit = 1 << var
+            if not cube.care & bit:
+                continue
+            flipped = Cube(num_vars, cube.care, cube.value ^ bit)
+            if valid[flipped.minterm_array()].all():
+                cube = cube.without_literal(var)
+                changed = True
+    return cube
+
+
+# ----------------------------------------------------------------------
+# IRREDUNDANT: drop cubes whose on-minterms are covered elsewhere.
+# ----------------------------------------------------------------------
+def _irredundant(num_vars: int, cubes: list[Cube], on: np.ndarray) -> list[Cube]:
+    counts = np.zeros(on.shape[0], dtype=np.int32)
+    arrays = {}
+    for cube in cubes:
+        arr = cube.minterm_array()
+        arrays[cube] = arr
+        counts[arr] += 1
+    kept = list(cubes)
+    # Try to drop least-useful cubes first (fewest minterms).
+    for cube in sorted(cubes, key=lambda c: (c.size, -c.num_literals)):
+        arr = arrays[cube]
+        mask = on[arr]
+        if not mask.any() or (counts[arr][mask] >= 2).all():
+            counts[arr] -= 1
+            kept.remove(cube)
+    return kept
+
+
+# ----------------------------------------------------------------------
+# REDUCE: shrink each cube around its uniquely-covered on-minterms so the
+# next EXPAND pass can escape local minima.
+# ----------------------------------------------------------------------
+def _reduce(num_vars: int, cubes: list[Cube], on: np.ndarray) -> list[Cube]:
+    counts = np.zeros(on.shape[0], dtype=np.int32)
+    arrays = {}
+    for cube in cubes:
+        arr = cube.minterm_array()
+        arrays[cube] = arr
+        counts[arr] += 1
+    reduced: list[Cube] = []
+    for cube in cubes:
+        arr = arrays[cube]
+        unique_on = arr[on[arr] & (counts[arr] == 1)]
+        if unique_on.size == 0:
+            counts[arr] -= 1
+            continue
+        shrunk = _supercube_of_minterms(num_vars, unique_on)
+        if shrunk != cube:
+            counts[arr] -= 1
+            counts[shrunk.minterm_array()] += 1
+        reduced.append(shrunk)
+    return reduced
+
+
+def _supercube_of_minterms(num_vars: int, minterms: np.ndarray) -> Cube:
+    """Smallest cube containing all given minterms."""
+    ones = int(np.bitwise_or.reduce(minterms.astype(np.int64)))
+    zeros = int(
+        np.bitwise_or.reduce((~minterms.astype(np.int64)) & ((1 << num_vars) - 1))
+    )
+    care = ((1 << num_vars) - 1) & ~(ones & zeros)
+    value = ones & care
+    return Cube(num_vars, care, value)

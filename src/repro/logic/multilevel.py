@@ -1,0 +1,321 @@
+"""Multilevel logic optimization: algebraic divisor extraction.
+
+The paper's circuits were synthesized with SIS, whose multilevel network
+(shared sub-expressions across outputs) is considerably smaller than a
+plain two-level implementation.  This module closes part of that gap with
+a fast-extract-style pass over a Boolean network:
+
+* **common-cube extraction** — a cube (product of ≥ 2 literals) occurring
+  in many products becomes a new node; each occurrence shrinks to one
+  literal;
+* **double-cube divisor extraction** — a two-cube algebraic divisor shared
+  by several nodes becomes a new node (the classic ``fast_extract``
+  divisor family, restricted to two-literal cubes, which covers the bulk
+  of practical gains).
+
+The network starts as one node per (minimized, two-level) output and
+greedily extracts the best-gain divisor until no extraction saves
+literals.  Extraction is purely algebraic, so correctness is structural —
+and verified exhaustively in the tests by comparing the emitted netlist
+against the original covers.
+
+Usage::
+
+    network = MultilevelNetwork.from_covers(covers, input_names, output_names)
+    network.extract()
+    netlist = network.to_netlist()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from repro.logic.cover import Cover
+from repro.logic.netlist import GateKind, Netlist
+
+# A literal is (source, polarity): source < 0 encodes primary input
+# ~source; source >= 0 encodes internal node index.  Polarity 1 = positive.
+Literal = tuple[int, int]
+Product = frozenset[Literal]
+
+
+def _input_literal(index: int, polarity: int) -> Literal:
+    return (~index, polarity)
+
+
+@dataclass
+class _Node:
+    """One internal node: an SOP over literals."""
+
+    products: list[Product]
+    name: str = ""
+
+
+@dataclass
+class MultilevelNetwork:
+    """A Boolean network of SOP nodes over shared sub-expressions."""
+
+    num_inputs: int
+    input_names: list[str]
+    output_names: list[str]
+    nodes: list[_Node] = field(default_factory=list)
+    output_nodes: list[int] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_covers(
+        cls,
+        covers: list[Cover],
+        input_names: list[str],
+        output_names: list[str],
+    ) -> "MultilevelNetwork":
+        """One node per output, straight from two-level covers."""
+        if len(covers) != len(output_names):
+            raise ValueError("one cover per output required")
+        if not covers:
+            raise ValueError("at least one output required")
+        num_inputs = covers[0].num_vars
+        if num_inputs != len(input_names):
+            raise ValueError("input name count must match cover arity")
+        network = cls(
+            num_inputs=num_inputs,
+            input_names=list(input_names),
+            output_names=list(output_names),
+        )
+        for cover, name in zip(covers, output_names):
+            if cover.num_vars != num_inputs:
+                raise ValueError("mixed cover arities")
+            products = [
+                frozenset(
+                    _input_literal(var, pol) for var, pol in cube.literals()
+                )
+                for cube in cover.cubes
+            ]
+            network.nodes.append(_Node(products=products, name=name))
+            network.output_nodes.append(len(network.nodes) - 1)
+        return network
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def literal_count(self) -> int:
+        """Total literals — the classic multilevel cost proxy."""
+        return sum(
+            len(product)
+            for node in self.nodes
+            for product in node.products
+        )
+
+    # ------------------------------------------------------------------
+    # Extraction
+    # ------------------------------------------------------------------
+    def extract(self, max_new_nodes: int = 500) -> int:
+        """Greedily extract divisors until no gain remains.
+
+        Divisor gains are *estimated* during scanning (overlapping
+        occurrences can make the estimate optimistic), so every
+        substitution is validated against the actual literal count and
+        reverted — and the divisor blacklisted — when it does not pay.
+        Returns the number of literals actually saved.
+        """
+        saved = 0
+        banned_cubes: set[Product] = set()
+        banned_pairs: set[frozenset[Literal]] = set()
+        for _ in range(max_new_nodes):
+            before = self.literal_count()
+            snapshot = [list(node.products) for node in self.nodes]
+
+            divisor = self._best_cube_divisor(banned_cubes)
+            if divisor is not None:
+                self._substitute_cube(divisor)
+            else:
+                pair = self._best_double_cube_divisor(banned_pairs)
+                if pair is None:
+                    break
+                self._substitute_double_cube(pair)
+
+            delta = before - self.literal_count()
+            if delta <= 0:
+                # Revert: restore products and drop the appended node.
+                for node, products in zip(self.nodes, snapshot):
+                    node.products = products
+                self.nodes.pop()
+                if divisor is not None:
+                    banned_cubes.add(divisor)
+                else:
+                    banned_pairs.add(pair)
+                continue
+            saved += delta
+        return saved
+
+    # -- single-cube (common cube) divisors ----------------------------
+    def _best_cube_divisor(self, banned: set[Product]) -> Product | None:
+        counts: dict[Product, int] = {}
+        for node in self.nodes:
+            for product in node.products:
+                if len(product) < 2:
+                    continue
+                for pair in combinations(sorted(product), 2):
+                    key = frozenset(pair)
+                    counts[key] = counts.get(key, 0) + 1
+        best: Product | None = None
+        best_gain = 0
+        for pair, count in counts.items():
+            if pair in banned:
+                continue
+            # Extracting a 2-literal cube used in k products: each
+            # occurrence shrinks by 1 literal, the new node costs 2.
+            gain = count - 2
+            if gain > best_gain:
+                best_gain = gain
+                best = pair
+        return best
+
+    def _substitute_cube(self, divisor: Product) -> None:
+        new_index = len(self.nodes)
+        self.nodes.append(_Node(products=[divisor], name=f"_x{new_index}"))
+        new_literal: Literal = (new_index, 1)
+        for node in self.nodes[:-1]:
+            node.products = [
+                frozenset((product - divisor) | {new_literal})
+                if divisor <= product
+                else product
+                for product in node.products
+            ]
+
+    # -- double-cube divisors -------------------------------------------
+    def _best_double_cube_divisor(
+        self, banned: set[frozenset[Literal]]
+    ) -> frozenset[Literal] | None:
+        """Best two-cube divisor {a, b} (single-literal cubes).
+
+        A node containing products P∪{a} and P∪{b} (same base P) can be
+        rewritten as P·d with d = a + b; if the pair (a, b) divides many
+        bases across the network, sharing d pays for itself.
+        """
+        # base -> literal pairs completing it, per occurrence.
+        candidates: dict[frozenset[Literal], list[tuple[int, Product]]] = {}
+        for node_index, node in enumerate(self.nodes):
+            by_base: dict[Product, list[Literal]] = {}
+            for product in node.products:
+                for literal in product:
+                    base = product - {literal}
+                    if literal in base:  # defensive; products are sets
+                        continue
+                    by_base.setdefault(base, []).append(literal)
+            for base, literals in by_base.items():
+                if len(literals) < 2:
+                    continue
+                for pair in combinations(sorted(set(literals)), 2):
+                    candidates.setdefault(frozenset(pair), []).append(
+                        (node_index, base)
+                    )
+        best_pair: frozenset[Literal] | None = None
+        best_gain = 0
+        for pair, occurrences in candidates.items():
+            if pair in banned:
+                continue
+            distinct = set(occurrences)
+            if len(distinct) < 2:
+                continue
+            # Each occurrence replaces two products (base+a, base+b) of
+            # |base|+1 literals each with one product of |base|+1; the new
+            # node costs 2 literals.  (Estimate; extract() validates.)
+            gain = sum(len(base) + 1 for _, base in distinct) - 2
+            if gain > best_gain:
+                best_gain = gain
+                best_pair = pair
+        return best_pair
+
+    def _substitute_double_cube(self, pair: frozenset[Literal]) -> None:
+        lit_a, lit_b = sorted(pair)
+        new_index = len(self.nodes)
+        self.nodes.append(
+            _Node(
+                products=[frozenset((lit_a,)), frozenset((lit_b,))],
+                name=f"_x{new_index}",
+            )
+        )
+        new_literal: Literal = (new_index, 1)
+        for node in self.nodes[:-1]:
+            product_set = set(node.products)
+            consumed: set[Product] = set()
+            replacements: list[Product] = []
+            # Phase 1: pair up (base+a, base+b) occurrences.
+            for product in node.products:
+                if product in consumed:
+                    continue
+                if lit_a not in product or lit_b in product:
+                    continue
+                base = product - {lit_a}
+                partner = base | {lit_b}
+                if partner in product_set and partner not in consumed:
+                    consumed.add(product)
+                    consumed.add(partner)
+                    replacements.append(base | {new_literal})
+            # Phase 2: rebuild, keeping unconsumed products in place.
+            node.products = [
+                p for p in node.products if p not in consumed
+            ] + replacements
+
+    # ------------------------------------------------------------------
+    # Netlist emission
+    # ------------------------------------------------------------------
+    def to_netlist(self) -> Netlist:
+        """Emit a structurally-hashed netlist (nodes in dependency order)."""
+        netlist = Netlist()
+        input_ids = [netlist.add_input(name) for name in self.input_names]
+        node_ids: dict[int, int] = {}
+
+        def literal_node(literal: Literal) -> int:
+            source, polarity = literal
+            if source < 0:
+                base = input_ids[~source]
+            else:
+                base = build(source)
+            return base if polarity else netlist.add_not(base)
+
+        def build(index: int) -> int:
+            if index in node_ids:
+                return node_ids[index]
+            node = self.nodes[index]
+            products: list[int] = []
+            has_const1 = False
+            for product in node.products:
+                if not product:
+                    has_const1 = True
+                    break
+                literals = [literal_node(lit) for lit in sorted(product)]
+                products.append(
+                    literals[0]
+                    if len(literals) == 1
+                    else netlist.add_gate(GateKind.AND, literals)
+                )
+            if has_const1:
+                result = netlist.add_const(1)
+            elif not products:
+                result = netlist.add_const(0)
+            elif len(products) == 1:
+                result = products[0]
+            else:
+                result = netlist.add_gate(GateKind.OR, products)
+            node_ids[index] = result
+            return result
+
+        for node_index, name in zip(self.output_nodes, self.output_names):
+            netlist.add_output(name, build(node_index))
+        return netlist
+
+
+def multilevel_netlist(
+    covers: list[Cover],
+    input_names: list[str],
+    output_names: list[str],
+) -> Netlist:
+    """Two-level covers → extracted multilevel netlist (convenience)."""
+    network = MultilevelNetwork.from_covers(covers, input_names, output_names)
+    network.extract()
+    return network.to_netlist()

@@ -1,0 +1,214 @@
+"""Gate-level netlist intermediate representation.
+
+A :class:`Netlist` is a DAG of :class:`Gate` nodes built append-only, so node
+ids are already a topological order (a gate may only reference earlier
+nodes).  The builder structurally hashes gates and folds constants, which
+also gives free sharing of identical product terms across the multi-output
+covers produced by :mod:`repro.logic.synthesis`.
+
+The netlist models the *combinational* part of a circuit; the flip-flop
+boundary of an FSM lives in :class:`repro.logic.synthesis.SynthesisResult`
+(which records how many state bits feed back) and sequential behaviour is
+simulated by the FSM/CED layers by looping the next-state outputs back into
+the present-state inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Sequence
+
+
+class GateKind(str, Enum):
+    """Primitive node types (arbitrary fan-in for the symmetric gates)."""
+
+    INPUT = "input"
+    CONST0 = "const0"
+    CONST1 = "const1"
+    NOT = "not"
+    BUF = "buf"
+    AND = "and"
+    OR = "or"
+    NAND = "nand"
+    NOR = "nor"
+    XOR = "xor"
+    XNOR = "xnor"
+
+
+_SYMMETRIC = {GateKind.AND, GateKind.OR, GateKind.NAND, GateKind.NOR,
+              GateKind.XOR, GateKind.XNOR}
+_INVERTING = {GateKind.NAND: GateKind.AND, GateKind.NOR: GateKind.OR,
+              GateKind.XNOR: GateKind.XOR}
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A single netlist node; ``fanin`` are node ids of earlier nodes."""
+
+    kind: GateKind
+    fanin: tuple[int, ...]
+    name: str = ""
+
+
+@dataclass
+class Netlist:
+    """Append-only combinational DAG with named inputs and outputs."""
+
+    gates: list[Gate] = field(default_factory=list)
+    input_ids: list[int] = field(default_factory=list)
+    output_ids: list[int] = field(default_factory=list)
+    output_names: list[str] = field(default_factory=list)
+    _hash_cons: dict[tuple, int] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_input(self, name: str) -> int:
+        node = len(self.gates)
+        self.gates.append(Gate(GateKind.INPUT, (), name))
+        self.input_ids.append(node)
+        return node
+
+    def add_const(self, value: int) -> int:
+        kind = GateKind.CONST1 if value else GateKind.CONST0
+        return self._intern(kind, ())
+
+    def add_not(self, source: int) -> int:
+        self._check_refs((source,))
+        gate = self.gates[source]
+        if gate.kind is GateKind.NOT:
+            return gate.fanin[0]
+        if gate.kind is GateKind.CONST0:
+            return self.add_const(1)
+        if gate.kind is GateKind.CONST1:
+            return self.add_const(0)
+        return self._intern(GateKind.NOT, (source,))
+
+    def add_gate(self, kind: GateKind, fanin: Sequence[int]) -> int:
+        """Add a gate with simplification and structural hashing."""
+        kind = GateKind(kind)
+        self._check_refs(fanin)
+        if kind is GateKind.NOT:
+            if len(fanin) != 1:
+                raise ValueError("NOT takes exactly one input")
+            return self.add_not(fanin[0])
+        if kind is GateKind.BUF:
+            if len(fanin) != 1:
+                raise ValueError("BUF takes exactly one input")
+            return fanin[0]
+        if kind in (GateKind.CONST0, GateKind.CONST1):
+            return self.add_const(1 if kind is GateKind.CONST1 else 0)
+        if kind is GateKind.INPUT:
+            raise ValueError("use add_input for primary inputs")
+        if kind in _INVERTING:
+            return self.add_not(self.add_gate(_INVERTING[kind], fanin))
+        if kind is GateKind.AND:
+            return self._add_and_or(GateKind.AND, fanin)
+        if kind is GateKind.OR:
+            return self._add_and_or(GateKind.OR, fanin)
+        if kind is GateKind.XOR:
+            return self._add_xor(fanin)
+        raise ValueError(f"unsupported gate kind {kind}")  # pragma: no cover
+
+    def add_output(self, name: str, node: int) -> None:
+        self._check_refs((node,))
+        self.output_ids.append(node)
+        self.output_names.append(name)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.gates)
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self.input_ids)
+
+    @property
+    def num_outputs(self) -> int:
+        return len(self.output_ids)
+
+    def logic_nodes(self) -> list[int]:
+        """Ids of all non-input, non-constant nodes."""
+        skip = {GateKind.INPUT, GateKind.CONST0, GateKind.CONST1}
+        return [i for i, g in enumerate(self.gates) if g.kind not in skip]
+
+    def fanout_map(self) -> dict[int, list[int]]:
+        """Node id → list of node ids that read it."""
+        fanout: dict[int, list[int]] = {i: [] for i in range(len(self.gates))}
+        for node, gate in enumerate(self.gates):
+            for src in gate.fanin:
+                fanout[src].append(node)
+        return fanout
+
+    def input_name(self, node: int) -> str:
+        gate = self.gates[node]
+        if gate.kind is not GateKind.INPUT:
+            raise ValueError(f"node {node} is not an input")
+        return gate.name
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check_refs(self, fanin: Sequence[int]) -> None:
+        for src in fanin:
+            if src < 0 or src >= len(self.gates):
+                raise ValueError(f"fanin reference {src} out of range")
+
+    def _intern(self, kind: GateKind, fanin: tuple[int, ...]) -> int:
+        key = (kind, tuple(sorted(fanin)) if kind in _SYMMETRIC else fanin)
+        node = self._hash_cons.get(key)
+        if node is None:
+            node = len(self.gates)
+            self.gates.append(Gate(kind, fanin))
+            self._hash_cons[key] = node
+        return node
+
+    def _add_and_or(self, kind: GateKind, fanin: Sequence[int]) -> int:
+        absorbing = GateKind.CONST0 if kind is GateKind.AND else GateKind.CONST1
+        identity = GateKind.CONST1 if kind is GateKind.AND else GateKind.CONST0
+        seen: list[int] = []
+        for src in fanin:
+            gate_kind = self.gates[src].kind
+            if gate_kind is absorbing:
+                return self.add_const(0 if kind is GateKind.AND else 1)
+            if gate_kind is identity:
+                continue
+            if src not in seen:
+                seen.append(src)
+        # x AND NOT x = 0; x OR NOT x = 1.
+        for src in seen:
+            gate = self.gates[src]
+            if gate.kind is GateKind.NOT and gate.fanin[0] in seen:
+                return self.add_const(0 if kind is GateKind.AND else 1)
+        if not seen:
+            return self.add_const(1 if kind is GateKind.AND else 0)
+        if len(seen) == 1:
+            return seen[0]
+        return self._intern(kind, tuple(sorted(seen)))
+
+    def _add_xor(self, fanin: Sequence[int]) -> int:
+        invert = False
+        counts: dict[int, int] = {}
+        for src in fanin:
+            gate = self.gates[src]
+            if gate.kind is GateKind.CONST1:
+                invert = not invert
+                continue
+            if gate.kind is GateKind.CONST0:
+                continue
+            if gate.kind is GateKind.NOT:
+                invert = not invert
+                src = gate.fanin[0]
+            counts[src] = counts.get(src, 0) + 1
+        operands = sorted(src for src, cnt in counts.items() if cnt % 2)
+        if not operands:
+            return self.add_const(1 if invert else 0)
+        if len(operands) == 1:
+            node = operands[0]
+        else:
+            node = self._intern(GateKind.XOR, tuple(operands))
+        return self.add_not(node) if invert else node

@@ -1,0 +1,215 @@
+"""Exact two-level minimization: Quine–McCluskey + branch-and-bound cover.
+
+Used as the ground-truth oracle for small functions (tests validate the
+heuristic :mod:`repro.logic.espresso` against it) and as the minimizer for
+tiny predictor slices where exactness is cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.logic.cover import Cover
+from repro.logic.cube import Cube
+
+MAX_QM_VARS = 14
+
+
+def quine_mccluskey(
+    num_vars: int,
+    on_set: Iterable[int],
+    dc_set: Iterable[int] = (),
+    max_nodes: int = 200_000,
+) -> Cover:
+    """Minimum-cube cover of ``on_set`` allowed to use ``dc_set``.
+
+    Ties in cube count are broken toward fewer literals.  The cover search is
+    exact branch-and-bound up to ``max_nodes`` explored nodes, after which it
+    completes greedily (only relevant for adversarially large inputs).
+    """
+    if num_vars > MAX_QM_VARS:
+        raise ValueError(f"quine_mccluskey limited to {MAX_QM_VARS} variables")
+    on = sorted(set(int(m) for m in on_set))
+    dc = set(int(m) for m in dc_set)
+    universe = (1 << num_vars) - 1
+    for minterm in list(on) + list(dc):
+        if minterm < 0 or minterm > universe:
+            raise ValueError(f"minterm {minterm} out of range")
+    if not on:
+        return Cover.empty(num_vars)
+    if len(set(on) | dc) == (1 << num_vars):
+        return Cover.universal(num_vars)
+
+    primes = _prime_implicants(num_vars, set(on) | dc)
+    chosen = _minimum_cover(num_vars, primes, on, max_nodes)
+    return Cover(num_vars, chosen)
+
+
+def _prime_implicants(num_vars: int, minterms: set[int]) -> list[Cube]:
+    """All prime implicants of the function ``on ∪ dc`` via iterated merging."""
+    universe = (1 << num_vars) - 1
+    current: set[tuple[int, int]] = {(universe, m) for m in minterms}
+    primes: set[tuple[int, int]] = set()
+    while current:
+        merged: set[tuple[int, int]] = set()
+        used: set[tuple[int, int]] = set()
+        by_care: dict[int, list[tuple[int, int]]] = {}
+        for care, value in current:
+            by_care.setdefault(care, []).append((care, value))
+        for care, group in by_care.items():
+            values = {value for _, value in group}
+            for _, value in group:
+                for var in range(num_vars):
+                    bit = 1 << var
+                    if not care & bit:
+                        continue
+                    partner = value ^ bit
+                    if partner in values and value < partner:
+                        merged.add((care & ~bit, value & ~bit))
+                        used.add((care, value))
+                        used.add((care, partner))
+        primes.update(current - used)
+        current = merged
+    return [Cube(num_vars, care, value) for care, value in sorted(primes)]
+
+
+def _minimum_cover(
+    num_vars: int,
+    primes: Sequence[Cube],
+    on: Sequence[int],
+    max_nodes: int,
+) -> list[Cube]:
+    """Minimum subset of ``primes`` covering all ``on`` minterms."""
+    minterm_index = {m: i for i, m in enumerate(on)}
+    full_mask = (1 << len(on)) - 1
+    coverage: list[int] = []
+    for prime in primes:
+        mask = 0
+        for minterm in prime.minterms():
+            idx = minterm_index.get(minterm)
+            if idx is not None:
+                mask |= 1 << idx
+        coverage.append(mask)
+
+    # Drop primes that cover no on-minterm, then dominated primes.
+    candidates = [
+        (primes[i], coverage[i]) for i in range(len(primes)) if coverage[i]
+    ]
+    candidates = _remove_dominated(candidates)
+
+    # Essential primes: sole coverers of some minterm.
+    chosen: list[Cube] = []
+    covered = 0
+    changed = True
+    while changed:
+        changed = False
+        for bit_idx in range(len(on)):
+            bit = 1 << bit_idx
+            if covered & bit:
+                continue
+            holders = [entry for entry in candidates if entry[1] & bit]
+            if len(holders) == 1:
+                cube, mask = holders[0]
+                chosen.append(cube)
+                covered |= mask
+                candidates = [
+                    entry for entry in candidates if entry[0] != cube
+                ]
+                changed = True
+        if covered == full_mask:
+            return _tidy(chosen)
+
+    remaining = [(cube, mask & ~covered) for cube, mask in candidates]
+    remaining = [entry for entry in remaining if entry[1]]
+    remaining = _remove_dominated(remaining)
+    best = _branch_and_bound(remaining, covered, full_mask, max_nodes)
+    return _tidy(chosen + best)
+
+
+def _remove_dominated(
+    entries: list[tuple[Cube, int]],
+) -> list[tuple[Cube, int]]:
+    """Remove entries whose coverage is a subset of a not-worse entry."""
+    kept: list[tuple[Cube, int]] = []
+    ordered = sorted(
+        entries, key=lambda e: (-bin(e[1]).count("1"), e[0].num_literals)
+    )
+    for cube, mask in ordered:
+        dominated = any(
+            mask & ~other_mask == 0
+            and other.num_literals <= cube.num_literals
+            for other, other_mask in kept
+        )
+        if not dominated:
+            kept.append((cube, mask))
+    return kept
+
+
+def _branch_and_bound(
+    entries: list[tuple[Cube, int]],
+    covered: int,
+    full_mask: int,
+    max_nodes: int,
+) -> list[Cube]:
+    """Exact minimum cover with a node budget; greedy completion past it."""
+    if covered == full_mask:
+        return []
+    greedy = _greedy_cover(entries, covered, full_mask)
+    best: list[tuple[Cube, int]] = greedy
+    nodes = 0
+
+    def recurse(
+        remaining: list[tuple[Cube, int]],
+        current_covered: int,
+        picked: list[tuple[Cube, int]],
+    ) -> None:
+        nonlocal best, nodes
+        nodes += 1
+        if nodes > max_nodes:
+            return
+        if current_covered == full_mask:
+            if _cost(picked) < _cost(best):
+                best = list(picked)
+            return
+        if len(picked) + 1 > len(best):
+            return
+        uncovered = full_mask & ~current_covered
+        lowest = uncovered & (-uncovered)
+        holders = [entry for entry in remaining if entry[1] & lowest]
+        holders.sort(key=lambda e: (-bin(e[1]).count("1"), e[0].num_literals))
+        for cube, mask in holders:
+            rest = [e for e in remaining if e[0] != cube]
+            picked.append((cube, mask))
+            recurse(rest, current_covered | mask, picked)
+            picked.pop()
+
+    recurse(entries, covered, [])
+    return [cube for cube, _ in best]
+
+
+def _greedy_cover(
+    entries: list[tuple[Cube, int]],
+    covered: int,
+    full_mask: int,
+) -> list[tuple[Cube, int]]:
+    picked: list[tuple[Cube, int]] = []
+    pool = list(entries)
+    while covered != full_mask:
+        best_entry = max(
+            pool,
+            key=lambda e: (bin(e[1] & ~covered).count("1"), -e[0].num_literals),
+        )
+        if not best_entry[1] & ~covered:
+            raise RuntimeError("greedy cover stuck: primes do not cover on-set")
+        picked.append(best_entry)
+        covered |= best_entry[1]
+        pool.remove(best_entry)
+    return picked
+
+
+def _cost(picked: list[tuple[Cube, int]]) -> tuple[int, int]:
+    return (len(picked), sum(cube.num_literals for cube, _ in picked))
+
+
+def _tidy(cubes: list[Cube]) -> list[Cube]:
+    return sorted(set(cubes))

@@ -1,0 +1,122 @@
+"""Netlist simulation: single-pattern and bit-parallel batch evaluation.
+
+Because node ids are a topological order (see :mod:`repro.logic.netlist`),
+evaluation is a single forward sweep.  The batch evaluator vectorises over
+patterns with numpy uint8 lanes, which is what makes whole-fault-universe
+detectability extraction tractable in pure Python.
+
+A single stuck-at fault is injected by overriding one node's value with a
+constant *after* it is computed — for single faults this is exactly
+equivalent to rewiring the net to VDD/GND.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.logic.netlist import GateKind, Netlist
+
+Fault = tuple[int, int]  # (node id, stuck value)
+
+
+def evaluate(
+    netlist: Netlist,
+    inputs: Mapping[str, int] | Sequence[int],
+    fault: Fault | None = None,
+) -> dict[str, int]:
+    """Evaluate one pattern; returns output name → value."""
+    if isinstance(inputs, Mapping):
+        vector = [int(inputs[netlist.input_name(i)]) for i in netlist.input_ids]
+    else:
+        vector = [int(v) for v in inputs]
+    pattern = np.array([vector], dtype=np.uint8)
+    result = evaluate_batch(netlist, pattern, fault=fault)[0]
+    return dict(zip(netlist.output_names, (int(v) for v in result)))
+
+
+def evaluate_batch(
+    netlist: Netlist,
+    patterns: np.ndarray,
+    fault: Fault | None = None,
+) -> np.ndarray:
+    """Evaluate many patterns at once.
+
+    Parameters
+    ----------
+    patterns:
+        ``(P, num_inputs)`` array of 0/1 values, column order matching
+        ``netlist.input_ids``.
+    fault:
+        Optional single stuck-at fault ``(node_id, value)``.
+
+    Returns
+    -------
+    ``(P, num_outputs)`` uint8 array, column order matching
+    ``netlist.output_ids``.
+    """
+    values = node_values(netlist, patterns, fault=fault)
+    return np.stack(
+        [values[node] for node in netlist.output_ids], axis=1
+    ) if netlist.output_ids else np.zeros((patterns.shape[0], 0), dtype=np.uint8)
+
+
+def node_values(
+    netlist: Netlist,
+    patterns: np.ndarray,
+    fault: Fault | None = None,
+) -> list[np.ndarray]:
+    """Per-node value arrays for a pattern batch (used by the fault tools)."""
+    patterns = np.asarray(patterns, dtype=np.uint8)
+    if patterns.ndim != 2 or patterns.shape[1] != netlist.num_inputs:
+        raise ValueError(
+            f"patterns must be (P, {netlist.num_inputs}), got {patterns.shape}"
+        )
+    num_patterns = patterns.shape[0]
+    fault_node = fault[0] if fault is not None else -1
+    fault_value = None
+    if fault is not None:
+        fault_value = np.full(num_patterns, fault[1], dtype=np.uint8)
+
+    input_column = {node: idx for idx, node in enumerate(netlist.input_ids)}
+    values: list[np.ndarray] = [None] * netlist.num_nodes  # type: ignore[list-item]
+    for node, gate in enumerate(netlist.gates):
+        kind = gate.kind
+        if kind is GateKind.INPUT:
+            value = np.ascontiguousarray(patterns[:, input_column[node]])
+        elif kind is GateKind.CONST0:
+            value = np.zeros(num_patterns, dtype=np.uint8)
+        elif kind is GateKind.CONST1:
+            value = np.ones(num_patterns, dtype=np.uint8)
+        elif kind is GateKind.NOT:
+            value = values[gate.fanin[0]] ^ 1
+        elif kind is GateKind.BUF:
+            value = values[gate.fanin[0]]
+        else:
+            operands = [values[src] for src in gate.fanin]
+            if kind in (GateKind.AND, GateKind.NAND):
+                value = _reduce(np.bitwise_and, operands)
+                if kind is GateKind.NAND:
+                    value = value ^ 1
+            elif kind in (GateKind.OR, GateKind.NOR):
+                value = _reduce(np.bitwise_or, operands)
+                if kind is GateKind.NOR:
+                    value = value ^ 1
+            elif kind in (GateKind.XOR, GateKind.XNOR):
+                value = _reduce(np.bitwise_xor, operands)
+                if kind is GateKind.XNOR:
+                    value = value ^ 1
+            else:  # pragma: no cover - exhaustive above
+                raise ValueError(f"unsupported gate kind {kind}")
+        if node == fault_node:
+            value = fault_value
+        values[node] = value
+    return values
+
+
+def _reduce(op, operands: list[np.ndarray]) -> np.ndarray:
+    result = operands[0]
+    for operand in operands[1:]:
+        result = op(result, operand)
+    return result

@@ -1,0 +1,142 @@
+"""Standard-cell library and area cost model.
+
+The paper reports per-circuit "Gates" and "Cost" as produced by SIS after
+mapping onto a standard-cell library.  SIS and the MCNC libraries are not
+available here, so this module provides a documented substitute: a small
+cell library with areas roughly proportional to CMOS transistor counts, and
+a deterministic mapper that decomposes the netlist's arbitrary-fan-in gates
+into trees of library cells.
+
+Absolute numbers differ from the paper's, but every circuit in an experiment
+is mapped with the same library and policy, so *relative* comparisons (the
+quantity Table 1's conclusions rest on) are preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.logic.netlist import GateKind, Netlist
+
+
+@dataclass(frozen=True)
+class CellLibrary:
+    """Cell name → area.  Areas are in arbitrary, internally-consistent units."""
+
+    name: str
+    areas: dict[str, float]
+    max_fanin: int = 4
+
+    def area(self, cell: str) -> float:
+        return self.areas[cell]
+
+
+#: Default library: areas ≈ transistor count / 4 (INV = 2T → 0.5 rounded to 1.0
+#: base unit), matching the relative weights of the MCNC ``mcnc.genlib`` cells.
+DEFAULT_LIBRARY = CellLibrary(
+    name="repro-stdcell",
+    areas={
+        "INV": 1.0,
+        "BUF": 1.5,
+        "AND2": 2.5,
+        "AND3": 3.5,
+        "AND4": 4.5,
+        "OR2": 2.5,
+        "OR3": 3.5,
+        "OR4": 4.5,
+        "XOR2": 5.0,
+        "XNOR2": 5.0,
+        "DFF": 8.0,
+    },
+)
+
+
+@dataclass
+class CircuitStats:
+    """Result of technology mapping: cell histogram, gate count, area."""
+
+    gates: int
+    cost: float
+    cells: dict[str, int] = field(default_factory=dict)
+
+    def __add__(self, other: "CircuitStats") -> "CircuitStats":
+        cells = dict(self.cells)
+        for cell, count in other.cells.items():
+            cells[cell] = cells.get(cell, 0) + count
+        return CircuitStats(self.gates + other.gates, self.cost + other.cost, cells)
+
+    @classmethod
+    def zero(cls) -> "CircuitStats":
+        return cls(0, 0.0, {})
+
+
+def circuit_stats(
+    netlist: Netlist,
+    library: CellLibrary = DEFAULT_LIBRARY,
+    num_flipflops: int = 0,
+) -> CircuitStats:
+    """Map a netlist onto ``library`` and return gate count and area.
+
+    ``num_flipflops`` adds that many DFF cells (the netlist itself is purely
+    combinational; the sequential boundary is accounted for here).
+    """
+    cells: dict[str, int] = {}
+
+    def take(cell: str, count: int = 1) -> None:
+        if count:
+            cells[cell] = cells.get(cell, 0) + count
+
+    for gate in netlist.gates:
+        kind = gate.kind
+        fanin = len(gate.fanin)
+        if kind in (GateKind.INPUT, GateKind.CONST0, GateKind.CONST1):
+            continue
+        if kind is GateKind.NOT:
+            take("INV")
+        elif kind is GateKind.BUF:
+            take("BUF")
+        elif kind in (GateKind.AND, GateKind.NAND, GateKind.OR, GateKind.NOR):
+            base = "AND" if kind in (GateKind.AND, GateKind.NAND) else "OR"
+            for width in _tree_widths(fanin, library.max_fanin):
+                take(f"{base}{width}")
+            if kind in (GateKind.NAND, GateKind.NOR):
+                take("INV")
+        elif kind in (GateKind.XOR, GateKind.XNOR):
+            take("XOR2", max(0, fanin - 1))
+            if kind is GateKind.XNOR:
+                take("INV")
+        else:  # pragma: no cover - exhaustive above
+            raise ValueError(f"unmappable gate kind {kind}")
+
+    take("DFF", num_flipflops)
+    gates = sum(cells.values())
+    cost = sum(library.area(cell) * count for cell, count in cells.items())
+    return CircuitStats(gates=gates, cost=cost, cells=cells)
+
+
+def _tree_widths(fanin: int, max_fanin: int) -> list[int]:
+    """Cell widths for a balanced reduction tree of an n-ary gate.
+
+    E.g. a 9-input AND with 4-input cells becomes AND4 + AND4 + AND3
+    (two leaves plus the combining level folded into the last cell when the
+    remainder allows), computed as repeated grouping.
+    """
+    if fanin < 2:
+        return []
+    widths: list[int] = []
+    operands = fanin
+    while operands > 1:
+        groups: list[int] = []
+        index = 0
+        while index < operands:
+            width = min(max_fanin, operands - index)
+            if width == 1:
+                # A lone leftover is carried up unchanged, no cell needed.
+                groups.append(1)
+                index += 1
+                continue
+            widths.append(width)
+            groups.append(1)
+            index += width
+        operands = len(groups)
+    return widths

@@ -1,0 +1,25 @@
+"""Small shared utilities: bit manipulation, seeded RNG, table formatting."""
+
+from repro.util.bitops import (
+    bit_length_for,
+    bits_to_int,
+    gray_code,
+    int_to_bits,
+    iter_minterms,
+    parity,
+    popcount,
+)
+from repro.util.rng import rng_for
+from repro.util.tables import format_table
+
+__all__ = [
+    "bit_length_for",
+    "bits_to_int",
+    "format_table",
+    "gray_code",
+    "int_to_bits",
+    "iter_minterms",
+    "parity",
+    "popcount",
+    "rng_for",
+]

@@ -1,0 +1,90 @@
+"""Bit-level helpers used throughout the FSM/logic/CED stack.
+
+Conventions
+-----------
+Bit vectors are stored two ways in this code base:
+
+* as Python ``int`` bitmasks, where bit ``j`` corresponds to variable ``j``
+  (variable 0 is the *least* significant bit), and
+* as tuples/arrays of 0/1 values indexed by variable number.
+
+These helpers convert between the two and provide the handful of word-level
+primitives (parity, popcount, Gray code) that the parity-tree machinery and
+the state-assignment code rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+
+def popcount(value: int) -> int:
+    """Number of set bits in a non-negative integer."""
+    if value < 0:
+        raise ValueError("popcount is only defined for non-negative integers")
+    return bin(value).count("1")
+
+
+def parity(value: int) -> int:
+    """Parity (XOR-fold) of the bits of a non-negative integer: 0 or 1."""
+    return popcount(value) & 1
+
+
+def bit_length_for(count: int) -> int:
+    """Number of bits needed to give ``count`` distinct codes (minimum 1)."""
+    if count < 1:
+        raise ValueError("count must be at least 1")
+    return max(1, (count - 1).bit_length())
+
+
+def int_to_bits(value: int, width: int) -> tuple[int, ...]:
+    """Expand ``value`` into ``width`` bits, LSB first (bit j = variable j)."""
+    if value < 0 or value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return tuple((value >> j) & 1 for j in range(width))
+
+
+def bits_to_int(bits: Sequence[int]) -> int:
+    """Pack an LSB-first 0/1 sequence into an integer bitmask."""
+    result = 0
+    for j, bit in enumerate(bits):
+        if bit not in (0, 1):
+            raise ValueError(f"bit {j} is {bit!r}, expected 0 or 1")
+        result |= bit << j
+    return result
+
+
+def gray_code(index: int) -> int:
+    """The ``index``-th binary-reflected Gray code."""
+    if index < 0:
+        raise ValueError("index must be non-negative")
+    return index ^ (index >> 1)
+
+
+def iter_minterms(care_mask: int, value: int, num_vars: int) -> Iterator[int]:
+    """Iterate the minterms of a cube given as (care_mask, value).
+
+    A cube specifies variable ``j`` iff bit ``j`` of ``care_mask`` is set, in
+    which case the variable takes bit ``j`` of ``value``.  Unspecified
+    variables range over both polarities.
+    """
+    free = [j for j in range(num_vars) if not (care_mask >> j) & 1]
+    base = value & care_mask
+    for assignment in range(1 << len(free)):
+        minterm = base
+        for idx, var in enumerate(free):
+            if (assignment >> idx) & 1:
+                minterm |= 1 << var
+        yield minterm
+
+
+def minterm_indices(care_mask: int, value: int, num_vars: int) -> np.ndarray:
+    """Vectorised version of :func:`iter_minterms` returning a numpy array."""
+    indices = np.array([value & care_mask], dtype=np.int64)
+    for var in range(num_vars):
+        if not (care_mask >> var) & 1:
+            bit = np.int64(1 << var)
+            indices = np.concatenate([indices, indices | bit])
+    return indices

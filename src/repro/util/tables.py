@@ -1,0 +1,53 @@
+"""Plain-text table formatting for experiment reports.
+
+The benchmark harnesses print rows in the same layout as the paper's
+Table 1; this module renders them without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an ASCII table with right-aligned numeric-looking columns."""
+    text_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match header length")
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = []
+        for idx, cell in enumerate(cells):
+            if _looks_numeric(cell):
+                parts.append(cell.rjust(widths[idx]))
+            else:
+                parts.append(cell.ljust(widths[idx]))
+        return "| " + " | ".join(parts) + " |"
+
+    separator = "|" + "|".join("-" * (width + 2) for width in widths) + "|"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append(separator)
+    lines.extend(render_row(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _looks_numeric(cell: str) -> bool:
+    stripped = cell.replace("-", "").replace(".", "").replace("%", "")
+    return stripped.isdigit() and cell != ""

@@ -1,0 +1,76 @@
+"""Tests for the cycle-accurate checked machine."""
+
+import pytest
+
+from repro.ced.checker import CedMachine
+from repro.ced.hardware import build_ced_hardware
+from repro.core.search import SolveConfig, minimize_parity_bits
+
+
+@pytest.fixture(scope="module")
+def traffic_design(traffic_synthesis, traffic_tables_checker):
+    result = minimize_parity_bits(traffic_tables_checker[1], SolveConfig())
+    hardware = build_ced_hardware(traffic_synthesis, result.betas)
+    return CedMachine(traffic_synthesis, hardware), hardware
+
+
+class TestFaultFreeOperation:
+    def test_no_false_alarms(self, traffic_design):
+        machine, _ = traffic_design
+        trace = machine.run([0, 1, 3, 3, 2, 0, 3, 1, 2, 3] * 3)
+        assert not any(step.detected for step in trace)
+        assert not any(step.erroneous for step in trace)
+
+    def test_follows_specification(self, traffic_design, traffic_fsm,
+                                   traffic_synthesis):
+        machine, _ = traffic_design
+        # Drive NG -> NY -> EG with (c=1,t=1) then (t=1).
+        trace = machine.run([0b11, 0b10])
+        encoding = traffic_synthesis.encoding
+        assert trace[0].state_code == encoding.code("NG")
+        assert trace[1].state_code == encoding.code("NY")
+
+    def test_initial_state_override(self, traffic_design, traffic_synthesis):
+        machine, _ = traffic_design
+        code = traffic_synthesis.encoding.code("EG")
+        trace = machine.run([0], initial_state=code)
+        assert trace[0].state_code == code
+
+
+class TestFaultInjection:
+    def test_injected_fault_eventually_detected(self, traffic_design,
+                                                traffic_synthesis):
+        machine, _ = traffic_design
+        node = traffic_synthesis.netlist.logic_nodes()[0]
+        found_error = False
+        for stuck in (0, 1):
+            trace = machine.run([3, 1, 0, 2, 3, 1, 3, 0] * 4,
+                                fault=(node, stuck))
+            erroneous = [s for s in trace if s.erroneous]
+            detected = [s for s in trace if s.detected]
+            if erroneous:
+                found_error = True
+                assert detected, "error occurred but never detected"
+        assert found_error
+
+    def test_detection_implies_error(self, traffic_design, traffic_synthesis):
+        """The comparator only fires when the observable word is wrong."""
+        machine, _ = traffic_design
+        for node in traffic_synthesis.netlist.logic_nodes()[:8]:
+            trace = machine.run([1, 3, 0, 2] * 5, fault=(node, 1))
+            for step in trace:
+                if step.detected:
+                    assert step.erroneous
+
+    def test_register_fault_detected(self, traffic_design, traffic_synthesis):
+        machine, _ = traffic_design
+        trace = machine.run([3, 1, 2, 0] * 5, register_fault=(0, 1))
+        erroneous = [s for s in trace if s.erroneous]
+        if erroneous:  # reachable states with bit0 == 0 exist for traffic
+            assert any(s.detected for s in trace)
+
+    def test_mismatched_hardware_rejected(self, traffic_synthesis,
+                                          seqdet_synthesis):
+        hardware = build_ced_hardware(seqdet_synthesis, [0b1])
+        with pytest.raises(ValueError):
+            CedMachine(traffic_synthesis, hardware)

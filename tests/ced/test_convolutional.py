@@ -1,0 +1,113 @@
+"""Tests for the convolutional-code CED alternative."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ced.convolutional import (
+    ConvolutionalChecker,
+    ConvolutionalCode,
+    convolutional_checker_stats,
+)
+
+
+def simple_code(depth=1):
+    # Two keys over 4 bits: key0 taps all current bits and bit0 of the
+    # previous word; key1 taps alternating bits of both.
+    generators = (
+        (0b1111,) + (0b0001,) * depth,
+        (0b1010,) + (0b0101,) * depth,
+    )
+    return ConvolutionalCode(num_bits=4, generators=generators)
+
+
+class TestCode:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConvolutionalCode(4, ())
+        with pytest.raises(ValueError):
+            ConvolutionalCode(4, ((0, 1),))  # G_0 must tap current word
+        with pytest.raises(ValueError):
+            ConvolutionalCode(4, ((1, 0), (1,)))  # ragged depth
+        with pytest.raises(ValueError):
+            ConvolutionalCode(2, ((0b100, 0),))  # mask out of range
+
+    def test_keys_are_gf2_linear(self):
+        code = simple_code()
+        a = code.keys([0b1010, 0b0001])
+        b = code.keys([0b0110, 0b1000])
+        xor = code.keys([0b1010 ^ 0b0110, 0b0001 ^ 0b1000])
+        assert xor == tuple(x ^ y for x, y in zip(a, b))
+
+    def test_random_code_is_seed_deterministic(self):
+        first = ConvolutionalCode.random(6, 2, 2, seed=9)
+        second = ConvolutionalCode.random(6, 2, 2, seed=9)
+        assert first == second
+        assert first != ConvolutionalCode.random(6, 2, 2, seed=10)
+
+    def test_window_length_checked(self):
+        with pytest.raises(ValueError):
+            simple_code().keys([1, 2, 3])
+
+
+class TestChecker:
+    def test_clean_stream_never_flags(self):
+        checker = ConvolutionalChecker(simple_code())
+        words = [3, 7, 1, 0, 15, 2]
+        assert checker.run(words, words) == [False] * 6
+
+    def test_single_corruption_flagged_within_memory(self):
+        checker = ConvolutionalChecker(simple_code(depth=2))
+        predicted = [5, 9, 3, 12, 7, 1, 8, 0]
+        actual = list(predicted)
+        actual[3] ^= 0b0100  # one corrupted word (an SEU)
+        latency = checker.detection_latency(actual, predicted)
+        assert latency is not None
+        assert latency <= checker.code.memory_depth + 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=63), min_size=4,
+                 max_size=12),
+        st.integers(min_value=0, max_value=11),
+        st.integers(min_value=1, max_value=63),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_random_codes_catch_random_corruptions(
+        self, words, position, flip, seed
+    ):
+        code = ConvolutionalCode.random(6, num_keys=3, memory_depth=2,
+                                        seed=seed)
+        checker = ConvolutionalChecker(code)
+        position = position % len(words)
+        actual = list(words)
+        actual[position] ^= flip
+        latency = checker.detection_latency(actual, words)
+        # Dense random keys may miss (all taps even) but then latency is
+        # None, never a wrong flag; clean prefixes must not flag.
+        flags = checker.run(actual, words)
+        assert not any(flags[:position])
+        if latency is not None:
+            assert latency >= 1
+
+    def test_stream_length_mismatch(self):
+        checker = ConvolutionalChecker(simple_code())
+        with pytest.raises(ValueError):
+            checker.run([1, 2], [1])
+
+
+class TestCost:
+    def test_memory_dominates_with_depth(self):
+        shallow = convolutional_checker_stats(
+            ConvolutionalCode.random(8, 3, 1)
+        )
+        deep = convolutional_checker_stats(
+            ConvolutionalCode.random(8, 3, 3)
+        )
+        assert deep.cost > shallow.cost
+        assert deep.cells["DFF"] == 2 * 3 * 8
+
+    def test_stats_fields(self):
+        stats = convolutional_checker_stats(simple_code())
+        assert stats.gates == sum(stats.cells.values())
+        assert stats.cost > 0

@@ -1,0 +1,50 @@
+"""Tests for the duplication baseline and CED hardware assembly."""
+
+import pytest
+
+from repro.ced.duplication import duplication_stats
+from repro.ced.hardware import build_ced_hardware
+
+
+class TestDuplication:
+    def test_function_count_is_n(self, traffic_synthesis):
+        baseline = duplication_stats(traffic_synthesis)
+        assert baseline.num_functions == traffic_synthesis.num_bits
+
+    def test_cost_exceeds_original(self, traffic_synthesis):
+        baseline = duplication_stats(traffic_synthesis)
+        assert baseline.stats.cost > traffic_synthesis.stats.cost
+
+    def test_includes_duplicate_register(self, traffic_synthesis):
+        baseline = duplication_stats(traffic_synthesis)
+        assert baseline.stats.cells["DFF"] == traffic_synthesis.num_state_bits
+
+
+class TestHardwareAssembly:
+    def test_total_is_sum_of_parts(self, traffic_synthesis):
+        hardware = build_ced_hardware(traffic_synthesis, [0b11, 0b101])
+        total = hardware.total_stats
+        parts = (
+            hardware.parity_stats.cost
+            + hardware.predictor_stats.cost
+            + hardware.comparator_stats.cost
+        )
+        assert total.cost == pytest.approx(parts)
+        assert hardware.gates == total.gates
+        assert hardware.num_parity_bits == 2
+
+    def test_betas_deduplicated(self, traffic_synthesis):
+        hardware = build_ced_hardware(traffic_synthesis, [0b11, 0b11])
+        assert hardware.betas == [0b11]
+
+    def test_overhead_vs_baseline(self, traffic_synthesis):
+        hardware = build_ced_hardware(traffic_synthesis, [0b11])
+        ratio = hardware.overhead_vs(traffic_synthesis.stats)
+        assert ratio == pytest.approx(
+            hardware.cost / traffic_synthesis.stats.cost
+        )
+
+    def test_more_parity_bits_cost_more_in_comparator(self, traffic_synthesis):
+        small = build_ced_hardware(traffic_synthesis, [0b1])
+        large = build_ced_hardware(traffic_synthesis, [0b1, 0b10, 0b100])
+        assert large.comparator_stats.cost > small.comparator_stats.cost

@@ -1,0 +1,60 @@
+"""Tests for parity trees and the comparator."""
+
+import numpy as np
+import pytest
+
+from repro.ced.comparator import build_comparator_netlist, comparator_stats
+from repro.ced.parity_hw import build_parity_netlist, parity_tree_stats
+from repro.logic.sim import evaluate_batch
+from repro.util.bitops import int_to_bits, parity
+
+
+class TestParityNetlist:
+    def test_computes_parity_of_selected_bits(self):
+        netlist = build_parity_netlist(4, [0b1010, 0b0001])
+        for word in range(16):
+            bits = np.array([int_to_bits(word, 4)], dtype=np.uint8)
+            values = evaluate_batch(netlist, bits)[0]
+            assert values[0] == parity(word & 0b1010)
+            assert values[1] == parity(word & 0b0001)
+
+    def test_rejects_out_of_range_beta(self):
+        with pytest.raises(ValueError):
+            build_parity_netlist(3, [0b1000])
+        with pytest.raises(ValueError):
+            build_parity_netlist(3, [0])
+
+    def test_single_bit_tree_is_a_wire(self):
+        stats = parity_tree_stats([0b0100])
+        assert stats.gates == 0
+
+    def test_tree_sizes(self):
+        stats = parity_tree_stats([0b111, 0b11])
+        # 3-bit tree: 2 XOR2; 2-bit tree: 1 XOR2.
+        assert stats.cells == {"XOR2": 3}
+
+    def test_empty_beta_list(self):
+        assert parity_tree_stats([]).gates == 0
+
+
+class TestComparator:
+    def test_error_iff_any_mismatch(self):
+        netlist = build_comparator_netlist(3)
+        for par in range(8):
+            for pred in range(8):
+                inputs = list(int_to_bits(par, 3)) + list(int_to_bits(pred, 3))
+                pattern = np.array([inputs], dtype=np.uint8)
+                error = evaluate_batch(netlist, pattern)[0][0]
+                assert error == (1 if par != pred else 0)
+
+    def test_stats_include_hold_registers(self):
+        stats = comparator_stats(4)
+        assert stats.cells["DFF"] == 8
+        assert stats.cells["XOR2"] == 4
+
+    def test_zero_q(self):
+        assert comparator_stats(0).gates == 0
+
+    def test_q_validation(self):
+        with pytest.raises(ValueError):
+            build_comparator_netlist(0)

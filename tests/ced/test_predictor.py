@@ -1,0 +1,106 @@
+"""Tests for parity predictor synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.ced.predictor import synthesize_predictor
+from repro.core.detectability import TableConfig, input_alphabet, reachable_state_codes
+from repro.logic.sim import evaluate_batch
+from repro.util.bitops import parity
+
+
+def check_predictor(synthesis, betas, unreachable_dc=True):
+    """Predictor output must equal parity(good response & β) on every
+    reachable (state, input) pair."""
+    predictor = synthesize_predictor(synthesis, betas, unreachable_dc)
+    alphabet, _ = input_alphabet(synthesis, TableConfig())
+    reachable = reachable_state_codes(synthesis, alphabet)
+    for code in reachable:
+        for input_value in alphabet.tolist():
+            pattern = synthesis.pattern(code, input_value)[None, :]
+            response = evaluate_batch(synthesis.netlist, pattern)[0]
+            word = int(
+                (response.astype(np.int64) * (1 << np.arange(len(response)))).sum()
+            )
+            predicted = evaluate_batch(predictor.netlist, pattern)[0]
+            for idx, beta in enumerate(betas):
+                assert predicted[idx] == parity(word & beta), (
+                    f"wrong prediction for state {code}, input {input_value}, "
+                    f"beta {beta:#x}"
+                )
+    return predictor
+
+
+class TestPredictor:
+    def test_predictions_correct_traffic(self, traffic_synthesis):
+        check_predictor(traffic_synthesis, [0b000011, 0b101010])
+
+    def test_predictions_correct_seqdet(self, seqdet_synthesis):
+        check_predictor(seqdet_synthesis, [0b001, 0b110])
+
+    def test_without_unreachable_dc(self, seqdet_synthesis):
+        check_predictor(seqdet_synthesis, [0b011], unreachable_dc=False)
+
+    def test_dc_freedom_never_increases_cost(self, traffic_synthesis):
+        betas = [0b000111]
+        with_dc = synthesize_predictor(traffic_synthesis, betas, True)
+        without = synthesize_predictor(traffic_synthesis, betas, False)
+        assert with_dc.stats.cost <= without.stats.cost
+
+    def test_empty_betas(self, traffic_synthesis):
+        predictor = synthesize_predictor(traffic_synthesis, [])
+        assert predictor.stats.gates == 0
+        assert predictor.betas == []
+
+    def test_one_cover_per_beta(self, traffic_synthesis):
+        predictor = synthesize_predictor(traffic_synthesis, [1, 2, 4],
+                                         mode="sop")
+        assert len(predictor.covers) == 3
+        assert predictor.netlist.num_outputs == 3
+
+
+class TestModes:
+    def test_unknown_mode_rejected(self, traffic_synthesis):
+        with pytest.raises(ValueError):
+            synthesize_predictor(traffic_synthesis, [1], mode="psychic")
+
+    @pytest.mark.parametrize("mode", ["sop", "xor", "best"])
+    def test_all_modes_predict_correctly(self, seqdet_synthesis, mode):
+        betas = [0b011, 0b101]
+        predictor = synthesize_predictor(seqdet_synthesis, betas, mode=mode)
+        from repro.core.detectability import (
+            TableConfig, input_alphabet, reachable_state_codes,
+        )
+
+        alphabet, _ = input_alphabet(seqdet_synthesis, TableConfig())
+        for code in reachable_state_codes(seqdet_synthesis, alphabet):
+            for value in alphabet.tolist():
+                pattern = seqdet_synthesis.pattern(code, value)[None, :]
+                response = evaluate_batch(
+                    seqdet_synthesis.netlist, pattern
+                )[0]
+                word = int(
+                    (response.astype(np.int64)
+                     * (1 << np.arange(len(response)))).sum()
+                )
+                predicted = evaluate_batch(predictor.netlist, pattern)[0]
+                for idx, beta in enumerate(betas):
+                    assert predicted[idx] == parity(word & beta)
+
+    def test_best_picks_cheaper(self, traffic_synthesis):
+        betas = [0b111111]  # parity of everything: worst case for SOP
+        sop = synthesize_predictor(traffic_synthesis, betas, mode="sop")
+        xor = synthesize_predictor(traffic_synthesis, betas, mode="xor")
+        best = synthesize_predictor(traffic_synthesis, betas, mode="best")
+        assert best.stats.cost == min(sop.stats.cost, xor.stats.cost)
+        assert best.mode in ("sop", "xor")
+
+    def test_xor_mode_shares_bit_functions(self, traffic_synthesis):
+        """Two parities tapping the same bits reuse one implementation."""
+        single = synthesize_predictor(traffic_synthesis, [0b11], mode="xor")
+        double = synthesize_predictor(
+            traffic_synthesis, [0b11, 0b01], mode="xor"
+        )
+        # Adding a parity over an already-implemented subset costs at most
+        # a couple of XOR cells, not another copy of the bit functions.
+        assert double.stats.cost <= single.stats.cost + 2 * 5.0

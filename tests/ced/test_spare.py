@@ -1,0 +1,91 @@
+"""Tests for the SPaRe-style partial-replication baseline."""
+
+import numpy as np
+import pytest
+
+from repro.ced.hardware import build_ced_hardware
+from repro.ced.spare import design_spare
+from repro.core.cover import covers_all
+from repro.core.search import SolveConfig, minimize_parity_bits
+from repro.logic.sim import evaluate_batch
+
+
+@pytest.fixture(scope="module")
+def spare_design(traffic_synthesis, traffic_tables_checker):
+    return design_spare(traffic_synthesis, traffic_tables_checker[1])
+
+
+class TestSelection:
+    def test_selected_bits_cover_all_cases(self, spare_design,
+                                           traffic_tables_checker):
+        masks = [1 << b for b in spare_design.replicated_bits]
+        assert covers_all(traffic_tables_checker[1].rows, masks)
+
+    def test_requires_latency_one_table(self, traffic_synthesis,
+                                        traffic_tables_checker):
+        with pytest.raises(ValueError, match="latency-1"):
+            design_spare(traffic_synthesis, traffic_tables_checker[3])
+
+    def test_never_replicates_more_than_n(self, spare_design,
+                                          traffic_synthesis):
+        assert spare_design.num_replicated <= traffic_synthesis.num_bits
+
+
+class TestReplicaCorrectness:
+    def test_replicas_match_originals(self, spare_design, traffic_synthesis):
+        """Replicated cones must compute the original bit functions."""
+        num_vars = traffic_synthesis.num_vars
+        patterns = (
+            (np.arange(1 << num_vars)[:, None] >> np.arange(num_vars)) & 1
+        ).astype(np.uint8)
+        original = evaluate_batch(traffic_synthesis.netlist, patterns)
+        # Replica netlist also takes observed-bit inputs; tie them to 0.
+        padded = np.concatenate(
+            [patterns,
+             np.zeros((patterns.shape[0], spare_design.num_replicated),
+                      dtype=np.uint8)],
+            axis=1,
+        )
+        replica_out = evaluate_batch(spare_design.netlist, padded)
+        for idx, bit in enumerate(spare_design.replicated_bits):
+            assert np.array_equal(replica_out[:, idx], original[:, bit])
+
+    def test_error_flag_semantics(self, spare_design, traffic_synthesis):
+        """error = 1 iff some observed bit differs from its replica."""
+        num_vars = traffic_synthesis.num_vars
+        pattern = np.zeros((1, num_vars), dtype=np.uint8)
+        original = evaluate_batch(traffic_synthesis.netlist, pattern)[0]
+        correct_obs = [
+            original[bit] for bit in spare_design.replicated_bits
+        ]
+        ok = np.concatenate(
+            [pattern, np.array([correct_obs], dtype=np.uint8)], axis=1
+        )
+        assert evaluate_batch(spare_design.netlist, ok)[0][-1] == 0
+        wrong_obs = list(correct_obs)
+        wrong_obs[0] ^= 1
+        bad = np.concatenate(
+            [pattern, np.array([wrong_obs], dtype=np.uint8)], axis=1
+        )
+        assert evaluate_batch(spare_design.netlist, bad)[0][-1] == 1
+
+
+class TestComparison:
+    def test_parity_needs_no_more_functions(self, traffic_synthesis,
+                                            traffic_tables_checker,
+                                            spare_design):
+        """Parity compaction subsumes replication: q ≤ #replicated bits."""
+        result = minimize_parity_bits(
+            traffic_tables_checker[1], SolveConfig()
+        )
+        assert result.q <= spare_design.num_replicated
+
+    def test_costs_are_positive_and_comparable(self, traffic_synthesis,
+                                               traffic_tables_checker,
+                                               spare_design):
+        result = minimize_parity_bits(
+            traffic_tables_checker[1], SolveConfig()
+        )
+        parity_hw = build_ced_hardware(traffic_synthesis, result.betas)
+        assert spare_design.cost > 0
+        assert parity_hw.cost > 0

@@ -1,0 +1,73 @@
+"""Shared fixtures.
+
+Expensive artefacts (synthesis results, detectability tables, CED designs
+for the small hand-written machines) are session-scoped: many test modules
+reuse them, and none mutates them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.detectability import TableConfig, extract_tables
+from repro.faults.model import StuckAtModel
+from repro.fsm.benchmarks import load_benchmark
+from repro.logic.synthesis import synthesize_fsm
+
+
+@pytest.fixture(scope="session")
+def traffic_fsm():
+    return load_benchmark("traffic")
+
+
+@pytest.fixture(scope="session")
+def seqdet_fsm():
+    return load_benchmark("seqdet")
+
+
+@pytest.fixture(scope="session")
+def vending_fsm():
+    return load_benchmark("vending")
+
+
+@pytest.fixture(scope="session")
+def traffic_synthesis(traffic_fsm):
+    return synthesize_fsm(traffic_fsm)
+
+
+@pytest.fixture(scope="session")
+def seqdet_synthesis(seqdet_fsm):
+    return synthesize_fsm(seqdet_fsm)
+
+
+@pytest.fixture(scope="session")
+def vending_synthesis(vending_fsm):
+    return synthesize_fsm(vending_fsm)
+
+
+@pytest.fixture(scope="session")
+def traffic_model(traffic_synthesis):
+    return StuckAtModel(traffic_synthesis)
+
+
+@pytest.fixture(scope="session")
+def seqdet_model(seqdet_synthesis):
+    return StuckAtModel(seqdet_synthesis)
+
+
+@pytest.fixture(scope="session")
+def traffic_tables_checker(traffic_synthesis, traffic_model):
+    config = TableConfig(latency=3, semantics="checker")
+    return extract_tables(traffic_synthesis, traffic_model, config)
+
+
+@pytest.fixture(scope="session")
+def traffic_tables_trajectory(traffic_synthesis, traffic_model):
+    config = TableConfig(latency=3, semantics="trajectory")
+    return extract_tables(traffic_synthesis, traffic_model, config)
+
+
+@pytest.fixture(scope="session")
+def seqdet_tables_checker(seqdet_synthesis, seqdet_model):
+    config = TableConfig(latency=3, semantics="checker")
+    return extract_tables(seqdet_synthesis, seqdet_model, config)

@@ -1,0 +1,79 @@
+"""Tests for the GF(2) coverage predicates."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cover import (
+    batch_coverage,
+    coverage_mask,
+    covered_rows,
+    covers_all,
+)
+from repro.util.bitops import parity
+
+
+def row_arrays(num_bits=8, max_rows=10, width=3):
+    word = st.integers(min_value=0, max_value=(1 << num_bits) - 1)
+    row = st.lists(word, min_size=width, max_size=width)
+    return st.lists(row, min_size=1, max_size=max_rows).map(
+        lambda rows: np.array(rows, dtype=np.uint64)
+    )
+
+
+class TestCoverageMask:
+    def test_odd_overlap_detects(self):
+        rows = np.array([[0b011, 0]], dtype=np.uint64)
+        assert coverage_mask(rows, 0b001)[0]  # overlap {bit0}: odd
+        assert not coverage_mask(rows, 0b011)[0]  # overlap {bit0,bit1}: even
+        assert not coverage_mask(rows, 0b111)[0]  # still even overlap
+        assert coverage_mask(rows, 0b110)[0]  # overlap {bit1}: odd
+
+    def test_any_step_suffices(self):
+        rows = np.array([[0b10, 0b01]], dtype=np.uint64)
+        assert coverage_mask(rows, 0b01)[0]  # covered at the second step
+
+    @settings(max_examples=100, deadline=None)
+    @given(row_arrays(), st.integers(min_value=0, max_value=255))
+    def test_matches_scalar_definition(self, rows, beta):
+        mask = coverage_mask(rows, beta)
+        for i, row in enumerate(rows.tolist()):
+            expected = any(parity(int(word) & beta) for word in row)
+            assert mask[i] == expected
+
+
+class TestCoveredRows:
+    @settings(max_examples=60, deadline=None)
+    @given(row_arrays(), st.lists(st.integers(min_value=0, max_value=255),
+                                  max_size=4))
+    def test_union_of_single_masks(self, rows, betas):
+        expected = np.zeros(rows.shape[0], dtype=bool)
+        for beta in betas:
+            expected |= coverage_mask(rows, beta)
+        assert np.array_equal(covered_rows(rows, betas), expected)
+
+    def test_covers_all_consistency(self):
+        rows = np.array([[0b01, 0], [0b10, 0]], dtype=np.uint64)
+        assert not covers_all(rows, [0b01])
+        assert covers_all(rows, [0b01, 0b10])
+        assert covers_all(rows, [0b11])  # wait: 0b11&0b01 odd, 0b11&0b10 odd
+
+    @settings(max_examples=40, deadline=None)
+    @given(row_arrays())
+    def test_identity_covers_nonzero_rows(self, rows):
+        nonzero = rows[(rows != 0).any(axis=1)]
+        if nonzero.shape[0] == 0:
+            return
+        identity = [1 << j for j in range(8)]
+        assert covers_all(nonzero, identity)
+
+
+class TestBatchCoverage:
+    @settings(max_examples=40, deadline=None)
+    @given(row_arrays(), st.lists(st.integers(min_value=1, max_value=255),
+                                  min_size=1, max_size=5))
+    def test_matches_per_candidate_masks(self, rows, betas):
+        matrix = batch_coverage(rows, betas)
+        assert matrix.shape == (len(betas), rows.shape[0])
+        for idx, beta in enumerate(betas):
+            assert np.array_equal(matrix[idx], coverage_mask(rows, beta))

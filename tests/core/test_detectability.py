@@ -1,0 +1,145 @@
+"""Tests for detectability-table extraction."""
+
+import numpy as np
+import pytest
+
+from repro.core.cover import covers_all
+from repro.core.detectability import (
+    TableConfig,
+    extract_table,
+    extract_tables,
+    input_alphabet,
+    reachable_state_codes,
+)
+from repro.faults.model import StuckAtModel, TransitionFaultModel
+from repro.fsm.benchmarks import load_benchmark
+from repro.logic.synthesis import synthesize_fsm
+
+
+class TestConfig:
+    def test_latency_validated(self):
+        with pytest.raises(ValueError):
+            TableConfig(latency=0)
+
+    def test_semantics_validated(self):
+        with pytest.raises(ValueError):
+            TableConfig(semantics="psychic")
+
+
+class TestAlphabet:
+    def test_exhaustive_for_few_inputs(self, traffic_synthesis):
+        alphabet, mode = input_alphabet(traffic_synthesis, TableConfig())
+        assert mode == "exhaustive"
+        assert alphabet.tolist() == [0, 1, 2, 3]
+
+    def test_cube_mode_for_many_inputs(self):
+        synthesis = synthesize_fsm(load_benchmark("keyb"))  # 7 inputs
+        config = TableConfig()
+        alphabet, mode = input_alphabet(synthesis, config)
+        assert mode == "cube"
+        assert len(alphabet) <= config.max_alphabet
+        assert len(set(alphabet.tolist())) == len(alphabet)
+
+    def test_alphabet_cap(self):
+        synthesis = synthesize_fsm(load_benchmark("keyb"))
+        capped = TableConfig(max_alphabet=16)
+        alphabet, _ = input_alphabet(synthesis, capped)
+        assert len(alphabet) == 16
+
+
+class TestReachability:
+    def test_traffic_all_states_reachable(self, traffic_synthesis):
+        alphabet, _ = input_alphabet(traffic_synthesis, TableConfig())
+        codes = reachable_state_codes(traffic_synthesis, alphabet)
+        expected = sorted(
+            traffic_synthesis.encoding.codes[s]
+            for s in traffic_synthesis.fsm.states
+        )
+        assert codes == expected
+
+    def test_reset_always_reachable(self, seqdet_synthesis):
+        alphabet, _ = input_alphabet(seqdet_synthesis, TableConfig())
+        codes = reachable_state_codes(seqdet_synthesis, alphabet)
+        assert seqdet_synthesis.reset_code in codes
+
+
+class TestExtraction:
+    def test_rows_are_nonempty_option_sets(self, traffic_tables_checker):
+        for table in traffic_tables_checker.values():
+            assert (table.rows[:, 0] != 0).all()  # first option always real
+
+    def test_single_bit_cover_is_always_feasible(self, traffic_tables_checker):
+        for table in traffic_tables_checker.values():
+            identity = [1 << j for j in range(table.num_bits)]
+            assert covers_all(table.rows, identity)
+
+    def test_constraints_weaken_with_latency(self, traffic_tables_checker):
+        """Any cover of the latency-p table covers the latency-(p+1) table."""
+        t1, t2, t3 = (traffic_tables_checker[p] for p in (1, 2, 3))
+        identity_cover_of = lambda tbl: [1 << j for j in range(tbl.num_bits)]
+        # every p+1 row's option set must contain some p row's option set
+        for small, big in ((t1, t2), (t2, t3)):
+            small_sets = [
+                frozenset(w for w in row if w) for row in small.rows.tolist()
+            ]
+            for row in big.rows.tolist():
+                big_set = frozenset(w for w in row if w)
+                assert any(s <= big_set for s in small_sets)
+
+    def test_stats_populated(self, traffic_tables_checker):
+        stats = traffic_tables_checker[3].stats
+        assert stats.fsm_name == "traffic"
+        assert stats.num_faults > 0
+        assert stats.num_activations > 0
+        assert stats.semantics == "checker"
+        assert stats.input_mode == "exhaustive"
+        assert not stats.truncated
+
+    def test_trajectory_at_least_as_permissive(
+        self, traffic_tables_checker, traffic_tables_trajectory
+    ):
+        """At p=1 the two semantics coincide (no divergence yet)."""
+        checker_rows = {tuple(r) for r in traffic_tables_checker[1].rows.tolist()}
+        trajectory_rows = {
+            tuple(r) for r in traffic_tables_trajectory[1].rows.tolist()
+        }
+        assert checker_rows == trajectory_rows
+
+    def test_requested_latencies_respected(
+        self, traffic_synthesis, traffic_model
+    ):
+        tables = extract_tables(
+            traffic_synthesis,
+            traffic_model,
+            TableConfig(latency=3, semantics="checker"),
+            latencies=[1, 3],
+        )
+        assert sorted(tables) == [1, 3]
+        with pytest.raises(ValueError):
+            extract_tables(
+                traffic_synthesis,
+                traffic_model,
+                TableConfig(latency=2),
+                latencies=[4],
+            )
+
+    def test_single_table_wrapper(self, traffic_synthesis, traffic_model):
+        table = extract_table(
+            traffic_synthesis, traffic_model, TableConfig(latency=2)
+        )
+        assert table.latency == 2
+
+    def test_transition_fault_model_extraction(self, vending_synthesis):
+        model = TransitionFaultModel(vending_synthesis, alternatives=1)
+        table = extract_table(
+            vending_synthesis, model, TableConfig(latency=2, semantics="checker")
+        )
+        assert table.num_rows > 0
+        identity = [1 << j for j in range(table.num_bits)]
+        assert covers_all(table.rows, identity)
+
+    def test_deterministic_extraction(self, traffic_synthesis, traffic_model):
+        config = TableConfig(latency=2, semantics="checker")
+        first = extract_table(traffic_synthesis, traffic_model, config)
+        second = extract_table(traffic_synthesis, traffic_model, config)
+        assert np.array_equal(first.rows, second.rows)

@@ -1,0 +1,128 @@
+"""Tests for the exact solver, the greedy heuristic and the area-aware
+variant — including cross-validation against each other."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cover import covers_all
+from repro.core.detectability import DetectabilityTable
+from repro.core.exact import exact_minimum_parity
+from repro.core.greedy import candidate_pool, greedy_parity_cover
+from repro.core.weighted import (
+    area_aware_parity_cover,
+    parity_weight,
+    solution_weight,
+)
+
+
+def table_from(rows, num_bits=None):
+    rows = np.array(rows, dtype=np.uint64)
+    if num_bits is None:
+        num_bits = max(int(rows.max()).bit_length(), 1) if rows.size else 1
+    return DetectabilityTable(num_bits=num_bits, latency=rows.shape[1], rows=rows)
+
+
+def random_tables(num_bits=5, width=2, max_rows=10):
+    word = st.integers(min_value=0, max_value=(1 << num_bits) - 1)
+    first = st.integers(min_value=1, max_value=(1 << num_bits) - 1)
+    row = st.tuples(first, *([word] * (width - 1))).map(list)
+    return st.lists(row, min_size=1, max_size=max_rows).map(
+        lambda rows: table_from(rows, num_bits=num_bits)
+    )
+
+
+class TestCandidatePool:
+    def test_singles(self):
+        assert candidate_pool(3, "singles") == [1, 2, 4]
+
+    def test_pairs_include_singles(self):
+        pool = candidate_pool(3, "pairs")
+        assert set(pool) == {1, 2, 4, 3, 5, 6}
+
+    def test_all_pool(self):
+        assert len(candidate_pool(4, "all")) == 15
+
+    def test_all_pool_size_guard(self):
+        with pytest.raises(ValueError):
+            candidate_pool(20, "all")
+
+    def test_unknown_pool(self):
+        with pytest.raises(ValueError):
+            candidate_pool(3, "everything")
+
+
+class TestExact:
+    def test_empty(self):
+        table = table_from(np.zeros((0, 1)), num_bits=4)
+        assert exact_minimum_parity(table) == []
+
+    def test_known_minimum(self):
+        # Rows {1}, {2}, {4} as singleton option sets: one β = 0b111 has
+        # odd overlap with each, so the optimum is 1.
+        table = table_from([[0b001, 0], [0b010, 0], [0b100, 0]])
+        assert len(exact_minimum_parity(table)) == 1
+
+    def test_forced_two(self):
+        # {0b11} needs odd overlap: β ∈ {01,10,...}; {0b01} needs bit0-odd;
+        # {0b10} needs bit1-odd.  One β cannot be odd on 0b01, 0b10 AND
+        # 0b11 simultaneously (odd on both bits -> even on 0b11).
+        table = table_from([[0b01, 0], [0b10, 0], [0b11, 0]])
+        assert len(exact_minimum_parity(table)) == 2
+
+    def test_bit_limit(self):
+        table = DetectabilityTable(20, 1, np.ones((1, 1), dtype=np.uint64))
+        with pytest.raises(ValueError):
+            exact_minimum_parity(table)
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_tables())
+    def test_result_covers_and_is_minimal_vs_greedy(self, table):
+        exact = exact_minimum_parity(table)
+        assert covers_all(table.rows, exact)
+        greedy = greedy_parity_cover(table, pool="all")
+        assert len(exact) <= len(greedy)
+
+
+class TestGreedy:
+    def test_empty(self):
+        assert greedy_parity_cover(table_from(np.zeros((0, 1)), num_bits=3)) == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_tables())
+    def test_greedy_always_covers(self, table):
+        for pool in ("singles", "pairs"):
+            betas = greedy_parity_cover(table, pool=pool)
+            assert covers_all(table.rows, betas)
+
+    def test_explicit_pool(self):
+        table = table_from([[0b11, 0]])
+        assert greedy_parity_cover(table, pool=[0b01]) == [0b01]
+
+    def test_insufficient_pool_raises(self):
+        table = table_from([[0b11, 0]])
+        with pytest.raises(ValueError, match="cannot cover"):
+            greedy_parity_cover(table, pool=[0b11])  # even overlap only
+
+
+class TestAreaAware:
+    def test_parity_weight(self):
+        assert parity_weight(0b1) == 2      # wire + compare slice
+        assert parity_weight(0b11) == 2     # one XOR + compare
+        assert parity_weight(0b111) == 3    # two XORs + compare
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_tables())
+    def test_area_aware_covers(self, table):
+        betas = area_aware_parity_cover(table)
+        assert covers_all(table.rows, betas)
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_tables())
+    def test_area_aware_no_heavier_than_singles(self, table):
+        """The weighted greedy should not exceed the single-bit cover's
+        weight by more than one compare slice (ties broken arbitrarily)."""
+        weighted = area_aware_parity_cover(table, pool="pairs")
+        singles = greedy_parity_cover(table, pool="singles")
+        assert solution_weight(weighted) <= solution_weight(singles) + 1

@@ -1,0 +1,36 @@
+"""Tests for the maximum-useful-latency analysis (§2)."""
+
+import pytest
+
+from repro.core.detectability import TableConfig
+from repro.core.latency import max_useful_latency
+from repro.faults.model import StuckAtModel
+from repro.fsm.benchmarks import load_benchmark
+from repro.fsm.machine import FSM, Transition
+from repro.logic.synthesis import synthesize_fsm
+
+
+class TestMaxUsefulLatency:
+    def test_at_least_one(self, traffic_synthesis, traffic_model):
+        assert max_useful_latency(traffic_synthesis, traffic_model) >= 1
+
+    def test_self_loop_heavy_machines_saturate_early(self):
+        """serparity toggles between two states: every faulty machine has
+        a loop of length at most 2."""
+        synthesis = synthesize_fsm(load_benchmark("serparity"))
+        model = StuckAtModel(synthesis)
+        assert max_useful_latency(synthesis, model) <= 2
+
+    def test_cycle_structure_bounds_result(self):
+        """A pure modulo-counter's faulty machines still cycle within the
+        counter length."""
+        synthesis = synthesize_fsm(load_benchmark("mod5cnt"))
+        model = StuckAtModel(synthesis, max_faults=60)
+        latency = max_useful_latency(synthesis, model)
+        assert 1 <= latency <= 8  # 2^s bound for s=3
+
+    def test_deterministic(self, seqdet_synthesis, seqdet_model):
+        config = TableConfig(latency=3)
+        first = max_useful_latency(seqdet_synthesis, seqdet_model, config)
+        second = max_useful_latency(seqdet_synthesis, seqdet_model, config)
+        assert first == second

@@ -1,0 +1,61 @@
+"""Tests for the Statement-5 LP relaxation."""
+
+import numpy as np
+import pytest
+
+from repro.core.detectability import DetectabilityTable
+from repro.core.lp import solve_lp_relaxation, subsample_table
+
+
+def table_from(rows):
+    rows = np.array(rows, dtype=np.uint64)
+    bits = int(rows.max()).bit_length() if rows.size else 1
+    return DetectabilityTable(num_bits=max(bits, 1), latency=rows.shape[1],
+                             rows=rows)
+
+
+class TestSolve:
+    def test_empty_table_is_trivially_feasible(self):
+        table = DetectabilityTable(3, 1, np.zeros((0, 1), dtype=np.uint64))
+        solution = solve_lp_relaxation(table, q=1)
+        assert solution.feasible
+
+    def test_fractional_betas_in_box(self):
+        table = table_from([[0b01, 0], [0b10, 0b11]])
+        solution = solve_lp_relaxation(table, q=2)
+        assert solution.feasible
+        assert solution.beta_fractional.shape == (2, 2)
+        assert (solution.beta_fractional >= 0).all()
+        assert (solution.beta_fractional <= 1).all()
+
+    def test_relaxation_feasible_whenever_rows_nonzero(self):
+        # With β = all-ones, V_k β = rowsum ≥ 1 and fractional r/w absorb
+        # the slack, so the LP is feasible even at q = 1.
+        table = table_from([[0b111, 0], [0b010, 0b100]])
+        assert solve_lp_relaxation(table, q=1).feasible
+
+    def test_objective_validation(self):
+        table = table_from([[1, 0]])
+        with pytest.raises(ValueError):
+            solve_lp_relaxation(table, q=1, objective="nonsense")
+
+    @pytest.mark.parametrize("objective", ["max-r", "min-beta", "feasibility"])
+    def test_all_objectives_solve(self, objective):
+        table = table_from([[0b01, 0b10], [0b11, 0]])
+        assert solve_lp_relaxation(table, q=2, objective=objective).feasible
+
+
+class TestSubsample:
+    def test_small_table_unchanged(self):
+        table = table_from([[1, 0], [2, 1]])
+        assert subsample_table(table, 10, seed=1) is table
+
+    def test_subsample_is_subset_and_deterministic(self):
+        rows = [[int(w), 0] for w in range(1, 64)]
+        table = table_from(rows)
+        sampled = subsample_table(table, 16, seed=5)
+        assert sampled.num_rows == 16
+        original = {tuple(r) for r in table.rows.tolist()}
+        assert all(tuple(r) in original for r in sampled.rows.tolist())
+        again = subsample_table(table, 16, seed=5)
+        assert np.array_equal(sampled.rows, again.rows)

@@ -1,0 +1,117 @@
+"""Tests for the canonical option-set representation of the table."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.detectability import (
+    DetectabilityTable,
+    minimal_option_sets,
+    pack_option_sets,
+)
+from repro.core.cover import covers_all
+
+
+def families(max_word=15, max_size=3, max_sets=8):
+    option_set = st.frozensets(
+        st.integers(min_value=1, max_value=max_word), max_size=max_size
+    )
+    return st.sets(option_set, max_size=max_sets)
+
+
+class TestMinimalOptionSets:
+    def test_subset_absorbs_superset(self):
+        family = {frozenset({1, 2}), frozenset({1})}
+        assert minimal_option_sets(family) == {frozenset({1})}
+
+    def test_empty_set_absorbs_everything(self):
+        family = {frozenset(), frozenset({1}), frozenset({2, 3})}
+        assert minimal_option_sets(family) == {frozenset()}
+
+    def test_incomparable_sets_kept(self):
+        family = {frozenset({1, 2}), frozenset({2, 3})}
+        assert minimal_option_sets(family) == family
+
+    @settings(max_examples=100, deadline=None)
+    @given(families())
+    def test_result_is_an_antichain(self, family):
+        reduced = minimal_option_sets(family)
+        for a in reduced:
+            for b in reduced:
+                if a != b:
+                    assert not a < b and not b < a
+
+    @settings(max_examples=100, deadline=None)
+    @given(families())
+    def test_every_removed_set_has_kept_subset(self, family):
+        reduced = minimal_option_sets(family)
+        for options in family:
+            assert any(kept <= options for kept in reduced)
+
+    @settings(max_examples=50, deadline=None)
+    @given(families(), st.lists(st.integers(min_value=1, max_value=15),
+                                min_size=1, max_size=4))
+    def test_reduction_preserves_coverage_feasibility(self, family, betas):
+        """A β set covers the full family iff it covers the reduced one."""
+        family = {s for s in family if s}  # empty sets are never coverable
+        if not family:
+            return
+        reduced = minimal_option_sets(family)
+
+        def parity(word, beta):
+            return bin(word & beta).count("1") % 2
+
+        def covers(collection):
+            return all(
+                any(parity(word, beta) for word in options for beta in betas)
+                for options in collection
+            )
+
+        assert covers(family) == covers(reduced)
+
+
+class TestPacking:
+    def test_pack_pads_and_sorts(self):
+        packed = pack_option_sets([frozenset({1, 5}), frozenset({2})])
+        assert packed.shape == (2, 2)
+        rows = {tuple(r) for r in packed.tolist()}
+        assert rows == {(5, 1), (2, 0)}
+
+    def test_pack_respects_min_width(self):
+        packed = pack_option_sets([frozenset({1})], min_width=3)
+        assert packed.shape == (1, 3)
+
+    def test_packed_rows_cover_like_sets(self):
+        sets = [frozenset({0b01, 0b10}), frozenset({0b11})]
+        rows = pack_option_sets(sets)
+        # β = 0b01 covers the first set (via word 0b01) and the second
+        # (0b11 & 0b01 has odd parity).
+        assert covers_all(rows, [0b01])
+
+
+class TestTableContainer:
+    def test_rejects_wide_rows(self):
+        with pytest.raises(ValueError, match="width exceeds"):
+            DetectabilityTable(4, 1, np.zeros((2, 3), dtype=np.uint64))
+
+    def test_rejects_too_many_bits(self):
+        with pytest.raises(ValueError, match="62"):
+            DetectabilityTable(63, 1, np.zeros((1, 1), dtype=np.uint64))
+
+    def test_tensor_round_trip(self):
+        rows = np.array([[0b101, 0b010], [0b001, 0]], dtype=np.uint64)
+        table = DetectabilityTable(3, 2, rows)
+        tensor = table.tensor()
+        assert tensor.shape == (2, 3, 2)
+        assert tensor[0, 0, 0] and tensor[0, 2, 0] and not tensor[0, 1, 0]
+        assert tensor[0, 1, 1]
+        assert tensor[1, 0, 0] and not tensor[1, :, 1].any()
+
+    def test_step_matrix(self):
+        rows = np.array([[0b11, 0b01]], dtype=np.uint64)
+        table = DetectabilityTable(2, 2, rows)
+        assert table.step_matrix(1).tolist() == [[True, True]]
+        assert table.step_matrix(2).tolist() == [[True, False]]
+        with pytest.raises(ValueError):
+            table.step_matrix(3)

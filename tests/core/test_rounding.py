@@ -1,0 +1,100 @@
+"""Tests for randomized rounding."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cover import covers_all
+from repro.core.rounding import randomized_rounding, round_once
+from repro.util.rng import rng_for
+
+
+class TestRoundOnce:
+    def test_integral_probabilities_are_deterministic(self):
+        frac = np.array([[1.0, 0.0, 1.0]])
+        rng = rng_for(0, "t")
+        assert round_once(frac, rng) == [0b101]
+
+    def test_jitter_allows_flips(self):
+        frac = np.zeros((1, 4))
+        rng = rng_for(0, "t")
+        results = {tuple(round_once(frac, rng, jitter=0.4)) for _ in range(200)}
+        assert len(results) > 1  # jitter must make 1s possible
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_output_in_range(self, seed):
+        frac = np.full((3, 5), 0.5)
+        rng = rng_for(seed, "range")
+        for beta in round_once(frac, rng):
+            assert 0 <= beta < 32
+
+
+class TestRandomizedRounding:
+    def test_empty_rows_trivial_success(self):
+        result = randomized_rounding(
+            np.zeros((0, 1), dtype=np.uint64), np.zeros((1, 3)), 10,
+            rng_for(0, "e"),
+        )
+        assert result.success
+        assert result.betas == []
+
+    def test_finds_cover_from_good_fractional_point(self):
+        rows = np.array([[0b01, 0], [0b10, 0]], dtype=np.uint64)
+        frac = np.array([[0.9, 0.1], [0.1, 0.9]])
+        result = randomized_rounding(rows, frac, 1000, rng_for(1, "g"))
+        assert result.success
+        assert covers_all(rows, result.betas)
+
+    def test_failure_reports_best_attempt(self):
+        # One uncoverable (all-zero) row: rounding can never succeed, but
+        # the best attempt must still be reported for repair.
+        rows = np.array([[0b01, 0], [0, 0]], dtype=np.uint64)
+        frac = np.array([[1.0, 0.0]])
+        result = randomized_rounding(rows, frac, 5, rng_for(2, "f"))
+        assert not result.success
+        assert result.best_covered >= 1
+        assert result.betas is None
+
+    def test_duplicates_and_zeros_pruned(self):
+        rows = np.array([[0b1, 0]], dtype=np.uint64)
+        frac = np.array([[1.0], [1.0], [0.0]])
+        result = randomized_rounding(rows, frac, 10, rng_for(3, "d"), jitter=0.0)
+        assert result.success
+        assert result.betas == [1]
+
+    def test_quick_rows_prefilter_does_not_change_acceptance(self):
+        rows = np.array(
+            [[0b01, 0], [0b10, 0], [0b11, 0b01]], dtype=np.uint64
+        )
+        frac = np.array([[0.8, 0.2], [0.2, 0.8]])
+        full = randomized_rounding(rows, frac, 500, rng_for(4, "q"))
+        quick = randomized_rounding(
+            rows, frac, 500, rng_for(4, "q"), quick_rows=rows[:1]
+        )
+        assert full.success and quick.success
+        assert covers_all(rows, quick.betas)
+
+    def test_quick_filter_exhaustion_still_reports_best(self):
+        """If every attempt dies on the quick filter, repair still gets a
+        scored starting point."""
+        rows = np.array([[0b01, 0], [0, 0]], dtype=np.uint64)
+        quick = rows[1:]  # the uncoverable row: nothing passes the filter
+        frac = np.array([[1.0, 0.0]])
+        result = randomized_rounding(
+            rows, frac, 5, rng_for(9, "qf"), quick_rows=quick
+        )
+        assert not result.success
+        assert result.best_covered >= 0
+        assert result.best_betas
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_successful_results_always_verified(self, seed):
+        rows = np.array(
+            [[0b001, 0], [0b010, 0b100], [0b111, 0]], dtype=np.uint64
+        )
+        frac = np.full((3, 3), 0.5)
+        result = randomized_rounding(rows, frac, 300, rng_for(seed, "v"))
+        if result.success:
+            assert covers_all(rows, result.betas)

@@ -1,0 +1,118 @@
+"""Tests for the Algorithm-1 binary search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cover import covers_all
+from repro.core.detectability import DetectabilityTable
+from repro.core.exact import exact_minimum_parity
+from repro.core.search import (
+    SolveConfig,
+    minimize_parity_bits,
+    solve_for_latencies,
+)
+
+
+def table_from(rows, num_bits=None):
+    rows = np.array(rows, dtype=np.uint64)
+    if num_bits is None:
+        num_bits = max(int(rows.max()).bit_length(), 1) if rows.size else 1
+    return DetectabilityTable(num_bits=num_bits, latency=rows.shape[1], rows=rows)
+
+
+def random_tables(num_bits=6, width=2):
+    word = st.integers(min_value=0, max_value=(1 << num_bits) - 1)
+    first = st.integers(min_value=1, max_value=(1 << num_bits) - 1)
+    row = st.tuples(first, *([word] * (width - 1))).map(list)
+    return st.lists(row, min_size=1, max_size=12).map(
+        lambda rows: table_from(rows, num_bits=num_bits)
+    )
+
+
+class TestBasics:
+    def test_empty_table(self):
+        result = minimize_parity_bits(table_from(np.zeros((0, 1)), num_bits=3))
+        assert result.q == 0
+        assert result.betas == []
+
+    def test_solution_always_covers(self):
+        table = table_from([[0b0101, 0], [0b1010, 0], [0b0110, 0b1000]])
+        result = minimize_parity_bits(table)
+        assert covers_all(table.rows, result.betas)
+        assert result.q == len(result.betas)
+
+    def test_single_row_needs_one_beta(self):
+        table = table_from([[0b1011, 0]])
+        result = minimize_parity_bits(table)
+        assert result.q == 1
+
+    def test_incumbent_used_when_better(self):
+        table = table_from([[0b01, 0], [0b10, 0]])
+        # 0b11 covers both rows alone (odd overlap with each).
+        result = minimize_parity_bits(
+            table, SolveConfig(use_greedy_bound=False, iterations=1),
+            incumbent=[0b11],
+        )
+        assert result.q == 1
+
+    def test_bad_incumbent_ignored(self):
+        table = table_from([[0b01, 0], [0b10, 0]])
+        result = minimize_parity_bits(table, incumbent=[0b100])
+        assert covers_all(table.rows, result.betas)
+
+
+class TestOptimality:
+    @settings(max_examples=25, deadline=None)
+    @given(random_tables())
+    def test_matches_exact_minimum_on_small_instances(self, table):
+        config = SolveConfig(iterations=400)
+        result = minimize_parity_bits(table, config)
+        exact = exact_minimum_parity(table)
+        assert covers_all(table.rows, result.betas)
+        assert result.q >= len(exact)  # exact is a true lower bound
+        # LP+RR with greedy bound should be at most one off on tiny tables.
+        assert result.q <= len(exact) + 1
+
+    @settings(max_examples=15, deadline=None)
+    @given(random_tables(num_bits=5, width=3))
+    def test_pure_paper_configuration_still_covers(self, table):
+        config = SolveConfig(
+            use_greedy_bound=False, repair=False, jitter=0.0, iterations=300
+        )
+        result = minimize_parity_bits(table, config)
+        assert covers_all(table.rows, result.betas)
+
+
+class TestExactSmallMode:
+    def test_exact_mode_attains_the_optimum(self):
+        table = table_from([[0b01, 0], [0b10, 0], [0b11, 0]])
+        heuristic = minimize_parity_bits(table, SolveConfig())
+        exactly = minimize_parity_bits(
+            table, SolveConfig(use_exact_small=True)
+        )
+        assert exactly.incumbent_source == "exact"
+        assert exactly.q == len(exact_minimum_parity(table))
+        assert exactly.q <= heuristic.q
+
+    def test_exact_mode_respects_size_limits(self):
+        table = table_from([[0b1, 0]], num_bits=20)  # beyond exact_max_bits
+        result = minimize_parity_bits(
+            table, SolveConfig(use_exact_small=True)
+        )
+        assert result.incumbent_source != "exact"
+        assert covers_all(table.rows, result.betas)
+
+
+class TestLatencyChaining:
+    def test_monotone_q(self, traffic_tables_trajectory):
+        results = solve_for_latencies(traffic_tables_trajectory, SolveConfig())
+        qs = [results[p].q for p in sorted(results)]
+        assert qs == sorted(qs, reverse=True)
+
+    def test_chained_solutions_cover_their_tables(self, traffic_tables_checker):
+        results = solve_for_latencies(traffic_tables_checker, SolveConfig())
+        for latency, result in results.items():
+            table = traffic_tables_checker[latency]
+            assert covers_all(table.rows, result.betas)

@@ -1,0 +1,69 @@
+"""Tests for structural fault collapsing."""
+
+import numpy as np
+
+from repro.faults.collapse import collapse_faults
+from repro.faults.model import stuck_at_universe
+from repro.logic.netlist import GateKind, Netlist
+from repro.logic.sim import evaluate_batch
+
+
+def behaviours(netlist, faults):
+    """Map each fault to its full output behaviour over all inputs."""
+    num_inputs = netlist.num_inputs
+    patterns = (
+        (np.arange(1 << num_inputs)[:, None] >> np.arange(num_inputs)) & 1
+    ).astype(np.uint8)
+    result = {}
+    for fault in faults:
+        node, value = fault.payload
+        result[fault.name] = evaluate_batch(
+            netlist, patterns, fault=(node, value)
+        ).tobytes()
+    return result
+
+
+class TestCollapseSoundness:
+    def build_chain(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        g = netlist.add_gate(GateKind.AND, [a, b])
+        netlist.add_output("y", netlist.add_not(g))
+        return netlist
+
+    def test_collapse_removes_only_equivalents(self):
+        """Every dropped fault's behaviour is still represented."""
+        netlist = self.build_chain()
+        universe = stuck_at_universe(netlist)
+        collapsed = collapse_faults(netlist, universe)
+        assert len(collapsed) < len(universe)
+        all_behaviours = behaviours(netlist, universe)
+        kept_behaviours = set(
+            all_behaviours[f.name] for f in collapsed
+        )
+        for fault in universe:
+            assert all_behaviours[fault.name] in kept_behaviours
+
+    def test_collapse_on_synthesized_circuit(self, traffic_synthesis):
+        netlist = traffic_synthesis.netlist
+        universe = stuck_at_universe(netlist)
+        collapsed = collapse_faults(netlist, universe)
+        assert 0 < len(collapsed) < len(universe)
+        all_behaviours = behaviours(netlist, universe)
+        kept = {all_behaviours[f.name] for f in collapsed}
+        for fault in universe:
+            assert all_behaviours[fault.name] in kept
+
+    def test_fanout_nets_not_collapsed(self):
+        """A net feeding two gates must keep its faults."""
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        g = netlist.add_gate(GateKind.AND, [a, b])
+        netlist.add_output("y1", netlist.add_not(g))
+        netlist.add_output("y2", netlist.add_gate(GateKind.OR, [g, a]))
+        universe = stuck_at_universe(netlist)
+        collapsed = collapse_faults(netlist, universe)
+        kept_payloads = {f.payload for f in collapsed}
+        assert (g, 0) in kept_payloads and (g, 1) in kept_payloads

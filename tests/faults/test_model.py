@@ -1,0 +1,104 @@
+"""Tests for fault models."""
+
+import numpy as np
+import pytest
+
+from repro.faults.model import (
+    StuckAtModel,
+    TransitionFaultModel,
+    sample_faults,
+    stuck_at_universe,
+)
+from repro.logic.sim import evaluate_batch
+
+
+def all_patterns(synthesis):
+    num_vars = synthesis.num_vars
+    return ((np.arange(1 << num_vars)[:, None] >> np.arange(num_vars)) & 1).astype(
+        np.uint8
+    )
+
+
+class TestStuckAtUniverse:
+    def test_two_faults_per_node(self, traffic_synthesis):
+        netlist = traffic_synthesis.netlist
+        universe = stuck_at_universe(netlist, include_inputs=True)
+        expected_nodes = len(netlist.logic_nodes()) + netlist.num_inputs
+        assert len(universe) == 2 * expected_nodes
+
+    def test_names_unique(self, traffic_synthesis):
+        universe = stuck_at_universe(traffic_synthesis.netlist)
+        names = [fault.name for fault in universe]
+        assert len(set(names)) == len(names)
+
+    def test_exclude_inputs(self, traffic_synthesis):
+        netlist = traffic_synthesis.netlist
+        with_inputs = stuck_at_universe(netlist, include_inputs=True)
+        without = stuck_at_universe(netlist, include_inputs=False)
+        assert len(with_inputs) - len(without) == 2 * netlist.num_inputs
+
+
+class TestStuckAtModel:
+    def test_faulty_responses_differ_somewhere(self, traffic_synthesis):
+        model = StuckAtModel(traffic_synthesis)
+        patterns = all_patterns(traffic_synthesis)
+        good = evaluate_batch(traffic_synthesis.netlist, patterns)
+        diffs = 0
+        for fault in model.faults()[:20]:
+            bad = model.faulty_responses(fault, patterns)
+            if (bad != good).any():
+                diffs += 1
+        assert diffs > 0
+
+    def test_max_faults_subsamples_deterministically(self, traffic_synthesis):
+        limited = StuckAtModel(traffic_synthesis, max_faults=5, seed=3)
+        first = [f.name for f in limited.faults()]
+        second = [f.name for f in limited.faults()]
+        assert first == second
+        assert len(first) == 5
+
+    def test_collapse_reduces_universe(self, traffic_synthesis):
+        collapsed = StuckAtModel(traffic_synthesis, collapse=True)
+        full = StuckAtModel(traffic_synthesis, collapse=False)
+        assert len(collapsed.faults()) < len(full.faults())
+
+
+class TestTransitionFaultModel:
+    def test_faults_redirect_one_transition(self, vending_synthesis):
+        model = TransitionFaultModel(vending_synthesis, alternatives=1)
+        faults = model.faults()
+        assert len(faults) == len(vending_synthesis.fsm.transitions)
+        index, wrong = faults[0].payload
+        assert vending_synthesis.fsm.transitions[index].dst != wrong
+
+    def test_faulty_response_changes_next_state(self, vending_synthesis):
+        model = TransitionFaultModel(vending_synthesis, alternatives=1)
+        fault = model.faults()[0]
+        index, wrong = fault.payload
+        transition = vending_synthesis.fsm.transitions[index]
+        src_code = vending_synthesis.encoding.code(transition.src)
+        input_value = int(transition.input_cube.replace("-", "0")[::-1], 2)
+        pattern = vending_synthesis.pattern(src_code, input_value)[None, :]
+        bad = model.faulty_responses(fault, pattern)[0]
+        next_code, _ = vending_synthesis.split_response(bad)
+        assert next_code == vending_synthesis.encoding.code(wrong)
+
+    def test_cache_reuse(self, vending_synthesis):
+        model = TransitionFaultModel(vending_synthesis, alternatives=1)
+        fault = model.faults()[0]
+        pattern = vending_synthesis.pattern(0, 0)[None, :]
+        model.faulty_responses(fault, pattern)
+        assert fault.name in model._cache
+
+
+class TestSampling:
+    def test_sample_faults_preserves_order(self, traffic_synthesis):
+        universe = stuck_at_universe(traffic_synthesis.netlist)
+        sample = sample_faults(universe, 7, seed=1)
+        assert len(sample) == 7
+        indices = [universe.index(f) for f in sample]
+        assert indices == sorted(indices)
+
+    def test_sample_noop_when_small(self, traffic_synthesis):
+        universe = stuck_at_universe(traffic_synthesis.netlist)[:3]
+        assert sample_faults(universe, 10) == universe

@@ -1,0 +1,84 @@
+"""Tests for FSM structural analysis."""
+
+import pytest
+
+from repro.fsm.analysis import (
+    analyze,
+    reachable_states,
+    self_loop_fraction,
+    shortest_cycle_lengths,
+    transition_graph,
+)
+from repro.fsm.benchmarks import load_benchmark
+from repro.fsm.machine import FSM, Transition
+
+
+def chain_fsm():
+    """a -> b -> c with a 2-cycle between b and c; a unreachable again."""
+    return FSM(
+        name="chain",
+        num_inputs=1,
+        num_outputs=1,
+        states=["a", "b", "c"],
+        transitions=[
+            Transition("-", "a", "b", "0"),
+            Transition("-", "b", "c", "0"),
+            Transition("-", "c", "b", "1"),
+        ],
+    )
+
+
+class TestGraph:
+    def test_transition_graph_shape(self, traffic_fsm):
+        graph = transition_graph(traffic_fsm)
+        assert set(graph.nodes) == set(traffic_fsm.states)
+        assert graph.number_of_edges() == len(traffic_fsm.transitions)
+
+    def test_reachability(self):
+        fsm = chain_fsm()
+        assert reachable_states(fsm) == {"a", "b", "c"}
+        assert reachable_states(fsm, "b") == {"b", "c"}
+
+    def test_unreachable_state_detected(self):
+        fsm = FSM(
+            "u", 1, 1, ["a", "b"],
+            [Transition("-", "a", "a", "0"), Transition("-", "b", "a", "0")],
+        )
+        assert reachable_states(fsm) == {"a"}
+
+
+class TestCycles:
+    def test_self_loop_has_length_one(self, traffic_fsm):
+        lengths = shortest_cycle_lengths(traffic_fsm)
+        assert lengths["NG"] == 1  # NG self-loops while no car waits
+
+    def test_two_cycle(self):
+        lengths = shortest_cycle_lengths(chain_fsm())
+        assert lengths["b"] == 2
+        assert lengths["c"] == 2
+        assert lengths["a"] is None  # nothing returns to a
+
+    def test_self_loop_fraction(self):
+        fsm = chain_fsm()
+        assert self_loop_fraction(fsm) == 0.0
+        assert self_loop_fraction(load_benchmark("serparity")) == 0.5
+
+
+class TestReport:
+    def test_analyze_traffic(self, traffic_fsm):
+        report = analyze(traffic_fsm)
+        assert report.num_states == 4
+        assert report.num_reachable == 4
+        assert report.completely_specified
+        assert 0 < report.self_loop_fraction < 1
+        assert report.shortest_cycle == 1
+        assert "traffic" in str(report)
+
+    def test_analyze_counts_unreachable(self):
+        fsm = FSM(
+            "u", 1, 1, ["a", "b"],
+            [Transition("-", "a", "a", "0"), Transition("-", "b", "a", "0")],
+        )
+        report = analyze(fsm)
+        assert report.num_states == 2
+        assert report.num_reachable == 1

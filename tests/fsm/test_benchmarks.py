@@ -1,0 +1,73 @@
+"""Tests for the benchmark registry."""
+
+import pytest
+
+from repro.fsm.benchmarks import (
+    HAND_WRITTEN,
+    MCNC_SIGNATURES,
+    TABLE1_CIRCUITS,
+    benchmark_names,
+    load_benchmark,
+)
+
+
+class TestRegistry:
+    def test_all_names_load(self):
+        for name in benchmark_names():
+            fsm = load_benchmark(name)
+            assert fsm.name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            load_benchmark("nonexistent")
+
+    def test_table1_circuits_are_registered(self):
+        for name in TABLE1_CIRCUITS:
+            assert name in MCNC_SIGNATURES
+
+    def test_hand_written_distinct_from_synthetic(self):
+        assert not set(HAND_WRITTEN) & set(MCNC_SIGNATURES)
+
+
+class TestSignatures:
+    @pytest.mark.parametrize(
+        "name,inputs,states,outputs",
+        [
+            ("cse", 7, 16, 7),
+            ("donfile", 2, 24, 1),
+            ("dk16", 2, 27, 3),
+            ("ex1", 9, 20, 19),
+            ("keyb", 7, 19, 2),
+            ("styr", 9, 30, 10),
+            ("s27", 4, 6, 1),
+            ("s1488", 8, 48, 19),
+            ("tav", 4, 4, 4),
+        ],
+    )
+    def test_published_signatures(self, name, inputs, states, outputs):
+        fsm = load_benchmark(name)
+        assert fsm.num_inputs == inputs
+        assert fsm.num_states == states
+        assert fsm.num_outputs == outputs
+
+    def test_seed_determinism(self):
+        assert load_benchmark("s27", seed=7).transitions == load_benchmark(
+            "s27", seed=7
+        ).transitions
+        assert load_benchmark("s27", seed=7).transitions != load_benchmark(
+            "s27", seed=8
+        ).transitions
+
+    def test_self_loop_structure_matches_paper_observations(self):
+        """donfile/s27/s386/tav are self-loop heavy; pma/styr/s1488 are not."""
+        from repro.fsm.analysis import self_loop_fraction
+
+        heavy = min(
+            self_loop_fraction(load_benchmark(n))
+            for n in ("donfile", "s27", "s386", "tav")
+        )
+        light = max(
+            self_loop_fraction(load_benchmark(n))
+            for n in ("pma", "styr", "s1488")
+        )
+        assert heavy > light

@@ -1,0 +1,83 @@
+"""Tests for state assignment strategies."""
+
+import pytest
+
+from repro.fsm.benchmarks import load_benchmark
+from repro.fsm.encoding import STRATEGIES, encode_states
+from repro.util.bitops import bit_length_for, popcount
+
+
+@pytest.fixture(scope="module")
+def fsm():
+    return load_benchmark("traffic")
+
+
+class TestCommonInvariants:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_codes_are_unique(self, fsm, strategy):
+        encoding = encode_states(fsm, strategy)
+        codes = list(encoding.codes.values())
+        assert len(set(codes)) == len(codes)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_every_state_encoded(self, fsm, strategy):
+        encoding = encode_states(fsm, strategy)
+        assert set(encoding.codes) == set(fsm.states)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_codes_fit_in_declared_bits(self, fsm, strategy):
+        encoding = encode_states(fsm, strategy)
+        for code in encoding.codes.values():
+            assert 0 <= code < (1 << encoding.num_bits)
+
+    def test_unknown_strategy_rejected(self, fsm):
+        with pytest.raises(ValueError):
+            encode_states(fsm, "magic")
+
+
+class TestSpecificStrategies:
+    def test_binary_is_minimal_width(self, fsm):
+        encoding = encode_states(fsm, "binary")
+        assert encoding.num_bits == bit_length_for(fsm.num_states)
+        assert encoding.code(fsm.reset_state) == 0
+
+    def test_gray_consecutive_states_one_bit_apart(self, fsm):
+        encoding = encode_states(fsm, "gray")
+        ordered = [fsm.reset_state] + [
+            s for s in fsm.states if s != fsm.reset_state
+        ]
+        for first, second in zip(ordered, ordered[1:]):
+            assert popcount(encoding.code(first) ^ encoding.code(second)) == 1
+
+    def test_onehot_is_one_bit_per_state(self, fsm):
+        encoding = encode_states(fsm, "onehot")
+        assert encoding.num_bits == fsm.num_states
+        for code in encoding.codes.values():
+            assert popcount(code) == 1
+
+    def test_weighted_reset_is_zero(self, fsm):
+        encoding = encode_states(fsm, "weighted")
+        assert encoding.code(fsm.reset_state) == 0
+
+    def test_weighted_places_heavy_pairs_close(self):
+        # serparity has two states toggling constantly: distance must be
+        # the minimum possible (1 bit).
+        fsm = load_benchmark("serparity")
+        encoding = encode_states(fsm, "weighted")
+        codes = list(encoding.codes.values())
+        assert popcount(codes[0] ^ codes[1]) == 1
+
+
+class TestLookups:
+    def test_state_of_inverse(self, fsm):
+        encoding = encode_states(fsm, "binary")
+        for state, code in encoding.codes.items():
+            assert encoding.state_of(code) == state
+        assert encoding.state_of(99) is None
+
+    def test_used_and_unused_codes_partition(self, fsm):
+        encoding = encode_states(fsm, "binary")
+        used = encoding.used_codes()
+        unused = encoding.unused_codes()
+        assert used | unused == set(range(1 << encoding.num_bits))
+        assert not used & unused

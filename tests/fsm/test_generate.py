@@ -1,0 +1,98 @@
+"""Tests for the synthetic MCNC-signature FSM generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fsm.analysis import reachable_states, self_loop_fraction
+from repro.fsm.generate import GeneratorSpec, generate_fsm
+
+
+def spec_strategy():
+    return st.builds(
+        GeneratorSpec,
+        name=st.just("gen"),
+        num_inputs=st.integers(min_value=1, max_value=6),
+        num_states=st.integers(min_value=2, max_value=20),
+        num_outputs=st.integers(min_value=1, max_value=8),
+        cubes_per_state=st.integers(min_value=1, max_value=8),
+        self_loop_rate=st.floats(min_value=0.0, max_value=1.0),
+        specified_fraction=st.floats(min_value=0.3, max_value=1.0),
+        output_dc_rate=st.floats(min_value=0.0, max_value=0.5),
+    )
+
+
+class TestInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(spec_strategy(), st.integers(min_value=0, max_value=1000))
+    def test_machines_are_valid_and_reachable(self, spec, seed):
+        fsm = generate_fsm(spec, seed=seed)  # FSM() validates determinism
+        assert fsm.num_states == spec.num_states
+        assert fsm.num_inputs == spec.num_inputs
+        assert fsm.num_outputs == spec.num_outputs
+        assert reachable_states(fsm) == set(fsm.states)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_deterministic_generation(self, seed):
+        spec = GeneratorSpec("d", num_inputs=3, num_states=6, num_outputs=2)
+        assert generate_fsm(spec, seed=seed).transitions == generate_fsm(
+            spec, seed=seed
+        ).transitions
+
+    def test_different_seeds_differ(self):
+        spec = GeneratorSpec("d", num_inputs=3, num_states=8, num_outputs=2)
+        assert generate_fsm(spec, seed=1).transitions != generate_fsm(
+            spec, seed=2
+        ).transitions
+
+    def test_every_state_has_outgoing_transition(self):
+        spec = GeneratorSpec("o", num_inputs=2, num_states=12, num_outputs=1)
+        fsm = generate_fsm(spec)
+        sources = {t.src for t in fsm.transitions}
+        assert sources == set(fsm.states)
+
+
+class TestKnobs:
+    def test_self_loop_rate_is_effective(self):
+        low = GeneratorSpec("lo", 3, 15, 2, self_loop_rate=0.0)
+        high = GeneratorSpec("hi", 3, 15, 2, self_loop_rate=0.9)
+        assert self_loop_fraction(generate_fsm(high)) > self_loop_fraction(
+            generate_fsm(low)
+        )
+
+    def test_specified_fraction_is_effective(self):
+        partial = GeneratorSpec(
+            "p", 4, 10, 2, cubes_per_state=8, specified_fraction=0.5
+        )
+        fsm = generate_fsm(partial)
+        fractions = [fsm.specified_fraction(s) for s in fsm.states]
+        assert sum(fractions) / len(fractions) < 0.9
+
+    def test_output_dc_rate_produces_dashes(self):
+        spec = GeneratorSpec("dc", 2, 8, 6, output_dc_rate=0.4)
+        fsm = generate_fsm(spec)
+        assert any("-" in t.output for t in fsm.transitions)
+
+    def test_output_pool_limits_vocabulary(self):
+        spec = GeneratorSpec(
+            "pool", 2, 16, 8, output_pool=2, output_noise=0.0, output_dc_rate=0.0
+        )
+        fsm = generate_fsm(spec)
+        words = {t.output for t in fsm.transitions}
+        assert len(words) <= 2
+
+    def test_random_output_mode(self):
+        spec = GeneratorSpec("rnd", 2, 8, 6, output_mode="random")
+        fsm = generate_fsm(spec)
+        assert len({t.output for t in fsm.transitions}) > 2
+
+    def test_degenerate_specs_rejected(self):
+        with pytest.raises(ValueError):
+            GeneratorSpec("bad", 0, 4, 1)
+        with pytest.raises(ValueError):
+            GeneratorSpec("bad", 1, 1, 1)
+        with pytest.raises(ValueError):
+            GeneratorSpec("bad", 1, 4, 1, self_loop_rate=1.5)
+        with pytest.raises(ValueError):
+            GeneratorSpec("bad", 1, 4, 1, output_mode="weird")

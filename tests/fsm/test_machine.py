@@ -1,0 +1,106 @@
+"""Tests for the symbolic FSM model."""
+
+import pytest
+
+from repro.fsm.machine import FSM, Transition
+
+
+def tiny_fsm():
+    return FSM(
+        name="tiny",
+        num_inputs=2,
+        num_outputs=1,
+        states=["a", "b"],
+        transitions=[
+            Transition("0-", "a", "a", "0"),
+            Transition("1-", "a", "b", "1"),
+            Transition("--", "b", "a", "-"),
+        ],
+    )
+
+
+class TestValidation:
+    def test_valid_machine_builds(self):
+        fsm = tiny_fsm()
+        assert fsm.num_states == 2
+        assert fsm.reset_state == "a"
+
+    def test_duplicate_states_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            FSM("x", 1, 1, ["a", "a"], [])
+
+    def test_unknown_reset_rejected(self):
+        with pytest.raises(ValueError, match="reset"):
+            FSM("x", 1, 1, ["a"], [], reset_state="z")
+
+    def test_wrong_cube_width_rejected(self):
+        with pytest.raises(ValueError, match="width"):
+            FSM("x", 2, 1, ["a"], [Transition("1", "a", "a", "0")])
+
+    def test_wrong_output_width_rejected(self):
+        with pytest.raises(ValueError, match="width"):
+            FSM("x", 1, 2, ["a"], [Transition("1", "a", "a", "0")])
+
+    def test_bad_cube_characters_rejected(self):
+        with pytest.raises(ValueError, match="bad input cube"):
+            FSM("x", 1, 1, ["a"], [Transition("x", "a", "a", "0")])
+
+    def test_unknown_state_reference_rejected(self):
+        with pytest.raises(ValueError, match="unknown state"):
+            FSM("x", 1, 1, ["a"], [Transition("1", "a", "z", "0")])
+
+    def test_overlapping_cubes_rejected(self):
+        with pytest.raises(ValueError, match="nondeterministic"):
+            FSM(
+                "x", 2, 1, ["a"],
+                [
+                    Transition("1-", "a", "a", "0"),
+                    Transition("-1", "a", "a", "1"),
+                ],
+            )
+
+    def test_disjoint_cubes_accepted(self):
+        FSM(
+            "x", 2, 1, ["a"],
+            [
+                Transition("1-", "a", "a", "0"),
+                Transition("01", "a", "a", "1"),
+            ],
+        )
+
+
+class TestQueries:
+    def test_lookup_matches_cube(self):
+        fsm = tiny_fsm()
+        assert fsm.lookup("a", (0, 1)).dst == "a"
+        assert fsm.lookup("a", (1, 0)).dst == "b"
+
+    def test_lookup_unspecified_returns_none(self):
+        fsm = FSM(
+            "x", 1, 1, ["a"], [Transition("1", "a", "a", "0")]
+        )
+        assert fsm.lookup("a", (0,)) is None
+
+    def test_specified_fraction(self):
+        fsm = tiny_fsm()
+        assert fsm.specified_fraction("a") == 1.0
+        assert fsm.is_completely_specified()
+
+    def test_transition_matches_width_check(self):
+        transition = Transition("1-", "a", "b", "0")
+        with pytest.raises(ValueError):
+            transition.matches((1,))
+
+    def test_from_rows_infers_states(self):
+        fsm = FSM.from_rows(
+            "r", 1, 1,
+            [("0", "s0", "s1", "0"), ("1", "s1", "s0", "1"),
+             ("1", "s0", "s0", "0"), ("0", "s1", "s1", "1")],
+        )
+        assert fsm.states == ["s0", "s1"]
+        assert fsm.reset_state == "s0"
+
+    def test_renamed_preserves_structure(self):
+        fsm = tiny_fsm().renamed("other")
+        assert fsm.name == "other"
+        assert fsm.num_states == 2

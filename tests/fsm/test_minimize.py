@@ -1,0 +1,93 @@
+"""Tests for state minimization."""
+
+import pytest
+
+from repro.fsm.benchmarks import HAND_WRITTEN, load_benchmark
+from repro.fsm.machine import FSM, Transition
+from repro.fsm.minimize import minimize_states
+from repro.fsm.simulate import UnspecifiedBehaviour, simulate
+from repro.util.bitops import int_to_bits
+from repro.util.rng import rng_for
+
+
+def behaviourally_equal(original: FSM, minimized: FSM, runs=20, length=24,
+                        seed=0) -> bool:
+    """Compare specified outputs along random input sequences."""
+    rng = rng_for(seed, "minimize-equiv", original.name)
+    for _ in range(runs):
+        inputs = [
+            int_to_bits(int(v), original.num_inputs)
+            for v in rng.integers(1 << original.num_inputs, size=length)
+        ]
+        try:
+            a = [r.output for r in simulate(original, inputs)]
+        except UnspecifiedBehaviour:
+            continue
+        b = [r.output for r in simulate(minimized, inputs)]
+        if a != b:
+            return False
+    return True
+
+
+def redundant_machine():
+    """Two copies of a toggle machine: s0/s1 equivalent to s2/s3."""
+    rows = [
+        Transition("0", "s0", "s0", "0"),
+        Transition("1", "s0", "s1", "1"),
+        Transition("0", "s1", "s1", "1"),
+        Transition("1", "s1", "s2", "0"),
+        Transition("0", "s2", "s2", "0"),
+        Transition("1", "s2", "s3", "1"),
+        Transition("0", "s3", "s3", "1"),
+        Transition("1", "s3", "s0", "0"),
+    ]
+    return FSM("redundant", 1, 1, ["s0", "s1", "s2", "s3"], rows)
+
+
+class TestMinimize:
+    def test_merges_equivalent_states(self):
+        fsm = redundant_machine()
+        minimized = minimize_states(fsm)
+        assert minimized.num_states == 2
+        assert behaviourally_equal(fsm, minimized)
+
+    def test_drops_unreachable_states(self):
+        rows = [
+            Transition("-", "a", "a", "0"),
+            Transition("-", "zombie", "a", "1"),
+        ]
+        fsm = FSM("u", 1, 1, ["a", "zombie"], rows)
+        minimized = minimize_states(fsm)
+        assert minimized.states == ["a"]
+
+    @pytest.mark.parametrize("name", HAND_WRITTEN)
+    def test_hand_machines_already_minimal_or_equivalent(self, name):
+        fsm = load_benchmark(name)
+        minimized = minimize_states(fsm)
+        assert minimized.num_states <= fsm.num_states
+        assert behaviourally_equal(fsm, minimized, seed=3)
+
+    def test_reset_preserved_through_merge(self):
+        fsm = redundant_machine()
+        minimized = minimize_states(fsm)
+        assert minimized.reset_state in minimized.states
+        # Reset behaviour unchanged.
+        assert behaviourally_equal(fsm, minimized)
+
+    def test_incompletely_specified_is_conservative(self):
+        rows = [
+            Transition("0", "a", "b", "1"),
+            Transition("0", "b", "a", "1"),  # input 1 unspecified in a, b
+            Transition("-", "c", "c", "0"),
+        ]
+        fsm = FSM("inc", 1, 1, ["a", "b", "c"], rows)
+        minimized = minimize_states(fsm)
+        assert behaviourally_equal(fsm, minimized)
+
+    def test_minimized_machine_synthesizes(self):
+        from repro.logic.synthesis import synthesize_fsm
+
+        fsm = redundant_machine()
+        minimized = minimize_states(fsm)
+        synthesis = synthesize_fsm(minimized)
+        assert synthesis.num_state_bits == 1  # 2 states

@@ -1,0 +1,60 @@
+"""Tests for specification-level FSM simulation."""
+
+import pytest
+
+from repro.fsm.benchmarks import load_benchmark
+from repro.fsm.simulate import UnspecifiedBehaviour, simulate, step
+
+
+class TestStep:
+    def test_traffic_light_sequence(self, traffic_fsm):
+        # A car arrives on EW (c=1) and the timer expires (t=1):
+        # NS green -> NS yellow.
+        result = step(traffic_fsm, "NG", (1, 1))
+        assert result.next_state == "NY"
+        assert result.output == "0100"
+
+    def test_self_loop(self, traffic_fsm):
+        result = step(traffic_fsm, "NG", (0, 0))
+        assert result.next_state == "NG"
+
+    def test_unspecified_raises(self):
+        vending = load_benchmark("vending")
+        with pytest.raises(UnspecifiedBehaviour):
+            step(vending, "c0", (1, 1))  # two coins at once is unspecified
+
+
+class TestSimulate:
+    def test_sequence_detector_fires_on_pattern(self, seqdet_fsm):
+        stream = [(1,), (0,), (1,), (1,)]
+        trace = simulate(seqdet_fsm, stream)
+        assert [r.output for r in trace] == ["0", "0", "0", "1"]
+
+    def test_overlapping_detection(self, seqdet_fsm):
+        # 1011011 contains two overlapping matches (at bit 4 and bit 7).
+        stream = [(int(c),) for c in "1011011"]
+        outputs = "".join(r.output for r in simulate(seqdet_fsm, stream))
+        assert outputs == "0001001"
+
+    def test_vending_machine_dispenses(self):
+        vending = load_benchmark("vending")
+        # nickel, nickel, nickel -> 15 cents -> vend without change.
+        trace = simulate(vending, [(1, 0), (1, 0), (1, 0)])
+        assert trace[-1].output == "10"
+        assert trace[-1].next_state == "c0"
+
+    def test_vending_machine_gives_change(self):
+        vending = load_benchmark("vending")
+        # dime then dime = 20 cents -> vend with change.
+        trace = simulate(vending, [(0, 1), (0, 1)])
+        assert trace[-1].output == "11"
+
+    def test_initial_state_override(self, seqdet_fsm):
+        trace = simulate(seqdet_fsm, [(1,)], initial_state="S3")
+        assert trace[0].output == "1"
+
+    def test_mod5_counter_wraps(self):
+        counter = load_benchmark("mod5cnt")
+        ups = [(1,)] * 5
+        trace = simulate(counter, ups)
+        assert trace[-1].next_state == "q0"

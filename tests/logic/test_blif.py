@@ -1,0 +1,99 @@
+"""Tests for BLIF export/import (round-trip equivalence)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fsm.benchmarks import HAND_WRITTEN, load_benchmark
+from repro.logic.blif import BlifFormatError, parse_blif, write_blif
+from repro.logic.cover import Cover
+from repro.logic.cube import Cube
+from repro.logic.netlist import GateKind, Netlist
+from repro.logic.sim import evaluate_batch
+from repro.logic.synthesis import covers_to_netlist, synthesize_fsm
+
+
+def equivalent(netlist_a, netlist_b, num_vars):
+    patterns = (
+        (np.arange(1 << num_vars)[:, None] >> np.arange(num_vars)) & 1
+    ).astype(np.uint8)
+    return np.array_equal(
+        evaluate_batch(netlist_a, patterns),
+        evaluate_batch(netlist_b, patterns),
+    )
+
+
+def covers_strategy(num_vars=4, num_outputs=2):
+    full = (1 << num_vars) - 1
+    cube = st.builds(
+        lambda care, value: Cube(num_vars, care, value),
+        st.integers(min_value=0, max_value=full),
+        st.integers(min_value=0, max_value=full),
+    )
+    cover = st.builds(lambda cs: Cover(num_vars, cs), st.lists(cube, max_size=5))
+    return st.lists(cover, min_size=num_outputs, max_size=num_outputs)
+
+
+class TestRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(covers_strategy())
+    def test_random_networks(self, cover_list):
+        netlist = covers_to_netlist(
+            cover_list, [f"x{i}" for i in range(4)], ["f0", "f1"]
+        )
+        rebuilt = parse_blif(write_blif(netlist))
+        assert rebuilt.output_names == netlist.output_names
+        assert equivalent(netlist, rebuilt, 4)
+
+    @pytest.mark.parametrize("name", HAND_WRITTEN[:4])
+    def test_synthesized_machines(self, name):
+        synthesis = synthesize_fsm(load_benchmark(name))
+        rebuilt = parse_blif(write_blif(synthesis.netlist))
+        assert equivalent(synthesis.netlist, rebuilt, synthesis.num_vars)
+
+    def test_gate_zoo(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        c = netlist.add_input("c")
+        netlist.add_output("f_and", netlist.add_gate(GateKind.AND, [a, b, c]))
+        netlist.add_output("f_or", netlist.add_gate(GateKind.OR, [a, b]))
+        netlist.add_output("f_xor", netlist.add_gate(GateKind.XOR, [a, b, c]))
+        netlist.add_output("f_not", netlist.add_not(a))
+        netlist.add_output("f_const", netlist.add_const(1))
+        rebuilt = parse_blif(write_blif(netlist))
+        assert equivalent(netlist, rebuilt, 3)
+
+
+class TestFormat:
+    def test_model_header_present(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        netlist.add_output("y", netlist.add_not(a))
+        text = write_blif(netlist, model_name="demo")
+        assert text.startswith(".model demo")
+        assert ".inputs a" in text
+        assert ".outputs y" in text
+        assert text.rstrip().endswith(".end")
+
+    def test_line_continuations(self):
+        text = (
+            ".model t\n.inputs a \\\nb\n.outputs y\n"
+            ".names a b y\n11 1\n.end\n"
+        )
+        netlist = parse_blif(text)
+        assert netlist.num_inputs == 2
+
+    def test_undriven_signal_rejected(self):
+        with pytest.raises(BlifFormatError, match="undriven"):
+            parse_blif(".model t\n.inputs a\n.outputs y\n.end\n")
+
+    def test_unsupported_directive_rejected(self):
+        with pytest.raises(BlifFormatError, match="unsupported"):
+            parse_blif(".model t\n.latch a b\n.end\n")
+
+    def test_off_set_cover_rejected(self):
+        text = ".model t\n.inputs a\n.outputs y\n.names a y\n1 0\n.end\n"
+        with pytest.raises(BlifFormatError, match="on-set"):
+            parse_blif(text)

@@ -1,0 +1,91 @@
+"""Unit and property tests for covers and dense truth tables."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.logic.cover import Cover, dense_of_cubes
+from repro.logic.cube import Cube
+
+
+def covers(num_vars: int = 5, max_cubes: int = 6):
+    full = (1 << num_vars) - 1
+    cube = st.builds(
+        lambda care, value: Cube(num_vars, care, value),
+        st.integers(min_value=0, max_value=full),
+        st.integers(min_value=0, max_value=full),
+    )
+    return st.builds(lambda cs: Cover(num_vars, cs), st.lists(cube, max_size=max_cubes))
+
+
+class TestBasics:
+    def test_from_strings(self):
+        cover = Cover.from_strings(3, ["1--", "0-1"])
+        assert cover.num_cubes == 2
+        assert cover.evaluate(0b001) == 1
+        assert cover.evaluate(0b100) == 1
+        assert cover.evaluate(0b010) == 0
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            Cover(3, [Cube.from_string("01")])
+
+    def test_empty_and_universal(self):
+        assert Cover.empty(3).is_empty_function()
+        assert Cover.universal(3).is_tautology()
+        assert not Cover.from_strings(3, ["1--"]).is_tautology()
+
+    def test_num_literals(self):
+        cover = Cover.from_strings(3, ["1-0", "111"])
+        assert cover.num_literals == 5
+
+
+class TestDense:
+    @given(covers())
+    def test_dense_matches_evaluate(self, cover):
+        table = cover.dense()
+        for minterm in range(table.shape[0]):
+            assert bool(table[minterm]) == bool(cover.evaluate(minterm))
+
+    @given(covers())
+    def test_from_dense_round_trip(self, cover):
+        rebuilt = Cover.from_dense(cover.dense())
+        assert rebuilt.equivalent(cover)
+
+    def test_from_dense_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            Cover.from_dense(np.zeros(5, dtype=bool))
+
+    def test_dense_of_cubes_matches_cover(self):
+        cubes = [Cube.from_string("1-"), Cube.from_string("01")]
+        assert np.array_equal(
+            dense_of_cubes(2, cubes), Cover(2, cubes).dense()
+        )
+
+
+class TestTransforms:
+    @given(covers())
+    def test_deduplicated_preserves_function(self, cover):
+        assert cover.deduplicated().equivalent(cover)
+
+    @given(covers())
+    def test_deduplicated_removes_contained_cubes(self, cover):
+        deduped = cover.deduplicated()
+        for i, cube in enumerate(deduped.cubes):
+            for j, other in enumerate(deduped.cubes):
+                if i != j:
+                    assert not other.contains(cube)
+
+    @given(covers(), covers())
+    def test_union_is_disjunction(self, a, b):
+        union = a.union(b)
+        assert np.array_equal(union.dense(), a.dense() | b.dense())
+
+    def test_union_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            Cover.empty(2).union(Cover.empty(3))
+
+    @given(covers())
+    def test_equivalent_reflexive(self, cover):
+        assert cover.equivalent(cover)

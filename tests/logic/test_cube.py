@@ -1,0 +1,123 @@
+"""Unit and property tests for the cube algebra."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.logic.cube import Cube
+
+
+def cubes(num_vars: int = 6):
+    """Hypothesis strategy for arbitrary cubes over num_vars variables."""
+    full = (1 << num_vars) - 1
+    return st.builds(
+        lambda care, value: Cube(num_vars, care, value),
+        st.integers(min_value=0, max_value=full),
+        st.integers(min_value=0, max_value=full),
+    )
+
+
+class TestConstruction:
+    def test_from_string_and_back(self):
+        cube = Cube.from_string("1-0")
+        assert cube.num_vars == 3
+        assert cube.to_string() == "1-0"
+        assert cube.contains_minterm(0b001)
+        assert cube.contains_minterm(0b011)
+        assert not cube.contains_minterm(0b101)
+
+    def test_from_string_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Cube.from_string("10x")
+
+    def test_value_normalised_outside_care(self):
+        cube = Cube(3, 0b001, 0b111)
+        assert cube.value == 0b001
+
+    def test_universal(self):
+        cube = Cube.universal(4)
+        assert cube.size == 16
+        assert all(cube.contains_minterm(m) for m in range(16))
+
+    def test_from_minterm(self):
+        cube = Cube.from_minterm(5, 3)
+        assert cube.size == 1
+        assert list(cube.minterms()) == [5]
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Cube.from_string("01").contains(Cube.from_string("011"))
+
+
+class TestSetSemantics:
+    @given(cubes(), cubes())
+    def test_contains_matches_minterm_sets(self, a, b):
+        minterms_a = set(a.minterms())
+        minterms_b = set(b.minterms())
+        assert a.contains(b) == (minterms_b <= minterms_a)
+
+    @given(cubes(), cubes())
+    def test_intersects_matches_minterm_sets(self, a, b):
+        assert a.intersects(b) == bool(set(a.minterms()) & set(b.minterms()))
+
+    @given(cubes(), cubes())
+    def test_intersection_is_exact(self, a, b):
+        overlap = set(a.minterms()) & set(b.minterms())
+        result = a.intersection(b)
+        if result is None:
+            assert not overlap
+        else:
+            assert set(result.minterms()) == overlap
+
+    @given(cubes(), cubes())
+    def test_supercube_is_smallest_container(self, a, b):
+        sup = a.supercube(b)
+        assert sup.contains(a) and sup.contains(b)
+        # Dropping any literal requirement would still contain both, so
+        # check minimality: every specified literal of sup is forced.
+        for var, polarity in sup.literals():
+            assert all(
+                (m >> var) & 1 == polarity
+                for m in list(a.minterms()) + list(b.minterms())
+            )
+
+    @given(cubes(), cubes())
+    def test_distance_zero_iff_intersecting(self, a, b):
+        assert (a.distance(b) == 0) == a.intersects(b)
+
+
+class TestLiteralOps:
+    @given(cubes(), st.integers(min_value=0, max_value=5))
+    def test_without_literal_doubles_or_keeps_size(self, cube, var):
+        relaxed = cube.without_literal(var)
+        if (cube.care >> var) & 1:
+            assert relaxed.size == 2 * cube.size
+        else:
+            assert relaxed == cube
+
+    @given(cubes(), st.integers(min_value=0, max_value=5),
+           st.integers(min_value=0, max_value=1))
+    def test_cofactor_drops_variable(self, cube, var, polarity):
+        cofactor = cube.cofactor(var, polarity)
+        if cofactor is None:
+            half = cube.with_literal(var, polarity)
+            assert not cube.intersects(half) or half.size == 0 or True
+            # cofactor None means cube entirely in the other half-space
+            assert ((cube.care >> var) & 1) and (
+                ((cube.value >> var) & 1) != polarity
+            )
+        else:
+            assert not (cofactor.care >> var) & 1
+
+    def test_with_literal(self):
+        cube = Cube.from_string("--")
+        assert cube.with_literal(1, 1).to_string() == "-1"
+
+    def test_num_literals_and_size(self):
+        cube = Cube.from_string("1-0-")
+        assert cube.num_literals == 2
+        assert cube.size == 4
+
+    @given(cubes())
+    def test_minterm_array_matches_iterator(self, cube):
+        assert sorted(cube.minterm_array().tolist()) == sorted(cube.minterms())

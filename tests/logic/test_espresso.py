@@ -1,0 +1,106 @@
+"""Tests for the espresso-style heuristic minimizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.cover import Cover
+from repro.logic.espresso import espresso
+from repro.logic.qm import quine_mccluskey
+
+
+def dense(num_vars, minterms):
+    table = np.zeros(1 << num_vars, dtype=bool)
+    for minterm in minterms:
+        table[minterm] = True
+    return table
+
+
+def function_tables(num_vars):
+    space = 1 << num_vars
+    return st.tuples(
+        st.sets(st.integers(min_value=0, max_value=space - 1)),
+        st.sets(st.integers(min_value=0, max_value=space - 1)),
+    ).map(lambda pair: (dense(num_vars, pair[0]),
+                        dense(num_vars, pair[1] - pair[0])))
+
+
+class TestBasics:
+    def test_constant_functions(self):
+        assert espresso(3, dense(3, [])).num_cubes == 0
+        assert espresso(3, dense(3, range(8))).num_cubes == 1
+
+    def test_dc_absorbs_to_tautology(self):
+        on = dense(2, [0])
+        dc = dense(2, [1, 2, 3])
+        assert espresso(2, on, dc).num_cubes == 1
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            espresso(3, np.zeros(4, dtype=bool))
+
+    def test_bad_initial_cover_rejected(self):
+        on = dense(2, [0])
+        bad = Cover.from_strings(2, ["1-"])  # misses the on-set
+        with pytest.raises(AssertionError):
+            espresso(2, on, initial=bad)
+
+    def test_initial_cover_outside_valid_rejected(self):
+        on = dense(2, [0])
+        wide = Cover.from_strings(2, ["--"])  # spills into the off-set
+        with pytest.raises(AssertionError):
+            espresso(2, on, initial=wide)
+
+
+class TestCorrectness:
+    @settings(max_examples=80, deadline=None)
+    @given(function_tables(5))
+    def test_result_matches_specification(self, tables):
+        on, dc = tables
+        cover = espresso(5, on, dc)
+        result = cover.dense()
+        assert not (on & ~result).any()          # covers the on-set
+        assert not (result & ~(on | dc)).any()   # avoids the off-set
+
+    @settings(max_examples=80, deadline=None)
+    @given(function_tables(5))
+    def test_result_cubes_are_irredundant(self, tables):
+        on, dc = tables
+        cover = espresso(5, on, dc)
+        for index in range(cover.num_cubes):
+            rest = Cover(5, [c for i, c in enumerate(cover.cubes) if i != index])
+            # Removing any cube must lose some on-set minterm.
+            assert ((on & ~(rest.dense() | dc)).any())
+
+
+class TestQuality:
+    @settings(max_examples=40, deadline=None)
+    @given(function_tables(4))
+    def test_never_worse_than_canonical(self, tables):
+        on, dc = tables
+        cover = espresso(4, on, dc)
+        assert cover.num_cubes <= int(on.sum())
+
+    @settings(max_examples=30, deadline=None)
+    @given(function_tables(4))
+    def test_close_to_exact_minimum(self, tables):
+        """Heuristic stays within two cubes of the exact minimum at 4 vars
+        (espresso-style loops are local search; occasional +2 outliers are
+        inherent to the algorithm family)."""
+        on, dc = tables
+        heuristic = espresso(4, on, dc)
+        exact = quine_mccluskey(
+            4, np.flatnonzero(on).tolist(), np.flatnonzero(dc).tolist()
+        )
+        assert heuristic.num_cubes <= exact.num_cubes + 2
+
+    def test_exploits_dont_cares(self):
+        # f(a,b,c) = minterm 7 with minterms 3,5,6 as dc: a single
+        # two-literal (or better) cube exists; the canonical cover has 1
+        # cube with 3 literals.  Espresso should reach <= 2 literals.
+        on = dense(3, [7])
+        dc = dense(3, [3, 5, 6])
+        cover = espresso(3, on, dc)
+        assert cover.num_cubes == 1
+        assert cover.cubes[0].num_literals <= 2

@@ -1,0 +1,126 @@
+"""Tests for multilevel divisor extraction.
+
+The load-bearing property is exhaustively-verified functional equivalence:
+whatever the extraction does structurally, the emitted netlist must compute
+exactly the functions of the input covers.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fsm.benchmarks import load_benchmark
+from repro.logic.cover import Cover
+from repro.logic.cube import Cube
+from repro.logic.multilevel import MultilevelNetwork, multilevel_netlist
+from repro.logic.sim import evaluate_batch
+from repro.logic.synthesis import covers_to_netlist, synthesize_fsm
+from repro.logic.tech import circuit_stats
+
+
+def covers_strategy(num_vars=5, num_outputs=3, max_cubes=6):
+    full = (1 << num_vars) - 1
+    cube = st.builds(
+        lambda care, value: Cube(num_vars, care, value),
+        st.integers(min_value=0, max_value=full),
+        st.integers(min_value=0, max_value=full),
+    )
+    cover = st.builds(
+        lambda cs: Cover(num_vars, cs), st.lists(cube, max_size=max_cubes)
+    )
+    return st.lists(cover, min_size=num_outputs, max_size=num_outputs)
+
+
+def exhaustive_equal(netlist_a, netlist_b, num_vars):
+    patterns = (
+        (np.arange(1 << num_vars)[:, None] >> np.arange(num_vars)) & 1
+    ).astype(np.uint8)
+    return np.array_equal(
+        evaluate_batch(netlist_a, patterns), evaluate_batch(netlist_b, patterns)
+    )
+
+
+class TestEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(covers_strategy())
+    def test_extraction_preserves_functions(self, cover_list):
+        names_in = [f"x{i}" for i in range(5)]
+        names_out = [f"f{i}" for i in range(3)]
+        flat = covers_to_netlist(cover_list, names_in, names_out)
+        extracted = multilevel_netlist(cover_list, names_in, names_out)
+        assert exhaustive_equal(flat, extracted, 5)
+
+    def test_on_synthesized_fsm(self):
+        fsm = load_benchmark("traffic")
+        flat = synthesize_fsm(fsm, multilevel=False)
+        shared = synthesize_fsm(fsm, multilevel=True)
+        assert exhaustive_equal(flat.netlist, shared.netlist, flat.num_vars)
+
+    def test_on_larger_fsm(self):
+        fsm = load_benchmark("s27")
+        flat = synthesize_fsm(fsm, multilevel=False)
+        shared = synthesize_fsm(fsm, multilevel=True)
+        assert exhaustive_equal(flat.netlist, shared.netlist, flat.num_vars)
+
+
+class TestQuality:
+    def test_shared_cube_is_extracted(self):
+        # f0 = abc + abd, f1 = abe: the cube ab occurs three times.
+        covers = [
+            Cover.from_strings(5, ["111--", "11-1-"]),
+            Cover.from_strings(5, ["11--1"]),
+        ]
+        network = MultilevelNetwork.from_covers(
+            covers, [f"x{i}" for i in range(5)], ["f0", "f1"]
+        )
+        before = network.literal_count()
+        saved = network.extract()
+        assert saved > 0
+        assert network.literal_count() == before - saved
+
+    def test_double_cube_divisor_extracted(self):
+        # f0 = ac + bc, f1 = ad + bd share the divisor (a + b).
+        covers = [
+            Cover.from_strings(4, ["1-1-", "-11-"]),
+            Cover.from_strings(4, ["1--1", "-1-1"]),
+        ]
+        network = MultilevelNetwork.from_covers(
+            covers, ["a", "b", "c", "d"], ["f0", "f1"]
+        )
+        saved = network.extract()
+        assert saved > 0
+
+    def test_cost_never_higher_on_benchmarks(self):
+        for name in ("vending", "mod5cnt", "s27", "tav"):
+            fsm = load_benchmark(name)
+            flat = synthesize_fsm(fsm, multilevel=False)
+            shared = synthesize_fsm(fsm, multilevel=True)
+            assert shared.stats.cost <= flat.stats.cost
+
+    @settings(max_examples=40, deadline=None)
+    @given(covers_strategy(num_vars=4, num_outputs=2))
+    def test_extract_reports_true_savings(self, cover_list):
+        network = MultilevelNetwork.from_covers(
+            cover_list, [f"x{i}" for i in range(4)], ["f0", "f1"]
+        )
+        before = network.literal_count()
+        saved = network.extract()
+        assert network.literal_count() == before - saved
+        assert saved >= 0
+
+
+class TestValidation:
+    def test_cover_count_mismatch(self):
+        with pytest.raises(ValueError):
+            MultilevelNetwork.from_covers(
+                [Cover.empty(2)], ["a", "b"], ["f0", "f1"]
+            )
+
+    def test_constant_outputs(self):
+        covers = [Cover.empty(2), Cover.universal(2)]
+        netlist = multilevel_netlist(covers, ["a", "b"], ["f0", "f1"])
+        patterns = np.array([[0, 0], [1, 1]], dtype=np.uint8)
+        outputs = evaluate_batch(netlist, patterns)
+        assert outputs[:, 0].tolist() == [0, 0]
+        assert outputs[:, 1].tolist() == [1, 1]

@@ -1,0 +1,124 @@
+"""Tests for the netlist IR: construction, simplification, hashing."""
+
+import pytest
+
+from repro.logic.netlist import Gate, GateKind, Netlist
+from repro.logic.sim import evaluate
+
+
+class TestConstruction:
+    def test_inputs_and_outputs(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        node = netlist.add_gate(GateKind.AND, [a, b])
+        netlist.add_output("y", node)
+        assert netlist.num_inputs == 2
+        assert netlist.num_outputs == 1
+        assert netlist.input_name(a) == "a"
+
+    def test_fanin_reference_check(self):
+        netlist = Netlist()
+        with pytest.raises(ValueError):
+            netlist.add_gate(GateKind.AND, [0, 1])
+
+    def test_topological_invariant(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        c = netlist.add_gate(GateKind.OR, [a, b])
+        d = netlist.add_gate(GateKind.AND, [c, a])
+        for node, gate in enumerate(netlist.gates):
+            assert all(src < node for src in gate.fanin)
+
+
+class TestSimplification:
+    def setup_method(self):
+        self.netlist = Netlist()
+        self.a = self.netlist.add_input("a")
+        self.b = self.netlist.add_input("b")
+
+    def test_double_negation_cancels(self):
+        inverted = self.netlist.add_not(self.a)
+        assert self.netlist.add_not(inverted) == self.a
+
+    def test_structural_hashing_shares_gates(self):
+        g1 = self.netlist.add_gate(GateKind.AND, [self.a, self.b])
+        g2 = self.netlist.add_gate(GateKind.AND, [self.b, self.a])
+        assert g1 == g2
+
+    def test_and_absorbs_constants(self):
+        zero = self.netlist.add_const(0)
+        one = self.netlist.add_const(1)
+        assert self.netlist.add_gate(GateKind.AND, [self.a, zero]) == zero
+        assert self.netlist.add_gate(GateKind.AND, [self.a, one]) == self.a
+
+    def test_or_absorbs_constants(self):
+        zero = self.netlist.add_const(0)
+        one = self.netlist.add_const(1)
+        assert self.netlist.add_gate(GateKind.OR, [self.a, one]) == one
+        assert self.netlist.add_gate(GateKind.OR, [self.a, zero]) == self.a
+
+    def test_and_with_complement_is_zero(self):
+        not_a = self.netlist.add_not(self.a)
+        node = self.netlist.add_gate(GateKind.AND, [self.a, not_a, self.b])
+        assert self.netlist.gates[node].kind is GateKind.CONST0
+
+    def test_xor_cancels_duplicates(self):
+        node = self.netlist.add_gate(GateKind.XOR, [self.a, self.a, self.b])
+        assert node == self.b
+
+    def test_xor_folds_inverters(self):
+        not_a = self.netlist.add_not(self.a)
+        node = self.netlist.add_gate(GateKind.XOR, [not_a, self.b])
+        # NOT(a) ^ b == NOT(a ^ b)
+        gate = self.netlist.gates[node]
+        assert gate.kind is GateKind.NOT
+
+    def test_nand_is_not_of_and(self):
+        node = self.netlist.add_gate(GateKind.NAND, [self.a, self.b])
+        assert self.netlist.gates[node].kind is GateKind.NOT
+
+    def test_buf_is_alias(self):
+        assert self.netlist.add_gate(GateKind.BUF, [self.a]) == self.a
+
+    def test_single_operand_collapses(self):
+        assert self.netlist.add_gate(GateKind.AND, [self.a, self.a]) == self.a
+
+
+class TestSemantics:
+    @pytest.mark.parametrize(
+        "kind,table",
+        [
+            (GateKind.AND, {(0, 0): 0, (0, 1): 0, (1, 0): 0, (1, 1): 1}),
+            (GateKind.OR, {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 1}),
+            (GateKind.XOR, {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 0}),
+            (GateKind.NAND, {(0, 0): 1, (0, 1): 1, (1, 0): 1, (1, 1): 0}),
+            (GateKind.NOR, {(0, 0): 1, (0, 1): 0, (1, 0): 0, (1, 1): 0}),
+            (GateKind.XNOR, {(0, 0): 1, (0, 1): 0, (1, 0): 0, (1, 1): 1}),
+        ],
+    )
+    def test_two_input_gate_truth_tables(self, kind, table):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        netlist.add_output("y", netlist.add_gate(kind, [a, b]))
+        for (va, vb), expected in table.items():
+            assert evaluate(netlist, {"a": va, "b": vb})["y"] == expected
+
+    def test_fanout_map(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        g = netlist.add_gate(GateKind.AND, [a, b])
+        h = netlist.add_gate(GateKind.OR, [g, a])
+        fanout = netlist.fanout_map()
+        assert sorted(fanout[a]) == [g, h]
+        assert fanout[g] == [h]
+
+    def test_logic_nodes_excludes_inputs_and_constants(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        netlist.add_const(1)
+        g = netlist.add_gate(GateKind.NOT, [a])
+        assert netlist.logic_nodes() == [g]

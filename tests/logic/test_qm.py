@@ -1,0 +1,99 @@
+"""Tests for the exact Quine–McCluskey minimizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.cover import Cover
+from repro.logic.qm import quine_mccluskey
+
+
+def brute_force_minimum_cubes(num_vars, on, dc):
+    """Reference minimum cube count by exhaustive search over cube sets."""
+    from itertools import combinations
+
+    from repro.logic.cube import Cube
+
+    on = set(on)
+    valid = on | set(dc)
+    cubes = [
+        Cube(num_vars, care, value & care)
+        for care in range(1 << num_vars)
+        for value in range(1 << num_vars)
+        if (value & care) == value
+        and all(m in valid for m in Cube(num_vars, care, value).minterms())
+    ]
+    cubes = list(dict.fromkeys(cubes))
+    for size in range(0, len(on) + 1):
+        for combo in combinations(cubes, size):
+            covered = set()
+            for cube in combo:
+                covered.update(cube.minterms())
+            if on <= covered:
+                return size
+    raise AssertionError("unreachable")
+
+
+class TestKnownFunctions:
+    def test_constant_zero(self):
+        assert quine_mccluskey(3, []).num_cubes == 0
+
+    def test_constant_one(self):
+        cover = quine_mccluskey(2, [0, 1, 2, 3])
+        assert cover.num_cubes == 1
+        assert cover.is_tautology()
+
+    def test_dc_completes_to_tautology(self):
+        cover = quine_mccluskey(2, [0, 3], dc_set=[1, 2])
+        assert cover.num_cubes == 1
+
+    def test_xor_needs_two_cubes(self):
+        cover = quine_mccluskey(2, [1, 2])
+        assert cover.num_cubes == 2
+
+    def test_classic_example(self):
+        # f = Σm(0,1,2,5,6,7) over 3 vars: minimum is 3 cubes.
+        cover = quine_mccluskey(3, [0, 1, 2, 5, 6, 7])
+        assert cover.num_cubes == 3
+
+    def test_rejects_out_of_range_minterm(self):
+        with pytest.raises(ValueError):
+            quine_mccluskey(2, [4])
+
+    def test_rejects_too_many_vars(self):
+        with pytest.raises(ValueError):
+            quine_mccluskey(15, [0])
+
+
+class TestCorrectnessProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.sets(st.integers(min_value=0, max_value=15), max_size=16),
+           st.sets(st.integers(min_value=0, max_value=15), max_size=6))
+    def test_cover_is_correct(self, on, dc):
+        dc = dc - on
+        cover = quine_mccluskey(4, on, dc)
+        dense = cover.dense()
+        for minterm in range(16):
+            if minterm in on:
+                assert dense[minterm]
+            elif minterm not in dc:
+                assert not dense[minterm]
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.sets(st.integers(min_value=0, max_value=7), max_size=8),
+           st.sets(st.integers(min_value=0, max_value=7), max_size=3))
+    def test_cube_count_is_minimum(self, on, dc):
+        dc = dc - on
+        cover = quine_mccluskey(3, on, dc)
+        assert cover.num_cubes == brute_force_minimum_cubes(3, on, dc)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.sets(st.integers(min_value=0, max_value=15), max_size=16))
+    def test_cubes_are_prime_like(self, on):
+        """No cube of the solution is contained in another."""
+        cover = quine_mccluskey(4, on)
+        for i, cube in enumerate(cover.cubes):
+            for j, other in enumerate(cover.cubes):
+                if i != j:
+                    assert not other.contains(cube)

@@ -1,0 +1,123 @@
+"""Tests for netlist simulation, including fault injection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.cover import Cover
+from repro.logic.cube import Cube
+from repro.logic.netlist import GateKind, Netlist
+from repro.logic.sim import evaluate, evaluate_batch, node_values
+from repro.logic.synthesis import covers_to_netlist
+
+
+def covers_strategy(num_vars=4, num_outputs=2):
+    full = (1 << num_vars) - 1
+    cube = st.builds(
+        lambda care, value: Cube(num_vars, care, value),
+        st.integers(min_value=0, max_value=full),
+        st.integers(min_value=0, max_value=full),
+    )
+    cover = st.builds(lambda cs: Cover(num_vars, cs), st.lists(cube, max_size=5))
+    return st.lists(cover, min_size=num_outputs, max_size=num_outputs)
+
+
+class TestBatchEvaluation:
+    @settings(max_examples=50, deadline=None)
+    @given(covers_strategy())
+    def test_netlist_matches_cover_semantics(self, cover_list):
+        """The synthesized netlist computes exactly the SOP functions."""
+        num_vars = 4
+        netlist = covers_to_netlist(
+            cover_list,
+            input_names=[f"x{i}" for i in range(num_vars)],
+            output_names=["f0", "f1"],
+        )
+        patterns = (
+            (np.arange(16)[:, None] >> np.arange(num_vars)) & 1
+        ).astype(np.uint8)
+        outputs = evaluate_batch(netlist, patterns)
+        for minterm in range(16):
+            for out_idx, cover in enumerate(cover_list):
+                assert outputs[minterm, out_idx] == cover.evaluate(minterm)
+
+    def test_single_pattern_wrapper(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        netlist.add_output("y", netlist.add_gate(GateKind.XOR, [a, b]))
+        assert evaluate(netlist, {"a": 1, "b": 0}) == {"y": 1}
+        assert evaluate(netlist, [1, 1]) == {"y": 0}
+
+    def test_pattern_shape_validation(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        with pytest.raises(ValueError):
+            evaluate_batch(netlist, np.zeros((4, 2), dtype=np.uint8))
+
+
+class TestFaultInjection:
+    def build(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        g = netlist.add_gate(GateKind.AND, [a, b])
+        netlist.add_output("y", netlist.add_gate(GateKind.OR, [g, a]))
+        return netlist, a, b, g
+
+    def test_stuck_at_on_gate(self):
+        netlist, a, b, g = self.build()
+        # y = (a AND b) OR a == a; with the AND stuck at 1, y = 1 always.
+        patterns = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=np.uint8)
+        faulty = evaluate_batch(netlist, patterns, fault=(g, 1))
+        assert faulty[:, 0].tolist() == [1, 1, 1, 1]
+
+    def test_stuck_at_on_input(self):
+        netlist, a, b, g = self.build()
+        patterns = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=np.uint8)
+        faulty = evaluate_batch(netlist, patterns, fault=(a, 0))
+        assert faulty[:, 0].tolist() == [0, 0, 0, 0]
+
+    def test_fault_free_equals_reference(self):
+        netlist, a, b, g = self.build()
+        patterns = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=np.uint8)
+        assert evaluate_batch(netlist, patterns)[:, 0].tolist() == [0, 0, 1, 1]
+
+    def test_node_values_exposes_internal_nets(self):
+        netlist, a, b, g = self.build()
+        patterns = np.array([[1, 1]], dtype=np.uint8)
+        values = node_values(netlist, patterns)
+        assert values[g][0] == 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(covers_strategy(), st.integers(min_value=0, max_value=1))
+    def test_single_fault_changes_only_downstream(self, cover_list, stuck):
+        """A fault on a node unreachable from an output leaves it intact."""
+        netlist = covers_to_netlist(
+            cover_list,
+            input_names=[f"x{i}" for i in range(4)],
+            output_names=["f0", "f1"],
+        )
+        patterns = ((np.arange(16)[:, None] >> np.arange(4)) & 1).astype(np.uint8)
+        good = evaluate_batch(netlist, patterns)
+        fanout = netlist.fanout_map()
+
+        def reaches(node, target):
+            frontier = [node]
+            seen = set()
+            while frontier:
+                current = frontier.pop()
+                if current == target:
+                    return True
+                for nxt in fanout[current]:
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        frontier.append(nxt)
+            return False
+
+        for node in netlist.logic_nodes()[:5]:
+            bad = evaluate_batch(netlist, patterns, fault=(node, stuck))
+            for out_idx, out_node in enumerate(netlist.output_ids):
+                if not reaches(node, out_node) and node != out_node:
+                    assert np.array_equal(bad[:, out_idx], good[:, out_idx])

@@ -1,0 +1,84 @@
+"""Tests for technology mapping and the area cost model."""
+
+import pytest
+
+from repro.logic.netlist import GateKind, Netlist
+from repro.logic.tech import (
+    DEFAULT_LIBRARY,
+    CircuitStats,
+    _tree_widths,
+    circuit_stats,
+)
+
+
+class TestTreeWidths:
+    def test_trivial(self):
+        assert _tree_widths(0, 4) == []
+        assert _tree_widths(1, 4) == []
+        assert _tree_widths(2, 4) == [2]
+        assert _tree_widths(4, 4) == [4]
+
+    def test_wide_gate_decomposes(self):
+        # 9-input AND with 4-input cells: 4+4 at the leaves, then a 3-way.
+        assert sorted(_tree_widths(9, 4)) == [3, 4, 4]
+
+    def test_total_inputs_account(self):
+        """Any decomposition consumes fanin + (#cells − 1) operand slots."""
+        for fanin in range(2, 40):
+            widths = _tree_widths(fanin, 4)
+            assert sum(widths) == fanin + len(widths) - 1
+
+
+class TestCircuitStats:
+    def test_empty_netlist(self):
+        stats = circuit_stats(Netlist())
+        assert stats.gates == 0
+        assert stats.cost == 0.0
+
+    def test_inverter_and_dff_accounting(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        netlist.add_output("y", netlist.add_not(a))
+        stats = circuit_stats(netlist, num_flipflops=3)
+        assert stats.cells == {"INV": 1, "DFF": 3}
+        assert stats.cost == pytest.approx(
+            DEFAULT_LIBRARY.area("INV") + 3 * DEFAULT_LIBRARY.area("DFF")
+        )
+
+    def test_wide_and_maps_to_tree(self):
+        netlist = Netlist()
+        inputs = [netlist.add_input(f"x{i}") for i in range(9)]
+        netlist.add_output("y", netlist.add_gate(GateKind.AND, inputs))
+        stats = circuit_stats(netlist)
+        assert stats.cells == {"AND4": 2, "AND3": 1}
+
+    def test_xor_tree(self):
+        netlist = Netlist()
+        inputs = [netlist.add_input(f"x{i}") for i in range(5)]
+        netlist.add_output("y", netlist.add_gate(GateKind.XOR, inputs))
+        stats = circuit_stats(netlist)
+        assert stats.cells == {"XOR2": 4}
+
+    def test_stats_addition(self):
+        a = CircuitStats(2, 5.0, {"INV": 2})
+        b = CircuitStats(1, 2.5, {"INV": 1})
+        total = a + b
+        assert total.gates == 3
+        assert total.cost == 7.5
+        assert total.cells == {"INV": 3}
+
+    def test_inputs_and_constants_are_free(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        netlist.add_const(1)
+        assert circuit_stats(netlist).gates == 0
+
+    def test_cost_monotone_in_gates(self):
+        small = Netlist()
+        a = small.add_input("a")
+        b = small.add_input("b")
+        small.add_output("y", small.add_gate(GateKind.AND, [a, b]))
+        big = Netlist()
+        xs = [big.add_input(f"x{i}") for i in range(6)]
+        big.add_output("y", big.add_gate(GateKind.AND, xs))
+        assert circuit_stats(big).cost > circuit_stats(small).cost

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "traffic" in out and "cse" in out
+
+    def test_info(self, capsys):
+        assert main(["info", "traffic"]) == 0
+        assert "4" in capsys.readouterr().out
+
+    def test_synth(self, capsys):
+        assert main(["synth", "seqdet", "--encoding", "gray"]) == 0
+        out = capsys.readouterr().out
+        assert "gates" in out and "gray" in out
+
+    def test_synth_multilevel_and_blif(self, capsys, tmp_path):
+        target = tmp_path / "out.blif"
+        assert main([
+            "synth", "vending", "--multilevel", "--blif", str(target),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "multilevel" in out
+        assert target.exists()
+        from repro.logic.blif import parse_blif
+
+        assert parse_blif(target.read_text()).num_outputs > 0
+
+    def test_synth_minimize_states(self, capsys):
+        assert main(["synth", "graycnt", "--minimize-states"]) == 0
+        assert "state minimization" in capsys.readouterr().out
+
+    def test_design(self, capsys):
+        assert main(["design", "seqdet", "--latency", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "parity bits=" in out
+        assert "predictor" in out
+
+    def test_design_with_verify(self, capsys):
+        assert main(["design", "serparity", "--latency", "1", "--verify"]) == 0
+        assert "verification:" in capsys.readouterr().out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "serparity", "--max-latency", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Latency saturation" in out
+
+    def test_table1_subset(self, capsys):
+        assert main([
+            "table1", "--circuits", "tav", "--max-faults", "60",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "tav" in out
+        assert "Aggregate reductions" in out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_circuit_raises(self):
+        with pytest.raises(KeyError):
+            main(["info", "not-a-benchmark"])

@@ -1,0 +1,98 @@
+"""Tests for the experiment harnesses (on small, fast configurations)."""
+
+import pytest
+
+from repro.core.search import SolveConfig
+from repro.experiments.figures import latency_saturation_curve
+from repro.experiments.summary import PAPER_STATS, summarize
+from repro.experiments.table1 import (
+    Table1Config,
+    format_table1,
+    run_circuit,
+    run_table1,
+)
+
+FAST = Table1Config(
+    latencies=(1, 2),
+    max_faults=80,
+    solve=SolveConfig(iterations=200, lp_max_rows=500),
+)
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    return run_table1(("tav", "s27"), FAST)
+
+
+class TestTable1:
+    def test_row_contents(self, small_result):
+        row = small_result.row("tav")
+        assert row.inputs == 4 and row.outputs == 4
+        assert row.gates > 0 and row.cost > 0
+        assert set(row.entries) == {1, 2}
+        assert row.duplication_functions == row.state_bits + row.outputs
+
+    def test_trees_monotone_in_latency(self, small_result):
+        for row in small_result.rows:
+            assert row.entries[2].num_trees <= row.entries[1].num_trees
+
+    def test_trees_below_duplication(self, small_result):
+        for row in small_result.rows:
+            assert row.entries[1].num_trees <= row.duplication_functions
+
+    def test_format_renders_all_rows(self, small_result):
+        text = format_table1(small_result)
+        assert "tav" in text and "s27" in text
+        assert "p1:Trees" in text and "p2:Cost" in text
+
+    def test_unknown_row_lookup(self, small_result):
+        with pytest.raises(KeyError):
+            small_result.row("nope")
+
+    def test_run_circuit_standalone(self):
+        row = run_circuit("serparity", FAST)
+        assert row.entries[1].num_trees >= 1
+
+
+class TestSummary:
+    def test_summary_values_finite(self, small_result):
+        stats = summarize(small_result)
+        for key, value in stats.as_dict().items():
+            if key.startswith("p3"):
+                continue  # latency 3 not in the fast config
+            assert value == value  # not NaN
+
+    def test_summary_format_mentions_paper(self, small_result):
+        text = summarize(small_result).format()
+        assert "paper" in text
+        assert f"{PAPER_STATS['vs_duplication_functions']:6.2f}" in text
+
+    def test_requires_latency_one(self, small_result):
+        from dataclasses import replace
+
+        broken = replace(small_result, config=Table1Config(latencies=(2,)))
+        with pytest.raises(ValueError):
+            summarize(broken)
+
+
+class TestSaturation:
+    def test_curve_shape(self):
+        curve = latency_saturation_curve(
+            "serparity", max_latency=3, max_faults=60,
+            solve_config=SolveConfig(iterations=200),
+        )
+        assert [point.latency for point in curve.points] == [1, 2, 3]
+        trees = [point.num_trees for point in curve.points]
+        assert trees == sorted(trees, reverse=True)
+        assert curve.predicted_max_useful_latency >= 1
+        assert "serparity" in curve.format()
+
+    def test_saturation_flattens(self):
+        """The curve flattens by the end of the sweep — saturation exists
+        even though the paper's shortest-loop bound may under-predict it."""
+        curve = latency_saturation_curve(
+            "serparity", max_latency=4, max_faults=60,
+            solve_config=SolveConfig(iterations=200),
+        )
+        trees = [p.num_trees for p in curve.points]
+        assert trees[-1] == trees[-2]

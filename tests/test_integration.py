@@ -1,0 +1,111 @@
+"""Cross-module integration properties of the whole reproduction."""
+
+import numpy as np
+import pytest
+
+from repro.ced.duplication import duplication_stats
+from repro.ced.hardware import build_ced_hardware
+from repro.ced.verify import verify_bounded_latency
+from repro.core.detectability import TableConfig, extract_tables
+from repro.core.exact import exact_minimum_parity
+from repro.core.search import SolveConfig, solve_for_latencies
+from repro.faults.model import StuckAtModel, TransitionFaultModel
+from repro.fsm.benchmarks import load_benchmark
+from repro.logic.synthesis import synthesize_fsm
+
+
+class TestFullPipeline:
+    """The paper's whole story on one machine, both semantics."""
+
+    @pytest.mark.parametrize("semantics", ["checker", "trajectory"])
+    def test_vending_pipeline(self, vending_synthesis, semantics):
+        model = StuckAtModel(vending_synthesis)
+        tables = extract_tables(
+            vending_synthesis, model, TableConfig(latency=3, semantics=semantics)
+        )
+        results = solve_for_latencies(tables, SolveConfig())
+        qs = [results[p].q for p in (1, 2, 3)]
+        assert qs == sorted(qs, reverse=True)
+        # Compaction: fewer parity functions than duplication's n compares.
+        assert qs[0] <= duplication_stats(vending_synthesis).num_functions
+
+    def test_lp_rr_matches_exact_on_vending(self, vending_synthesis):
+        model = StuckAtModel(vending_synthesis)
+        tables = extract_tables(
+            vending_synthesis, model, TableConfig(latency=2, semantics="checker")
+        )
+        results = solve_for_latencies(tables, SolveConfig())
+        for latency, result in results.items():
+            exact = exact_minimum_parity(tables[latency])
+            assert result.q == len(exact)
+
+    def test_checker_design_verifies_for_transition_faults(self):
+        fsm = load_benchmark("mod5cnt")
+        synthesis = synthesize_fsm(fsm)
+        model = TransitionFaultModel(synthesis, alternatives=1)
+        tables = extract_tables(
+            synthesis, model, TableConfig(latency=2, semantics="checker")
+        )
+        results = solve_for_latencies(tables, SolveConfig())
+        assert results[2].q <= results[1].q
+        # The solution covers its table — the guarantee carries over.
+        from repro.core.cover import covers_all
+
+        assert covers_all(tables[2].rows, results[2].betas)
+
+
+class TestSemanticsGap:
+    """The reproduction finding: trajectory tables may promise detections
+    the Fig. 3 hardware cannot deliver; checker tables never do."""
+
+    def test_trajectory_never_harder_than_checker(self, traffic_synthesis,
+                                                  traffic_model):
+        checker = extract_tables(
+            traffic_synthesis, traffic_model,
+            TableConfig(latency=3, semantics="checker"),
+        )
+        trajectory = extract_tables(
+            traffic_synthesis, traffic_model,
+            TableConfig(latency=3, semantics="trajectory"),
+        )
+        checker_q = solve_for_latencies(checker, SolveConfig())
+        trajectory_q = solve_for_latencies(trajectory, SolveConfig())
+        for p in (1, 2, 3):
+            assert trajectory_q[p].q <= checker_q[p].q
+
+    def test_checker_design_always_verifies(self, traffic_synthesis,
+                                            traffic_model,
+                                            traffic_tables_checker):
+        results = solve_for_latencies(traffic_tables_checker, SolveConfig())
+        for latency in (1, 2, 3):
+            hardware = build_ced_hardware(
+                traffic_synthesis, results[latency].betas
+            )
+            report = verify_bounded_latency(
+                traffic_synthesis, hardware, traffic_model.faults(),
+                latency=latency, runs_per_fault=2, run_length=24,
+            )
+            assert report.clean, report.violations
+
+
+class TestEncodingAblation:
+    def test_all_encodings_complete_the_flow(self):
+        fsm = load_benchmark("serparity")
+        for encoding in ("binary", "gray", "onehot", "weighted"):
+            synthesis = synthesize_fsm(fsm, encoding=encoding)
+            model = StuckAtModel(synthesis)
+            tables = extract_tables(
+                synthesis, model, TableConfig(latency=2, semantics="checker")
+            )
+            results = solve_for_latencies(tables, SolveConfig())
+            assert results[1].q >= 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_design(self):
+        from repro.flow import design_ced
+
+        first = design_ced("vending", latency=2)
+        second = design_ced("vending", latency=2)
+        assert first.solve_result.betas == second.solve_result.betas
+        assert first.cost == second.cost

@@ -1,0 +1,73 @@
+"""End-to-end property test: random machines through the whole stack.
+
+For seeded random controller FSMs, the complete flow — synthesis, fault
+universe, checker-semantics tables, Algorithm 1, hardware construction,
+fault-injection verification — must uphold its invariants: solutions
+cover their tables, q is monotone in the latency bound, hardware never
+false-alarms, and every activated fault is caught within the bound.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ced.hardware import build_ced_hardware
+from repro.ced.verify import verify_bounded_latency, verify_no_false_alarms
+from repro.core.cover import covers_all
+from repro.core.detectability import TableConfig, extract_tables
+from repro.core.search import SolveConfig, solve_for_latencies
+from repro.faults.model import StuckAtModel
+from repro.fsm.generate import GeneratorSpec, generate_fsm
+from repro.logic.synthesis import synthesize_fsm
+
+
+def specs():
+    return st.builds(
+        GeneratorSpec,
+        name=st.just("pipe"),
+        num_inputs=st.integers(min_value=1, max_value=3),
+        num_states=st.integers(min_value=2, max_value=8),
+        num_outputs=st.integers(min_value=1, max_value=4),
+        cubes_per_state=st.integers(min_value=1, max_value=4),
+        self_loop_rate=st.floats(min_value=0.0, max_value=0.8),
+        specified_fraction=st.floats(min_value=0.5, max_value=1.0),
+    )
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(specs(), st.integers(min_value=0, max_value=500))
+def test_random_machines_uphold_the_guarantee(spec, seed):
+    fsm = generate_fsm(spec, seed=seed)
+    synthesis = synthesize_fsm(fsm)
+    model = StuckAtModel(synthesis, max_faults=60, seed=seed)
+    tables = extract_tables(
+        synthesis, model, TableConfig(latency=2, semantics="checker")
+    )
+    results = solve_for_latencies(tables, SolveConfig(iterations=300))
+
+    # Solver invariants.
+    assert results[2].q <= results[1].q
+    for latency, result in results.items():
+        assert covers_all(tables[latency].rows, result.betas)
+        assert result.q <= synthesis.num_bits
+
+    # Hardware invariants.
+    hardware = build_ced_hardware(synthesis, results[2].betas)
+    assert verify_no_false_alarms(
+        synthesis, hardware, num_runs=3, run_length=24, seed=seed
+    )
+    report = verify_bounded_latency(
+        synthesis,
+        hardware,
+        model.faults(),
+        latency=2,
+        runs_per_fault=2,
+        run_length=20,
+        max_faults=25,
+        seed=seed,
+    )
+    assert report.clean, report.violations

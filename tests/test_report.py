@@ -1,0 +1,43 @@
+"""Tests for the JSON experiment report."""
+
+import json
+
+import pytest
+
+from repro.core.search import SolveConfig
+from repro.experiments.report import table1_to_dict, table1_to_json, write_table1_json
+from repro.experiments.table1 import Table1Config, run_table1
+
+FAST = Table1Config(
+    latencies=(1, 2),
+    max_faults=60,
+    multilevel=False,
+    solve=SolveConfig(iterations=150, lp_max_rows=400),
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_table1(("tav",), FAST)
+
+
+class TestReport:
+    def test_dict_structure(self, result):
+        data = table1_to_dict(result)
+        assert data["config"]["latencies"] == [1, 2]
+        assert data["config"]["seed"] == 2004
+        row = data["rows"][0]
+        assert row["name"] == "tav"
+        assert set(row["latencies"]) == {"1", "2"}
+        assert row["latencies"]["1"]["trees"] >= row["latencies"]["2"]["trees"]
+        assert "vs_duplication_functions" in data["summary"]["measured"]
+        assert data["summary"]["paper"]["vs_duplication_functions"] == 53.0
+
+    def test_json_round_trip(self, result):
+        data = json.loads(table1_to_json(result))
+        assert data["rows"][0]["name"] == "tav"
+
+    def test_write_to_file(self, result, tmp_path):
+        path = tmp_path / "t.json"
+        write_table1_json(result, path)
+        assert json.loads(path.read_text())["rows"]

@@ -1,0 +1,141 @@
+"""Unit and property tests for repro.util.bitops."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bitops import (
+    bit_length_for,
+    bits_to_int,
+    gray_code,
+    int_to_bits,
+    iter_minterms,
+    minterm_indices,
+    parity,
+    popcount,
+)
+
+
+class TestPopcountParity:
+    def test_popcount_known_values(self):
+        assert popcount(0) == 0
+        assert popcount(1) == 1
+        assert popcount(0b1011) == 3
+        assert popcount((1 << 62) - 1) == 62
+
+    def test_popcount_rejects_negative(self):
+        with pytest.raises(ValueError):
+            popcount(-1)
+
+    @given(st.integers(min_value=0, max_value=2**62))
+    def test_parity_is_popcount_mod_2(self, value):
+        assert parity(value) == popcount(value) % 2
+
+    @given(st.integers(min_value=0, max_value=2**40),
+           st.integers(min_value=0, max_value=2**40))
+    def test_parity_is_additive_over_xor(self, a, b):
+        assert parity(a ^ b) == parity(a) ^ parity(b)
+
+
+class TestBitLengthFor:
+    def test_known_values(self):
+        assert bit_length_for(1) == 1
+        assert bit_length_for(2) == 1
+        assert bit_length_for(3) == 2
+        assert bit_length_for(4) == 2
+        assert bit_length_for(5) == 3
+        assert bit_length_for(48) == 6
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            bit_length_for(0)
+
+    @given(st.integers(min_value=1, max_value=10_000))
+    def test_codes_fit(self, count):
+        bits = bit_length_for(count)
+        assert (1 << bits) >= count
+        assert count == 1 or (1 << (bits - 1)) < count
+
+
+class TestBitConversions:
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    def test_round_trip(self, value):
+        assert bits_to_int(int_to_bits(value, 16)) == value
+
+    def test_lsb_first(self):
+        assert int_to_bits(0b100, 3) == (0, 0, 1)
+        assert bits_to_int([0, 0, 1]) == 4
+
+    def test_int_to_bits_range_check(self):
+        with pytest.raises(ValueError):
+            int_to_bits(8, 3)
+
+    def test_bits_to_int_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            bits_to_int([0, 2, 1])
+
+
+class TestGrayCode:
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_adjacent_codes_differ_in_one_bit(self, index):
+        assert popcount(gray_code(index) ^ gray_code(index + 1)) == 1
+
+    def test_is_a_permutation(self):
+        codes = {gray_code(i) for i in range(256)}
+        assert codes == set(range(256))
+
+
+class TestMinterms:
+    def test_fully_specified_cube(self):
+        assert list(iter_minterms(0b111, 0b101, 3)) == [0b101]
+
+    def test_free_variables_enumerate(self):
+        minterms = sorted(iter_minterms(0b001, 0b001, 3))
+        assert minterms == [0b001, 0b011, 0b101, 0b111]
+
+    @given(st.integers(min_value=0, max_value=2**8 - 1),
+           st.integers(min_value=0, max_value=2**8 - 1))
+    def test_vectorised_matches_iterator(self, care, value):
+        expected = sorted(iter_minterms(care, value, 8))
+        actual = sorted(minterm_indices(care, value, 8).tolist())
+        assert actual == expected
+
+    @given(st.integers(min_value=0, max_value=2**8 - 1),
+           st.integers(min_value=0, max_value=2**8 - 1))
+    def test_minterms_match_cube_semantics(self, care, value):
+        minterms = set(iter_minterms(care, value, 8))
+        for candidate in range(256):
+            inside = (candidate & care) == (value & care)
+            assert (candidate in minterms) == inside
+
+
+class TestRngFor:
+    def test_deterministic_and_label_sensitive(self):
+        from repro.util.rng import rng_for
+
+        a = rng_for(7, "x").integers(1 << 30)
+        b = rng_for(7, "x").integers(1 << 30)
+        c = rng_for(7, "y").integers(1 << 30)
+        assert a == b
+        assert a != c  # astronomically unlikely to collide
+
+
+class TestFormatTable:
+    def test_renders_rows_and_alignment(self):
+        from repro.util.tables import format_table
+
+        text = format_table(
+            ["Name", "Cost"], [["cse", 12.5], ["s27", 3.0]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "Name" in lines[1] and "Cost" in lines[1]
+        assert len(lines) == 5
+        assert "12.50" in text
+
+    def test_rejects_ragged_rows(self):
+        from repro.util.tables import format_table
+
+        with pytest.raises(ValueError):
+            format_table(["a"], [["x", "y"]])
