@@ -10,14 +10,25 @@ the paper-shaped outputs behind.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
 
 from repro.core.search import SolveConfig
 from repro.experiments.table1 import Table1Config
+from repro.runtime.cache import NullCache, open_cache
 
 OUT_DIR = Path(__file__).parent / "out"
+
+#: Artifact cache for the benchmark flows.  Off by default — a benchmark
+#: that reads cached artefacts measures pickle loads, not the flow — but
+#: exporting ``REPRO_CACHE_DIR`` opts in, which makes iterating on the
+#: report/plot side of a table cheap (see EXPERIMENTS.md, "Fast
+#: regeneration").
+BENCH_CACHE = (
+    open_cache(None) if os.environ.get("REPRO_CACHE_DIR") else NullCache()
+)
 
 #: One shared configuration for the Table-1 flow.  Fault universes are
 #: subsampled (the paper's are not, but its circuits are much smaller

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import BENCH_TABLE1_CONFIG, emit
+from benchmarks.conftest import BENCH_CACHE, BENCH_TABLE1_CONFIG, emit
 from repro.experiments.summary import PAPER_STATS, summarize
 from repro.experiments.table1 import (
     Table1Result,
@@ -30,7 +30,11 @@ from repro.fsm.benchmarks import TABLE1_CIRCUITS
 @pytest.mark.parametrize("circuit", TABLE1_CIRCUITS)
 def test_table1_circuit(benchmark, circuit, table1_rows):
     row = benchmark.pedantic(
-        run_circuit, args=(circuit, BENCH_TABLE1_CONFIG), rounds=1, iterations=1
+        run_circuit,
+        args=(circuit, BENCH_TABLE1_CONFIG),
+        kwargs={"cache": BENCH_CACHE},
+        rounds=1,
+        iterations=1,
     )
     table1_rows[circuit] = row
 
@@ -49,7 +53,9 @@ def test_table1_summary(benchmark, table1_rows, out_dir):
     def assemble() -> Table1Result:
         missing = [c for c in TABLE1_CIRCUITS if c not in table1_rows]
         for circuit in missing:  # direct invocation outside a full bench run
-            table1_rows[circuit] = run_circuit(circuit, BENCH_TABLE1_CONFIG)
+            table1_rows[circuit] = run_circuit(
+                circuit, BENCH_TABLE1_CONFIG, cache=BENCH_CACHE
+            )
         return Table1Result(
             config=BENCH_TABLE1_CONFIG,
             rows=[table1_rows[c] for c in TABLE1_CIRCUITS],

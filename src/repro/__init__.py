@@ -33,10 +33,19 @@ from repro.faults import StuckAtModel, TransitionFaultModel
 from repro.flow import CedDesign, design_ced, design_ced_sweep
 from repro.fsm import FSM, Transition, load_benchmark, parse_kiss, write_kiss
 from repro.logic import synthesize_fsm
+from repro.runtime import (
+    ArtifactCache,
+    CampaignOptions,
+    design_matrix_jobs,
+    open_cache,
+    run_campaign,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ArtifactCache",
+    "CampaignOptions",
     "CedDesign",
     "FSM",
     "SolveConfig",
@@ -45,6 +54,9 @@ __all__ = [
     "Transition",
     "TransitionFaultModel",
     "build_ced_hardware",
+    "design_matrix_jobs",
+    "open_cache",
+    "run_campaign",
     "design_ced",
     "design_ced_sweep",
     "extract_table",

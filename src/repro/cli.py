@@ -5,9 +5,16 @@ Installed as ``repro-ced`` (also ``python -m repro``).  Subcommands:
 * ``info CIRCUIT``     — structural report of a benchmark FSM;
 * ``synth CIRCUIT``    — synthesize and print gate/cost statistics;
 * ``design CIRCUIT``   — full bounded-latency CED design (+ verification);
-* ``sweep CIRCUIT``    — latency-saturation curve;
+* ``sweep CIRCUIT...`` — latency-saturation curves;
 * ``table1``           — reproduce the paper's Table 1 (+ summary stats);
+* ``campaign``         — run a circuits × latencies job matrix in parallel;
+* ``cache``            — artifact-cache statistics / purge;
 * ``list``             — list available benchmarks.
+
+``design``, ``sweep``, ``table1`` and ``campaign`` share the campaign
+runtime flags: ``--jobs N`` (worker processes), ``--cache-dir PATH`` and
+``--no-cache``.  Results are bit-identical whatever the flags — the cache
+stores values of pure functions and jobs are seeded deterministically.
 """
 
 from __future__ import annotations
@@ -16,13 +23,21 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.experiments.figures import latency_saturation_curve
+from repro.experiments.figures import latency_saturation_curves
 from repro.experiments.summary import summarize
 from repro.experiments.table1 import Table1Config, format_table1, run_table1
 from repro.flow import design_ced
 from repro.fsm.analysis import analyze
-from repro.fsm.benchmarks import TABLE1_CIRCUITS, benchmark_names, load_benchmark
+from repro.fsm.benchmarks import (
+    TABLE1_CIRCUITS,
+    UnknownBenchmarkError,
+    benchmark_summaries,
+    load_benchmark,
+)
 from repro.logic.synthesis import synthesize_fsm
+from repro.runtime.cache import ArtifactCache, open_cache
+from repro.runtime.campaign import CampaignOptions, design_matrix_jobs, run_campaign
+from repro.util.tables import format_table
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -35,8 +50,30 @@ def main(argv: Sequence[str] | None = None) -> int:
         "design": _cmd_design,
         "sweep": _cmd_sweep,
         "table1": _cmd_table1,
+        "campaign": _cmd_campaign,
+        "cache": _cmd_cache,
     }[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    except UnknownBenchmarkError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:  # e.g. `repro-ced list | head`
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _add_runtime_flags(parser: argparse.ArgumentParser, jobs: bool = True) -> None:
+    if jobs:
+        parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                            help="worker processes (default 1 = serial)")
+    parser.add_argument("--cache-dir", metavar="PATH",
+                        help="artifact cache directory (default "
+                        "$REPRO_CACHE_DIR or ~/.cache/repro-ced)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the artifact cache for this run")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -73,12 +110,14 @@ def _build_parser() -> argparse.ArgumentParser:
     design.add_argument("--max-faults", type=int, default=800)
     design.add_argument("--verify", action="store_true",
                         help="run the fault-injection verifier")
+    _add_runtime_flags(design)
 
-    sweep = sub.add_parser("sweep", help="latency saturation curve")
-    sweep.add_argument("circuit")
+    sweep = sub.add_parser("sweep", help="latency saturation curve(s)")
+    sweep.add_argument("circuits", nargs="+", metavar="circuit")
     sweep.add_argument("--max-latency", type=int, default=4)
     sweep.add_argument("--semantics", default="trajectory",
                        choices=("checker", "trajectory"))
+    _add_runtime_flags(sweep)
 
     table1 = sub.add_parser("table1", help="reproduce the paper's Table 1")
     table1.add_argument("--circuits", nargs="*", default=list(TABLE1_CIRCUITS))
@@ -86,12 +125,61 @@ def _build_parser() -> argparse.ArgumentParser:
                         choices=("checker", "trajectory"))
     table1.add_argument("--max-faults", type=int, default=800)
     table1.add_argument("--seed", type=int, default=2004)
+    table1.add_argument("--json", metavar="PATH",
+                        help="also write the machine-readable table1.json")
+    table1.add_argument("--manifest", metavar="PATH",
+                        help="write the campaign run manifest (JSON)")
+    table1.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                        help="per-circuit wall-clock limit")
+    table1.add_argument("--retries", type=int, default=1,
+                        help="extra attempts before the degraded fallback")
+    _add_runtime_flags(table1)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="run a circuits × latencies design matrix in parallel",
+    )
+    campaign.add_argument("--circuits", nargs="*", default=list(TABLE1_CIRCUITS))
+    campaign.add_argument("--latencies", nargs="*", type=int, default=[1, 2, 3])
+    campaign.add_argument("--semantics", default="trajectory",
+                          choices=("checker", "trajectory"))
+    campaign.add_argument("--encoding", default="binary",
+                          choices=("binary", "gray", "onehot", "weighted"))
+    campaign.add_argument("--max-faults", type=int, default=800)
+    campaign.add_argument("--multilevel", action="store_true")
+    campaign.add_argument("--seed", type=int, default=2004)
+    campaign.add_argument("--derive-seeds", action="store_true",
+                          help="independent deterministic per-circuit seeds")
+    campaign.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                          help="per-job wall-clock limit")
+    campaign.add_argument("--retries", type=int, default=1,
+                          help="extra attempts before the degraded fallback")
+    campaign.add_argument("--no-fallback", action="store_true",
+                          help="fail jobs instead of degrading to greedy-only")
+    campaign.add_argument("--manifest", metavar="PATH",
+                          default="repro-campaign-manifest.json",
+                          help="run manifest path (default %(default)s)")
+    _add_runtime_flags(campaign)
+
+    cache = sub.add_parser("cache", help="artifact cache maintenance")
+    cache.add_argument("action", choices=("stats", "purge"))
+    cache.add_argument("--stage", default=None,
+                       help="purge only one stage (synthesis/tables/solve/...)")
+    cache.add_argument("--cache-dir", metavar="PATH",
+                       help="cache directory (default $REPRO_CACHE_DIR or "
+                       "~/.cache/repro-ced)")
     return parser
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
-    for name in benchmark_names():
-        print(name)
+    rows = [
+        [s["name"], s["family"], s["inputs"], s["states"], s["outputs"], s["n"]]
+        for s in benchmark_summaries()
+    ]
+    print(format_table(
+        ["Circuit", "Family", "In", "States", "Out", "n"], rows,
+        title="Registered benchmark FSMs (n = observable bits, binary encoding)",
+    ))
     return 0
 
 
@@ -130,6 +218,7 @@ def _cmd_synth(args: argparse.Namespace) -> int:
 
 
 def _cmd_design(args: argparse.Namespace) -> int:
+    cache = open_cache(args.cache_dir, enabled=not args.no_cache)
     design = design_ced(
         args.circuit,
         latency=args.latency,
@@ -137,6 +226,7 @@ def _cmd_design(args: argparse.Namespace) -> int:
         encoding=args.encoding,
         max_faults=args.max_faults,
         verify=args.verify,
+        cache=cache,
     )
     print(design.summary())
     print(f"  parity vectors: {[hex(b) for b in design.solve_result.betas]}")
@@ -158,21 +248,123 @@ def _cmd_design(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    curve = latency_saturation_curve(
-        args.circuit, max_latency=args.max_latency, semantics=args.semantics
+    for circuit in args.circuits:  # fail fast, before forking workers
+        load_benchmark(circuit)
+    options = CampaignOptions(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        cache=not args.no_cache,
+        name="sweep",
     )
-    print(curve.format())
+    curves = latency_saturation_curves(
+        args.circuits,
+        max_latency=args.max_latency,
+        semantics=args.semantics,
+        options=options,
+    )
+    for index, circuit in enumerate(args.circuits):
+        if index:
+            print()
+        print(curves[circuit].format())
     return 0
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
+    for circuit in args.circuits:
+        load_benchmark(circuit)
     config = Table1Config(
         semantics=args.semantics, max_faults=args.max_faults, seed=args.seed
     )
-    result = run_table1(tuple(args.circuits), config)
+    options = CampaignOptions(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        cache=not args.no_cache,
+        timeout=args.timeout,
+        retries=args.retries,
+        manifest_path=args.manifest,
+        name="table1",
+    )
+    result = run_table1(tuple(args.circuits), config, options=options)
     print(format_table1(result))
     print()
     print(summarize(result).format())
+    if args.json:
+        from repro.experiments.report import write_table1_json
+
+        write_table1_json(result, args.json)
+        print(f"\nJSON written to {args.json}")
+    if args.manifest:
+        print(f"manifest written to {args.manifest}")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    for circuit in args.circuits:
+        load_benchmark(circuit)
+    jobs = design_matrix_jobs(
+        args.circuits,
+        latencies=args.latencies,
+        semantics=args.semantics,
+        encoding=args.encoding,
+        max_faults=args.max_faults,
+        multilevel=args.multilevel,
+        seed=args.seed,
+        derive_seeds=args.derive_seeds,
+    )
+    options = CampaignOptions(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        cache=not args.no_cache,
+        timeout=args.timeout,
+        retries=args.retries,
+        fallback=not args.no_fallback,
+        manifest_path=args.manifest,
+        name="campaign",
+    )
+    run = run_campaign(jobs, options, echo=print)
+
+    headers = ["Circuit"]
+    for latency in args.latencies:
+        headers += [f"p{latency}:Trees", f"p{latency}:Gates", f"p{latency}:Cost"]
+    rows = []
+    for job in jobs:
+        summary = run.values.get(job.name)
+        if summary is None:
+            rows.append([job.name] + ["-"] * (len(headers) - 1))
+            continue
+        cells: list[object] = [job.name]
+        for latency in args.latencies:
+            entry = summary["latencies"][str(latency)]
+            cells += [entry["trees"], entry["gates"], round(entry["cost"], 2)]
+        rows.append(cells)
+    print()
+    print(format_table(
+        headers, rows,
+        title=f"Campaign over {len(jobs)} circuits "
+        f"(semantics={args.semantics}, jobs={args.jobs})",
+    ))
+    totals = run.manifest["totals"]
+    print(
+        f"\n{totals['ok']} ok / {totals['degraded']} degraded / "
+        f"{totals['failed']} failed in {totals['wall_seconds']:.1f}s wall "
+        f"({totals['job_seconds']:.1f}s job time; cache "
+        f"{totals['cache_hits']} hits, {totals['cache_misses']} misses)"
+    )
+    if args.manifest:
+        print(f"manifest written to {args.manifest}")
+    return 1 if run.failed else 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = open_cache(args.cache_dir)
+    assert isinstance(cache, ArtifactCache)
+    if args.action == "stats":
+        print(f"cache directory: {cache.cache_dir}")
+        print(cache.stats().format())
+    else:
+        removed = cache.purge(stage=args.stage)
+        scope = f"stage {args.stage!r}" if args.stage else "all stages"
+        print(f"purged {removed} entries ({scope}) from {cache.cache_dir}")
     return 0
 
 

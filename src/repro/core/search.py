@@ -163,6 +163,43 @@ def solve_for_latencies(
     return results
 
 
+def solve_greedy_for_latencies(
+    tables: dict[int, DetectabilityTable],
+    config: SolveConfig = SolveConfig(),
+) -> dict[int, SolveResult]:
+    """Greedy-only variant of :func:`solve_for_latencies`.
+
+    No LP relaxation and no randomized rounding — just the greedy cover
+    (plus incumbent chaining and redundancy pruning).  Results still carry
+    the full bounded-latency guarantee (every β set is verified against
+    all rows); only minimality suffers.  The campaign executor uses this
+    as the degraded fallback when the LP path repeatedly fails or exceeds
+    its time budget.
+    """
+    results: dict[int, SolveResult] = {}
+    incumbent: list[int] | None = None
+    for latency in sorted(tables):
+        table = tables[latency]
+        if table.num_rows == 0:
+            results[latency] = SolveResult(
+                q=0, betas=[], incumbent_source="empty-table"
+            )
+            incumbent = []
+            continue
+        best = greedy_parity_cover(table, pool=config.greedy_pool)
+        source = "greedy-degraded"
+        if incumbent:
+            pruned = _prune(table.rows, list(incumbent))
+            if pruned is not None and len(pruned) < len(best):
+                best = pruned
+                source = "incumbent"
+        results[latency] = SolveResult(
+            q=len(best), betas=sorted(best), incumbent_source=source
+        )
+        incumbent = results[latency].betas
+    return results
+
+
 def _try_q(
     table: DetectabilityTable,
     lp_table: DetectabilityTable,

@@ -20,7 +20,6 @@ from repro.faults.model import StuckAtModel
 from repro.flow import design_ced_sweep
 from repro.fsm.benchmarks import load_benchmark
 from repro.fsm.machine import FSM
-from repro.logic.synthesis import synthesize_fsm
 from repro.util.tables import format_table
 
 
@@ -62,8 +61,16 @@ def latency_saturation_curve(
     max_faults: int | None = 400,
     solve_config: SolveConfig = SolveConfig(),
     seed: int = 2004,
+    cache=None,
+    recorder=None,
+    degraded: bool = False,
 ) -> SaturationCurve:
-    """Sweep the latency bound and record q / gates / cost per step."""
+    """Sweep the latency bound and record q / gates / cost per step.
+
+    ``cache``/``recorder``/``degraded`` are the campaign runtime's hooks
+    (see :mod:`repro.runtime`); they default to off and do not change the
+    produced curve.
+    """
     if isinstance(fsm, str):
         fsm = load_benchmark(fsm, seed=seed)
     latencies = list(range(1, max_latency + 1))
@@ -73,6 +80,9 @@ def latency_saturation_curve(
         semantics=semantics,
         max_faults=max_faults,
         solve_config=solve_config,
+        cache=cache,
+        recorder=recorder,
+        degraded=degraded,
     )
     synthesis = next(iter(designs.values())).synthesis
     predicted = max_useful_latency(
@@ -95,3 +105,39 @@ def latency_saturation_curve(
         points=points,
         predicted_max_useful_latency=predicted,
     )
+
+
+def latency_saturation_curves(
+    circuits: list[str],
+    max_latency: int = 4,
+    semantics: str = "trajectory",
+    max_faults: int | None = 400,
+    solve_config: SolveConfig = SolveConfig(),
+    seed: int = 2004,
+    options=None,
+    echo=None,
+) -> dict[str, SaturationCurve]:
+    """Saturation curves for several circuits via the campaign runtime.
+
+    ``options`` is a :class:`repro.runtime.CampaignOptions`; the default
+    runs the jobs inline (still cache-backed when a cache dir is
+    configured).  Curves come back keyed by circuit name.
+    """
+    from repro.runtime.campaign import CampaignJob, CampaignOptions, run_campaign
+
+    if options is None:
+        options = CampaignOptions(name="sweep")
+    jobs = [
+        CampaignJob(
+            kind="sweep",
+            name=circuit,
+            spec=(circuit, max_latency, semantics, max_faults, solve_config, seed),
+        )
+        for circuit in circuits
+    ]
+    run = run_campaign(jobs, options, echo=echo)
+    if run.failed:
+        names = ", ".join(report.name for report in run.failed)
+        errors = "; ".join(report.error or "?" for report in run.failed)
+        raise RuntimeError(f"sweep campaign failed for {names}: {errors}")
+    return {circuit: run.values[circuit] for circuit in circuits}

@@ -81,8 +81,19 @@ class Table1Result:
         raise KeyError(name)
 
 
-def run_circuit(name: str, config: Table1Config = Table1Config()) -> Table1Row:
-    """Run the full flow for one circuit and produce its table row."""
+def run_circuit(
+    name: str,
+    config: Table1Config = Table1Config(),
+    cache=None,
+    recorder=None,
+    degraded: bool = False,
+) -> Table1Row:
+    """Run the full flow for one circuit and produce its table row.
+
+    ``cache``/``recorder``/``degraded`` are the campaign runtime's hooks
+    (see :mod:`repro.runtime`); all default to off and do not change the
+    produced row.
+    """
     fsm = load_benchmark(name, seed=config.seed)
     designs = design_ced_sweep(
         fsm,
@@ -97,6 +108,9 @@ def run_circuit(name: str, config: Table1Config = Table1Config()) -> Table1Row:
         ),
         solve_config=config.solve,
         multilevel=config.multilevel,
+        cache=cache,
+        recorder=recorder,
+        degraded=degraded,
     )
     synthesis = next(iter(designs.values())).synthesis
     duplication = duplication_stats(synthesis)
@@ -125,9 +139,29 @@ def run_circuit(name: str, config: Table1Config = Table1Config()) -> Table1Row:
 def run_table1(
     circuits: tuple[str, ...] = TABLE1_CIRCUITS,
     config: Table1Config = Table1Config(),
+    options=None,
+    echo=None,
 ) -> Table1Result:
-    """Run the flow over all requested circuits."""
-    rows = [run_circuit(name, config) for name in circuits]
+    """Run the flow over all requested circuits.
+
+    With ``options`` (a :class:`repro.runtime.CampaignOptions`) the rows
+    are produced by the campaign runtime — in parallel across circuits,
+    cache-backed, with per-job retry/fallback and a JSON run manifest —
+    and are bit-identical to the serial path (each row is a pure function
+    of ``(circuit, config)``).  ``echo`` receives per-job progress lines.
+    """
+    if options is None:
+        rows = [run_circuit(name, config) for name in circuits]
+        return Table1Result(config=config, rows=rows)
+
+    from repro.runtime.campaign import run_campaign, table1_jobs
+
+    run = run_campaign(table1_jobs(circuits, config), options, echo=echo)
+    if run.failed:
+        names = ", ".join(report.name for report in run.failed)
+        errors = "; ".join(report.error or "?" for report in run.failed)
+        raise RuntimeError(f"table1 campaign failed for {names}: {errors}")
+    rows = [run.values[name] for name in circuits]
     return Table1Result(config=config, rows=rows)
 
 

@@ -30,9 +30,24 @@ class FaultSimResult:
 
     @property
     def coverage(self) -> float:
+        """Fraction of the fault universe detected by the pattern set.
+
+        **Empty-universe convention:** with no faults to detect, coverage
+        is defined as ``1.0`` — the vacuous-truth reading ("every fault in
+        the universe is detected"), matching the usual test-quality metric
+        where an empty requirement is trivially satisfied.  Callers that
+        need to distinguish "perfectly covered" from "nothing to cover"
+        should check :attr:`num_faults` (or ``detected``) explicitly; the
+        1.0 is a definition, not a measurement.
+        """
         if not self.detected:
             return 1.0
         return sum(self.detected.values()) / len(self.detected)
+
+    @property
+    def num_faults(self) -> int:
+        """Size of the simulated fault universe (0 means vacuous coverage)."""
+        return len(self.detected)
 
     def undetected(self) -> list[str]:
         return [name for name, hit in self.detected.items() if not hit]

@@ -9,6 +9,16 @@ This is the public high-level API tying the whole stack together::
 
 For latency sweeps (one extraction, chained solving — the cheap and
 monotone way) use :func:`design_ced_sweep`.
+
+Both entry points accept the campaign runtime's hooks: an
+:class:`repro.runtime.cache.ArtifactCache` (the expensive stages —
+synthesis, table extraction, solving — are then content-addressed and
+never recomputed for identical inputs), a
+:class:`repro.runtime.metrics.MetricsRecorder` (per-stage wall-time /
+memory), and ``degraded=True`` (greedy-only solving, the executor's
+timeout fallback).  All three default to off, and the cached path returns
+bit-identical results to the uncached one — the cache stores the values
+of pure functions.
 """
 
 from __future__ import annotations
@@ -22,11 +32,18 @@ from repro.core.detectability import (
     TableConfig,
     extract_tables,
 )
-from repro.core.search import SolveConfig, SolveResult, solve_for_latencies
+from repro.core.search import (
+    SolveConfig,
+    SolveResult,
+    solve_for_latencies,
+    solve_greedy_for_latencies,
+)
 from repro.faults.model import FaultModel, StuckAtModel
 from repro.fsm.benchmarks import load_benchmark
 from repro.fsm.machine import FSM
 from repro.logic.synthesis import SynthesisResult, synthesize_fsm
+from repro.runtime.cache import Cache, NullCache, cached_call, fingerprint
+from repro.runtime.metrics import MetricsRecorder
 
 
 @dataclass
@@ -80,6 +97,9 @@ def design_ced(
     fault_model: FaultModel | None = None,
     verify: bool = False,
     multilevel: bool = False,
+    cache: Cache | None = None,
+    recorder: MetricsRecorder | None = None,
+    degraded: bool = False,
 ) -> CedDesign:
     """Design bounded-latency CED hardware for a machine.
 
@@ -100,6 +120,9 @@ def design_ced(
         fault_model=fault_model,
         verify=verify,
         multilevel=multilevel,
+        cache=cache,
+        recorder=recorder,
+        degraded=degraded,
     )
     return designs[latency]
 
@@ -115,40 +138,85 @@ def design_ced_sweep(
     fault_model: FaultModel | None = None,
     verify: bool = False,
     multilevel: bool = False,
+    cache: Cache | None = None,
+    recorder: MetricsRecorder | None = None,
+    degraded: bool = False,
 ) -> dict[int, CedDesign]:
     """Design CED hardware for several latency bounds in one pass."""
     if isinstance(fsm, str):
         fsm = load_benchmark(fsm)
     if not latencies:
         raise ValueError("at least one latency bound required")
-    synthesis = synthesize_fsm(fsm, encoding=encoding, multilevel=multilevel)
+    if cache is None:
+        cache = NullCache()
+    if recorder is None:
+        recorder = MetricsRecorder()
+    custom_model = fault_model is not None
+
+    with recorder.stage("synthesis") as stage:
+        synthesis, stage.cached = cached_call(
+            cache,
+            "synthesis",
+            fingerprint("synthesis", fsm, encoding, multilevel),
+            lambda: synthesize_fsm(fsm, encoding=encoding, multilevel=multilevel),
+        )
     if fault_model is None:
         fault_model = StuckAtModel(synthesis, max_faults=max_faults)
     if table_config is None:
         table_config = TableConfig(latency=max(latencies), semantics=semantics)
-    tables = extract_tables(synthesis, fault_model, table_config, latencies)
-    results = solve_for_latencies(tables, solve_config)
+
+    with recorder.stage("tables") as stage:
+        if custom_model:
+            # An arbitrary user model has no stable fingerprint — always
+            # extract fresh rather than risk replaying a stale artifact.
+            tables = extract_tables(synthesis, fault_model, table_config, latencies)
+        else:
+            fault_desc = ("stuck-at", True, True, max_faults, fault_model.seed)
+            tables, stage.cached = cached_call(
+                cache,
+                "tables",
+                fingerprint(
+                    "tables", fsm, encoding, multilevel, fault_desc,
+                    table_config, tuple(sorted(set(latencies))),
+                ),
+                lambda: extract_tables(
+                    synthesis, fault_model, table_config, latencies
+                ),
+            )
+
+    with recorder.stage("solve") as stage:
+        solver = solve_greedy_for_latencies if degraded else solve_for_latencies
+        solve_key = fingerprint(
+            "solve",
+            "degraded" if degraded else "full",
+            solve_config,
+            [(p, tables[p].num_bits, tables[p].rows) for p in sorted(tables)],
+        )
+        results, stage.cached = cached_call(
+            cache, "solve", solve_key, lambda: solver(tables, solve_config)
+        )
 
     designs: dict[int, CedDesign] = {}
-    for latency in latencies:
-        hardware = build_ced_hardware(
-            synthesis, results[latency].betas, multilevel=multilevel
-        )
-        verification = None
-        if verify:
-            verification = verify_bounded_latency(
-                synthesis,
-                hardware,
-                fault_model.faults(),
-                latency=latency,
-                seed=solve_config.seed,
+    with recorder.stage("hardware"):
+        for latency in latencies:
+            hardware = build_ced_hardware(
+                synthesis, results[latency].betas, multilevel=multilevel
             )
-        designs[latency] = CedDesign(
-            synthesis=synthesis,
-            latency=latency,
-            table=tables[latency],
-            solve_result=results[latency],
-            hardware=hardware,
-            verification=verification,
-        )
+            designs[latency] = CedDesign(
+                synthesis=synthesis,
+                latency=latency,
+                table=tables[latency],
+                solve_result=results[latency],
+                hardware=hardware,
+            )
+    if verify:
+        with recorder.stage("verify"):
+            for latency in latencies:
+                designs[latency].verification = verify_bounded_latency(
+                    synthesis,
+                    designs[latency].hardware,
+                    fault_model.faults(),
+                    latency=latency,
+                    seed=solve_config.seed,
+                )
     return designs

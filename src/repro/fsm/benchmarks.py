@@ -18,6 +18,7 @@ Two families:
 
 from __future__ import annotations
 
+import difflib
 from importlib import resources
 
 from repro.fsm.generate import GeneratorSpec, generate_fsm
@@ -96,16 +97,63 @@ TABLE1_CIRCUITS = (
 )
 
 
+class UnknownBenchmarkError(KeyError):
+    """Raised for an unregistered benchmark name; carries a suggestion."""
+
+    def __init__(self, name: str, suggestion: str | None) -> None:
+        self.name = name
+        self.suggestion = suggestion
+        message = f"unknown circuit {name!r}"
+        if suggestion:
+            message += f" (did you mean {suggestion!r}?)"
+        super().__init__(message)
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep it readable
+        return self.args[0]
+
+
 def benchmark_names() -> list[str]:
     """All registered benchmark names (hand-written first)."""
     return list(HAND_WRITTEN) + list(MCNC_SIGNATURES)
+
+
+def suggest_benchmark(name: str) -> str | None:
+    """The registered name closest to ``name``, if any is plausibly close."""
+    matches = difflib.get_close_matches(name, benchmark_names(), n=1, cutoff=0.5)
+    return matches[0] if matches else None
+
+
+def benchmark_summaries(seed: int = DEFAULT_SEED) -> list[dict]:
+    """Name-sorted structural summaries of every registered benchmark.
+
+    One dict per machine: ``name``, ``family`` ("hand-written" or "mcnc"),
+    ``inputs``, ``states``, ``outputs``, ``n`` (observable bits s + o with
+    binary encoding, the paper's duplication baseline width).
+    """
+    summaries = []
+    for name in sorted(benchmark_names()):
+        fsm = load_benchmark(name, seed=seed)
+        state_bits = max(1, (fsm.num_states - 1).bit_length())
+        summaries.append(
+            {
+                "name": name,
+                "family": "hand-written" if name in HAND_WRITTEN else "mcnc",
+                "inputs": fsm.num_inputs,
+                "states": fsm.num_states,
+                "outputs": fsm.num_outputs,
+                "n": state_bits + fsm.num_outputs,
+            }
+        )
+    return summaries
 
 
 def load_benchmark(name: str, seed: int = DEFAULT_SEED) -> FSM:
     """Load a benchmark FSM by name.
 
     Hand-written machines ignore ``seed``; synthetic machines are generated
-    deterministically from it.
+    deterministically from it.  Unknown names raise
+    :class:`UnknownBenchmarkError` (a ``KeyError``) naming the nearest
+    registered benchmark.
     """
     if name in HAND_WRITTEN:
         text = (
@@ -116,7 +164,5 @@ def load_benchmark(name: str, seed: int = DEFAULT_SEED) -> FSM:
         return parse_kiss(text, name=name)
     spec = MCNC_SIGNATURES.get(name)
     if spec is None:
-        raise KeyError(
-            f"unknown benchmark {name!r}; known: {', '.join(benchmark_names())}"
-        )
+        raise UnknownBenchmarkError(name, suggest_benchmark(name))
     return generate_fsm(spec, seed=seed)

@@ -1,0 +1,75 @@
+"""Campaign runtime: parallel, cache-backed orchestration of CED runs.
+
+The expensive artifacts of the CED flow — synthesized netlists, extracted
+detectability tables, Algorithm-1 solve results — are pure functions of
+(FSM, configuration, seed, code version).  This subsystem exploits that:
+
+* :mod:`repro.runtime.cache` — content-addressed on-disk artifact cache
+  (stable fingerprints, atomic writes, stats/purge, corruption = miss);
+* :mod:`repro.runtime.metrics` — per-stage wall-time / peak-RSS metrics;
+* :mod:`repro.runtime.executor` — ``ProcessPoolExecutor`` fan-out with
+  per-job timeouts, bounded retry and a greedy-only degraded fallback;
+* :mod:`repro.runtime.campaign` — job-matrix expansion, streamed results
+  and a JSON run manifest.
+
+Entry points: ``repro-ced campaign`` on the command line, or::
+
+    from repro.runtime import CampaignOptions, design_matrix_jobs, run_campaign
+
+    jobs = design_matrix_jobs(["dk512", "s27"], latencies=[1, 2, 3])
+    run = run_campaign(jobs, CampaignOptions(jobs=4, cache_dir="~/.cache/repro-ced"))
+"""
+
+from repro.runtime.cache import (
+    ArtifactCache,
+    Cache,
+    CacheStats,
+    NullCache,
+    cached_call,
+    fingerprint,
+    open_cache,
+)
+from repro.runtime.campaign import (
+    CampaignJob,
+    CampaignOptions,
+    CampaignRun,
+    DesignJobSpec,
+    JobReport,
+    design_matrix_jobs,
+    run_campaign,
+    table1_jobs,
+)
+from repro.runtime.executor import (
+    ExecutorConfig,
+    JobOutcome,
+    JobTimeout,
+    job_seed,
+    run_jobs,
+)
+from repro.runtime.metrics import MetricsRecorder, StageMetrics, peak_rss_kb
+
+__all__ = [
+    "ArtifactCache",
+    "Cache",
+    "CacheStats",
+    "CampaignJob",
+    "CampaignOptions",
+    "CampaignRun",
+    "DesignJobSpec",
+    "ExecutorConfig",
+    "JobOutcome",
+    "JobReport",
+    "JobTimeout",
+    "MetricsRecorder",
+    "NullCache",
+    "StageMetrics",
+    "cached_call",
+    "design_matrix_jobs",
+    "fingerprint",
+    "job_seed",
+    "open_cache",
+    "peak_rss_kb",
+    "run_campaign",
+    "run_jobs",
+    "table1_jobs",
+]

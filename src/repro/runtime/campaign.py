@@ -1,0 +1,431 @@
+"""Campaign orchestration: a job matrix in, streamed results + manifest out.
+
+A *campaign* is a batch of independent CED design runs — circuits ×
+latency bounds × configurations.  This module expands the matrix into
+picklable job specs, runs them through :mod:`repro.runtime.executor`
+(parallel, per-job timeout, bounded retry, greedy-only degraded
+fallback), shares one content-addressed artifact cache across all
+workers, and writes a JSON *run manifest* recording, per job: status,
+attempts, wall time, per-stage wall-time/peak-RSS metrics and cache
+hit/miss deltas.
+
+Three job kinds are understood:
+
+* ``design``     — ``design_ced_sweep`` over a latency list, summarised
+  (q / gates / cost per latency; netlists stay in the worker);
+* ``table1-row`` — one circuit row of the paper's Table 1 (the
+  ``repro-ced table1 --jobs N`` path);
+* ``sweep``      — a latency-saturation curve
+  (:func:`repro.experiments.figures.latency_saturation_curve`).
+
+Jobs are independent pure functions of their spec, so results are
+bit-identical regardless of ``--jobs``, scheduling order or cache state.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from repro.core.search import SolveConfig
+from repro.runtime.cache import (
+    ArtifactCache,
+    Cache,
+    cached_call,
+    fingerprint,
+    open_cache,
+)
+from repro.runtime.executor import ExecutorConfig, job_seed, run_jobs
+from repro.runtime.metrics import MetricsRecorder
+
+JOB_KINDS = ("design", "table1-row", "sweep")
+
+
+# ----------------------------------------------------------------------
+# Job specs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DesignJobSpec:
+    """One ``design_ced_sweep`` invocation, fully pinned down."""
+
+    circuit: str
+    latencies: tuple[int, ...] = (1,)
+    semantics: str = "trajectory"
+    encoding: str = "binary"
+    max_faults: int | None = 800
+    multilevel: bool = False
+    seed: int = 2004
+    solve: SolveConfig = field(default_factory=SolveConfig)
+
+
+@dataclass(frozen=True)
+class CampaignJob:
+    """One schedulable unit: a kind tag, a display name and its spec."""
+
+    kind: str
+    name: str
+    spec: Any
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise ValueError(f"job kind must be one of {JOB_KINDS}")
+
+
+@dataclass(frozen=True)
+class CampaignOptions:
+    """Runtime knobs of a campaign (CLI flags map 1:1 onto these)."""
+
+    jobs: int = 1
+    cache_dir: str | None = None
+    cache: bool = True
+    timeout: float | None = None
+    retries: int = 1
+    fallback: bool = True
+    manifest_path: str | None = None
+    name: str = "campaign"
+
+
+@dataclass
+class JobReport:
+    """Manifest entry for one finished (or failed) job."""
+
+    name: str
+    kind: str
+    status: str  # "ok" | "degraded" | "failed"
+    attempts: int
+    seconds: float
+    stages: list[dict] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    error: str | None = None
+    result: Any = None
+
+
+@dataclass
+class CampaignRun:
+    """Everything a campaign produced."""
+
+    reports: list[JobReport]  # input order
+    values: dict[str, Any]  # job name -> full value (successful jobs)
+    manifest: dict
+    wall_seconds: float
+
+    @property
+    def failed(self) -> list[JobReport]:
+        return [report for report in self.reports if report.status == "failed"]
+
+
+# ----------------------------------------------------------------------
+# Matrix expansion
+# ----------------------------------------------------------------------
+def design_matrix_jobs(
+    circuits: Sequence[str],
+    latencies: Sequence[int],
+    semantics: str = "trajectory",
+    encoding: str = "binary",
+    max_faults: int | None = 800,
+    multilevel: bool = False,
+    seed: int = 2004,
+    solve: SolveConfig | None = None,
+    derive_seeds: bool = False,
+) -> list[CampaignJob]:
+    """Circuits × latency-set design matrix (one chained sweep per circuit).
+
+    ``derive_seeds=True`` replaces the shared seed with an independent
+    deterministic per-circuit seed (:func:`repro.runtime.executor.job_seed`)
+    — useful for seed-robustness studies; off by default so campaign runs
+    match their serial equivalents exactly.
+    """
+    jobs = []
+    for circuit in circuits:
+        circuit_seed = job_seed(seed, circuit) if derive_seeds else seed
+        circuit_solve = solve
+        if circuit_solve is None:
+            circuit_solve = SolveConfig(seed=circuit_seed)
+        spec = DesignJobSpec(
+            circuit=circuit,
+            latencies=tuple(latencies),
+            semantics=semantics,
+            encoding=encoding,
+            max_faults=max_faults,
+            multilevel=multilevel,
+            seed=circuit_seed,
+            solve=circuit_solve,
+        )
+        jobs.append(CampaignJob(kind="design", name=circuit, spec=spec))
+    return jobs
+
+
+def table1_jobs(circuits: Sequence[str], config: Any) -> list[CampaignJob]:
+    """One ``table1-row`` job per circuit of a Table-1 run."""
+    return [
+        CampaignJob(kind="table1-row", name=circuit, spec=(circuit, config))
+        for circuit in circuits
+    ]
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+_WORKER_CACHES: dict[tuple[str | None, bool], Cache] = {}
+
+
+def _worker_cache(cache_dir: str | None, enabled: bool) -> Cache:
+    key = (cache_dir, enabled)
+    cache = _WORKER_CACHES.get(key)
+    if cache is None:
+        cache = open_cache(cache_dir, enabled=enabled)
+        _WORKER_CACHES[key] = cache
+    return cache
+
+
+def _run_design(spec: DesignJobSpec, cache, recorder, degraded: bool) -> dict:
+    from repro.flow import design_ced_sweep
+    from repro.fsm.benchmarks import load_benchmark
+
+    fsm = load_benchmark(spec.circuit, seed=spec.seed)
+    designs = design_ced_sweep(
+        fsm,
+        latencies=list(spec.latencies),
+        semantics=spec.semantics,
+        encoding=spec.encoding,
+        max_faults=spec.max_faults,
+        solve_config=spec.solve,
+        multilevel=spec.multilevel,
+        cache=cache,
+        recorder=recorder,
+        degraded=degraded,
+    )
+    return {
+        "circuit": spec.circuit,
+        "latencies": {
+            str(p): {
+                "trees": design.num_parity_bits,
+                "gates": design.gates,
+                "cost": design.cost,
+                "betas": [int(b) for b in design.solve_result.betas],
+                "source": design.solve_result.incumbent_source,
+            }
+            for p, design in sorted(designs.items())
+        },
+    }
+
+
+def _run_table1_row(spec: tuple, cache, recorder, degraded: bool):
+    from repro.experiments.table1 import run_circuit
+
+    circuit, config = spec
+    with recorder.stage("row") as stage:
+        row, stage.cached = cached_call(
+            cache,
+            "row",
+            fingerprint("table1-row", circuit, config, degraded),
+            lambda: run_circuit(
+                circuit, config, cache=cache, recorder=recorder,
+                degraded=degraded,
+            ),
+        )
+    return row
+
+
+def _run_sweep(spec: tuple, cache, recorder, degraded: bool):
+    from repro.experiments.figures import latency_saturation_curve
+
+    circuit, max_latency, semantics, max_faults, solve, seed = spec
+    with recorder.stage("curve") as stage:
+        curve, stage.cached = cached_call(
+            cache,
+            "curve",
+            fingerprint(
+                "sweep", circuit, max_latency, semantics, max_faults,
+                solve, seed, degraded,
+            ),
+            lambda: latency_saturation_curve(
+                circuit,
+                max_latency=max_latency,
+                semantics=semantics,
+                max_faults=max_faults,
+                solve_config=solve,
+                seed=seed,
+                cache=cache,
+                recorder=recorder,
+                degraded=degraded,
+            ),
+        )
+    return curve
+
+
+_DISPATCH: dict[str, Callable] = {
+    "design": _run_design,
+    "table1-row": _run_table1_row,
+    "sweep": _run_sweep,
+}
+
+
+def campaign_worker(payload: tuple, degraded: bool) -> dict:
+    """Executor entry point (module-level: crosses process boundaries)."""
+    kind, name, spec, cache_dir, cache_enabled = payload
+    cache = _worker_cache(cache_dir, cache_enabled)
+    recorder = MetricsRecorder()
+    hits_before, misses_before = cache.counters()
+    value = _DISPATCH[kind](spec, cache, recorder, degraded)
+    hits_after, misses_after = cache.counters()
+    return {
+        "value": value,
+        "stages": recorder.as_dicts(),
+        "cache_hits": hits_after - hits_before,
+        "cache_misses": misses_after - misses_before,
+    }
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def run_campaign(
+    jobs: Sequence[CampaignJob],
+    options: CampaignOptions = CampaignOptions(),
+    echo: Callable[[str], None] | None = None,
+) -> CampaignRun:
+    """Run a campaign; stream per-job lines via ``echo``; write the manifest.
+
+    Successful values are collected under their job names; a failed job is
+    reported (and echoed) but does not abort the rest of the campaign.
+    """
+    started = time.perf_counter()
+    created = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    payloads = [
+        (job.kind, job.name, job.spec, options.cache_dir, options.cache)
+        for job in jobs
+    ]
+    executor = ExecutorConfig(
+        jobs=options.jobs,
+        timeout=options.timeout,
+        retries=options.retries,
+        fallback=options.fallback,
+    )
+    reports: dict[int, JobReport] = {}
+    values: dict[str, Any] = {}
+    for outcome in run_jobs(campaign_worker, payloads, executor):
+        job = jobs[outcome.index]
+        if outcome.ok:
+            envelope = outcome.value
+            report = JobReport(
+                name=job.name,
+                kind=job.kind,
+                status="degraded" if outcome.degraded else "ok",
+                attempts=outcome.attempts,
+                seconds=outcome.seconds,
+                stages=envelope["stages"],
+                cache_hits=envelope["cache_hits"],
+                cache_misses=envelope["cache_misses"],
+                result=_brief(envelope["value"]),
+            )
+            values[job.name] = envelope["value"]
+        else:
+            report = JobReport(
+                name=job.name,
+                kind=job.kind,
+                status="failed",
+                attempts=outcome.attempts,
+                seconds=outcome.seconds,
+                error=outcome.error,
+            )
+        reports[outcome.index] = report
+        if echo is not None:
+            echo(_progress_line(report, len(reports), len(jobs)))
+    wall = time.perf_counter() - started
+    ordered = [reports[index] for index in range(len(jobs))]
+    manifest = _build_manifest(ordered, options, created, wall)
+    if options.manifest_path:
+        path = Path(options.manifest_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(manifest, indent=2) + "\n")
+    return CampaignRun(
+        reports=ordered, values=values, manifest=manifest, wall_seconds=wall
+    )
+
+
+def _progress_line(report: JobReport, done: int, total: int) -> str:
+    mark = {"ok": "done", "degraded": "done (degraded)", "failed": "FAILED"}[
+        report.status
+    ]
+    line = (
+        f"[{done}/{total}] {report.name}: {mark} in {report.seconds:.1f}s "
+        f"(attempts={report.attempts}, cache {report.cache_hits} hit / "
+        f"{report.cache_misses} miss)"
+    )
+    if report.error:
+        line += f" — {report.error}"
+    return line
+
+
+def _brief(value: Any) -> Any:
+    """A manifest-sized summary of a job value."""
+    if isinstance(value, dict):
+        return value
+    entries = getattr(value, "entries", None)
+    if isinstance(entries, dict):  # Table1Row
+        return {
+            "circuit": getattr(value, "name", "?"),
+            "latencies": {
+                str(p): {
+                    "trees": entry.num_trees,
+                    "gates": entry.gates,
+                    "cost": entry.cost,
+                }
+                for p, entry in sorted(entries.items())
+            },
+        }
+    points = getattr(value, "points", None)
+    if isinstance(points, list):  # SaturationCurve
+        return {
+            "circuit": getattr(value, "name", "?"),
+            "points": [asdict(point) for point in points],
+        }
+    return repr(value)
+
+
+def _build_manifest(
+    reports: list[JobReport],
+    options: CampaignOptions,
+    created: str,
+    wall: float,
+) -> dict:
+    cache_stats = None
+    if options.cache:
+        cache = open_cache(options.cache_dir)
+        if isinstance(cache, ArtifactCache):
+            disk = cache.stats()
+            cache_stats = {
+                "dir": str(cache.cache_dir),
+                "entries": disk.entries,
+                "bytes": disk.bytes,
+            }
+    return {
+        "campaign": options.name,
+        "created": created,
+        "options": {
+            "jobs": options.jobs,
+            "cache": options.cache,
+            "cache_dir": options.cache_dir,
+            "timeout": options.timeout,
+            "retries": options.retries,
+            "fallback": options.fallback,
+        },
+        "cache": cache_stats,
+        "totals": {
+            "jobs": len(reports),
+            "ok": sum(1 for r in reports if r.status == "ok"),
+            "degraded": sum(1 for r in reports if r.status == "degraded"),
+            "failed": sum(1 for r in reports if r.status == "failed"),
+            "wall_seconds": round(wall, 3),
+            "job_seconds": round(sum(r.seconds for r in reports), 3),
+            "cache_hits": sum(r.cache_hits for r in reports),
+            "cache_misses": sum(r.cache_misses for r in reports),
+        },
+        "jobs": [asdict(report) for report in reports],
+    }

@@ -1,0 +1,237 @@
+"""Parallel job execution with timeouts, bounded retry and degraded fallback.
+
+The campaign layer hands this module a list of picklable payloads and a
+top-level worker function; jobs run across a ``ProcessPoolExecutor`` (or
+inline when ``jobs <= 1``) and outcomes are yielded **as they finish**, so
+callers can stream progress.
+
+Failure policy, per job:
+
+1. up to ``1 + retries`` normal attempts (a per-attempt wall-clock
+   ``timeout`` is enforced *inside* the worker process via ``SIGALRM``,
+   which keeps the pool alive — no worker is ever killed);
+2. if every normal attempt failed and ``fallback`` is set, one final
+   attempt runs with ``degraded=True`` — workers interpret that as
+   "cheapest correct mode" (the CED flow substitutes the greedy-only
+   solver for the LP + randomized-rounding search);
+3. only then is the job reported as failed, with the last error message.
+
+Per-job deterministic seeding is available via :func:`job_seed`, which
+derives an independent 31-bit seed from a base seed and the job's labels
+using the repo-wide :func:`repro.util.rng.rng_for` scheme — results never
+depend on scheduling order or worker identity.
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.util.rng import rng_for
+
+
+class JobTimeout(RuntimeError):
+    """A job attempt exceeded its wall-clock budget."""
+
+
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """Knobs of the parallel executor."""
+
+    jobs: int = 1
+    #: Per-attempt wall-clock limit in seconds (None = unlimited).
+    timeout: float | None = None
+    #: Extra normal attempts after the first failure.
+    retries: int = 1
+    #: After all normal attempts fail, try once more in degraded mode.
+    fallback: bool = True
+
+
+@dataclass
+class JobOutcome:
+    """Terminal result of one job (success or exhausted failure)."""
+
+    index: int
+    value: Any = None
+    error: str | None = None
+    attempts: int = 1
+    degraded: bool = False
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def job_seed(base_seed: int, *labels: object) -> int:
+    """A deterministic, scheduling-independent 31-bit seed for one job."""
+    return int(rng_for(base_seed, "job", *labels).integers(1 << 31))
+
+
+# ----------------------------------------------------------------------
+# Worker-side wrapper
+# ----------------------------------------------------------------------
+def _alarm_handler(signum: int, frame: object) -> None:
+    raise JobTimeout("job attempt timed out")
+
+
+def invoke_with_timeout(
+    worker: Callable[[Any, bool], Any],
+    payload: Any,
+    degraded: bool,
+    timeout: float | None,
+) -> tuple[Any, float]:
+    """Run one attempt, enforcing ``timeout`` via SIGALRM where possible.
+
+    Returns ``(value, seconds)``.  Runs in the worker process (or inline);
+    if alarms are unavailable (non-main thread), the attempt simply runs
+    unbounded rather than failing.
+    """
+    start = time.perf_counter()
+    armed = False
+    previous = None
+    if timeout is not None and timeout > 0:
+        try:
+            previous = signal.signal(signal.SIGALRM, _alarm_handler)
+            signal.setitimer(signal.ITIMER_REAL, timeout)
+            armed = True
+        except (ValueError, OSError, AttributeError):
+            armed = False
+    try:
+        value = worker(payload, degraded)
+    finally:
+        if armed:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+    return value, time.perf_counter() - start
+
+
+def _pool_entry(
+    worker: Callable[[Any, bool], Any],
+    payload: Any,
+    degraded: bool,
+    timeout: float | None,
+) -> tuple[Any, float]:
+    return invoke_with_timeout(worker, payload, degraded, timeout)
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+@dataclass
+class _JobState:
+    index: int
+    payload: Any
+    attempts: int = 0
+    degraded: bool = False
+    seconds: float = 0.0
+    last_error: str | None = None
+
+
+def run_jobs(
+    worker: Callable[[Any, bool], Any],
+    payloads: Sequence[Any],
+    config: ExecutorConfig = ExecutorConfig(),
+) -> Iterator[JobOutcome]:
+    """Run ``worker(payload, degraded)`` over all payloads; stream outcomes.
+
+    ``worker`` must be a module-level function (it crosses process
+    boundaries when ``config.jobs > 1``).  Outcomes arrive in completion
+    order, tagged with the payload's original ``index``.
+    """
+    if config.jobs <= 1 or len(payloads) <= 1:
+        yield from _run_serial(worker, payloads, config)
+        return
+    yield from _run_pool(worker, payloads, config)
+
+
+def _attempt_failed(state: _JobState, config: ExecutorConfig) -> JobOutcome | None:
+    """Advance a failed job's state; an outcome means it is exhausted."""
+    if state.attempts < 1 + config.retries:
+        return None  # normal retry
+    if config.fallback and not state.degraded:
+        state.degraded = True
+        return None  # one degraded attempt
+    return JobOutcome(
+        index=state.index,
+        error=state.last_error,
+        attempts=state.attempts,
+        degraded=state.degraded,
+        seconds=state.seconds,
+    )
+
+
+def _run_serial(
+    worker: Callable[[Any, bool], Any],
+    payloads: Sequence[Any],
+    config: ExecutorConfig,
+) -> Iterator[JobOutcome]:
+    for index, payload in enumerate(payloads):
+        state = _JobState(index=index, payload=payload)
+        while True:
+            state.attempts += 1
+            try:
+                value, seconds = invoke_with_timeout(
+                    worker, payload, state.degraded, config.timeout
+                )
+                state.seconds += seconds
+                yield JobOutcome(
+                    index=index,
+                    value=value,
+                    attempts=state.attempts,
+                    degraded=state.degraded,
+                    seconds=state.seconds,
+                )
+                break
+            except Exception as error:
+                state.last_error = f"{type(error).__name__}: {error}"
+                outcome = _attempt_failed(state, config)
+                if outcome is not None:
+                    yield outcome
+                    break
+
+
+def _run_pool(
+    worker: Callable[[Any, bool], Any],
+    payloads: Sequence[Any],
+    config: ExecutorConfig,
+) -> Iterator[JobOutcome]:
+    states = [
+        _JobState(index=index, payload=payload)
+        for index, payload in enumerate(payloads)
+    ]
+    with ProcessPoolExecutor(max_workers=config.jobs) as pool:
+
+        def submit(state: _JobState):
+            state.attempts += 1
+            future = pool.submit(
+                _pool_entry, worker, state.payload, state.degraded, config.timeout
+            )
+            return future
+
+        pending = {submit(state): state for state in states}
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                state = pending.pop(future)
+                try:
+                    value, seconds = future.result()
+                except Exception as error:
+                    state.last_error = f"{type(error).__name__}: {error}"
+                    outcome = _attempt_failed(state, config)
+                    if outcome is not None:
+                        yield outcome
+                    else:
+                        pending[submit(state)] = state
+                    continue
+                state.seconds += seconds
+                yield JobOutcome(
+                    index=state.index,
+                    value=value,
+                    attempts=state.attempts,
+                    degraded=state.degraded,
+                    seconds=state.seconds,
+                )

@@ -1,0 +1,70 @@
+"""Per-stage wall-time and memory metrics for campaign jobs.
+
+A :class:`MetricsRecorder` is threaded through the flow; each pipeline
+stage (synthesis, table extraction, solve, hardware, verify) wraps itself
+in :meth:`MetricsRecorder.stage` and the campaign layer serialises the
+collected :class:`StageMetrics` into the run manifest.
+
+Memory is reported as the process peak RSS (``ru_maxrss``) observed at
+the end of each stage.  The counter is monotone per process — it tells
+you which stage drove the high-water mark, not per-stage allocation.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass
+from typing import Iterator
+
+
+def peak_rss_kb() -> int:
+    """Current process peak RSS in KiB (0 where unsupported)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+@dataclass
+class StageMetrics:
+    """One pipeline stage of one job."""
+
+    name: str
+    seconds: float = 0.0
+    peak_rss_kb: int = 0
+    cached: bool = False
+
+
+class MetricsRecorder:
+    """Accumulates :class:`StageMetrics` in stage-execution order."""
+
+    def __init__(self) -> None:
+        self.stages: list[StageMetrics] = []
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[StageMetrics]:
+        """Time a stage; the yielded record's ``cached`` flag is writable."""
+        record = StageMetrics(name=name)
+        start = time.perf_counter()
+        try:
+            yield record
+        finally:
+            record.seconds = time.perf_counter() - start
+            record.peak_rss_kb = peak_rss_kb()
+            self.stages.append(record)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(stage.seconds for stage in self.stages)
+
+    def as_dicts(self) -> list[dict]:
+        return [asdict(stage) for stage in self.stages]
+
+    def format(self) -> str:
+        return ", ".join(
+            f"{stage.name} {stage.seconds:.2f}s"
+            + (" (cached)" if stage.cached else "")
+            for stage in self.stages
+        )

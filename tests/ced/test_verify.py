@@ -10,7 +10,6 @@ import pytest
 from repro.ced.hardware import build_ced_hardware
 from repro.ced.verify import verify_bounded_latency, verify_no_false_alarms
 from repro.core.search import SolveConfig, solve_for_latencies
-from repro.faults.model import StuckAtModel
 
 
 @pytest.mark.parametrize("latency", [1, 2, 3])

@@ -7,12 +7,24 @@ reuse them, and none mutates them.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core.detectability import TableConfig, extract_tables
 from repro.faults.model import StuckAtModel
 from repro.fsm.benchmarks import load_benchmark
 from repro.logic.synthesis import synthesize_fsm
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_artifact_cache(tmp_path_factory):
+    """Point the runtime's default cache at a temp dir for the whole run.
+
+    CLI commands cache by default; tests must never read or write the
+    developer's real ``~/.cache/repro-ced``.
+    """
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("artifact-cache"))
 
 
 @pytest.fixture(scope="session")

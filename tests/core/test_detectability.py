@@ -11,7 +11,7 @@ from repro.core.detectability import (
     input_alphabet,
     reachable_state_codes,
 )
-from repro.faults.model import StuckAtModel, TransitionFaultModel
+from repro.faults.model import TransitionFaultModel
 from repro.fsm.benchmarks import load_benchmark
 from repro.logic.synthesis import synthesize_fsm
 
@@ -76,7 +76,6 @@ class TestExtraction:
     def test_constraints_weaken_with_latency(self, traffic_tables_checker):
         """Any cover of the latency-p table covers the latency-(p+1) table."""
         t1, t2, t3 = (traffic_tables_checker[p] for p in (1, 2, 3))
-        identity_cover_of = lambda tbl: [1 << j for j in range(tbl.num_bits)]
         # every p+1 row's option set must contain some p row's option set
         for small, big in ((t1, t2), (t2, t3)):
             small_sets = [

@@ -1,12 +1,10 @@
 """Tests for the maximum-useful-latency analysis (§2)."""
 
-import pytest
 
 from repro.core.detectability import TableConfig
 from repro.core.latency import max_useful_latency
 from repro.faults.model import StuckAtModel
 from repro.fsm.benchmarks import load_benchmark
-from repro.fsm.machine import FSM, Transition
 from repro.logic.synthesis import synthesize_fsm
 
 

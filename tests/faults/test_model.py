@@ -1,7 +1,6 @@
 """Tests for fault models."""
 
 import numpy as np
-import pytest
 
 from repro.faults.model import (
     StuckAtModel,

@@ -3,7 +3,7 @@
 import numpy as np
 
 from repro.faults.model import StuckAtModel, stuck_at_universe
-from repro.faults.simulator import detected_faults, fault_coverage
+from repro.faults.simulator import FaultSimResult, detected_faults, fault_coverage
 from repro.logic.netlist import GateKind, Netlist
 
 
@@ -62,3 +62,41 @@ class TestDetection:
         patterns = np.array([[0, 0]], dtype=np.uint8)
         result = detected_faults(netlist, patterns, [])
         assert result.coverage == 1.0
+
+
+class TestCoverageConvention:
+    """Pin down the documented edge cases of ``FaultSimResult.coverage``."""
+
+    def test_empty_universe_is_vacuously_covered(self):
+        result = FaultSimResult(detected={}, num_patterns=0)
+        assert result.coverage == 1.0
+        assert result.num_faults == 0
+        assert result.undetected() == []
+
+    def test_empty_universe_even_with_patterns(self):
+        # The convention depends only on the universe, not the pattern set.
+        result = FaultSimResult(detected={}, num_patterns=100)
+        assert result.coverage == 1.0
+
+    def test_all_undetected_is_zero_not_vacuous(self):
+        result = FaultSimResult(
+            detected={"f1": False, "f2": False}, num_patterns=3
+        )
+        assert result.coverage == 0.0
+        assert result.num_faults == 2
+        assert result.undetected() == ["f1", "f2"]
+
+    def test_partial_detection_is_a_plain_fraction(self):
+        result = FaultSimResult(
+            detected={"f1": True, "f2": False, "f3": True, "f4": False},
+            num_patterns=1,
+        )
+        assert result.coverage == 0.5
+        assert result.num_faults == 4
+
+    def test_num_faults_distinguishes_vacuous_from_perfect(self):
+        vacuous = FaultSimResult(detected={}, num_patterns=4)
+        perfect = FaultSimResult(detected={"f1": True}, num_patterns=4)
+        assert vacuous.coverage == perfect.coverage == 1.0
+        assert vacuous.num_faults == 0
+        assert perfect.num_faults == 1

@@ -1,6 +1,5 @@
 """Tests for FSM structural analysis."""
 
-import pytest
 
 from repro.fsm.analysis import (
     analyze,

@@ -6,7 +6,9 @@ from repro.fsm.benchmarks import (
     HAND_WRITTEN,
     MCNC_SIGNATURES,
     TABLE1_CIRCUITS,
+    UnknownBenchmarkError,
     benchmark_names,
+    benchmark_summaries,
     load_benchmark,
 )
 
@@ -18,8 +20,26 @@ class TestRegistry:
             assert fsm.name == name
 
     def test_unknown_name_raises(self):
-        with pytest.raises(KeyError, match="unknown benchmark"):
+        # UnknownBenchmarkError subclasses KeyError, so legacy callers that
+        # catch KeyError keep working.
+        with pytest.raises(KeyError, match="unknown circuit"):
             load_benchmark("nonexistent")
+        with pytest.raises(UnknownBenchmarkError):
+            load_benchmark("nonexistent")
+
+    def test_unknown_name_suggests_nearest(self):
+        with pytest.raises(UnknownBenchmarkError, match="did you mean 'traffic'"):
+            load_benchmark("trafic")
+
+    def test_summaries_sorted_with_structure(self):
+        summaries = benchmark_summaries()
+        names = [s["name"] for s in summaries]
+        assert names == sorted(names)
+        assert set(names) == set(benchmark_names())
+        for summary in summaries:
+            assert summary["family"] in ("hand-written", "mcnc")
+            assert summary["states"] >= 2
+            assert summary["n"] > 0
 
     def test_table1_circuits_are_registered(self):
         for name in TABLE1_CIRCUITS:

@@ -16,7 +16,6 @@ from repro.logic.cube import Cube
 from repro.logic.multilevel import MultilevelNetwork, multilevel_netlist
 from repro.logic.sim import evaluate_batch
 from repro.logic.synthesis import covers_to_netlist, synthesize_fsm
-from repro.logic.tech import circuit_stats
 
 
 def covers_strategy(num_vars=5, num_outputs=3, max_cubes=6):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.logic.netlist import Gate, GateKind, Netlist
+from repro.logic.netlist import GateKind, Netlist
 from repro.logic.sim import evaluate
 
 
@@ -27,7 +27,7 @@ class TestConstruction:
         a = netlist.add_input("a")
         b = netlist.add_input("b")
         c = netlist.add_gate(GateKind.OR, [a, b])
-        d = netlist.add_gate(GateKind.AND, [c, a])
+        netlist.add_gate(GateKind.AND, [c, a])
         for node, gate in enumerate(netlist.gates):
             assert all(src < node for src in gate.fanin)
 

@@ -1,11 +1,9 @@
 """Tests for the exact Quine–McCluskey minimizer."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.logic.cover import Cover
 from repro.logic.qm import quine_mccluskey
 
 

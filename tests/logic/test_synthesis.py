@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.fsm.benchmarks import HAND_WRITTEN, load_benchmark
-from repro.fsm.encoding import encode_states
 from repro.fsm.machine import FSM, Transition
 from repro.logic.synthesis import synthesize_fsm
 from repro.logic.sim import evaluate_batch

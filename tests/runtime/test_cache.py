@@ -1,0 +1,236 @@
+"""Tests for the content-addressed artifact cache (satellite + tentpole).
+
+The load-bearing properties: identical inputs reuse the stored artifact
+with *zero* recompute; any change to the FSM or to any ``TableConfig``/
+``SolveConfig`` field is a miss; garbage on disk (corrupt or truncated
+entries) is a miss, never an error.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.detectability import TableConfig
+from repro.core.search import SolveConfig
+from repro.flow import design_ced
+from repro.fsm.benchmarks import load_benchmark
+from repro.runtime.cache import (
+    ArtifactCache,
+    NullCache,
+    cached_call,
+    fingerprint,
+)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ArtifactCache(tmp_path / "cache")
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        fsm = load_benchmark("traffic")
+        assert fingerprint("x", fsm, TableConfig()) == fingerprint(
+            "x", load_benchmark("traffic"), TableConfig()
+        )
+
+    def test_container_order_insensitive_for_dicts_and_sets(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+        assert fingerprint({3, 1, 2}) == fingerprint({1, 2, 3})
+
+    def test_sequence_order_sensitive(self):
+        assert fingerprint([1, 2]) != fingerprint([2, 1])
+
+    def test_every_table_config_field_changes_the_key(self):
+        base = TableConfig()
+        for field in dataclasses.fields(TableConfig):
+            current = getattr(base, field.name)
+            if isinstance(current, bool):
+                changed = not current
+            elif isinstance(current, int):
+                changed = current + 1
+            elif field.name == "semantics":
+                changed = "checker"
+            else:
+                changed = current
+            mutated = dataclasses.replace(base, **{field.name: changed})
+            assert fingerprint(mutated) != fingerprint(base), field.name
+
+    def test_every_solve_config_field_changes_the_key(self):
+        base = SolveConfig()
+        for field in dataclasses.fields(SolveConfig):
+            current = getattr(base, field.name)
+            if isinstance(current, bool):
+                changed = not current
+            elif isinstance(current, int):
+                changed = current + 1
+            elif isinstance(current, float):
+                changed = current + 0.5
+            elif field.name == "objective":
+                changed = "min-sum"
+            elif field.name == "greedy_pool":
+                changed = "singles"
+            else:
+                changed = current
+            mutated = dataclasses.replace(base, **{field.name: changed})
+            assert fingerprint(mutated) != fingerprint(base), field.name
+
+    def test_fsm_change_changes_the_key(self):
+        fsm = load_benchmark("traffic")
+        renamed = fsm.renamed("other")
+        assert fingerprint(fsm) != fingerprint(renamed)
+        reseeded = load_benchmark("dk512", seed=1)
+        assert fingerprint(load_benchmark("dk512")) != fingerprint(reseeded)
+
+    def test_numpy_arrays(self):
+        a = np.array([[1, 2], [3, 4]], dtype=np.uint64)
+        assert fingerprint(a) == fingerprint(a.copy())
+        assert fingerprint(a) != fingerprint(a.T)  # shape matters
+        assert fingerprint(a) != fingerprint(a.astype(np.int64))  # dtype
+        b = a.copy()
+        b[0, 0] = 9
+        assert fingerprint(a) != fingerprint(b)
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            fingerprint(object())
+
+
+class TestArtifactCache:
+    def test_zero_recompute_on_hit(self, cache):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"answer": 42}
+
+        key = fingerprint("job", 1)
+        value, cached = cached_call(cache, "stage", key, compute)
+        assert value == {"answer": 42} and not cached
+        value, cached = cached_call(cache, "stage", key, compute)
+        assert value == {"answer": 42} and cached
+        assert len(calls) == 1, "cache hit must not recompute"
+
+    def test_different_key_recomputes(self, cache):
+        calls = []
+        compute = lambda: calls.append(1)  # noqa: E731
+        cached_call(cache, "stage", fingerprint("a"), compute)
+        cached_call(cache, "stage", fingerprint("b"), compute)
+        assert len(calls) == 2
+
+    def test_none_is_a_valid_cached_value(self, cache):
+        key = fingerprint("none")
+        cache.put("stage", key, None)
+        found, value = cache.get("stage", key)
+        assert found and value is None
+
+    def test_corrupted_entry_is_a_miss(self, cache):
+        key = fingerprint("corrupt")
+        cache.put("stage", key, [1, 2, 3])
+        path = cache._path("stage", key)
+        path.write_bytes(b"this is not a pickle")
+        found, _ = cache.get("stage", key)
+        assert not found
+        assert cache.stats().corrupt == 1
+        # ... and the poisoned entry was dropped so a fresh put lands.
+        value, cached = cached_call(cache, "stage", key, lambda: [1, 2, 3])
+        assert value == [1, 2, 3] and not cached
+
+    def test_truncated_entry_is_a_miss(self, cache):
+        key = fingerprint("truncated")
+        cache.put("stage", key, list(range(1000)))
+        path = cache._path("stage", key)
+        path.write_bytes(path.read_bytes()[:10])
+        found, _ = cache.get("stage", key)
+        assert not found
+
+    def test_stats_and_purge(self, cache):
+        cache.put("synthesis", fingerprint(1), "a")
+        cache.put("tables", fingerprint(2), "b")
+        cache.put("tables", fingerprint(3), "c")
+        stats = cache.stats()
+        assert stats.entries == 3
+        assert stats.stages == {"synthesis": 1, "tables": 2}
+        assert cache.purge(stage="tables") == 2
+        assert cache.stats().entries == 1
+        assert cache.purge() == 1
+        assert cache.stats().entries == 0
+
+    def test_null_cache_never_stores(self):
+        null = NullCache()
+        null.put("stage", "key", 1)
+        assert null.get("stage", "key") == (False, None)
+        assert null.stats().entries == 0
+
+
+class TestFlowCaching:
+    """The cache wraps synthesis, table extraction and solving end-to-end."""
+
+    @staticmethod
+    def _counted(monkeypatch):
+        import repro.flow as flow
+
+        counts = {"synthesis": 0, "tables": 0, "solve": 0}
+        real_synth = flow.synthesize_fsm
+        real_tables = flow.extract_tables
+        real_solve = flow.solve_for_latencies
+
+        def synth(*args, **kwargs):
+            counts["synthesis"] += 1
+            return real_synth(*args, **kwargs)
+
+        def tables(*args, **kwargs):
+            counts["tables"] += 1
+            return real_tables(*args, **kwargs)
+
+        def solve(*args, **kwargs):
+            counts["solve"] += 1
+            return real_solve(*args, **kwargs)
+
+        monkeypatch.setattr(flow, "synthesize_fsm", synth)
+        monkeypatch.setattr(flow, "extract_tables", tables)
+        monkeypatch.setattr(flow, "solve_for_latencies", solve)
+        return counts
+
+    def test_warm_rerun_recomputes_nothing(self, cache, monkeypatch):
+        counts = self._counted(monkeypatch)
+        first = design_ced("seqdet", latency=2, max_faults=60, cache=cache)
+        assert counts == {"synthesis": 1, "tables": 1, "solve": 1}
+        second = design_ced("seqdet", latency=2, max_faults=60, cache=cache)
+        assert counts == {"synthesis": 1, "tables": 1, "solve": 1}, (
+            "identical inputs must be served entirely from the cache"
+        )
+        assert second.solve_result.betas == first.solve_result.betas
+        assert second.cost == first.cost
+
+    def test_solve_config_change_misses_only_the_solve_stage(
+        self, cache, monkeypatch
+    ):
+        counts = self._counted(monkeypatch)
+        design_ced("seqdet", latency=2, max_faults=60, cache=cache)
+        design_ced(
+            "seqdet", latency=2, max_faults=60, cache=cache,
+            solve_config=SolveConfig(seed=7),
+        )
+        assert counts == {"synthesis": 1, "tables": 1, "solve": 2}
+
+    def test_table_config_change_misses_tables_and_solve(
+        self, cache, monkeypatch
+    ):
+        counts = self._counted(monkeypatch)
+        design_ced("seqdet", latency=2, max_faults=60, cache=cache)
+        design_ced(
+            "seqdet", latency=2, max_faults=60, cache=cache,
+            table_config=TableConfig(latency=2, semantics="checker", seed=5),
+        )
+        assert counts["synthesis"] == 1
+        assert counts["tables"] == 2
+
+    def test_fsm_change_misses_everything(self, cache, monkeypatch):
+        counts = self._counted(monkeypatch)
+        design_ced("seqdet", latency=1, max_faults=60, cache=cache)
+        design_ced("serparity", latency=1, max_faults=60, cache=cache)
+        assert counts == {"synthesis": 2, "tables": 2, "solve": 2}

@@ -1,0 +1,162 @@
+"""Campaign layer tests: matrix expansion, parallel runs, manifests.
+
+The critical property is determinism: a campaign run over N workers must
+produce the same values as the serial loop, because every job is a pure
+function of its spec and all randomness flows through ``rng_for``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.table1 import Table1Config, run_table1
+from repro.runtime.campaign import (
+    CampaignJob,
+    CampaignOptions,
+    DesignJobSpec,
+    design_matrix_jobs,
+    run_campaign,
+    table1_jobs,
+)
+from repro.runtime.executor import job_seed
+
+FAST_TABLE1 = Table1Config(
+    latencies=(1, 2), max_faults=60, multilevel=False
+)
+
+
+def _options(tmp_path, **kwargs):
+    defaults = dict(jobs=1, cache_dir=str(tmp_path / "cache"))
+    defaults.update(kwargs)
+    return CampaignOptions(**defaults)
+
+
+class TestMatrixExpansion:
+    def test_design_matrix_one_job_per_circuit(self):
+        jobs = design_matrix_jobs(["traffic", "seqdet"], latencies=[1, 2, 3])
+        assert [job.name for job in jobs] == ["traffic", "seqdet"]
+        assert all(job.kind == "design" for job in jobs)
+        assert all(job.spec.latencies == (1, 2, 3) for job in jobs)
+        assert all(job.spec.seed == 2004 for job in jobs)
+        assert all(job.spec.solve.seed == 2004 for job in jobs)
+
+    def test_derive_seeds_gives_independent_deterministic_seeds(self):
+        jobs = design_matrix_jobs(
+            ["traffic", "seqdet"], latencies=[1], derive_seeds=True
+        )
+        seeds = {job.name: job.spec.seed for job in jobs}
+        assert seeds["traffic"] != seeds["seqdet"]
+        assert seeds["traffic"] == job_seed(2004, "traffic")
+        again = design_matrix_jobs(
+            ["traffic", "seqdet"], latencies=[1], derive_seeds=True
+        )
+        assert {job.name: job.spec.seed for job in again} == seeds
+
+    def test_table1_jobs(self):
+        jobs = table1_jobs(("tav", "s27"), FAST_TABLE1)
+        assert [(job.kind, job.name) for job in jobs] == [
+            ("table1-row", "tav"), ("table1-row", "s27"),
+        ]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="job kind"):
+            CampaignJob(kind="bogus", name="x", spec=None)
+
+
+class TestRunCampaign:
+    def test_parallel_design_campaign_matches_serial(self, tmp_path):
+        jobs = design_matrix_jobs(
+            ["traffic", "seqdet", "serparity"], latencies=[1, 2],
+            max_faults=60,
+        )
+        serial = run_campaign(
+            jobs, _options(tmp_path / "a", jobs=1, cache=False)
+        )
+        parallel = run_campaign(
+            jobs, _options(tmp_path / "b", jobs=3, cache=False)
+        )
+        assert serial.failed == [] and parallel.failed == []
+        assert serial.values == parallel.values
+
+    def test_reports_keep_input_order_and_stream_progress(self, tmp_path):
+        jobs = design_matrix_jobs(
+            ["seqdet", "traffic"], latencies=[1], max_faults=40
+        )
+        lines = []
+        run = run_campaign(jobs, _options(tmp_path, jobs=2), echo=lines.append)
+        assert [report.name for report in run.reports] == ["seqdet", "traffic"]
+        assert len(lines) == 2
+        assert all("done" in line for line in lines)
+
+    def test_warm_cache_rerun_hits(self, tmp_path):
+        jobs = design_matrix_jobs(["seqdet"], latencies=[1], max_faults=40)
+        options = _options(tmp_path)
+        cold = run_campaign(jobs, options)
+        warm = run_campaign(jobs, options)
+        assert cold.reports[0].cache_misses > 0
+        assert warm.reports[0].cache_misses == 0
+        assert warm.reports[0].cache_hits > 0
+        assert warm.values == cold.values
+
+    def test_failed_job_reported_not_raised(self, tmp_path):
+        jobs = [
+            CampaignJob(
+                kind="design",
+                name="ghost",
+                spec=DesignJobSpec(circuit="no-such-circuit"),
+            ),
+            *design_matrix_jobs(["seqdet"], latencies=[1], max_faults=40),
+        ]
+        run = run_campaign(
+            jobs, _options(tmp_path, retries=0, fallback=False)
+        )
+        assert [report.status for report in run.reports] == ["failed", "ok"]
+        assert "no-such-circuit" in run.reports[0].error
+        assert run.reports[0].attempts == 1
+        assert "ghost" not in run.values and "seqdet" in run.values
+
+    def test_manifest_structure_and_file(self, tmp_path):
+        manifest_path = tmp_path / "runs" / "manifest.json"
+        jobs = design_matrix_jobs(["seqdet"], latencies=[1], max_faults=40)
+        run = run_campaign(
+            jobs,
+            _options(tmp_path, manifest_path=str(manifest_path), name="smoke"),
+        )
+        on_disk = json.loads(manifest_path.read_text())
+        assert on_disk == run.manifest
+        assert on_disk["campaign"] == "smoke"
+        assert on_disk["totals"]["jobs"] == 1
+        assert on_disk["totals"]["ok"] == 1
+        assert on_disk["totals"]["failed"] == 0
+        assert on_disk["totals"]["wall_seconds"] > 0
+        (job,) = on_disk["jobs"]
+        assert job["name"] == "seqdet" and job["status"] == "ok"
+        stage_names = [stage["name"] for stage in job["stages"]]
+        assert "synthesis" in stage_names and "solve" in stage_names
+        for stage in job["stages"]:
+            assert stage["seconds"] >= 0
+            assert stage["peak_rss_kb"] > 0
+        assert on_disk["cache"]["entries"] > 0
+
+
+class TestTable1Campaign:
+    def test_options_path_matches_serial(self, tmp_path):
+        circuits = ("tav", "s27")
+        serial = run_table1(circuits, FAST_TABLE1)
+        campaign = run_table1(
+            circuits,
+            FAST_TABLE1,
+            options=_options(tmp_path, jobs=2),
+        )
+        assert campaign.rows == serial.rows
+        assert [row.name for row in campaign.rows] == list(circuits)
+
+    def test_failed_row_raises_with_circuit_name(self, tmp_path):
+        with pytest.raises(RuntimeError, match="no-such-circuit"):
+            run_table1(
+                ("no-such-circuit",),
+                FAST_TABLE1,
+                options=_options(tmp_path, retries=0, fallback=False),
+            )

@@ -1,0 +1,125 @@
+"""Tests for the parallel executor: retry, timeout, degraded fallback."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.runtime.executor import (
+    ExecutorConfig,
+    JobTimeout,
+    invoke_with_timeout,
+    job_seed,
+    run_jobs,
+)
+
+
+# Module-level workers: the serial path accepts any callable, but keeping
+# them top-level mirrors what the pool path requires.
+def _double(payload, degraded):
+    return payload * 2
+
+
+def _fail_always(payload, degraded):
+    raise ValueError(f"nope {payload}")
+
+
+def _fail_unless_degraded(payload, degraded):
+    if not degraded:
+        raise ValueError("LP exploded")
+    return ("greedy-only", payload)
+
+
+def _fail_first_attempts(payload, degraded):
+    counter_file = payload
+    count = int(counter_file.read_text()) + 1
+    counter_file.write_text(str(count))
+    if count < 2:
+        raise RuntimeError("transient")
+    return count
+
+
+def _sleep_unless_degraded(payload, degraded):
+    if degraded:
+        return "fast"
+    time.sleep(30)
+    return "slow"  # pragma: no cover
+
+
+class TestSerial:
+    def test_results_stream_with_indices(self):
+        outcomes = list(run_jobs(_double, [3, 4, 5], ExecutorConfig(jobs=1)))
+        assert [(o.index, o.value) for o in outcomes] == [(0, 6), (1, 8), (2, 10)]
+        assert all(o.ok and o.attempts == 1 for o in outcomes)
+
+    def test_retry_recovers_transient_failure(self, tmp_path):
+        counter = tmp_path / "count"
+        counter.write_text("0")
+        (outcome,) = run_jobs(
+            _fail_first_attempts, [counter], ExecutorConfig(jobs=1, retries=1)
+        )
+        assert outcome.ok and outcome.value == 2
+        assert outcome.attempts == 2
+        assert not outcome.degraded
+
+    def test_exhausted_job_reports_last_error(self):
+        (outcome,) = run_jobs(
+            _fail_always, ["x"],
+            ExecutorConfig(jobs=1, retries=1, fallback=False),
+        )
+        assert not outcome.ok
+        assert outcome.attempts == 2
+        assert "nope x" in outcome.error
+
+    def test_degraded_fallback_rescues_the_job(self):
+        (outcome,) = run_jobs(
+            _fail_unless_degraded, [11],
+            ExecutorConfig(jobs=1, retries=1, fallback=True),
+        )
+        assert outcome.ok
+        assert outcome.degraded
+        assert outcome.value == ("greedy-only", 11)
+        assert outcome.attempts == 3  # 2 normal + 1 degraded
+
+    def test_no_fallback_means_failure(self):
+        (outcome,) = run_jobs(
+            _fail_unless_degraded, [11],
+            ExecutorConfig(jobs=1, retries=0, fallback=False),
+        )
+        assert not outcome.ok and "LP exploded" in outcome.error
+
+    def test_timeout_then_degraded_fallback(self):
+        (outcome,) = run_jobs(
+            _sleep_unless_degraded, ["job"],
+            ExecutorConfig(jobs=1, timeout=0.2, retries=0, fallback=True),
+        )
+        assert outcome.ok
+        assert outcome.degraded
+        assert outcome.value == "fast"
+
+
+class TestTimeoutPrimitive:
+    def test_raises_job_timeout(self):
+        with pytest.raises(JobTimeout):
+            invoke_with_timeout(
+                lambda payload, degraded: time.sleep(30), None, False, 0.1
+            )
+
+    def test_fast_job_unaffected_and_alarm_disarmed(self):
+        value, seconds = invoke_with_timeout(_double, 21, False, 5.0)
+        assert value == 42
+        assert seconds < 1.0
+        time.sleep(0.05)  # a leaked alarm would fire during the suite
+
+
+class TestJobSeed:
+    def test_deterministic_and_label_sensitive(self):
+        assert job_seed(2004, "cse") == job_seed(2004, "cse")
+        assert job_seed(2004, "cse") != job_seed(2004, "sse")
+        assert job_seed(2004, "cse") != job_seed(2005, "cse")
+
+    def test_independent_of_scheduling(self):
+        # Seeds derive from labels alone — worker id / order cannot leak in.
+        seeds = {name: job_seed(7, name) for name in ("a", "b", "c")}
+        assert seeds == {name: job_seed(7, name) for name in reversed(("a", "b", "c"))}

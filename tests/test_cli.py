@@ -1,15 +1,26 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
 
 
 class TestCli:
-    def test_list(self, capsys):
+    def test_list_is_sorted_with_structure_columns(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "traffic" in out and "cse" in out
+        header = next(line for line in out.splitlines() if "Circuit" in line)
+        for column in ("Family", "In", "States", "Out", "n"):
+            assert column in header
+        names = [
+            line.split()[0]
+            for line in out.splitlines()
+            if line and line[0].isalnum() and not line.startswith(("Circuit", "Registered"))
+        ]
+        assert names == sorted(names), "benchmark listing must be name-sorted"
 
     def test_info(self, capsys):
         assert main(["info", "traffic"]) == 0
@@ -51,6 +62,13 @@ class TestCli:
         out = capsys.readouterr().out
         assert "Latency saturation" in out
 
+    def test_sweep_multiple_circuits(self, capsys):
+        assert main([
+            "sweep", "serparity", "seqdet", "--max-latency", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.count("Latency saturation") == 2
+
     def test_table1_subset(self, capsys):
         assert main([
             "table1", "--circuits", "tav", "--max-faults", "60",
@@ -63,6 +81,70 @@ class TestCli:
         with pytest.raises(SystemExit):
             main([])
 
-    def test_unknown_circuit_raises(self):
-        with pytest.raises(KeyError):
-            main(["info", "not-a-benchmark"])
+
+class TestUnknownCircuit:
+    def test_one_line_error_and_exit_2(self, capsys):
+        assert main(["info", "not-a-benchmark"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: unknown circuit 'not-a-benchmark'")
+        assert err.count("\n") == 1
+
+    def test_suggests_nearest_match(self, capsys):
+        assert main(["info", "trafic"]) == 2
+        assert "did you mean 'traffic'?" in capsys.readouterr().err
+
+    def test_campaign_rejects_before_forking(self, capsys, tmp_path):
+        assert main([
+            "campaign", "--circuits", "sqedet",
+            "--manifest", str(tmp_path / "m.json"),
+        ]) == 2
+        assert "did you mean 'seqdet'?" in capsys.readouterr().err
+        assert not (tmp_path / "m.json").exists()
+
+
+class TestCampaignRuntime:
+    def test_parallel_table1_json_is_byte_identical_to_serial(
+        self, capsys, tmp_path
+    ):
+        base = [
+            "table1", "--circuits", "tav", "s27", "--max-faults", "60",
+        ]
+        serial_json = tmp_path / "serial.json"
+        parallel_json = tmp_path / "parallel.json"
+        assert main(base + ["--no-cache", "--json", str(serial_json)]) == 0
+        assert main(base + [
+            "--jobs", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--json", str(parallel_json),
+        ]) == 0
+        capsys.readouterr()
+        assert serial_json.read_bytes() == parallel_json.read_bytes()
+
+    def test_campaign_smoke(self, capsys, tmp_path):
+        manifest = tmp_path / "manifest.json"
+        assert main([
+            "campaign", "--circuits", "seqdet", "--latencies", "1",
+            "--max-faults", "40",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--manifest", str(manifest),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "[1/1] seqdet: done" in out
+        assert "Campaign over 1 circuits" in out
+        assert "1 ok / 0 degraded / 0 failed" in out
+        assert json.loads(manifest.read_text())["totals"]["ok"] == 1
+
+    def test_cache_stats_and_purge(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main([
+            "design", "seqdet", "--latency", "1", "--max-faults", "40",
+            "--cache-dir", cache_dir,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        stats_out = capsys.readouterr().out
+        assert "entries" in stats_out and "synthesis" in stats_out
+        assert main(["cache", "purge", "--cache-dir", cache_dir]) == 0
+        assert "purged" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert "entries 0" in capsys.readouterr().out

@@ -1,6 +1,5 @@
 """Cross-module integration properties of the whole reproduction."""
 
-import numpy as np
 import pytest
 
 from repro.ced.duplication import duplication_stats

@@ -1,0 +1,67 @@
+"""Property: q is monotone non-increasing in the latency bound.
+
+Relaxing the latency bound can only shrink (or keep) the minimum number
+of parity bits — a longer observation window gives every fault at least
+the detection options it had under the shorter one, and
+``solve_for_latencies`` chains incumbents up the latency ladder precisely
+so the reported q never regresses.  This must hold for *every* solver
+seed, not just the default.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.search import (
+    SolveConfig,
+    solve_for_latencies,
+    solve_greedy_for_latencies,
+)
+from repro.flow import design_ced_sweep
+
+
+def _assert_monotone(qs: list[int], label: str) -> None:
+    for earlier, later in zip(qs, qs[1:]):
+        assert later <= earlier, f"{label}: q regressed along latencies: {qs}"
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_q_monotone_for_any_solver_seed(traffic_tables_trajectory, seed):
+    results = solve_for_latencies(
+        traffic_tables_trajectory, SolveConfig(seed=seed)
+    )
+    latencies = sorted(results)
+    _assert_monotone([results[p].q for p in latencies], f"seed={seed}")
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_q_monotone_under_degraded_greedy_solver(
+    traffic_tables_trajectory, seed
+):
+    """The greedy fallback must honour the same invariant — a degraded
+    campaign job may silently stand in for a full solve."""
+    results = solve_greedy_for_latencies(
+        traffic_tables_trajectory, SolveConfig(seed=seed)
+    )
+    latencies = sorted(results)
+    _assert_monotone([results[p].q for p in latencies], f"greedy seed={seed}")
+
+
+@pytest.mark.parametrize("seed", [1, 7, 2024])
+def test_q_monotone_through_the_full_design_flow(seed):
+    designs = design_ced_sweep(
+        "serparity",
+        latencies=[1, 2, 3],
+        semantics="trajectory",
+        max_faults=60,
+        solve_config=SolveConfig(seed=seed),
+    )
+    latencies = sorted(designs)
+    qs = [designs[p].num_parity_bits for p in latencies]
+    _assert_monotone(qs, f"design seed={seed}")
+    costs = [designs[p].cost for p in latencies]
+    assert all(cost > 0 for cost in costs)

@@ -7,7 +7,6 @@ cover their tables, q is monotone in the latency bound, hardware never
 false-alarms, and every activated fault is caught within the bound.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
