@@ -21,7 +21,7 @@ import numpy as np
 from repro.ced.checker import CedMachine
 from repro.ced.hardware import CedHardware
 from repro.core.detectability import TableConfig, input_alphabet
-from repro.faults.model import Fault, sample_faults
+from repro.faults.model import Fault, is_netlist_fault, sample_faults
 from repro.logic.synthesis import SynthesisResult
 from repro.util.rng import rng_for
 
@@ -47,6 +47,21 @@ class VerificationReport:
     @property
     def clean(self) -> bool:
         return not self.violations
+
+    def summary(self) -> str:
+        """One-line human-readable campaign summary."""
+        text = (
+            f"latency={self.latency}: {self.num_faults} faults, "
+            f"{self.num_runs} runs, {self.num_activated_runs} activated, "
+            f"{len(self.violations)} violations"
+        )
+        if self.detection_latencies:
+            histogram = ", ".join(
+                f"{count}@{observed}"
+                for observed, count in sorted(self.detection_latencies.items())
+            )
+            text += f" (detections {histogram})"
+        return text
 
 
 def verify_bounded_latency(
@@ -82,9 +97,9 @@ def verify_bounded_latency(
         num_detected_within_bound=0,
     )
     for fault in chosen:
-        payload = fault.payload
-        if not (isinstance(payload, tuple) and len(payload) == 2):
+        if not is_netlist_fault(fault):
             continue
+        payload = fault.payload
         for _ in range(runs_per_fault):
             inputs = alphabet[
                 rng.integers(len(alphabet), size=run_length)

@@ -5,6 +5,10 @@ Installed as ``repro-ced`` (also ``python -m repro``).  Subcommands:
 * ``info CIRCUIT``     — structural report of a benchmark FSM;
 * ``synth CIRCUIT``    — synthesize and print gate/cost statistics;
 * ``design CIRCUIT``   — full bounded-latency CED design (+ verification);
+* ``verify CIRCUIT``   — fault-injection check of the latency guarantee
+  (exit 1 on violations; accepts ``--kiss PATH`` for external machines);
+* ``fuzz``             — coverage-guided differential fuzzing of the
+  whole pipeline (exit 1 on discrepancies);
 * ``sweep CIRCUIT...`` — latency-saturation curves;
 * ``table1``           — reproduce the paper's Table 1 (+ summary stats);
 * ``campaign``         — run a circuits × latencies job matrix in parallel;
@@ -48,6 +52,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "info": _cmd_info,
         "synth": _cmd_synth,
         "design": _cmd_design,
+        "verify": _cmd_verify,
+        "fuzz": _cmd_fuzz,
         "sweep": _cmd_sweep,
         "table1": _cmd_table1,
         "campaign": _cmd_campaign,
@@ -111,6 +117,56 @@ def _build_parser() -> argparse.ArgumentParser:
     design.add_argument("--verify", action="store_true",
                         help="run the fault-injection verifier")
     _add_runtime_flags(design)
+
+    verify = sub.add_parser(
+        "verify",
+        help="fault-injection verification of the bounded-latency guarantee",
+    )
+    verify.add_argument("circuit", nargs="?", default=None,
+                        help="benchmark name (or use --kiss)")
+    verify.add_argument("--kiss", metavar="PATH",
+                        help="verify a machine from a KISS2 file instead")
+    verify.add_argument("--latency", type=int, default=1)
+    verify.add_argument("--semantics", default="checker",
+                        choices=("checker", "trajectory"))
+    verify.add_argument("--encoding", default="binary",
+                        choices=("binary", "gray", "onehot", "weighted"))
+    verify.add_argument("--max-faults", type=int, default=800)
+    _add_runtime_flags(verify, jobs=False)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="coverage-guided differential fuzzing of the CED pipeline",
+    )
+    fuzz.add_argument("--iterations", type=int, default=200, metavar="N",
+                      help="fuzzed machines to generate (default %(default)s)")
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--batch-size", type=int, default=25, metavar="N",
+                      help="machines per executor batch (coverage feedback "
+                      "is folded between batches)")
+    fuzz.add_argument("--latency", type=int, default=2)
+    fuzz.add_argument("--max-faults", type=int, default=40)
+    fuzz.add_argument("--solve-iterations", type=int, default=200)
+    fuzz.add_argument("--mutation", default="none",
+                      choices=("none", "rounding"),
+                      help="inject a known pipeline bug (smoke test: the "
+                      "fuzzer must catch it)")
+    fuzz.add_argument("--no-gap", action="store_true",
+                      help="skip the trajectory-vs-checker gap measurement")
+    fuzz.add_argument("--no-replay", action="store_true",
+                      help="skip the seed-corpus replay phase")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="persist failing machines unminimized")
+    fuzz.add_argument("--time-budget", type=float, default=None, metavar="SEC",
+                      help="stop starting new batches after SEC seconds")
+    fuzz.add_argument("--corpus-dir", default="fuzz-corpus", metavar="PATH",
+                      help="reproducer output directory (default %(default)s)")
+    fuzz.add_argument("--manifest", metavar="PATH", default=None,
+                      help="manifest path (default CORPUS_DIR/fuzz-manifest.json)")
+    fuzz.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                      help="per-machine wall-clock limit")
+    fuzz.add_argument("--retries", type=int, default=1)
+    _add_runtime_flags(fuzz)
 
     sweep = sub.add_parser("sweep", help="latency saturation curve(s)")
     sweep.add_argument("circuits", nargs="+", metavar="circuit")
@@ -244,7 +300,82 @@ def _cmd_design(args: argparse.Namespace) -> int:
             f"{len(report.violations)} violations, "
             f"latency histogram {report.detection_latencies}"
         )
+        if not report.clean:
+            return 1
     return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    if (args.circuit is None) == (args.kiss is None):
+        print("error: give exactly one of CIRCUIT or --kiss PATH",
+              file=sys.stderr)
+        return 2
+    if args.kiss:
+        from repro.fsm.kiss import parse_kiss_file
+
+        fsm = parse_kiss_file(args.kiss)
+    else:
+        fsm = load_benchmark(args.circuit)
+    cache = open_cache(args.cache_dir, enabled=not args.no_cache)
+    design = design_ced(
+        fsm,
+        latency=args.latency,
+        semantics=args.semantics,
+        encoding=args.encoding,
+        max_faults=args.max_faults,
+        verify=True,
+        cache=cache,
+    )
+    report = design.verification
+    assert report is not None
+    print(f"{fsm.name} ({args.semantics} semantics, "
+          f"q={design.num_parity_bits}): {report.summary()}")
+    for violation in report.violations[:10]:
+        print(f"  violation: {violation}")
+    if len(report.violations) > 10:
+        print(f"  ... and {len(report.violations) - 10} more")
+    return 0 if report.clean else 1
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.verification.fuzzer import FuzzOptions, run_fuzz
+
+    options = FuzzOptions(
+        iterations=args.iterations,
+        seed=args.seed,
+        jobs=args.jobs,
+        batch_size=args.batch_size,
+        latency=args.latency,
+        max_faults=args.max_faults,
+        solve_iterations=args.solve_iterations,
+        mutation=args.mutation,
+        check_trajectory_gap=not args.no_gap,
+        time_budget=args.time_budget,
+        corpus_dir=args.corpus_dir,
+        manifest_path=args.manifest,
+        replay_corpus=not args.no_replay,
+        shrink=not args.no_shrink,
+        timeout=args.timeout,
+        retries=args.retries,
+        cache_dir=args.cache_dir,
+        cache=not args.no_cache,
+    )
+    run = run_fuzz(options, echo=print)
+    totals = run.manifest["totals"]
+    gap = totals["trajectory_gap"]
+    print(
+        f"\n{totals['machines']} machines fuzzed, "
+        f"{totals['discrepant']} discrepancies, "
+        f"{totals['coverage_signatures']} coverage signatures "
+        f"in {totals['wall_seconds']:.1f}s"
+    )
+    if gap["eligible"]:
+        print(
+            f"trajectory-vs-checker gap: {gap['with_gap']}/{gap['eligible']} "
+            f"machines ({100 * gap['rate']:.1f}%) violate the hardware bound "
+            "when designed with trajectory semantics"
+        )
+    return 0 if run.clean else 1
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:

@@ -134,6 +134,18 @@ class DetectabilityTable:
         """Number of stored option columns (≤ latency)."""
         return int(self.rows.shape[1])
 
+    def option_sets(self) -> set[frozenset[int]]:
+        """The rows as canonical detection option sets (zero padding dropped).
+
+        Two tables describe the same detectability structure iff their
+        option-set families are equal — the representation the differential
+        oracle and the relabeling-invariance property compare on.
+        """
+        return {
+            frozenset(int(word) for word in row if int(word) != 0)
+            for row in self.rows
+        }
+
     def tensor(self) -> np.ndarray:
         """Dense boolean V with shape (m, n, width)."""
         bits = np.arange(self.num_bits, dtype=np.uint64)

@@ -178,6 +178,22 @@ def good_responses(
     return evaluate_batch(synthesis.netlist, patterns)
 
 
+def is_netlist_fault(fault: Fault) -> bool:
+    """True iff the payload is a ``(node, value)`` netlist stuck-at pair.
+
+    Fault-injection drivers (:mod:`repro.ced.verify`, the verification
+    fuzzer) can only force faults of this shape directly; other kinds
+    (e.g. :class:`TransitionFaultModel` payloads) need their own faulty
+    synthesis.
+    """
+    payload = fault.payload
+    return (
+        isinstance(payload, tuple)
+        and len(payload) == 2
+        and all(isinstance(part, (int, np.integer)) for part in payload)
+    )
+
+
 def sample_faults(
     faults: Sequence[Fault], max_count: int, seed: int = 2004
 ) -> list[Fault]:

@@ -199,8 +199,17 @@ def design_ced_sweep(
     designs: dict[int, CedDesign] = {}
     with recorder.stage("hardware"):
         for latency in latencies:
+            # Checker semantics promises detection at whatever state the
+            # *faulty* machine occupies — including states the good machine
+            # never reaches — so the predictor must stay faithful there
+            # (fuzzer find: a present-state stuck-at fault parked the
+            # machine in a dc-optimized unreachable state and escaped the
+            # bound).  Trajectory designs keep the paper's area-saving dc.
             hardware = build_ced_hardware(
-                synthesis, results[latency].betas, multilevel=multilevel
+                synthesis,
+                results[latency].betas,
+                unreachable_dc=(table_config.semantics != "checker"),
+                multilevel=multilevel,
             )
             designs[latency] = CedDesign(
                 synthesis=synthesis,

@@ -151,6 +151,35 @@ class FSM:
             reset_state=self.reset_state,
         )
 
+    def relabeled(self, mapping: dict[str, str]) -> "FSM":
+        """The same machine with states renamed through ``mapping``.
+
+        Positions in the states list are preserved, so position-based state
+        encodings (binary/gray) assign identical codes — the relabeled
+        machine is structurally indistinguishable from the original.
+        ``mapping`` must be a bijection over the current state names.
+        """
+        if set(mapping) != set(self.states):
+            raise ValueError("mapping must cover exactly the machine's states")
+        if len(set(mapping.values())) != len(self.states):
+            raise ValueError("mapping must be a bijection")
+        return FSM(
+            name=self.name,
+            num_inputs=self.num_inputs,
+            num_outputs=self.num_outputs,
+            states=[mapping[state] for state in self.states],
+            transitions=[
+                Transition(
+                    input_cube=t.input_cube,
+                    src=mapping[t.src],
+                    dst=mapping[t.dst],
+                    output=t.output,
+                )
+                for t in self.transitions
+            ],
+            reset_state=mapping[self.reset_state],
+        )
+
     @classmethod
     def from_rows(
         cls,

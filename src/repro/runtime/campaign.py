@@ -16,7 +16,12 @@ Three job kinds are understood:
 * ``table1-row`` — one circuit row of the paper's Table 1 (the
   ``repro-ced table1 --jobs N`` path);
 * ``sweep``      — a latency-saturation curve
-  (:func:`repro.experiments.figures.latency_saturation_curve`).
+  (:func:`repro.experiments.figures.latency_saturation_curve`);
+* ``fuzz``       — one differential-oracle pass of the verification
+  fuzzer (:func:`repro.verification.oracle.run_oracle`) on a machine
+  shipped as KISS text in the spec (``repro-ced fuzz`` runs its whole
+  campaign through this kind, inheriting timeouts, retries and the
+  shared artifact cache).
 
 Jobs are independent pure functions of their spec, so results are
 bit-identical regardless of ``--jobs``, scheduling order or cache state.
@@ -42,7 +47,7 @@ from repro.runtime.cache import (
 from repro.runtime.executor import ExecutorConfig, job_seed, run_jobs
 from repro.runtime.metrics import MetricsRecorder
 
-JOB_KINDS = ("design", "table1-row", "sweep")
+JOB_KINDS = ("design", "table1-row", "sweep", "fuzz")
 
 
 # ----------------------------------------------------------------------
@@ -259,10 +264,30 @@ def _run_sweep(spec: tuple, cache, recorder, degraded: bool):
     return curve
 
 
+def _run_fuzz(spec: tuple, cache, recorder, degraded: bool) -> dict:
+    from repro.fsm.kiss import parse_kiss
+    from repro.verification.oracle import run_oracle
+
+    kiss_text, machine_name, seed, config = spec
+    fsm = parse_kiss(kiss_text, name=machine_name)
+    with recorder.stage("oracle"):
+        report = run_oracle(
+            fsm, seed=seed, config=config, cache=cache, degraded=degraded
+        )
+    return {
+        "name": report.name,
+        "seed": seed,
+        "ok": report.ok,
+        "discrepancies": [asdict(d) for d in report.discrepancies],
+        "features": report.features,
+    }
+
+
 _DISPATCH: dict[str, Callable] = {
     "design": _run_design,
     "table1-row": _run_table1_row,
     "sweep": _run_sweep,
+    "fuzz": _run_fuzz,
 }
 
 

@@ -1,0 +1,55 @@
+"""Differential verification & fuzzing harness for the CED pipeline.
+
+The paper's central claim — every modeled fault is caught within ``p``
+transitions by the parity CED chosen via LP + randomized rounding — is
+point-checked by the unit tests on fixed machines.  This package is the
+systematic adversary:
+
+* :mod:`repro.verification.generator` — a coverage-guided FSM fuzzer that
+  generates random machines biased toward edge shapes (single-state,
+  unreachable states, degenerate outputs, dense/sparse transition
+  structure) and structure-preserving mutations of interesting finds;
+* :mod:`repro.verification.oracle` — the differential oracle run on every
+  fuzzed machine: exact branch-and-bound vs LP+rounding vs greedy
+  (``q_exact ≤ q_lp ≤ q_greedy``, all solutions independently re-checked
+  against the detectability table), checker-semantics tables vs direct
+  netlist simulation, and the end-to-end bounded-latency guarantee via
+  fault injection with zero tolerated violations;
+* :mod:`repro.verification.corpus` — the persisted seed corpus of
+  minimized reproducers (KISS files) plus the greedy shrinker;
+* :mod:`repro.verification.mutation` — deliberate fault injection into the
+  pipeline itself (mutation smoke tests proving the oracle catches what it
+  is supposed to catch);
+* :mod:`repro.verification.fuzzer` — the driver: batches of fuzzed
+  machines through the campaign executor (parallel, per-job timeouts,
+  bounded retry, shared artifact cache), a JSON discrepancy manifest, and
+  auto-shrunk reproducers written back to the corpus.
+
+CLI entry point: ``repro-ced fuzz``.
+"""
+
+from repro.verification.corpus import load_seed_corpus, shrink_fsm, write_reproducer
+from repro.verification.fuzzer import FuzzOptions, FuzzRun, run_fuzz
+from repro.verification.generator import FUZZ_SHAPES, mutate_fsm, random_fsm
+from repro.verification.oracle import (
+    Discrepancy,
+    OracleConfig,
+    OracleReport,
+    run_oracle,
+)
+
+__all__ = [
+    "FUZZ_SHAPES",
+    "Discrepancy",
+    "FuzzOptions",
+    "FuzzRun",
+    "OracleConfig",
+    "OracleReport",
+    "load_seed_corpus",
+    "mutate_fsm",
+    "random_fsm",
+    "run_fuzz",
+    "run_oracle",
+    "shrink_fsm",
+    "write_reproducer",
+]

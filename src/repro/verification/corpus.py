@@ -1,0 +1,154 @@
+"""Seed corpus, reproducer files, and the greedy shrinker.
+
+The bundled corpus (``repro/verification/corpus/*.kiss``) holds small
+machines pinning every fuzzer shape plus historical finds (e.g. the
+``gapcase`` machine whose trajectory-semantics design violates the
+hardware bound).  Tier-1 tests replay the whole corpus through the full
+differential oracle, so once a fuzzed failure is minimized and written
+back it can never silently regress.
+
+Reproducers are content-addressed (``repro-<digest>.kiss``) with the
+failure description in ``#`` comment headers — :func:`parse_kiss` skips
+comments, so a reproducer file is also directly loadable by
+``repro-ced verify --kiss``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from importlib import resources
+from pathlib import Path
+from typing import Callable
+
+from repro.fsm.kiss import parse_kiss, write_kiss
+from repro.fsm.machine import FSM, Transition
+
+
+def load_seed_corpus() -> list[FSM]:
+    """All bundled corpus machines, named by file stem, sorted by name."""
+    machines: list[FSM] = []
+    corpus = resources.files("repro.verification") / "corpus"
+    for entry in sorted(corpus.iterdir(), key=lambda item: item.name):
+        if entry.name.endswith(".kiss"):
+            text = entry.read_text(encoding="utf-8")
+            machines.append(parse_kiss(text, name=entry.name[: -len(".kiss")]))
+    return machines
+
+
+def write_reproducer(
+    fsm: FSM,
+    directory: str | Path,
+    reason: str = "",
+) -> Path:
+    """Persist a failing machine as ``repro-<digest>.kiss``; returns the path."""
+    body = write_kiss(fsm)
+    digest = hashlib.sha256(body.encode("utf-8")).hexdigest()[:12]
+    target = Path(directory) / f"repro-{digest}.kiss"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    header = [f"# reproducer for {fsm.name}"]
+    for line in reason.splitlines():
+        header.append(f"# {line}")
+    target.write_text("\n".join(header) + "\n" + body, encoding="utf-8")
+    return target
+
+
+def shrink_fsm(
+    fsm: FSM,
+    still_fails: Callable[[FSM], bool],
+    budget: int = 200,
+) -> FSM:
+    """Greedy structural minimization preserving ``still_fails``.
+
+    Three passes, largest reductions first, repeated to a fixed point or
+    until ``budget`` candidate evaluations are spent: drop a non-reset
+    state with every transition touching it, drop a single transition,
+    simplify an output pattern to all zeros.  The machine's *name* is kept
+    so seed-derived randomness (input alphabets, fault sampling) replays
+    identically on the shrunk machine.
+    """
+    spent = 0
+
+    def attempt(candidate_fn: Callable[[], FSM | None]) -> FSM | None:
+        nonlocal spent
+        if spent >= budget:
+            return None
+        candidate = candidate_fn()
+        if candidate is None:
+            return None
+        spent += 1
+        try:
+            if still_fails(candidate):
+                return candidate
+        except Exception:
+            return None
+        return None
+
+    current = fsm
+    progress = True
+    while progress and spent < budget:
+        progress = False
+        # Pass 1: drop whole states.
+        for state in list(current.states):
+            if state == current.reset_state or current.num_states == 1:
+                continue
+            shrunk = attempt(lambda s=state: _without_state(current, s))
+            if shrunk is not None:
+                current = shrunk
+                progress = True
+        # Pass 2: drop single transitions.
+        index = 0
+        while index < len(current.transitions):
+            shrunk = attempt(lambda i=index: _without_transition(current, i))
+            if shrunk is not None:
+                current = shrunk
+                progress = True
+            else:
+                index += 1
+        # Pass 3: flatten outputs to zeros.
+        for index, transition in enumerate(current.transitions):
+            if set(transition.output) == {"0"}:
+                continue
+            shrunk = attempt(lambda i=index: _zero_output(current, i))
+            if shrunk is not None:
+                current = shrunk
+                progress = True
+    return current
+
+
+def _rebuild(fsm: FSM, states: list[str], transitions: list[Transition]) -> FSM | None:
+    try:
+        return FSM(
+            name=fsm.name,
+            num_inputs=fsm.num_inputs,
+            num_outputs=fsm.num_outputs,
+            states=states,
+            transitions=transitions,
+            reset_state=fsm.reset_state,
+        )
+    except ValueError:
+        return None
+
+
+def _without_state(fsm: FSM, state: str) -> FSM | None:
+    states = [name for name in fsm.states if name != state]
+    transitions = [
+        t for t in fsm.transitions if t.src != state and t.dst != state
+    ]
+    return _rebuild(fsm, states, transitions)
+
+
+def _without_transition(fsm: FSM, index: int) -> FSM | None:
+    transitions = [t for i, t in enumerate(fsm.transitions) if i != index]
+    return _rebuild(fsm, list(fsm.states), transitions)
+
+
+def _zero_output(fsm: FSM, index: int) -> FSM | None:
+    transitions = list(fsm.transitions)
+    old = transitions[index]
+    transitions[index] = Transition(
+        input_cube=old.input_cube,
+        src=old.src,
+        dst=old.dst,
+        output="0" * fsm.num_outputs,
+    )
+    return _rebuild(fsm, list(fsm.states), transitions)

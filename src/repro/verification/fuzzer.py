@@ -1,0 +1,349 @@
+"""The fuzz driver: coverage-guided machine generation × differential oracle.
+
+``run_fuzz`` replays the bundled seed corpus, then generates batches of
+random machines (:mod:`repro.verification.generator`) and pushes each
+batch through the campaign runtime as ``"fuzz"`` jobs — so every oracle
+pass inherits the executor's parallelism, per-job timeout, bounded retry
+and the shared artifact cache.  Coverage guidance is *batch-synchronous*:
+the behaviour signatures of batch *N* (machine shape and size, table row
+counts, per-latency q values, fault-activation and trajectory-gap flags)
+decide which machines enter the mutation pool before batch *N + 1* is
+generated, and outcomes are folded in input order, so a run is a pure
+function of ``(seed, iterations, options)`` regardless of ``--jobs`` or
+scheduling.
+
+Every discrepancy is minimized with the greedy shrinker (re-running the
+full oracle as the predicate), persisted as a ``repro-<digest>.kiss``
+reproducer next to the JSON manifest, and summarised in the manifest.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Callable
+
+from repro.fsm.kiss import parse_kiss, write_kiss
+from repro.runtime.cache import open_cache
+from repro.runtime.campaign import CampaignJob, CampaignOptions, run_campaign
+from repro.runtime.executor import job_seed
+from repro.util.rng import rng_for
+from repro.verification.corpus import (
+    load_seed_corpus,
+    shrink_fsm,
+    write_reproducer,
+)
+from repro.verification.generator import mutate_fsm, random_fsm
+from repro.verification.mutation import MUTATIONS
+from repro.verification.oracle import OracleConfig, run_oracle
+
+#: Fraction of generated machines drawn by mutating a pool member once the
+#: coverage pool is non-empty (the rest are fresh shape-biased machines).
+_MUTATE_RATE = 0.4
+
+
+@dataclass(frozen=True)
+class FuzzOptions:
+    """Everything one fuzz run depends on (CLI flags map 1:1)."""
+
+    iterations: int = 200
+    seed: int = 0
+    jobs: int = 1
+    batch_size: int = 25
+    #: Oracle knobs.
+    latency: int = 2
+    max_faults: int | None = 40
+    solve_iterations: int = 200
+    mutation: str = "none"
+    check_trajectory_gap: bool = True
+    #: Stop starting new batches once this much wall time (s) is spent.
+    time_budget: float | None = None
+    #: Output locations.
+    corpus_dir: str = "fuzz-corpus"
+    manifest_path: str | None = None  # default: <corpus_dir>/fuzz-manifest.json
+    #: Behaviour toggles.
+    replay_corpus: bool = True
+    shrink: bool = True
+    shrink_budget: int = 40
+    max_shrink: int = 5
+    #: Executor / cache passthrough (PR 1 runtime).
+    timeout: float | None = None
+    retries: int = 1
+    cache_dir: str | None = None
+    cache: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mutation not in MUTATIONS:
+            raise ValueError(
+                f"mutation must be one of {MUTATIONS}, got {self.mutation!r}"
+            )
+
+    def oracle_config(self) -> OracleConfig:
+        return OracleConfig(
+            latency=self.latency,
+            max_faults=self.max_faults,
+            solve_iterations=self.solve_iterations,
+            mutation=self.mutation,
+            check_trajectory_gap=self.check_trajectory_gap,
+        )
+
+
+@dataclass
+class FuzzRun:
+    """Everything a fuzz run produced."""
+
+    manifest: dict
+    manifest_file: Path
+    num_machines: int = 0
+    discrepancies: list[dict] = field(default_factory=list)
+    reproducers: list[Path] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.discrepancies
+
+
+def run_fuzz(
+    options: FuzzOptions = FuzzOptions(),
+    echo: Callable[[str], None] | None = None,
+) -> FuzzRun:
+    """Run one full fuzz campaign; write manifest + reproducers; return both."""
+    started = time.perf_counter()
+    say = echo or (lambda line: None)
+    config = options.oracle_config()
+    campaign_options = CampaignOptions(
+        jobs=options.jobs,
+        cache_dir=options.cache_dir,
+        cache=options.cache,
+        timeout=options.timeout,
+        retries=options.retries,
+        fallback=True,
+        manifest_path=None,
+        name="fuzz",
+    )
+
+    machine_rows: list[dict] = []
+    discrepancies: list[dict] = []
+    pool: list[str] = []  # KISS texts of coverage-novel machines
+    signatures: set[tuple] = set()
+    kiss_by_name: dict[str, str] = {}
+    budget_hit = False
+
+    def out_of_time() -> bool:
+        nonlocal budget_hit
+        if options.time_budget is None:
+            return False
+        if time.perf_counter() - started >= options.time_budget:
+            budget_hit = True
+            return True
+        return False
+
+    def run_batch(batch: list[tuple[str, str]], label: str) -> None:
+        """One batch (kiss, name) through the campaign; fold results in order."""
+        jobs = [
+            CampaignJob(
+                kind="fuzz",
+                name=name,
+                spec=(kiss, name, job_seed(options.seed, name), config),
+            )
+            for kiss, name in batch
+        ]
+        kiss_by_name.update({name: kiss for kiss, name in batch})
+        run = run_campaign(jobs, campaign_options)
+        found_before = len(discrepancies)
+        for job in jobs:  # input order: deterministic pool updates
+            result = run.values.get(job.name)
+            if result is None:  # executor-level failure (timeout/retry-out)
+                error = next(
+                    (r.error for r in run.reports if r.name == job.name), "?"
+                )
+                result = {
+                    "name": job.name,
+                    "seed": job.spec[2],
+                    "ok": False,
+                    "discrepancies": [
+                        {"kind": "crash", "detail": f"job failed: {error}"}
+                    ],
+                    "features": {},
+                }
+            machine_rows.append(result)
+            signature = _signature(result)
+            if signature not in signatures:
+                signatures.add(signature)
+                pool.append(kiss_by_name[job.name])
+            if not result["ok"]:
+                discrepancies.append(result)
+        say(
+            f"{label}: {len(batch)} machines, "
+            f"{len(discrepancies) - found_before} new discrepancies, "
+            f"{len(signatures)} coverage signatures"
+        )
+
+    # Phase 1: replay the persisted seed corpus through the same oracle.
+    if options.replay_corpus:
+        corpus = load_seed_corpus()
+        if corpus:
+            run_batch(
+                [(write_kiss(fsm), fsm.name) for fsm in corpus], "corpus"
+            )
+
+    # Phase 2: coverage-guided generation.
+    index = 0
+    while index < options.iterations and not out_of_time():
+        size = min(options.batch_size, options.iterations - index)
+        batch: list[tuple[str, str]] = []
+        for _ in range(size):
+            name = f"fz-{options.seed}-{index}"
+            rng = rng_for(options.seed, "fuzz", index)
+            if pool and rng.random() < _MUTATE_RATE:
+                base = parse_kiss(
+                    pool[int(rng.integers(len(pool)))], name=name
+                )
+                fsm = mutate_fsm(base, rng, name=name)
+            else:
+                fsm = random_fsm(rng, name=name)
+            batch.append((write_kiss(fsm), fsm.name))
+            index += 1
+        run_batch(batch, f"batch {index - size}..{index - 1}")
+
+    # Phase 3: shrink + persist reproducers for every discrepancy.
+    reproducers: list[Path] = []
+    if discrepancies:
+        Path(options.corpus_dir).mkdir(parents=True, exist_ok=True)
+        shrink_cache = open_cache(options.cache_dir, enabled=options.cache)
+        for position, entry in enumerate(discrepancies):
+            fsm = parse_kiss(kiss_by_name[entry["name"]], name=entry["name"])
+            if options.shrink and position < options.max_shrink:
+                # Evaluate candidates through a KISS round-trip: the state
+                # *declaration order* fixes the binary encoding, and the
+                # banked file must replay exactly what the oracle saw.
+                fsm = shrink_fsm(
+                    fsm,
+                    lambda candidate: not run_oracle(
+                        parse_kiss(write_kiss(candidate), name=candidate.name),
+                        seed=entry["seed"],
+                        config=config,
+                        cache=shrink_cache,
+                    ).ok,
+                    budget=options.shrink_budget,
+                )
+            reason = "; ".join(
+                f"{d['kind']}: {d['detail']}" for d in entry["discrepancies"]
+            )
+            path = write_reproducer(
+                fsm,
+                options.corpus_dir,
+                reason=f"seed={entry['seed']} mutation={options.mutation}\n"
+                + reason,
+            )
+            entry["reproducer"] = str(path)
+            reproducers.append(path)
+            say(f"reproducer: {path} ({entry['name']})")
+
+    # Phase 4: the manifest.
+    wall = time.perf_counter() - started
+    gap_eligible = [
+        row for row in machine_rows if "trajectory_gap" in row.get("features", {})
+    ]
+    gap_machines = [
+        row for row in gap_eligible if row["features"]["trajectory_gap"] > 0
+    ]
+    manifest = {
+        "fuzz": {
+            "iterations": options.iterations,
+            "seed": options.seed,
+            "jobs": options.jobs,
+            "batch_size": options.batch_size,
+            "latency": options.latency,
+            "max_faults": options.max_faults,
+            "solve_iterations": options.solve_iterations,
+            "mutation": options.mutation,
+            "time_budget": options.time_budget,
+            "replay_corpus": options.replay_corpus,
+            "corpus_dir": options.corpus_dir,
+        },
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "totals": {
+            "machines": len(machine_rows),
+            "discrepant": len(discrepancies),
+            "coverage_signatures": len(signatures),
+            "time_budget_hit": budget_hit,
+            "trajectory_gap": {
+                "eligible": len(gap_eligible),
+                "with_gap": len(gap_machines),
+                "rate": (
+                    round(len(gap_machines) / len(gap_eligible), 4)
+                    if gap_eligible
+                    else None
+                ),
+            },
+            "wall_seconds": round(wall, 3),
+        },
+        "discrepancies": [
+            {
+                "machine": entry["name"],
+                "seed": entry["seed"],
+                "kinds": sorted({d["kind"] for d in entry["discrepancies"]}),
+                "details": entry["discrepancies"],
+                "reproducer": entry.get("reproducer"),
+            }
+            for entry in discrepancies
+        ],
+        "machines": [
+            {
+                "name": row["name"],
+                "ok": row["ok"],
+                "features": row.get("features", {}),
+            }
+            for row in machine_rows
+        ],
+    }
+    manifest_file = Path(
+        options.manifest_path
+        or Path(options.corpus_dir) / "fuzz-manifest.json"
+    )
+    manifest_file.parent.mkdir(parents=True, exist_ok=True)
+    manifest_file.write_text(json.dumps(manifest, indent=2) + "\n")
+    say(
+        f"fuzz: {len(machine_rows)} machines, {len(discrepancies)} "
+        f"discrepancies, manifest {manifest_file}"
+    )
+    return FuzzRun(
+        manifest=manifest,
+        manifest_file=manifest_file,
+        num_machines=len(machine_rows),
+        discrepancies=manifest["discrepancies"],
+        reproducers=reproducers,
+    )
+
+
+def _signature(result: dict) -> tuple:
+    """Coarse behaviour signature driving coverage-guided pool admission."""
+    features = result.get("features", {})
+    rows = features.get("rows", {})
+    q_lp = features.get("q_lp", {})
+    return (
+        features.get("num_states"),
+        features.get("num_inputs"),
+        features.get("num_outputs"),
+        tuple(sorted((p, _bucket(n)) for p, n in rows.items())),
+        tuple(sorted(q_lp.items())),
+        bool(features.get("truncated")),
+        features.get("activated_runs", 0) > 0,
+        features.get("trajectory_gap", 0) > 0,
+        not result["ok"],
+    )
+
+
+def _bucket(count: int) -> int:
+    """Log-ish bucketing so row-count noise doesn't explode the signature set."""
+    if count <= 0:
+        return 0
+    bucket = 1
+    while count >= 10:
+        count //= 10
+        bucket += 1
+    return bucket

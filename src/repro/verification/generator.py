@@ -1,0 +1,383 @@
+"""Fuzz-oriented FSM generation and mutation.
+
+:mod:`repro.fsm.generate` produces *plausible* controllers (the MCNC
+signature substitutes).  The fuzzer needs the opposite bias: machines at
+the edges of the input space where table extraction, solving and hardware
+construction are most likely to disagree.  Every machine built here is a
+valid deterministic :class:`~repro.fsm.machine.FSM` (per-state input cubes
+are disjoint by construction), so the whole pipeline must accept it.
+
+Shapes (``FUZZ_SHAPES``):
+
+* ``tiny``        — one or two states, everything a (near-)self-loop;
+* ``unreachable`` — a reachable core plus states only reachable from each
+  other, never from reset (the extractor must ignore them, the encoder
+  must still encode them);
+* ``degenerate``  — outputs all-constant or all-don't-care (empty or
+  trivial on-sets downstream);
+* ``dense``       — completely specified, every input combination split
+  out (maximal alphabet pressure);
+* ``sparse``      — a bare spanning tree of transitions (most of the input
+  space unspecified, maximal don't-care freedom);
+* ``generic``     — an unconstrained random controller.
+
+Mutations (:func:`mutate_fsm`) preserve determinism by never touching the
+cube structure of a state: they redirect destinations, rewrite output
+characters, drop transitions, or clone a state.  The coverage-guided
+fuzzer applies them to machines that reached new behaviour signatures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fsm.machine import FSM, Transition
+
+FUZZ_SHAPES = (
+    "tiny",
+    "unreachable",
+    "degenerate",
+    "dense",
+    "sparse",
+    "generic",
+)
+
+#: Size envelope of fuzzed machines.  Small on purpose: the differential
+#: oracle runs an exact solver and a fault-injection campaign per machine,
+#: and small machines shrink to readable reproducers.
+_MAX_INPUTS = 3
+_MAX_STATES = 7
+_MAX_OUTPUTS = 3
+
+
+def random_fsm(
+    rng: np.random.Generator, name: str, shape: str | None = None
+) -> FSM:
+    """A random valid machine of the given (or randomly drawn) shape."""
+    if shape is None:
+        shape = FUZZ_SHAPES[int(rng.integers(len(FUZZ_SHAPES)))]
+    if shape not in FUZZ_SHAPES:
+        raise ValueError(f"shape must be one of {FUZZ_SHAPES}")
+    builder = {
+        "tiny": _tiny,
+        "unreachable": _unreachable,
+        "degenerate": _degenerate,
+        "dense": _dense,
+        "sparse": _sparse,
+        "generic": _generic,
+    }[shape]
+    return builder(rng, name)
+
+
+# ----------------------------------------------------------------------
+# Construction helpers
+# ----------------------------------------------------------------------
+def _cube_blocks(
+    rng: np.random.Generator, num_inputs: int, depth: int
+) -> list[str]:
+    """A disjoint family of 2**depth cubes splitting ``depth`` variables."""
+    depth = min(depth, num_inputs)
+    split_vars = sorted(
+        rng.choice(num_inputs, size=depth, replace=False).tolist()
+    ) if depth else []
+    blocks = []
+    for assignment in range(1 << depth):
+        pattern = ["-"] * num_inputs
+        for position, var in enumerate(split_vars):
+            pattern[var] = "1" if (assignment >> position) & 1 else "0"
+        blocks.append("".join(pattern))
+    return blocks
+
+
+def _random_output(
+    rng: np.random.Generator, num_outputs: int, dc_rate: float = 0.1
+) -> str:
+    chars = []
+    for _ in range(num_outputs):
+        roll = rng.random()
+        if roll < dc_rate:
+            chars.append("-")
+        else:
+            chars.append("1" if rng.random() < 0.5 else "0")
+    return "".join(chars)
+
+
+def _assemble(
+    name: str,
+    num_inputs: int,
+    num_outputs: int,
+    states: list[str],
+    rows: list[Transition],
+) -> FSM:
+    return FSM(
+        name=name,
+        num_inputs=num_inputs,
+        num_outputs=num_outputs,
+        states=states,
+        transitions=rows,
+        reset_state=states[0],
+    )
+
+
+def _core_machine(
+    rng: np.random.Generator,
+    name: str,
+    num_inputs: int,
+    num_states: int,
+    num_outputs: int,
+    cubes_depth: int,
+    keep_fraction: float,
+    self_loop_rate: float,
+    output_dc_rate: float,
+) -> FSM:
+    """A reachable random machine; the shared skeleton of most shapes."""
+    states = [f"s{idx}" for idx in range(num_states)]
+    rows: list[Transition] = []
+    slots: list[tuple[int, str]] = []
+    for state_idx in range(num_states):
+        blocks = _cube_blocks(rng, num_inputs, cubes_depth)
+        keep = max(1, round(len(blocks) * keep_fraction))
+        chosen = rng.choice(len(blocks), size=keep, replace=False)
+        for block_idx in sorted(chosen.tolist()):
+            slots.append((state_idx, blocks[block_idx]))
+
+    # Spanning reachability first: state i>0 gets an incoming edge from a
+    # free slot of some earlier state.
+    destinations: dict[int, int] = {}
+    slots_by_state: dict[int, list[int]] = {}
+    for slot_idx, (state_idx, _) in enumerate(slots):
+        slots_by_state.setdefault(state_idx, []).append(slot_idx)
+    for target in range(1, num_states):
+        candidates = [
+            slot_idx
+            for source in range(target)
+            for slot_idx in slots_by_state.get(source, [])
+            if slot_idx not in destinations
+        ]
+        if candidates:
+            destinations[int(rng.choice(candidates))] = target
+    for slot_idx, (state_idx, _) in enumerate(slots):
+        if slot_idx in destinations:
+            continue
+        if rng.random() < self_loop_rate:
+            destinations[slot_idx] = state_idx
+        else:
+            destinations[slot_idx] = int(rng.integers(num_states))
+
+    for slot_idx, (state_idx, cube) in enumerate(slots):
+        rows.append(
+            Transition(
+                input_cube=cube,
+                src=states[state_idx],
+                dst=states[destinations[slot_idx]],
+                output=_random_output(rng, num_outputs, output_dc_rate),
+            )
+        )
+    return _assemble(name, num_inputs, num_outputs, states, rows)
+
+
+# ----------------------------------------------------------------------
+# Shapes
+# ----------------------------------------------------------------------
+def _tiny(rng: np.random.Generator, name: str) -> FSM:
+    num_inputs = int(rng.integers(1, _MAX_INPUTS + 1))
+    num_outputs = int(rng.integers(1, _MAX_OUTPUTS + 1))
+    num_states = int(rng.integers(1, 3))
+    states = [f"s{idx}" for idx in range(num_states)]
+    rows = []
+    for state_idx in range(num_states):
+        for cube in _cube_blocks(rng, num_inputs, 1):
+            # Mostly self-loops; occasionally hop to the other state.
+            dst = state_idx
+            if num_states > 1 and rng.random() < 0.3:
+                dst = 1 - state_idx
+            rows.append(
+                Transition(cube, states[state_idx], states[dst],
+                           _random_output(rng, num_outputs))
+            )
+    return _assemble(name, num_inputs, num_outputs, states, rows)
+
+
+def _unreachable(rng: np.random.Generator, name: str) -> FSM:
+    core = _core_machine(
+        rng, name,
+        num_inputs=int(rng.integers(1, _MAX_INPUTS + 1)),
+        num_states=int(rng.integers(2, 5)),
+        num_outputs=int(rng.integers(1, _MAX_OUTPUTS + 1)),
+        cubes_depth=int(rng.integers(1, 3)),
+        keep_fraction=1.0,
+        self_loop_rate=0.3,
+        output_dc_rate=0.1,
+    )
+    # An island of 1-2 states transitioning only among themselves.
+    island = [f"u{idx}" for idx in range(int(rng.integers(1, 3)))]
+    states = list(core.states) + island
+    rows = list(core.transitions)
+    for island_idx, state in enumerate(island):
+        for cube in _cube_blocks(rng, core.num_inputs, 1):
+            dst = island[int(rng.integers(len(island)))]
+            rows.append(
+                Transition(cube, state, dst,
+                           _random_output(rng, core.num_outputs))
+            )
+    return _assemble(name, core.num_inputs, core.num_outputs, states, rows)
+
+
+def _degenerate(rng: np.random.Generator, name: str) -> FSM:
+    core = _core_machine(
+        rng, name,
+        num_inputs=int(rng.integers(1, _MAX_INPUTS + 1)),
+        num_states=int(rng.integers(2, _MAX_STATES + 1)),
+        num_outputs=int(rng.integers(1, _MAX_OUTPUTS + 1)),
+        cubes_depth=int(rng.integers(1, 3)),
+        keep_fraction=1.0,
+        self_loop_rate=0.25,
+        output_dc_rate=0.0,
+    )
+    mode = rng.random()
+    if mode < 0.4:
+        fixed = "-" * core.num_outputs  # all outputs unspecified
+    elif mode < 0.8:
+        fixed = ("1" if rng.random() < 0.5 else "0") * core.num_outputs
+    else:
+        fixed = None  # keep outputs, degenerate the transition structure
+    rows = []
+    for t in core.transitions:
+        output = fixed if fixed is not None else t.output
+        dst = core.states[0] if fixed is None else t.dst  # funnel to reset
+        rows.append(Transition(t.input_cube, t.src, dst, output))
+    return _assemble(
+        name, core.num_inputs, core.num_outputs, list(core.states), rows
+    )
+
+
+def _dense(rng: np.random.Generator, name: str) -> FSM:
+    num_inputs = int(rng.integers(1, _MAX_INPUTS + 1))
+    return _core_machine(
+        rng, name,
+        num_inputs=num_inputs,
+        num_states=int(rng.integers(2, 6)),
+        num_outputs=int(rng.integers(1, _MAX_OUTPUTS + 1)),
+        cubes_depth=num_inputs,  # every minterm its own transition
+        keep_fraction=1.0,
+        self_loop_rate=0.15,
+        output_dc_rate=0.05,
+    )
+
+
+def _sparse(rng: np.random.Generator, name: str) -> FSM:
+    return _core_machine(
+        rng, name,
+        num_inputs=int(rng.integers(2, _MAX_INPUTS + 1)),
+        num_states=int(rng.integers(3, _MAX_STATES + 1)),
+        num_outputs=int(rng.integers(1, _MAX_OUTPUTS + 1)),
+        cubes_depth=2,
+        keep_fraction=0.3,  # most of the input space unspecified
+        self_loop_rate=0.2,
+        output_dc_rate=0.3,
+    )
+
+
+def _generic(rng: np.random.Generator, name: str) -> FSM:
+    return _core_machine(
+        rng, name,
+        num_inputs=int(rng.integers(1, _MAX_INPUTS + 1)),
+        num_states=int(rng.integers(2, _MAX_STATES + 1)),
+        num_outputs=int(rng.integers(1, _MAX_OUTPUTS + 1)),
+        cubes_depth=int(rng.integers(1, 3)),
+        keep_fraction=float(rng.uniform(0.5, 1.0)),
+        self_loop_rate=float(rng.uniform(0.0, 0.7)),
+        output_dc_rate=float(rng.uniform(0.0, 0.3)),
+    )
+
+
+# ----------------------------------------------------------------------
+# Mutation
+# ----------------------------------------------------------------------
+def mutate_fsm(fsm: FSM, rng: np.random.Generator, name: str) -> FSM:
+    """A determinism-preserving random mutation of ``fsm``.
+
+    Input cubes are never modified, so per-state disjointness (and hence
+    validity) is preserved by construction.
+    """
+    mutators = [_redirect, _rewrite_output, _drop_transition, _clone_state]
+    for _ in range(8):  # a mutator may be a no-op on this machine; retry
+        mutator = mutators[int(rng.integers(len(mutators)))]
+        mutated = mutator(fsm, rng, name)
+        if mutated is not None:
+            return mutated
+    return fsm.renamed(name)
+
+
+def _redirect(fsm: FSM, rng: np.random.Generator, name: str) -> FSM | None:
+    if not fsm.transitions or len(fsm.states) < 2:
+        return None
+    rows = list(fsm.transitions)
+    index = int(rng.integers(len(rows)))
+    target = fsm.states[int(rng.integers(len(fsm.states)))]
+    if target == rows[index].dst:
+        return None
+    rows[index] = Transition(
+        rows[index].input_cube, rows[index].src, target, rows[index].output
+    )
+    return _assemble(name, fsm.num_inputs, fsm.num_outputs,
+                     list(fsm.states), rows)
+
+
+def _rewrite_output(
+    fsm: FSM, rng: np.random.Generator, name: str
+) -> FSM | None:
+    if not fsm.transitions:
+        return None
+    rows = list(fsm.transitions)
+    index = int(rng.integers(len(rows)))
+    position = int(rng.integers(fsm.num_outputs))
+    current = rows[index].output[position]
+    replacement = "01-".replace(current, "")[int(rng.integers(2))]
+    output = (
+        rows[index].output[:position]
+        + replacement
+        + rows[index].output[position + 1:]
+    )
+    rows[index] = Transition(
+        rows[index].input_cube, rows[index].src, rows[index].dst, output
+    )
+    return _assemble(name, fsm.num_inputs, fsm.num_outputs,
+                     list(fsm.states), rows)
+
+
+def _drop_transition(
+    fsm: FSM, rng: np.random.Generator, name: str
+) -> FSM | None:
+    if len(fsm.transitions) < 2:
+        return None
+    rows = list(fsm.transitions)
+    rows.pop(int(rng.integers(len(rows))))
+    return _assemble(name, fsm.num_inputs, fsm.num_outputs,
+                     list(fsm.states), rows)
+
+
+def _clone_state(
+    fsm: FSM, rng: np.random.Generator, name: str
+) -> FSM | None:
+    if len(fsm.states) >= _MAX_STATES + 2 or not fsm.transitions:
+        return None
+    donor = fsm.states[int(rng.integers(len(fsm.states)))]
+    donor_rows = [t for t in fsm.transitions if t.src == donor]
+    if not donor_rows:
+        return None
+    clone = f"c{len(fsm.states)}"
+    rows = list(fsm.transitions)
+    # Redirect one random incoming transition to the clone, then give the
+    # clone the donor's outgoing cube structure.
+    incoming = [i for i, t in enumerate(rows) if t.dst == donor]
+    if not incoming:
+        return None
+    index = incoming[int(rng.integers(len(incoming)))]
+    rows[index] = Transition(
+        rows[index].input_cube, rows[index].src, clone, rows[index].output
+    )
+    for t in donor_rows:
+        rows.append(Transition(t.input_cube, clone, t.dst, t.output))
+    return _assemble(name, fsm.num_inputs, fsm.num_outputs,
+                     list(fsm.states) + [clone], rows)

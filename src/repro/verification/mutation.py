@@ -1,0 +1,65 @@
+"""Deliberate breakage of the pipeline, to prove the oracle has teeth.
+
+A fuzzer that only ever reports "no discrepancies" is indistinguishable
+from one that checks nothing.  The mutation smoke test runs the fuzzer
+with a known bug injected into the design pipeline and demands it be
+caught: ``repro-ced fuzz --mutation rounding`` must report discrepancies
+where the clean run reports none.
+
+The ``"rounding"`` mutation makes the LP + randomized-rounding path accept
+*any* β set as covering: :func:`repro.core.rounding.covered_rows` is
+replaced with an all-ones stub and the pipeline's own safety net
+(:func:`repro.core.search.covers_all`, asserted on the final result) is
+disabled with it.  Both must be patched together — the production code is
+defensive enough that breaking the rounding step alone is masked by the
+final assertion.  The independently implemented oracle checks (pure-Python
+coverage, fault-injection of the built hardware) are untouched and flag
+the silently non-covering solutions.
+
+The greedy solver is built on :func:`repro.core.cover.batch_coverage` and
+is unaffected, so the mutated run also exercises the ``q_lp ≤ q_greedy``
+ordering check from the other side.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+MUTATIONS = ("none", "rounding")
+
+
+def _all_covered(rows: np.ndarray, betas) -> np.ndarray:  # noqa: ANN001
+    """Stand-in for covered_rows that vacuously accepts every row."""
+    return np.ones(np.asarray(rows).shape[0], dtype=bool)
+
+
+def _always_true(rows: np.ndarray, betas) -> bool:  # noqa: ANN001
+    return True
+
+
+@contextmanager
+def apply_mutation(name: str) -> Iterator[None]:
+    """Temporarily install a known pipeline bug (``"none"`` is a no-op)."""
+    if name not in MUTATIONS:
+        raise ValueError(
+            f"unknown mutation {name!r}; expected one of {MUTATIONS}"
+        )
+    if name == "none":
+        yield
+        return
+
+    import repro.core.rounding as rounding
+    import repro.core.search as search
+
+    saved_covered_rows = rounding.covered_rows
+    saved_covers_all = search.covers_all
+    rounding.covered_rows = _all_covered
+    search.covers_all = _always_true
+    try:
+        yield
+    finally:
+        rounding.covered_rows = saved_covered_rows
+        search.covers_all = saved_covers_all

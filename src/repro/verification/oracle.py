@@ -1,0 +1,441 @@
+"""The differential oracle: one fuzzed machine, every cross-check.
+
+Each check pits two *independent* computations of the same quantity
+against each other, so a bug in either side surfaces as a discrepancy
+rather than silently agreeing with itself:
+
+* **solver order** — exact branch-and-bound ≤ LP+randomized-rounding ≤
+  greedy cover (``q_exact ≤ q_lp ≤ q_greedy``) per latency, and each
+  solver's q monotone non-increasing in the latency bound;
+* **coverage** — every β set returned by any solver re-checked against
+  the full detectability table with a from-scratch pure-Python GF(2)
+  predicate (:func:`independent_covers`), not the vectorised
+  :mod:`repro.core.cover` the solvers themselves use;
+* **table cross-check** — the p = 1 checker-semantics table re-derived by
+  direct netlist simulation (own reachability BFS, own bit packing) and
+  compared set-for-set; the trajectory and checker tables must agree at
+  p = 1 (they only diverge once trajectories separate);
+* **bounded latency** — hardware built from the checker-table solution is
+  fault-injected via :mod:`repro.ced.verify`; zero violations tolerated,
+  and the fault-free machine must never raise the flag.
+
+Any exception anywhere is itself a discrepancy (kind ``"crash"``): the
+pipeline must *accept* every valid machine the fuzzer can produce.
+
+The oracle optionally shares the campaign runtime's artifact cache: the
+synthesis and table-extraction stages reuse the same fingerprint scheme as
+:mod:`repro.flow`, so replaying a fuzz seed is warm-cache fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ced.hardware import build_ced_hardware
+from repro.ced.verify import verify_bounded_latency, verify_no_false_alarms
+from repro.core.detectability import (
+    DetectabilityTable,
+    TableConfig,
+    extract_tables,
+    input_alphabet,
+)
+from repro.core.search import (
+    SolveConfig,
+    solve_for_latencies,
+    solve_greedy_for_latencies,
+)
+from repro.faults.model import Fault, StuckAtModel, is_netlist_fault
+from repro.fsm.machine import FSM
+from repro.logic.sim import evaluate_batch
+from repro.logic.synthesis import SynthesisResult, synthesize_fsm
+from repro.runtime.cache import Cache, NullCache, cached_call, fingerprint
+from repro.verification.mutation import apply_mutation
+
+
+@dataclass(frozen=True)
+class OracleConfig:
+    """Knobs of one differential-oracle pass."""
+
+    latency: int = 2
+    max_faults: int | None = 40
+    solve_iterations: int = 200
+    #: Exact solver gate: only run branch-and-bound when affordable.
+    exact_max_bits: int = 10
+    exact_max_rows: int = 2000
+    exact_node_budget: int = 200_000
+    #: Fault-injection campaign size.
+    runs_per_fault: int = 2
+    run_length: int = 20
+    verify_max_faults: int = 25
+    #: Also build trajectory-semantics hardware and measure whether the
+    #: bound holds for it (a *measurement*, not a discrepancy — the gap is
+    #: a documented reproduction finding).
+    check_trajectory_gap: bool = True
+    #: Deliberate pipeline breakage (see repro.verification.mutation).
+    mutation: str = "none"
+
+
+@dataclass(frozen=True)
+class Discrepancy:
+    """One oracle disagreement."""
+
+    kind: str  # solver-order | coverage | table-mismatch | bound-violation
+    #        | false-alarm | crash
+    detail: str
+
+
+@dataclass
+class OracleReport:
+    """Everything one machine's oracle pass produced."""
+
+    name: str
+    discrepancies: list[Discrepancy] = field(default_factory=list)
+    #: Behaviour signature inputs for the coverage-guided fuzzer plus
+    #: manifest statistics (plain JSON-able values only).
+    features: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.discrepancies
+
+    def add(self, kind: str, detail: str) -> None:
+        self.discrepancies.append(Discrepancy(kind, detail))
+
+
+# ----------------------------------------------------------------------
+# Independent re-implementations (deliberately naive)
+# ----------------------------------------------------------------------
+def independent_covers(rows: np.ndarray, betas: list[int]) -> bool:
+    """Pure-Python GF(2) coverage check, independent of repro.core.cover."""
+    row_list = [[int(word) for word in row] for row in np.asarray(rows)]
+    for row in row_list:
+        detected = False
+        for word in row:
+            if word == 0:
+                continue
+            for beta in betas:
+                if bin(word & int(beta)).count("1") % 2 == 1:
+                    detected = True
+                    break
+            if detected:
+                break
+        if not detected:
+            return False
+    return True
+
+
+def direct_first_step_diffs(
+    synthesis: SynthesisResult,
+    model: StuckAtModel,
+    faults: list[Fault],
+    alphabet: np.ndarray,
+) -> set[int]:
+    """All non-zero activation difference words, by direct simulation.
+
+    Re-derives the p = 1 checker table from scratch: own reachability BFS
+    over the good netlist, one :func:`evaluate_batch` call per (state,
+    fault), own bit packing.  Shares nothing with the memoized path
+    enumeration in :mod:`repro.core.detectability`.
+    """
+    def pack(bits: np.ndarray) -> int:
+        word = 0
+        for index, bit in enumerate(bits.tolist()):
+            word |= int(bit) << index
+        return word
+
+    def patterns_for(code: int) -> np.ndarray:
+        return np.stack([
+            synthesis.pattern(code, int(value)) for value in alphabet
+        ])
+
+    state_mask = (1 << synthesis.num_state_bits) - 1
+    seen = {synthesis.reset_code}
+    frontier = [synthesis.reset_code]
+    good_words: dict[int, list[int]] = {}
+    while frontier:
+        code = frontier.pop()
+        responses = evaluate_batch(synthesis.netlist, patterns_for(code))
+        words = [pack(row) for row in responses]
+        good_words[code] = words
+        for word in words:
+            next_code = word & state_mask
+            if next_code not in seen:
+                seen.add(next_code)
+                frontier.append(next_code)
+
+    diffs: set[int] = set()
+    for fault in faults:
+        if not is_netlist_fault(fault):
+            continue
+        for code, words in good_words.items():
+            faulty = model.faulty_responses(fault, patterns_for(code))
+            for good_word, faulty_bits in zip(words, faulty):
+                diff = good_word ^ pack(faulty_bits)
+                if diff:
+                    diffs.add(diff)
+    return diffs
+
+
+# ----------------------------------------------------------------------
+# The oracle
+# ----------------------------------------------------------------------
+def run_oracle(
+    fsm: FSM,
+    seed: int = 0,
+    config: OracleConfig = OracleConfig(),
+    cache: Cache | None = None,
+    degraded: bool = False,
+) -> OracleReport:
+    """Run every differential check on one machine."""
+    report = OracleReport(name=fsm.name)
+    try:
+        _run_checks(fsm, seed, config, cache or NullCache(), degraded, report)
+    except Exception as error:  # the pipeline must accept valid machines
+        report.add("crash", f"{type(error).__name__}: {error}")
+    return report
+
+
+def _run_checks(
+    fsm: FSM,
+    seed: int,
+    config: OracleConfig,
+    cache: Cache,
+    degraded: bool,
+    report: OracleReport,
+) -> None:
+    latencies = list(range(1, config.latency + 1))
+
+    # Stage 1: synthesis (same cache key as repro.flow — shared artifacts).
+    synthesis, _ = cached_call(
+        cache,
+        "synthesis",
+        fingerprint("synthesis", fsm, "binary", False),
+        lambda: synthesize_fsm(fsm),
+    )
+    model = StuckAtModel(synthesis, max_faults=config.max_faults, seed=seed)
+    faults = model.faults()
+
+    # Stage 2: tables, both semantics.
+    tables: dict[str, dict[int, DetectabilityTable]] = {}
+    fault_desc = ("stuck-at", True, True, config.max_faults, model.seed)
+    for semantics in ("checker", "trajectory"):
+        table_config = TableConfig(latency=config.latency, semantics=semantics)
+        tables[semantics], _ = cached_call(
+            cache,
+            "tables",
+            fingerprint(
+                "tables", fsm, "binary", False, fault_desc,
+                table_config, tuple(latencies),
+            ),
+            lambda tc=table_config: extract_tables(synthesis, model, tc, latencies),
+        )
+
+    checker = tables["checker"]
+    trajectory = tables["trajectory"]
+    report.features.update(
+        num_states=fsm.num_states,
+        num_inputs=fsm.num_inputs,
+        num_outputs=fsm.num_outputs,
+        num_bits=synthesis.num_bits,
+        num_faults=len(faults),
+        rows={str(p): checker[p].num_rows for p in latencies},
+        truncated=any(
+            checker[p].stats is not None and checker[p].stats.truncated
+            for p in latencies
+        ),
+    )
+
+    # Table cross-checks (skip when the extraction had to subsample).
+    if not report.features["truncated"]:
+        alphabet, _ = input_alphabet(
+            synthesis, TableConfig(latency=config.latency, semantics="checker")
+        )
+        direct = direct_first_step_diffs(synthesis, model, faults, alphabet)
+        extracted = {
+            next(iter(options))
+            for options in checker[1].option_sets()
+            if len(options) == 1
+        }
+        all_extracted = {
+            word for options in checker[1].option_sets() for word in options
+        }
+        if extracted != direct or all_extracted != direct:
+            report.add(
+                "table-mismatch",
+                f"p=1 checker table has {len(all_extracted)} distinct "
+                f"difference words, direct simulation found {len(direct)} "
+                f"(symmetric difference {len(all_extracted ^ direct)})",
+            )
+        if checker[1].option_sets() != trajectory[1].option_sets():
+            report.add(
+                "table-mismatch",
+                "checker and trajectory tables disagree at p=1 "
+                "(they can only diverge after the activation step)",
+            )
+
+    # Stage 3: solving — greedy, LP+RR, exact — under the (optional)
+    # pipeline mutation.  The cross-checks below never run mutated code.
+    solve_config = SolveConfig(iterations=config.solve_iterations, seed=seed)
+    with apply_mutation(config.mutation):
+        greedy_results, _ = cached_call(
+            cache,
+            "solve",
+            _solve_key("fuzz-greedy", config, solve_config, checker, latencies),
+            lambda: solve_greedy_for_latencies(checker, solve_config),
+        )
+        if degraded:
+            lp_results = greedy_results
+        else:
+            lp_results, _ = cached_call(
+                cache,
+                "solve",
+                _solve_key("fuzz-lp", config, solve_config, checker, latencies),
+                lambda: solve_for_latencies(checker, solve_config),
+            )
+    exact_qs: dict[int, int] = {}
+    if not degraded and config.mutation == "none":
+        exact_qs = _exact_latencies(checker, latencies, config, cache)
+
+    # Solver-order and coverage checks.
+    for p in latencies:
+        q_greedy = greedy_results[p].q
+        q_lp = lp_results[p].q
+        if q_lp > q_greedy:
+            report.add(
+                "solver-order",
+                f"p={p}: LP+rounding q={q_lp} exceeds greedy q={q_greedy}",
+            )
+        if p in exact_qs and exact_qs[p] > q_lp:
+            report.add(
+                "solver-order",
+                f"p={p}: exact q={exact_qs[p]} exceeds LP+rounding q={q_lp} "
+                "— the 'exact' solver is not optimal or LP+RR under-covers",
+            )
+        for label, result in (("greedy", greedy_results[p]), ("lp", lp_results[p])):
+            if checker[p].num_rows and not independent_covers(
+                checker[p].rows, result.betas
+            ):
+                report.add(
+                    "coverage",
+                    f"p={p}: {label} solution {sorted(result.betas)} fails "
+                    "the independent GF(2) coverage check",
+                )
+        if checker[p].num_rows == 0 and (q_lp != 0 or q_greedy != 0):
+            report.add(
+                "coverage",
+                f"p={p}: empty table must need zero parity functions, "
+                f"got lp={q_lp} greedy={q_greedy}",
+            )
+    for label, results in (("greedy", greedy_results), ("lp", lp_results)):
+        qs = [results[p].q for p in latencies]
+        if any(later > earlier for earlier, later in zip(qs, qs[1:])):
+            report.add(
+                "solver-order",
+                f"{label} q not monotone along latencies: {qs}",
+            )
+
+    report.features.update(
+        q_greedy={str(p): greedy_results[p].q for p in latencies},
+        q_lp={str(p): lp_results[p].q for p in latencies},
+        q_exact={str(p): q for p, q in exact_qs.items()},
+    )
+
+    # Stage 4: the end-to-end guarantee on the built hardware.  The
+    # checker-table guarantee extends to states only the faulty machine
+    # reaches, so the predictor must not dc-optimize unreachable codes
+    # (the trajectory-gap hardware below keeps the paper's default).
+    top = config.latency
+    hardware = build_ced_hardware(
+        synthesis, lp_results[top].betas, unreachable_dc=False
+    )
+    bound = verify_bounded_latency(
+        synthesis,
+        hardware,
+        faults,
+        latency=top,
+        runs_per_fault=config.runs_per_fault,
+        run_length=config.run_length,
+        max_faults=config.verify_max_faults,
+        seed=seed,
+    )
+    if not bound.clean:
+        report.add(
+            "bound-violation",
+            f"p={top}: {len(bound.violations)} of {bound.num_activated_runs} "
+            f"activated runs escaped the bound (first: {bound.violations[0]})",
+        )
+    if not verify_no_false_alarms(
+        synthesis, hardware, num_runs=3, run_length=24, seed=seed
+    ):
+        report.add("false-alarm", "fault-free machine raised the error flag")
+    report.features["activated_runs"] = bound.num_activated_runs
+
+    # Trajectory-gap measurement (a finding, not a failure).
+    if config.check_trajectory_gap and not degraded and config.mutation == "none":
+        gap_results = solve_for_latencies(trajectory, solve_config)
+        gap_hardware = build_ced_hardware(synthesis, gap_results[top].betas)
+        gap = verify_bounded_latency(
+            synthesis,
+            gap_hardware,
+            faults,
+            latency=top,
+            runs_per_fault=config.runs_per_fault,
+            run_length=config.run_length,
+            max_faults=config.verify_max_faults,
+            seed=seed,
+        )
+        report.features["trajectory_gap"] = len(gap.violations)
+        report.features["trajectory_q"] = {
+            str(p): gap_results[p].q for p in latencies
+        }
+
+
+def _solve_key(
+    kind: str,
+    config: OracleConfig,
+    solve_config: SolveConfig,
+    tables: dict[int, DetectabilityTable],
+    latencies: list[int],
+) -> str:
+    return fingerprint(
+        kind,
+        config.mutation,
+        solve_config,
+        [(p, tables[p].num_bits, tables[p].rows) for p in latencies],
+    )
+
+
+def _exact_latencies(
+    tables: dict[int, DetectabilityTable],
+    latencies: list[int],
+    config: OracleConfig,
+    cache: Cache,
+) -> dict[int, int]:
+    from repro.core.exact import exact_minimum_parity
+
+    exact_qs: dict[int, int] = {}
+    for p in latencies:
+        table = tables[p]
+        if (
+            table.num_bits > config.exact_max_bits
+            or table.num_rows > config.exact_max_rows
+        ):
+            continue
+        try:
+            betas, _ = cached_call(
+                cache,
+                "solve",
+                fingerprint(
+                    "fuzz-exact", config.exact_node_budget,
+                    table.num_bits, table.rows,
+                ),
+                lambda t=table: exact_minimum_parity(
+                    t, node_budget=config.exact_node_budget
+                ),
+            )
+        except RuntimeError:  # node budget exhausted — skip the comparison
+            continue
+        exact_qs[p] = len(betas)
+    return exact_qs

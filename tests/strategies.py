@@ -1,0 +1,70 @@
+"""Shared hypothesis strategies: one set of machine generators for all
+property tests.
+
+Every property test draws from these, so the fuzzer's shape-biased
+machine generator (``repro.verification.generator``) and the classic
+``GeneratorSpec`` path exercise the same distributions everywhere —
+adding a new edge shape to the fuzzer automatically strengthens the whole
+property suite.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.fsm.generate import GeneratorSpec, generate_fsm
+from repro.fsm.machine import FSM
+from repro.util.rng import rng_for
+from repro.verification.generator import FUZZ_SHAPES, random_fsm
+
+
+def solver_seeds() -> st.SearchStrategy[int]:
+    """Full 31-bit solver/RNG seed space."""
+    return st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def generator_specs(name: str = "pipe") -> st.SearchStrategy[GeneratorSpec]:
+    """Classic random-controller specs (the pre-fuzzer generator)."""
+    return st.builds(
+        GeneratorSpec,
+        name=st.just(name),
+        num_inputs=st.integers(min_value=1, max_value=3),
+        num_states=st.integers(min_value=2, max_value=8),
+        num_outputs=st.integers(min_value=1, max_value=4),
+        cubes_per_state=st.integers(min_value=1, max_value=4),
+        self_loop_rate=st.floats(min_value=0.0, max_value=0.8),
+        specified_fraction=st.floats(min_value=0.5, max_value=1.0),
+    )
+
+
+def spec_machines(name: str = "pipe") -> st.SearchStrategy[FSM]:
+    """Machines built from :func:`generator_specs` plus a seed."""
+    return st.builds(
+        lambda spec, seed: generate_fsm(spec, seed=seed),
+        generator_specs(name),
+        st.integers(min_value=0, max_value=500),
+    )
+
+
+def fuzz_shapes() -> st.SearchStrategy[str]:
+    return st.sampled_from(FUZZ_SHAPES)
+
+
+def fuzz_machines(name: str = "hyp") -> st.SearchStrategy[FSM]:
+    """Shape-biased fuzzer machines (edge cases included by construction).
+
+    The machine is a pure function of the drawn ``(shape, seed)`` pair, so
+    hypothesis shrinking replays exactly.
+    """
+    return st.builds(
+        lambda shape, seed: random_fsm(
+            rng_for(seed, "hypothesis", shape), name, shape=shape
+        ),
+        fuzz_shapes(),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+
+
+def machines(name: str = "hyp") -> st.SearchStrategy[FSM]:
+    """The union distribution: classic specs ∪ fuzzer shapes."""
+    return st.one_of(spec_machines(name), fuzz_machines(name))

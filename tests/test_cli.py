@@ -57,6 +57,48 @@ class TestCli:
         assert main(["design", "serparity", "--latency", "1", "--verify"]) == 0
         assert "verification:" in capsys.readouterr().out
 
+    def test_verify_clean_checker_design_exits_zero(self, capsys):
+        assert main(["verify", "serparity", "--latency", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "0 violations" in out
+        assert "checker semantics" in out
+
+    def test_verify_kiss_with_violations_exits_one(self, capsys):
+        from importlib import resources
+
+        gapcase = resources.files("repro.verification") / "corpus/gapcase.kiss"
+        with resources.as_file(gapcase) as path:
+            assert main([
+                "verify", "--kiss", str(path),
+                "--semantics", "trajectory", "--latency", "2",
+                "--max-faults", "60",
+            ]) == 1
+        out = capsys.readouterr().out
+        assert "violation" in out
+
+    def test_verify_requires_exactly_one_machine_source(self, capsys):
+        assert main(["verify"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+        assert main(["verify", "serparity", "--kiss", "x.kiss"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_fuzz_smoke_exits_zero_and_writes_manifest(self, capsys, tmp_path):
+        import json as json_module
+
+        corpus_dir = tmp_path / "fuzz-corpus"
+        assert main([
+            "fuzz", "--iterations", "2", "--no-replay", "--no-gap",
+            "--corpus-dir", str(corpus_dir),
+            "--cache-dir", str(tmp_path / "cache"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "0 discrepancies" in out
+        manifest = json_module.loads(
+            (corpus_dir / "fuzz-manifest.json").read_text()
+        )
+        assert manifest["totals"]["machines"] == 2
+        assert manifest["totals"]["discrepant"] == 0
+
     def test_sweep(self, capsys):
         assert main(["sweep", "serparity", "--max-latency", "2"]) == 0
         out = capsys.readouterr().out

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.core.search import (
     SolveConfig,
@@ -20,6 +19,7 @@ from repro.core.search import (
     solve_greedy_for_latencies,
 )
 from repro.flow import design_ced_sweep
+from tests.strategies import solver_seeds
 
 
 def _assert_monotone(qs: list[int], label: str) -> None:
@@ -28,7 +28,7 @@ def _assert_monotone(qs: list[int], label: str) -> None:
 
 
 @settings(max_examples=15, deadline=None)
-@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@given(seed=solver_seeds())
 def test_q_monotone_for_any_solver_seed(traffic_tables_trajectory, seed):
     results = solve_for_latencies(
         traffic_tables_trajectory, SolveConfig(seed=seed)
@@ -38,7 +38,7 @@ def test_q_monotone_for_any_solver_seed(traffic_tables_trajectory, seed):
 
 
 @settings(max_examples=10, deadline=None)
-@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@given(seed=solver_seeds())
 def test_q_monotone_under_degraded_greedy_solver(
     traffic_tables_trajectory, seed
 ):

@@ -16,21 +16,8 @@ from repro.core.cover import covers_all
 from repro.core.detectability import TableConfig, extract_tables
 from repro.core.search import SolveConfig, solve_for_latencies
 from repro.faults.model import StuckAtModel
-from repro.fsm.generate import GeneratorSpec, generate_fsm
 from repro.logic.synthesis import synthesize_fsm
-
-
-def specs():
-    return st.builds(
-        GeneratorSpec,
-        name=st.just("pipe"),
-        num_inputs=st.integers(min_value=1, max_value=3),
-        num_states=st.integers(min_value=2, max_value=8),
-        num_outputs=st.integers(min_value=1, max_value=4),
-        cubes_per_state=st.integers(min_value=1, max_value=4),
-        self_loop_rate=st.floats(min_value=0.0, max_value=0.8),
-        specified_fraction=st.floats(min_value=0.5, max_value=1.0),
-    )
+from tests.strategies import machines
 
 
 @settings(
@@ -38,9 +25,8 @@ def specs():
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
-@given(specs(), st.integers(min_value=0, max_value=500))
-def test_random_machines_uphold_the_guarantee(spec, seed):
-    fsm = generate_fsm(spec, seed=seed)
+@given(machines("pipe"), st.integers(min_value=0, max_value=500))
+def test_random_machines_uphold_the_guarantee(fsm, seed):
     synthesis = synthesize_fsm(fsm)
     model = StuckAtModel(synthesis, max_faults=60, seed=seed)
     tables = extract_tables(

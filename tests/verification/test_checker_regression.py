@@ -1,0 +1,46 @@
+"""Regression: checker-semantics designs verify clean on every benchmark.
+
+The hardware-accurate ``semantics="checker"`` tables carry an exact
+guarantee — fault-injection must report *zero* bound violations for every
+bundled benchmark at every latency.  Tier-1 covers the hand-written
+family at p ∈ {1, 2, 4}; the MCNC circuits ride in the slow (nightly)
+lane.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flow import design_ced_sweep
+from repro.fsm.benchmarks import HAND_WRITTEN, MCNC_SIGNATURES
+
+LATENCIES = [1, 2, 4]
+
+
+def _assert_clean(circuit: str, max_faults: int) -> None:
+    designs = design_ced_sweep(
+        circuit,
+        latencies=LATENCIES,
+        semantics="checker",
+        max_faults=max_faults,
+        verify=True,
+    )
+    for latency in LATENCIES:
+        report = designs[latency].verification
+        assert report is not None
+        assert report.clean, (
+            f"{circuit} p={latency}: {len(report.violations)} violations "
+            f"({report.violations[:3]})"
+        )
+        assert designs[latency].num_parity_bits >= 0
+
+
+@pytest.mark.parametrize("circuit", sorted(HAND_WRITTEN))
+def test_checker_semantics_clean_on_hand_written(circuit):
+    _assert_clean(circuit, max_faults=80)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("circuit", sorted(MCNC_SIGNATURES))
+def test_checker_semantics_clean_on_mcnc(circuit):
+    _assert_clean(circuit, max_faults=200)

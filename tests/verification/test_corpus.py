@@ -1,0 +1,102 @@
+"""The seed corpus: loadable, replayable, and clean through the oracle.
+
+Every machine bundled under ``repro/verification/corpus/`` runs the full
+differential oracle in tier-1 — a minimized reproducer, once banked, can
+never silently regress.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verification.corpus import load_seed_corpus, write_reproducer
+from repro.verification.generator import FUZZ_SHAPES
+from repro.verification.oracle import OracleConfig, run_oracle
+
+
+def test_corpus_covers_every_fuzz_shape():
+    names = {fsm.name for fsm in load_seed_corpus()}
+    for shape in FUZZ_SHAPES:
+        assert f"seed-{shape}" in names
+    assert "gapcase" in names
+
+
+@pytest.mark.parametrize(
+    "fsm", load_seed_corpus(), ids=lambda fsm: fsm.name
+)
+def test_corpus_replays_clean_through_the_oracle(fsm):
+    report = run_oracle(
+        fsm,
+        seed=7,
+        config=OracleConfig(check_trajectory_gap=False),
+    )
+    assert report.ok, [
+        (d.kind, d.detail) for d in report.discrepancies
+    ]
+
+
+def test_gapcase_still_exhibits_the_trajectory_gap():
+    """The banked find must keep reproducing the paper-semantics gap."""
+    gapcase = next(
+        fsm for fsm in load_seed_corpus() if fsm.name == "gapcase"
+    )
+    config = OracleConfig(  # the original discovery campaign settings
+        max_faults=60, verify_max_faults=60, runs_per_fault=3, run_length=40
+    )
+    report = run_oracle(gapcase, seed=2004, config=config)
+    assert report.ok  # checker semantics stays clean...
+    assert report.features["trajectory_gap"] > 0  # ...the gap is real
+
+
+def test_dcgap_pins_the_unreachable_dc_soundness_fix():
+    """Fuzzer find: dc-optimizing the predictor at good-unreachable states
+    breaks the checker guarantee once a state fault parks the machine
+    there.  Faithful predictors (guarantee mode) must verify clean; the
+    dc-optimized build must keep exhibiting the escape."""
+    from repro.ced.hardware import build_ced_hardware
+    from repro.ced.verify import verify_bounded_latency
+    from repro.core.detectability import TableConfig, extract_tables
+    from repro.core.search import SolveConfig, solve_for_latencies
+    from repro.faults.model import StuckAtModel
+    from repro.logic.synthesis import synthesize_fsm
+
+    seed = 1915731950  # the discovering fuzz job's seed
+    dcgap = next(fsm for fsm in load_seed_corpus() if fsm.name == "dcgap")
+    # The escape needs the discovery run's exact β choice and injection
+    # streams, all derived from the machine's name — replay under the
+    # original fuzz name.
+    dcgap = dcgap.renamed("fz-0-269")
+    synthesis = synthesize_fsm(dcgap)
+    model = StuckAtModel(synthesis, max_faults=40, seed=seed)
+    tables = extract_tables(
+        synthesis, model, TableConfig(latency=2, semantics="checker")
+    )
+    results = solve_for_latencies(
+        tables, SolveConfig(iterations=200, seed=seed)
+    )
+
+    def violations(unreachable_dc: bool) -> int:
+        hardware = build_ced_hardware(
+            synthesis, results[2].betas, unreachable_dc=unreachable_dc
+        )
+        report = verify_bounded_latency(
+            synthesis, hardware, model.faults(), latency=2,
+            runs_per_fault=2, run_length=20, max_faults=25, seed=seed,
+        )
+        return len(report.violations)
+
+    assert violations(unreachable_dc=False) == 0
+    assert violations(unreachable_dc=True) > 0
+
+
+def test_write_reproducer_roundtrips(tmp_path):
+    from repro.fsm.kiss import parse_kiss_file
+
+    fsm = load_seed_corpus()[0]
+    path = write_reproducer(fsm, tmp_path, reason="kind: detail\nsecond line")
+    assert path.name.startswith("repro-") and path.suffix == ".kiss"
+    text = path.read_text()
+    assert text.startswith("#")
+    back = parse_kiss_file(path)
+    assert back.num_states == fsm.num_states
+    assert len(back.transitions) == len(fsm.transitions)

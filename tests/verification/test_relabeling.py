@@ -1,0 +1,57 @@
+"""Property: the detectability table is invariant under state relabeling.
+
+Renaming the states of a machine (a bijection on names, keeping each
+state's *position* in the declaration order, hence its binary code) must
+not change the synthesized netlist, the fault universe or — therefore —
+the detectability table, under either table semantics.  This pins down
+that nothing in the pipeline ever keys behaviour on a state's *name*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.detectability import TableConfig, extract_tables
+from repro.faults.model import StuckAtModel
+from repro.logic.synthesis import synthesize_fsm
+from repro.util.rng import rng_for
+from tests.strategies import machines
+
+
+def _tables(fsm, semantics):
+    synthesis = synthesize_fsm(fsm)
+    model = StuckAtModel(synthesis, max_faults=40, seed=11)
+    return extract_tables(
+        synthesis, model, TableConfig(latency=2, semantics=semantics)
+    )
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    machines("relabel"),
+    st.integers(min_value=0, max_value=1000),
+    st.sampled_from(["checker", "trajectory"]),
+)
+def test_table_invariant_under_state_relabeling(fsm, perm_seed, semantics):
+    order = rng_for(perm_seed, "relabel").permutation(len(fsm.states))
+    mapping = {
+        state: f"q{order[index]}" for index, state in enumerate(fsm.states)
+    }
+    relabeled = fsm.relabeled(mapping)
+
+    baseline = _tables(fsm, semantics)
+    renamed = _tables(relabeled, semantics)
+    assert sorted(baseline) == sorted(renamed)
+    for latency in baseline:
+        assert np.array_equal(
+            baseline[latency].rows, renamed[latency].rows
+        ), f"{semantics} table changed under relabeling at p={latency}"
+        assert (
+            baseline[latency].option_sets() == renamed[latency].option_sets()
+        )
