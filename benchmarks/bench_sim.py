@@ -1,0 +1,95 @@
+"""Regenerate ``BENCH_sim.json``: patterns/sec of the two fault simulators.
+
+Measures the per-fault full-netlist sweep both ways on synthesized
+benchmark circuits — the uint8 lane-per-pattern evaluator the repo
+started with (kept as ``evaluate_batch_uint8``) against the bit-packed
+64-patterns-per-word kernel on its batched multi-fault path (one shared
+fault-free sweep, cone-restricted per-fault re-sweeps), which is the
+shape table extraction and fault grading drive.
+
+Run from the repo root (writes ``benchmarks/BENCH_sim.json``):
+
+    PYTHONPATH=src python benchmarks/bench_sim.py
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.fsm.benchmarks import load_benchmark
+from repro.logic.sim import PackedSimulator, evaluate_batch_uint8
+from repro.logic.synthesis import synthesize_fsm
+from repro.util.rng import rng_for
+
+NUM_PATTERNS = 1024
+CIRCUITS = ("s27", "dk512", "styr")
+REPEATS = 3
+
+
+def _best_of(function, repeats: int = REPEATS) -> float:
+    timings = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        timings.append(time.perf_counter() - start)
+    return min(timings)
+
+
+def bench_circuit(name: str) -> dict:
+    netlist = synthesize_fsm(load_benchmark(name)).netlist
+    rng = rng_for(0, "bench-sim", name)
+    patterns = rng.integers(
+        0, 2, size=(NUM_PATTERNS, netlist.num_inputs), dtype=np.uint8
+    )
+    faults = [
+        (node, value) for node in netlist.logic_nodes() for value in (0, 1)
+    ]
+
+    def uint8_campaign():
+        for fault in faults:
+            evaluate_batch_uint8(netlist, patterns, fault=fault)
+
+    def packed_campaign():
+        simulator = PackedSimulator(netlist, patterns)
+        for fault in faults:
+            simulator.faulty_outputs(fault)
+
+    total = len(faults) * NUM_PATTERNS
+    uint8_time = _best_of(uint8_campaign)
+    packed_time = _best_of(packed_campaign)
+    return {
+        "circuit": name,
+        "num_gates": len(netlist.logic_nodes()),
+        "num_faults": len(faults),
+        "num_patterns": NUM_PATTERNS,
+        "uint8_patterns_per_sec": round(total / uint8_time),
+        "packed_patterns_per_sec": round(total / packed_time),
+        "speedup": round(uint8_time / packed_time, 2),
+    }
+
+
+def main() -> None:
+    results = [bench_circuit(name) for name in CIRCUITS]
+    payload = {
+        "description": (
+            "Fault-simulation throughput (fault-pattern evaluations per "
+            "second) of the original uint8 lane-per-pattern evaluator vs "
+            "the bit-packed 64-patterns-per-word kernel's batched "
+            "multi-fault path."
+        ),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "results": results,
+    }
+    out = Path(__file__).parent / "BENCH_sim.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -62,68 +62,125 @@ class CedMachine:
         initial_state: int | None = None,
     ) -> list[CycleResult]:
         """Simulate a sequence of input words from ``initial_state``."""
+        matrix = np.asarray([list(inputs)], dtype=np.int64).reshape(1, -1)
+        return self.run_batch(
+            matrix,
+            fault=fault,
+            register_fault=register_fault,
+            initial_state=initial_state,
+        )[0]
+
+    def run_batch(
+        self,
+        input_matrix: np.ndarray | Sequence[Sequence[int]],
+        fault: tuple[int, int] | None = None,
+        register_fault: tuple[int, int] | None = None,
+        initial_state: int | None = None,
+    ) -> list[list[CycleResult]]:
+        """Simulate several independent runs in lock-step.
+
+        ``input_matrix`` is ``(runs, cycles)``; run ``r`` sees input word
+        ``input_matrix[r][t]`` at cycle ``t``.  Results are identical to
+        ``runs`` separate :meth:`run` calls, but every cycle's netlist /
+        predictor / parity-tree evaluations happen in one word-parallel
+        batch across the runs — this is what makes the fault-injection
+        campaigns fast.
+        """
+        matrix = np.asarray(input_matrix, dtype=np.int64)
+        if matrix.ndim != 2:
+            raise ValueError("input_matrix must be (runs, cycles)")
+        num_runs, num_cycles = matrix.shape
         synthesis = self.synthesis
         s = synthesis.num_state_bits
-        state = synthesis.reset_code if initial_state is None else initial_state
+        o = synthesis.num_fsm_outputs
+        start = synthesis.reset_code if initial_state is None else initial_state
+        states = [start] * num_runs
         if register_fault is not None:
-            state = _apply_register_fault(state, register_fault)
+            states = [_apply_register_fault(st, register_fault) for st in states]
 
-        results: list[CycleResult] = []
-        for cycle, input_value in enumerate(inputs):
-            pattern = synthesis.pattern(state, int(input_value))[None, :]
-
-            actual = evaluate_batch(synthesis.netlist, pattern, fault=fault)[0]
-            good = evaluate_batch(synthesis.netlist, pattern)[0]
-            good_word = _pack(good)
-
-            predicted = self._predict(pattern)
-
-            next_state, out_word = synthesis.split_response(actual)
-            if register_fault is not None:
-                next_state = _apply_register_fault(next_state, register_fault)
-            actual_word = next_state | (out_word << s)
-
-            actual_parities = self._compact(actual_word)
-            detected = actual_parities != predicted
-            erroneous = actual_word != good_word
-            results.append(
-                CycleResult(
-                    cycle=cycle,
-                    state_code=state,
-                    input_value=int(input_value),
-                    good_word=good_word,
-                    actual_word=actual_word,
-                    erroneous=erroneous,
-                    detected=detected,
-                )
+        state_weights = (1 << np.arange(s)).astype(np.int64)
+        out_weights = (1 << np.arange(o)).astype(np.int64)
+        results: list[list[CycleResult]] = [[] for _ in range(num_runs)]
+        for cycle in range(num_cycles):
+            patterns = _batch_patterns(synthesis, states, matrix[:, cycle])
+            actual = evaluate_batch(synthesis.netlist, patterns, fault=fault)
+            good = evaluate_batch(synthesis.netlist, patterns)
+            good_words = (
+                good[:, :s].astype(np.int64) @ state_weights
+                | (good[:, s:].astype(np.int64) @ out_weights) << s
             )
-            state = next_state
+            next_states = actual[:, :s].astype(np.int64) @ state_weights
+            out_words = actual[:, s:].astype(np.int64) @ out_weights
+            predicted = self._predict_batch(patterns)
+
+            new_states: list[int] = []
+            actual_words: list[int] = []
+            for run in range(num_runs):
+                next_state = int(next_states[run])
+                if register_fault is not None:
+                    next_state = _apply_register_fault(next_state, register_fault)
+                new_states.append(next_state)
+                actual_words.append(next_state | (int(out_words[run]) << s))
+            compacted = self._compact_batch(actual_words)
+            for run in range(num_runs):
+                results[run].append(
+                    CycleResult(
+                        cycle=cycle,
+                        state_code=states[run],
+                        input_value=int(matrix[run, cycle]),
+                        good_word=int(good_words[run]),
+                        actual_word=actual_words[run],
+                        erroneous=actual_words[run] != int(good_words[run]),
+                        detected=compacted[run] != predicted[run],
+                    )
+                )
+            states = new_states
         return results
 
     # ------------------------------------------------------------------
     # CED circuitry evaluation (uses the synthesized netlists)
     # ------------------------------------------------------------------
-    def _predict(self, pattern: np.ndarray) -> tuple[int, ...]:
+    def _predict_batch(self, patterns: np.ndarray) -> list[tuple[int, ...]]:
         if not self.hardware.betas:
-            return ()
-        values = evaluate_batch(self.hardware.predictor.netlist, pattern)[0]
-        return tuple(int(v) for v in values)
+            return [()] * patterns.shape[0]
+        values = evaluate_batch(self.hardware.predictor.netlist, patterns)
+        return [tuple(int(v) for v in row) for row in values]
 
     def _compact(self, word: int) -> tuple[int, ...]:
+        return self._compact_batch([word])[0]
+
+    def _compact_batch(self, words: Sequence[int]) -> list[tuple[int, ...]]:
         if not self.hardware.betas:
-            return ()
+            return [()] * len(words)
         bits = np.array(
-            [int_to_bits(word, self.synthesis.num_bits)], dtype=np.uint8
+            [int_to_bits(word, self.synthesis.num_bits) for word in words],
+            dtype=np.uint8,
         )
-        values = evaluate_batch(self.hardware.parity_netlist, bits)[0]
-        parities = tuple(int(v) for v in values)
+        values = evaluate_batch(self.hardware.parity_netlist, bits)
+        parities = [tuple(int(v) for v in row) for row in values]
         # Cross-check the structural netlist against the algebraic parity.
-        expected = tuple(
-            parity(word & beta) for beta in self.hardware.betas
-        )
+        expected = [
+            tuple(parity(word & beta) for beta in self.hardware.betas)
+            for word in words
+        ]
         if parities != expected:  # pragma: no cover - structural bug guard
             raise AssertionError("parity netlist disagrees with algebraic parity")
         return parities
+
+
+def _batch_patterns(
+    synthesis: SynthesisResult,
+    states: Sequence[int],
+    input_values: np.ndarray,
+) -> np.ndarray:
+    """(R, r + s) pattern rows, one per run — vectorized ``pattern()``."""
+    r = synthesis.num_inputs
+    s = synthesis.num_state_bits
+    inputs = np.asarray(input_values, dtype=np.int64)
+    codes = np.asarray(states, dtype=np.int64)
+    input_bits = ((inputs[:, None] >> np.arange(r)) & 1).astype(np.uint8)
+    state_bits = ((codes[:, None] >> np.arange(s)) & 1).astype(np.uint8)
+    return np.concatenate([input_bits, state_bits], axis=1)
 
 
 def _apply_register_fault(state: int, register_fault: tuple[int, int]) -> int:
@@ -132,8 +189,3 @@ def _apply_register_fault(state: int, register_fault: tuple[int, int]) -> int:
     return (state | mask) if value else (state & ~mask)
 
 
-def _pack(bits: np.ndarray) -> int:
-    word = 0
-    for index, bit in enumerate(bits.tolist()):
-        word |= int(bit) << index
-    return word

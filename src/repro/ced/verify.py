@@ -100,11 +100,17 @@ def verify_bounded_latency(
         if not is_netlist_fault(fault):
             continue
         payload = fault.payload
-        for _ in range(runs_per_fault):
-            inputs = alphabet[
-                rng.integers(len(alphabet), size=run_length)
-            ].tolist()
-            trace = machine.run(inputs, fault=(int(payload[0]), int(payload[1])))
+        # All of one fault's runs are drawn up front (same RNG order as the
+        # historical one-run-at-a-time loop) and simulated in lock-step:
+        # each cycle is one word-parallel batch across the runs.
+        run_inputs = [
+            alphabet[rng.integers(len(alphabet), size=run_length)].tolist()
+            for _ in range(runs_per_fault)
+        ]
+        traces = machine.run_batch(
+            run_inputs, fault=(int(payload[0]), int(payload[1]))
+        )
+        for trace in traces:
             report.num_runs += 1
             activation = next(
                 (step.cycle for step in trace if step.erroneous), None
@@ -141,9 +147,11 @@ def verify_no_false_alarms(
     machine = CedMachine(synthesis, hardware)
     rng = rng_for(seed, "false-alarms", synthesis.fsm.name)
     alphabet, _ = input_alphabet(synthesis, TableConfig())
-    for _ in range(num_runs):
-        inputs = alphabet[rng.integers(len(alphabet), size=run_length)].tolist()
-        trace = machine.run(inputs)
-        if any(step.detected for step in trace):
-            return False
-    return True
+    run_inputs = [
+        alphabet[rng.integers(len(alphabet), size=run_length)].tolist()
+        for _ in range(num_runs)
+    ]
+    traces = machine.run_batch(run_inputs)
+    return not any(
+        step.detected for trace in traces for step in trace
+    )

@@ -51,7 +51,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.faults.model import Fault, FaultModel
+from repro.faults.model import Fault, FaultModel, is_netlist_fault
 from repro.logic.sim import evaluate_batch
 from repro.logic.synthesis import SynthesisResult
 
@@ -214,7 +214,46 @@ def _cheap_reduce(family: set[frozenset[int]]) -> set[frozenset[int]]:
     singles = {next(iter(s)) for s in family if len(s) == 1}
     if not singles:
         return family
-    return {s for s in family if len(s) == 1 or not (s & singles)}
+    return {s for s in family if len(s) == 1 or singles.isdisjoint(s)}
+
+
+def _canonical_order(
+    option_sets: Sequence[frozenset[int]],
+) -> list[frozenset[int]]:
+    """``sorted(option_sets, key=sorted)`` via one numpy lexsort.
+
+    List-lexicographic order with the shorter-prefix-first rule is
+    reproduced exactly by zero-padding the ascending element rows at the
+    tail: option words are response *differences* and therefore never
+    zero, so the pad sorts strictly before every real word.  A zero or
+    non-uint64 word (impossible for real tables, possible for exotic
+    callers) falls back to the reference Python sort.
+    """
+    sets = list(option_sets)
+    if len(sets) <= 1:
+        return sets
+    width = max(len(s) for s in sets)
+    if width == 0:
+        return sets
+    keys = np.zeros((len(sets), width), dtype=np.uint64)
+    by_length: dict[int, list[int]] = {}
+    for index, options in enumerate(sets):
+        by_length.setdefault(len(options), []).append(index)
+    for length, indices in by_length.items():
+        if length == 0:
+            continue
+        try:
+            block = np.array(
+                [list(sets[idx]) for idx in indices], dtype=np.uint64
+            )
+        except OverflowError:  # word beyond uint64: exotic caller
+            return sorted(sets, key=sorted)
+        block.sort(axis=1)  # ascending per row, C speed
+        if block[:, 0].min() < 1:  # zero word: padding would mis-sort
+            return sorted(sets, key=sorted)
+        keys[np.asarray(indices), :length] = block
+    order = np.lexsort(tuple(keys[:, col] for col in range(width - 1, -1, -1)))
+    return [sets[idx] for idx in order.tolist()]
 
 
 def pack_option_sets(
@@ -223,7 +262,7 @@ def pack_option_sets(
     """(m, width) uint64 array of zero-padded, descending-sorted sets."""
     width = max([min_width] + [len(s) for s in option_sets])
     packed = np.zeros((len(option_sets), width), dtype=np.uint64)
-    for row_index, options in enumerate(sorted(option_sets, key=sorted)):
+    for row_index, options in enumerate(_canonical_order(option_sets)):
         for col_index, word in enumerate(sorted(options, reverse=True)):
             packed[row_index, col_index] = word
     return packed
@@ -299,6 +338,7 @@ def extract_tables(
     good = _StateEvaluator(synthesis, alphabet)
     reachable = reachable_state_codes(synthesis, alphabet)
     good.ensure(reachable)
+    shared = _SharedFaultBlock(synthesis, fault_model, alphabet, reachable)
 
     per_latency: dict[int, set[frozenset[int]]] = {p: set() for p in latencies}
     num_activations = 0
@@ -306,26 +346,26 @@ def extract_tables(
     faults = fault_model.faults()
     for fault in faults:
         extractor = _FaultExtractor(
-            synthesis, fault_model, fault, alphabet, good, config
+            synthesis, fault_model, fault, alphabet, good, config, shared=shared
         )
-        local = {p: set() for p in latencies}
-        activations = extractor.collect(reachable, latencies, local)
+        activations, local = extractor.collect(reachable, latencies)
         num_activations += activations
         truncated = truncated or extractor.truncated
         for p in latencies:
-            contribution = _cheap_reduce(local[p])
-            if len(contribution) > config.max_rows_per_fault:
-                contribution = _deterministic_subset(
-                    contribution, config.max_rows_per_fault
-                )
+            rows = _reduce_rows(local[p])
+            if rows.shape[0] > config.max_rows_per_fault:
+                rows = _subset_rows(rows, config.max_rows_per_fault)
                 truncated = True
-            per_latency[p].update(contribution)
+            lengths = (rows != np.uint64(0)).sum(axis=1).tolist()
+            target = per_latency[p]
+            for row, length in zip(rows.tolist(), lengths):
+                target.add(frozenset(row[:length]))
 
     tables: dict[int, DetectabilityTable] = {}
     for p in latencies:
         option_sets = minimal_option_sets(per_latency[p])
         rows = (
-            pack_option_sets(sorted(option_sets, key=sorted))
+            pack_option_sets(list(option_sets))
             if option_sets
             else np.zeros((0, 1), dtype=np.uint64)
         )
@@ -356,13 +396,108 @@ def extract_tables(
     return tables
 
 
+def _subset_positions(total: int, size: int) -> list[int]:
+    """Evenly-spaced *unique* positions, topped up after stride collisions.
+
+    ``int(idx * step)`` collides when ``total`` barely exceeds ``size``;
+    the deduplicated positions are refilled with the smallest unused
+    indices so the sample size never silently shrinks.
+    """
+    step = total / size
+    positions = sorted({int(idx * step) for idx in range(size)})
+    if len(positions) < size:
+        taken = set(positions)
+        fill = (idx for idx in range(total) if idx not in taken)
+        for _ in range(size - len(positions)):
+            positions.append(next(fill))
+    return positions
+
+
 def _deterministic_subset(
     family: set[frozenset[int]], size: int
 ) -> set[frozenset[int]]:
-    """Evenly-spaced deterministic subsample of an option-set family."""
-    ordered = sorted(family, key=sorted)
-    step = len(ordered) / size
-    return {ordered[int(idx * step)] for idx in range(size)}
+    """Evenly-spaced deterministic subsample of an option-set family.
+
+    Always returns exactly ``min(size, len(family))`` option sets: the
+    evenly-spaced indices are deduplicated and topped up with the smallest
+    unused positions, so float rounding in the stride can never silently
+    shrink the sample below the configured truncation size.
+    """
+    if size >= len(family):
+        return set(family)
+    ordered = _canonical_order(list(family))
+    subset = {ordered[idx] for idx in _subset_positions(len(ordered), size)}
+    assert len(subset) == size, "deterministic subsample size mismatch"
+    return subset
+
+
+# ----------------------------------------------------------------------
+# Packed-row option-set algebra
+#
+# The per-fault hot path represents an option-set family as a uint64
+# array of shape (k, width): each row holds the set's words ascending
+# with zero padding at the tail.  Words are response differences and
+# therefore never zero, so (a) the padding is unambiguous and (b) row-wise
+# lexicographic order — what ``np.unique(axis=0)`` returns — coincides
+# exactly with ``sorted(family, key=sorted)``, i.e. ``_canonical_order``.
+# Every helper below is a byte-identical array transcription of its
+# frozenset twin above.
+# ----------------------------------------------------------------------
+def _unique_rows(rows: np.ndarray) -> np.ndarray:
+    """Deduplicated rows in canonical (column-0-primary lexicographic)
+    order — ``np.unique(rows, axis=0)`` without its void-view overhead."""
+    if rows.shape[0] <= 1:
+        return rows
+    order = np.lexsort(tuple(rows.T[::-1]))
+    ordered = rows[order]
+    keep = np.empty(ordered.shape[0], dtype=bool)
+    keep[0] = True
+    np.any(ordered[1:] != ordered[:-1], axis=1, out=keep[1:])
+    return ordered[keep]
+
+
+def _insert_word(block: np.ndarray, word: int) -> np.ndarray:
+    """Row-wise ``set | {word}`` on packed rows, one column wider.
+
+    The ``-1 / sort / +1`` dance exploits uint64 wraparound to sort the
+    zero padding *after* the real words: ``0`` wraps to the maximum,
+    every nonzero word keeps its relative order.
+    """
+    count, width = block.shape
+    out = np.empty((count, width + 1), dtype=np.uint64)
+    out[:, :width] = block
+    out[:, width] = word
+    present = (block == np.uint64(word)).any(axis=1)
+    if present.any():
+        out[present, width] = 0  # already a member: pad, don't duplicate
+    tmp = out - np.uint64(1)
+    tmp.sort(axis=1)
+    return tmp + np.uint64(1)
+
+
+def _reduce_rows(rows: np.ndarray) -> np.ndarray:
+    """:func:`_cheap_reduce` on canonically ordered packed rows (the
+    boolean masks keep that order intact)."""
+    if rows.shape[0] and not rows[0].any():
+        # The all-zero row is the empty option set, and canonical order
+        # sorts it first: it absorbs the entire family (see _cheap_reduce).
+        return rows[:1]
+    lengths = (rows != np.uint64(0)).sum(axis=1)
+    singles = rows[lengths == 1, 0]
+    if singles.size == 0:
+        return rows
+    hit = np.isin(rows, singles).any(axis=1)
+    return rows[(lengths == 1) | ~hit]
+
+
+def _subset_rows(rows: np.ndarray, size: int) -> np.ndarray:
+    """:func:`_deterministic_subset` on canonically ordered packed rows."""
+    if size >= rows.shape[0]:
+        return rows
+    positions = _subset_positions(rows.shape[0], size)
+    subset = rows[np.asarray(positions)]
+    assert subset.shape[0] == size, "deterministic subsample size mismatch"
+    return subset
 
 
 def extract_table(
@@ -405,6 +540,41 @@ class _StateEvaluator:
         return self._cache[code]
 
 
+class _SharedFaultBlock:
+    """The reachable-block patterns, simulated once and shared by every fault.
+
+    Every fault's evaluator needs responses on the same
+    ``reachable × alphabet`` pattern block.  For netlist-level fault models
+    the fault-free packed node values of that block are computed here a
+    single time (via :meth:`FaultModel.batch_simulator`); each fault is
+    then one cone-restricted word-parallel re-sweep instead of a
+    whole-netlist re-simulation.  Models without a shared simulator (or
+    non-netlist faults) fall back to per-fault :meth:`faulty_responses`.
+    """
+
+    def __init__(
+        self,
+        synthesis: SynthesisResult,
+        fault_model: FaultModel,
+        alphabet: np.ndarray,
+        codes: list[int],
+    ) -> None:
+        self.index = {code: idx for idx, code in enumerate(codes)}
+        self.simulator = None
+        batch = getattr(fault_model, "batch_simulator", None)
+        if batch is not None and codes:
+            patterns = _patterns(synthesis, list(codes), alphabet)
+            self.simulator = batch(patterns)
+
+    def faulty_packed(self, fault: Fault) -> np.ndarray | None:
+        """(num_codes, alphabet_size) packed response words, or ``None``."""
+        if self.simulator is None or not is_netlist_fault(fault):
+            return None
+        node, value = fault.payload  # type: ignore[misc]
+        responses = self.simulator.faulty_outputs((int(node), int(value)))
+        return _pack_bits(responses).reshape(len(self.index), -1)
+
+
 class _BadEvaluator:
     """Batch evaluation of one fault's faulty responses, cached per state."""
 
@@ -414,21 +584,41 @@ class _BadEvaluator:
         fault_model: FaultModel,
         fault: Fault,
         alphabet: np.ndarray,
+        shared: "_SharedFaultBlock | None" = None,
     ) -> None:
         self.synthesis = synthesis
         self.fault_model = fault_model
         self.fault = fault
         self.alphabet = alphabet
+        self.shared = shared
+        self._shared_rows: np.ndarray | None = None
+        self._shared_tried = False
         self._cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
 
     def ensure(self, codes: list[int]) -> None:
         missing = [code for code in codes if code not in self._cache]
         if not missing:
             return
+        mask = (1 << self.synthesis.num_state_bits) - 1
+        if self.shared is not None:
+            if not self._shared_tried:
+                self._shared_tried = True
+                self._shared_rows = self.shared.faulty_packed(self.fault)
+            if self._shared_rows is not None:
+                rest: list[int] = []
+                for code in missing:
+                    idx = self.shared.index.get(code)
+                    if idx is None:
+                        rest.append(code)
+                        continue
+                    row = self._shared_rows[idx]
+                    self._cache[code] = (row, row & mask)
+                missing = rest
+        if not missing:
+            return
         patterns = _patterns(self.synthesis, missing, self.alphabet)
         responses = self.fault_model.faulty_responses(self.fault, patterns)
         packed = _pack_bits(responses).reshape(len(missing), -1)
-        mask = (1 << self.synthesis.num_state_bits) - 1
         for idx, code in enumerate(missing):
             self._cache[code] = (packed[idx], packed[idx] & mask)
 
@@ -455,47 +645,161 @@ class _FaultExtractor:
         alphabet: np.ndarray,
         good: _StateEvaluator,
         config: TableConfig,
+        shared: "_SharedFaultBlock | None" = None,
     ) -> None:
         self.synthesis = synthesis
         self.alphabet = alphabet
         self.good = good
-        self.bad = _BadEvaluator(synthesis, fault_model, fault, alphabet)
+        self.bad = _BadEvaluator(
+            synthesis, fault_model, fault, alphabet, shared=shared
+        )
         self.config = config
         self.trajectory = config.semantics == "trajectory"
         self.truncated = False
-        self._suffix_memo: dict[
-            tuple[int, int, int], list[frozenset[int]]
-        ] = {}
+        self._packed_memo: dict[tuple[int, int, int], np.ndarray] = {}
         self._step_memo: dict[tuple[int, int], list[tuple[int, int, int]]] = {}
 
     def collect(
-        self,
-        reachable: list[int],
-        latencies: list[int],
-        per_latency: dict[int, set[frozenset[int]]],
-    ) -> int:
-        """Add this fault's option sets for every requested latency."""
+        self, reachable: list[int], latencies: list[int]
+    ) -> tuple[int, dict[int, np.ndarray]]:
+        """This fault's option sets per latency, as deduplicated packed rows.
+
+        The returned ``(k, p)`` arrays are canonically ordered (see the
+        packed-row section): ``np.unique(axis=0)`` both deduplicates the
+        branch contributions and sorts them into ``_canonical_order``.
+        """
         self.bad.ensure(reachable)
         activations = 0
+        blocks: dict[int, list[np.ndarray]] = {p: [] for p in latencies}
+        ones: list[int] = []
+        # Distinct branches only: many present states activate the same
+        # (diff, next-pair) branch, and each branch contributes the same
+        # option sets — the per-fault dedup skips those re-unions.
+        seen: set[tuple[int, int, int]] = set()
         for code in reachable:
             good_packed, good_next = self.good.info(code)
             bad_packed, bad_next = self.bad.info(code)
             diffs = good_packed ^ bad_packed
-            activations += int(np.count_nonzero(diffs))
-            branches = {
-                (int(d), int(g), int(b))
-                for d, g, b in zip(diffs, good_next, bad_next)
-                if int(d) != 0
-            }
+            nonzero = np.flatnonzero(diffs)
+            activations += int(nonzero.shape[0])
+            if not nonzero.shape[0]:
+                continue
+            branches = (
+                set(
+                    zip(
+                        diffs[nonzero].tolist(),
+                        good_next[nonzero].tolist(),
+                        bad_next[nonzero].tolist(),
+                    )
+                )
+                - seen
+            )
+            seen |= branches
             for diff, good_code, bad_code in branches:
                 reference = good_code if self.trajectory else bad_code
                 for p in latencies:
                     if p == 1:
-                        per_latency[p].add(frozenset((diff,)))
+                        ones.append(diff)
                         continue
-                    for suffix in self._suffixes(reference, bad_code, p - 1):
-                        per_latency[p].add(suffix | {diff})
-        return activations
+                    suffixes = self._packed_suffixes(
+                        reference, bad_code, p - 1
+                    )
+                    blocks[p].append(_insert_word(suffixes, diff))
+        rows_by_latency: dict[int, np.ndarray] = {}
+        for p in latencies:
+            if p == 1:
+                if ones:
+                    rows = _unique_rows(
+                        np.array(ones, dtype=np.uint64)[:, None]
+                    )
+                else:
+                    rows = np.zeros((0, 1), dtype=np.uint64)
+            elif blocks[p]:
+                rows = _unique_rows(np.concatenate(blocks[p]))
+            else:
+                rows = np.zeros((0, p), dtype=np.uint64)
+            rows_by_latency[p] = rows
+        return activations, rows_by_latency
+
+    def _packed_suffixes(
+        self, reference: int, faulty: int, depth: int
+    ) -> np.ndarray:
+        """Minimal antichain of packed option-set rows over depth-``depth``
+        paths from the pair, memoized per ``(pair, depth)``.
+
+        Rows are canonically ordered; the partial antichain reduction is
+        the packed-row twin of :func:`_cheap_reduce`, applied exactly as
+        the frozenset implementation did per memo entry.
+        """
+        if depth == 0:
+            return _EMPTY_SUFFIX
+        key = (reference, faulty, depth)
+        cached = self._packed_memo.get(key)
+        if cached is not None:
+            return cached
+        steps = self._pair_step(reference, faulty)
+        children = [
+            self._packed_suffixes(next_reference, next_faulty, depth - 1)
+            for _, next_reference, next_faulty in steps
+        ]
+        limit = self.config.max_suffixes_per_state
+        raw_total = sum(child.shape[0] for child in children)
+        if raw_total >= limit:
+            rows = self._merge_limited(steps, children, depth, limit)
+            result = _reduce_rows(_unique_rows(rows))
+        elif raw_total <= _SMALL_MERGE:
+            result = _merge_small(steps, children, depth)
+        else:
+            # The deduplicated running count can never reach the limit, so
+            # the per-branch truncation check is a no-op: merge every
+            # branch extension in one vectorized batch.
+            rows = _unique_rows(_merge_branches(steps, children, depth))
+            result = _reduce_rows(rows)
+        self._packed_memo[key] = result
+        return result
+
+    def _merge_limited(
+        self,
+        steps: list[tuple[int, int, int]],
+        children: list[np.ndarray],
+        depth: int,
+        limit: int,
+    ) -> np.ndarray:
+        """Branch merge with the exact per-branch truncation semantics.
+
+        Mirrors the reference implementation: branches are taken in
+        ``_pair_step`` order, the *deduplicated* running count is checked
+        after each branch, and the first branch to reach the limit stops
+        the enumeration and marks the table truncated.
+        """
+        seen: set[bytes] = set()
+        kept: list[np.ndarray] = []
+        row_bytes = depth * 8
+        for (diff, _, _), child in zip(steps, children):
+            if diff == 0:
+                extended = np.zeros((child.shape[0], depth), dtype=np.uint64)
+                extended[:, : depth - 1] = child
+            else:
+                extended = _insert_word(child, diff)
+            data = extended.tobytes()
+            fresh = []
+            for index in range(extended.shape[0]):
+                row = data[index * row_bytes : (index + 1) * row_bytes]
+                if row not in seen:
+                    seen.add(row)
+                    fresh.append(index)
+            if fresh:
+                kept.append(
+                    extended
+                    if len(fresh) == extended.shape[0]
+                    else extended[np.asarray(fresh)]
+                )
+            if len(seen) >= limit:
+                self.truncated = True
+                break
+        if not kept:
+            return np.zeros((0, depth), dtype=np.uint64)
+        return np.concatenate(kept) if len(kept) > 1 else kept[0]
 
     def _pair_step(
         self, reference: int, faulty: int
@@ -507,48 +811,108 @@ class _FaultExtractor:
             return cached
         ref_packed, ref_next = self.good.info(reference)
         bad_packed, bad_next = self.bad.info(faulty)
-        diffs = ref_packed ^ bad_packed
+        diffs = (ref_packed ^ bad_packed).tolist()
         if self.trajectory:
-            branches = {
-                (int(d), int(g), int(b))
-                for d, g, b in zip(diffs, ref_next, bad_next)
-            }
+            branches = set(zip(diffs, ref_next.tolist(), bad_next.tolist()))
         else:
-            branches = {
-                (int(d), int(b), int(b)) for d, b in zip(diffs, bad_next)
-            }
+            faulty_next = bad_next.tolist()
+            branches = set(zip(diffs, faulty_next, faulty_next))
         result = sorted(branches)
         self._step_memo[key] = result
         return result
 
-    def _suffixes(
-        self, reference: int, faulty: int, depth: int
-    ) -> list[frozenset[int]]:
-        """Minimal antichain of option sets over all depth-``depth`` paths."""
-        if depth == 0:
-            return [frozenset()]
-        key = (reference, faulty, depth)
-        cached = self._suffix_memo.get(key)
-        if cached is not None:
-            return cached
-        collected: set[frozenset[int]] = set()
-        limit = self.config.max_suffixes_per_state
-        for diff, next_reference, next_faulty in self._pair_step(
-            reference, faulty
-        ):
-            suffixes = self._suffixes(next_reference, next_faulty, depth - 1)
-            if diff == 0:
-                collected.update(suffixes)
+_EMPTY_SUFFIX = np.zeros((1, 0), dtype=np.uint64)
+
+#: Below this many raw branch rows the pure-Python merge wins: the numpy
+#: batch path costs ~100µs of fixed per-call overhead, which dominates
+#: exactly the small memo entries that tiny FSMs produce in bulk.
+_SMALL_MERGE = 64
+
+
+def _merge_small(
+    steps: list[tuple[int, int, int]],
+    children: list[np.ndarray],
+    depth: int,
+) -> np.ndarray:
+    """Pure-Python twin of merge + unique + reduce for tiny branch totals.
+
+    Produces exactly ``_reduce_rows(_unique_rows(_merge_branches(...)))``:
+    tuple comparison is row-lexicographic comparison, so ``sorted`` over
+    the deduplicated tuples is the same canonical order.
+    """
+    rows: set[tuple[int, ...]] = set()
+    for (diff, _, _), child in zip(steps, children):
+        for row in child.tolist():
+            if diff == 0 or diff in row:
+                rows.add((*row, 0))
             else:
-                extension = frozenset((diff,))
-                for suffix in suffixes:
-                    collected.add(suffix | extension)
-            if len(collected) >= limit:
-                self.truncated = True
-                break
-        result = sorted(_cheap_reduce(collected), key=sorted)
-        self._suffix_memo[key] = result
-        return result
+                words = [word for word in row if word]
+                words.append(diff)
+                words.sort()
+                words.extend([0] * (depth - len(words)))
+                rows.add(tuple(words))
+    if (0,) * depth in rows:  # empty option set absorbs the family
+        return np.zeros((1, depth), dtype=np.uint64)
+    ordered = sorted(rows)
+    singles = {t[0] for t in ordered if depth == 1 or t[1] == 0}
+    if singles:
+        ordered = [
+            t
+            for t in ordered
+            if (depth == 1 or t[1] == 0) or singles.isdisjoint(t)
+        ]
+    return np.array(ordered, dtype=np.uint64).reshape(len(ordered), depth)
+
+
+def _merge_branches(
+    steps: list[tuple[int, int, int]],
+    children: list[np.ndarray],
+    depth: int,
+) -> np.ndarray:
+    """Union of every branch's extended suffix rows, in one batch.
+
+    Zero-difference branches pass their child rows through (padded one
+    column wider); every other branch inserts its difference word into
+    each child row.  The insertions for all branches run as a single
+    vectorized sort — valid only when the caller has ruled out the
+    per-branch truncation limit.
+    """
+    plain: list[np.ndarray] = []
+    extended: list[np.ndarray] = []
+    words: list[int] = []
+    counts: list[int] = []
+    for (diff, _, _), child in zip(steps, children):
+        if not child.shape[0]:
+            continue
+        if diff == 0:
+            plain.append(child)
+        else:
+            extended.append(child)
+            words.append(diff)
+            counts.append(child.shape[0])
+    parts: list[np.ndarray] = []
+    if plain:
+        stacked = np.concatenate(plain) if len(plain) > 1 else plain[0]
+        padded = np.zeros((stacked.shape[0], depth), dtype=np.uint64)
+        padded[:, : depth - 1] = stacked
+        parts.append(padded)
+    if extended:
+        stacked = (
+            np.concatenate(extended) if len(extended) > 1 else extended[0]
+        )
+        column = np.repeat(np.array(words, dtype=np.uint64), counts)
+        out = np.empty((stacked.shape[0], depth), dtype=np.uint64)
+        out[:, : depth - 1] = stacked
+        out[:, depth - 1] = column
+        present = (stacked == column[:, None]).any(axis=1)
+        if present.any():
+            out[present, depth - 1] = 0  # member already: pad, don't dup
+        tmp = out - np.uint64(1)
+        tmp.sort(axis=1)
+        parts.append(tmp + np.uint64(1))
+    if not parts:
+        return np.zeros((0, depth), dtype=np.uint64)
+    return np.concatenate(parts) if len(parts) > 1 else parts[0]
 
 
 def _patterns(

@@ -76,11 +76,22 @@ def randomized_rounding(
     )
     best_betas: list[int] = []
     best_covered = -1
+    best_quick: list[int] = []
+    best_quick_covered = -1
     for attempt in range(1, iterations + 1):
         betas = round_once(beta_fractional, rng, jitter=jitter)
         candidate = [b for b in dict.fromkeys(betas) if b != 0]
-        if use_quick and not covered_rows(quick_rows, candidate).all():
-            continue
+        if use_quick:
+            quick_covered = covered_rows(quick_rows, candidate)
+            if not quick_covered.all():
+                # Rejected by the prefilter: remember the best such
+                # attempt (ranked on the quick subset, which is already
+                # computed) without paying a full-table check.
+                quick_count = int(quick_covered.sum())
+                if quick_count > best_quick_covered:
+                    best_quick_covered = quick_count
+                    best_quick = candidate
+                continue
         covered = covered_rows(rows, candidate)
         count = int(covered.sum())
         if count > best_covered:
@@ -94,10 +105,11 @@ def randomized_rounding(
                 best_covered=count,
             )
     if best_covered < 0:
-        # Every attempt failed the quick filter; fall back to scoring the
-        # last candidate on the full table so repair has a starting point.
-        best_betas = [b for b in dict.fromkeys(
-            round_once(beta_fractional, rng, jitter=jitter)) if b != 0]
+        # Every attempt failed the quick filter: score the best of those
+        # attempts on the full table (once) so repair starts from the
+        # best candidate actually seen — never from a fresh RNG draw,
+        # which would make the draw count depend on the quick subset.
+        best_betas = best_quick
         best_covered = int(covered_rows(rows, best_betas).sum())
     return RoundingResult(
         betas=None,

@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.fsm.machine import FSM, Transition
 from repro.logic.netlist import GateKind, Netlist
-from repro.logic.sim import evaluate_batch
+from repro.logic.sim import PackedSimulator, evaluate_batch
 from repro.logic.synthesis import SynthesisResult, synthesize_fsm
 from repro.util.rng import rng_for
 
@@ -48,6 +48,18 @@ class FaultModel(Protocol):
 
     def faulty_responses(self, fault: Fault, patterns: np.ndarray) -> np.ndarray:
         """(P, n) responses of the faulty machine on (input, state) patterns."""
+        ...
+
+    def batch_simulator(self, patterns: np.ndarray) -> "PackedSimulator | None":
+        """Optional shared simulator for whole-universe sweeps.
+
+        Models whose faults are netlist modifications return a
+        :class:`repro.logic.sim.PackedSimulator` over ``patterns`` — the
+        extractor then computes the fault-free packed values once and
+        evaluates every fault as a cone-restricted re-sweep.  Models that
+        need a per-fault re-synthesis return ``None`` and are served
+        through :meth:`faulty_responses`.
+        """
         ...
 
 
@@ -105,6 +117,9 @@ class StuckAtModel:
         node, value = fault.payload  # type: ignore[misc]
         return evaluate_batch(self.synthesis.netlist, patterns, fault=(node, value))
 
+    def batch_simulator(self, patterns: np.ndarray) -> PackedSimulator:
+        return PackedSimulator(self.synthesis.netlist, patterns)
+
 
 # ----------------------------------------------------------------------
 # Specification-level transition faults
@@ -142,6 +157,10 @@ class TransitionFaultModel:
     def faulty_responses(self, fault: Fault, patterns: np.ndarray) -> np.ndarray:
         synthesis = self._faulty_synthesis(fault)
         return evaluate_batch(synthesis.netlist, patterns)
+
+    def batch_simulator(self, patterns: np.ndarray) -> None:
+        """Transition faults require re-synthesis; no shared simulator."""
+        return None
 
     def _faulty_synthesis(self, fault: Fault) -> SynthesisResult:
         if self._cache is None:

@@ -5,9 +5,11 @@ faults are detected (some output differs from the fault-free response on
 some pattern).  This is the workhorse behind the error-detectability table
 and is also useful standalone (test-quality experiments, coverage numbers).
 
-The implementation is a straightforward serial-fault / parallel-pattern
-simulator: the fault-free responses are computed once, then each fault is a
-single bit-parallel re-evaluation.
+The implementation is a serial-fault / parallel-pattern simulator over the
+bit-packed kernel (:class:`repro.logic.sim.PackedSimulator`): the
+fault-free packed node values are computed once, then each fault is a
+word-parallel re-sweep of its fanout cone, and detection is decided on the
+packed lanes directly (no per-pattern unpacking).
 """
 
 from __future__ import annotations
@@ -18,7 +20,7 @@ import numpy as np
 
 from repro.faults.model import Fault
 from repro.logic.netlist import Netlist
-from repro.logic.sim import evaluate_batch
+from repro.logic.sim import PackedSimulator
 
 
 @dataclass
@@ -59,12 +61,12 @@ def detected_faults(
     faults: list[Fault],
 ) -> FaultSimResult:
     """Serial-fault, parallel-pattern stuck-at simulation."""
-    good = evaluate_batch(netlist, patterns)
+    patterns = np.asarray(patterns, dtype=np.uint8)
+    simulator = PackedSimulator(netlist, patterns)
     detected: dict[str, bool] = {}
     for fault in faults:
         node, value = fault.payload  # type: ignore[misc]
-        bad = evaluate_batch(netlist, patterns, fault=(node, value))
-        detected[fault.name] = bool((bad != good).any())
+        detected[fault.name] = simulator.fault_detected((node, value))
     return FaultSimResult(detected=detected, num_patterns=patterns.shape[0])
 
 

@@ -1,13 +1,27 @@
 """Netlist simulation: single-pattern and bit-parallel batch evaluation.
 
 Because node ids are a topological order (see :mod:`repro.logic.netlist`),
-evaluation is a single forward sweep.  The batch evaluator vectorises over
-patterns with numpy uint8 lanes, which is what makes whole-fault-universe
-detectability extraction tractable in pure Python.
+evaluation is a single forward sweep.  The batch evaluator is a classic
+*parallel-pattern* simulator (the PROOFS/PPSFP technique): 64 patterns are
+packed into each uint64 lane, so every gate is ``ceil(P/64)`` word-wide
+AND/OR/XOR/NOT operations regardless of the pattern count.  The previous
+one-uint8-lane-per-pattern evaluator is kept as
+:func:`evaluate_batch_uint8` — it is the differential reference the packed
+kernel is tested against, and the baseline of the simulator benchmarks.
+
+Lane convention (see :mod:`repro.util.bitops`): bit ``b`` of lane word
+``w`` is pattern ``w * 64 + b``; tail bits of the last word are kept zero
+through every operation (inversion is XOR with the valid-bit mask), so two
+packed node values can be compared word-for-word without spurious tail
+differences.
 
 A single stuck-at fault is injected by overriding one node's value with a
 constant *after* it is computed — for single faults this is exactly
-equivalent to rewiring the net to VDD/GND.
+equivalent to rewiring the net to VDD/GND.  For whole-fault-universe work,
+:class:`PackedSimulator` computes the fault-free node values once and
+re-sweeps each fault only over the fault site's transitive fanout cone
+(nodes outside the cone keep their fault-free words), which is what makes
+detectability-table extraction and fault-coverage campaigns fast.
 """
 
 from __future__ import annotations
@@ -17,6 +31,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.logic.netlist import GateKind, Netlist
+from repro.util.bitops import lane_count, lane_mask, pack_lanes, unpack_lanes
 
 Fault = tuple[int, int]  # (node id, stuck value)
 
@@ -36,12 +51,21 @@ def evaluate(
     return dict(zip(netlist.output_names, (int(v) for v in result)))
 
 
+def _check_patterns(netlist: Netlist, patterns: np.ndarray) -> np.ndarray:
+    patterns = np.asarray(patterns, dtype=np.uint8)
+    if patterns.ndim != 2 or patterns.shape[1] != netlist.num_inputs:
+        raise ValueError(
+            f"patterns must be (P, {netlist.num_inputs}), got {patterns.shape}"
+        )
+    return patterns
+
+
 def evaluate_batch(
     netlist: Netlist,
     patterns: np.ndarray,
     fault: Fault | None = None,
 ) -> np.ndarray:
-    """Evaluate many patterns at once.
+    """Evaluate many patterns at once (word-parallel, 64 patterns/lane).
 
     Parameters
     ----------
@@ -56,6 +80,213 @@ def evaluate_batch(
     ``(P, num_outputs)`` uint8 array, column order matching
     ``netlist.output_ids``.
     """
+    patterns = _check_patterns(netlist, patterns)
+    num_patterns = patterns.shape[0]
+    if not netlist.output_ids:
+        return np.zeros((num_patterns, 0), dtype=np.uint8)
+    mask = lane_mask(num_patterns)
+    packed_inputs = pack_lanes(np.ascontiguousarray(patterns.T))
+    values = packed_node_values(netlist, packed_inputs, mask, fault=fault)
+    out_words = np.stack([values[node] for node in netlist.output_ids])
+    return np.ascontiguousarray(unpack_lanes(out_words, num_patterns).T)
+
+
+def packed_node_values(
+    netlist: Netlist,
+    packed_inputs: np.ndarray,
+    mask: np.ndarray,
+    fault: Fault | None = None,
+) -> list[np.ndarray]:
+    """Word-parallel forward sweep over packed input lanes.
+
+    ``packed_inputs`` is ``(num_inputs, W)`` uint64 (one lane row per
+    primary input, in ``netlist.input_ids`` order) and ``mask`` the
+    valid-bit mask from :func:`repro.util.bitops.lane_mask`.  Returns one
+    ``(W,)`` uint64 lane array per node; every returned word has zero tail
+    bits.
+    """
+    fault_node = fault[0] if fault is not None else -1
+    zero = np.zeros(mask.shape[0], dtype=np.uint64)
+    input_row = {node: idx for idx, node in enumerate(netlist.input_ids)}
+    values: list[np.ndarray] = [None] * netlist.num_nodes  # type: ignore[list-item]
+    for node, gate in enumerate(netlist.gates):
+        if node == fault_node:
+            values[node] = mask if fault[1] else zero  # type: ignore[index]
+            continue
+        if gate.kind is GateKind.INPUT:
+            values[node] = packed_inputs[input_row[node]]
+            continue
+        values[node] = _packed_gate(gate, values, mask, zero)
+    return values
+
+
+def _packed_gate(
+    gate,
+    values: list[np.ndarray],
+    mask: np.ndarray,
+    zero: np.ndarray,
+) -> np.ndarray:
+    """One non-input gate's packed value from its computed fanin lanes."""
+    kind = gate.kind
+    if kind is GateKind.CONST0:
+        return zero
+    if kind is GateKind.CONST1:
+        return mask
+    if kind is GateKind.NOT:
+        return values[gate.fanin[0]] ^ mask
+    if kind is GateKind.BUF:
+        return values[gate.fanin[0]]
+    operands = [values[src] for src in gate.fanin]
+    if kind in (GateKind.AND, GateKind.NAND):
+        value = _reduce(np.bitwise_and, operands)
+        if kind is GateKind.NAND:
+            value = value ^ mask
+    elif kind in (GateKind.OR, GateKind.NOR):
+        value = _reduce(np.bitwise_or, operands)
+        if kind is GateKind.NOR:
+            value = value ^ mask
+    elif kind in (GateKind.XOR, GateKind.XNOR):
+        value = _reduce(np.bitwise_xor, operands)
+        if kind is GateKind.XNOR:
+            value = value ^ mask
+    else:  # pragma: no cover - exhaustive above
+        raise ValueError(f"unsupported gate kind {kind}")
+    return value
+
+
+class PackedSimulator:
+    """Multi-fault parallel-pattern simulation with fault-free value reuse.
+
+    The fault-free packed node values are computed once at construction;
+    each fault is then a word-parallel re-sweep restarted at the fault
+    site and limited to its transitive fanout cone — every node outside
+    the cone keeps its fault-free lanes by construction, so per-fault cost
+    scales with the cone, not the netlist.
+    """
+
+    def __init__(self, netlist: Netlist, patterns: np.ndarray) -> None:
+        patterns = _check_patterns(netlist, patterns)
+        self.netlist = netlist
+        self.num_patterns = int(patterns.shape[0])
+        self.mask = lane_mask(self.num_patterns)
+        self._zero = np.zeros(lane_count(self.num_patterns), dtype=np.uint64)
+        packed_inputs = pack_lanes(np.ascontiguousarray(patterns.T))
+        self.good = packed_node_values(netlist, packed_inputs, self.mask)
+        self._fanout: dict[int, list[int]] | None = None
+        self._cones: dict[int, list[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Fault-free side
+    # ------------------------------------------------------------------
+    def good_outputs(self) -> np.ndarray:
+        """(P, num_outputs) fault-free responses."""
+        return self._unpack_outputs(self.good)
+
+    # ------------------------------------------------------------------
+    # Faulty side
+    # ------------------------------------------------------------------
+    def cone(self, node: int) -> list[int]:
+        """Strict transitive fanout of ``node`` in topological order."""
+        cached = self._cones.get(node)
+        if cached is not None:
+            return cached
+        if self._fanout is None:
+            self._fanout = self.netlist.fanout_map()
+        affected: set[int] = set()
+        frontier = [node]
+        while frontier:
+            current = frontier.pop()
+            for reader in self._fanout[current]:
+                if reader not in affected:
+                    affected.add(reader)
+                    frontier.append(reader)
+        result = sorted(affected)
+        self._cones[node] = result
+        return result
+
+    def faulty_node_values(self, fault: Fault) -> list[np.ndarray]:
+        """Per-node packed values under one stuck-at fault (cone re-sweep)."""
+        node, value = int(fault[0]), int(fault[1])
+        if not 0 <= node < self.netlist.num_nodes:
+            raise ValueError(f"fault node {node} out of range")
+        values = list(self.good)
+        values[node] = self.mask if value else self._zero
+        gates = self.netlist.gates
+        for member in self.cone(node):
+            values[member] = _packed_gate(
+                gates[member], values, self.mask, self._zero
+            )
+        return values
+
+    def faulty_outputs(self, fault: Fault) -> np.ndarray:
+        """(P, num_outputs) responses under one stuck-at fault."""
+        return self._unpack_outputs(self.faulty_node_values(fault))
+
+    def fault_detected(self, fault: Fault) -> bool:
+        """True iff some output differs from fault-free on some pattern.
+
+        Only outputs inside the fault's cone (plus the fault site itself)
+        are compared — everything else is fault-free by construction.
+        """
+        node = int(fault[0])
+        observable = [
+            out
+            for out in self.netlist.output_ids
+            if out == node or out in self._cone_set(node)
+        ]
+        if not observable:
+            return False
+        values = self.faulty_node_values(fault)
+        return any(
+            not np.array_equal(values[out], self.good[out]) for out in observable
+        )
+
+    def _cone_set(self, node: int) -> set[int]:
+        return set(self.cone(node))
+
+    def _unpack_outputs(self, values: list[np.ndarray]) -> np.ndarray:
+        if not self.netlist.output_ids:
+            return np.zeros((self.num_patterns, 0), dtype=np.uint8)
+        out_words = np.stack([values[node] for node in self.netlist.output_ids])
+        return np.ascontiguousarray(
+            unpack_lanes(out_words, self.num_patterns).T
+        )
+
+
+def evaluate_batch_multi(
+    netlist: Netlist,
+    patterns: np.ndarray,
+    faults: Sequence[Fault],
+) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Fault-free plus per-fault responses, good values computed once.
+
+    Returns ``(good, bad)`` where ``good`` is the ``(P, num_outputs)``
+    fault-free response matrix and ``bad[i]`` the responses under
+    ``faults[i]``.  Equivalent to one fault-free and ``len(faults)``
+    faulty :func:`evaluate_batch` calls, but the shared fault-free sweep
+    runs once and each fault only re-simulates its fanout cone.
+    """
+    simulator = PackedSimulator(netlist, patterns)
+    return (
+        simulator.good_outputs(),
+        [simulator.faulty_outputs(fault) for fault in faults],
+    )
+
+
+# ----------------------------------------------------------------------
+# uint8 reference path (pre-kernel semantics, kept as the differential
+# baseline for tests and benchmarks)
+# ----------------------------------------------------------------------
+def evaluate_batch_uint8(
+    netlist: Netlist,
+    patterns: np.ndarray,
+    fault: Fault | None = None,
+) -> np.ndarray:
+    """One-uint8-lane-per-pattern reference evaluator.
+
+    Bit-for-bit the same results as :func:`evaluate_batch`; the packed
+    kernel is differentially tested against this implementation.
+    """
     values = node_values(netlist, patterns, fault=fault)
     return np.stack(
         [values[node] for node in netlist.output_ids], axis=1
@@ -67,12 +298,8 @@ def node_values(
     patterns: np.ndarray,
     fault: Fault | None = None,
 ) -> list[np.ndarray]:
-    """Per-node value arrays for a pattern batch (used by the fault tools)."""
-    patterns = np.asarray(patterns, dtype=np.uint8)
-    if patterns.ndim != 2 or patterns.shape[1] != netlist.num_inputs:
-        raise ValueError(
-            f"patterns must be (P, {netlist.num_inputs}), got {patterns.shape}"
-        )
+    """Per-node uint8 value arrays for a pattern batch (reference path)."""
+    patterns = _check_patterns(netlist, patterns)
     num_patterns = patterns.shape[0]
     fault_node = fault[0] if fault is not None else -1
     fault_value = None

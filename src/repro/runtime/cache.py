@@ -38,8 +38,11 @@ from typing import Any, Callable, Iterator, Union
 import numpy as np
 
 #: Bump ``SCHEMA`` whenever the meaning or layout of cached artifacts
-#: changes; the package version covers everything else.
-SCHEMA = 1
+#: changes; the package version covers everything else.  Revision 2: the
+#: bit-parallel simulation kernel replaced the uint8 evaluator — results
+#: are bit-identical by design, but the bump guarantees uint8-era entries
+#: can never mask a kernel regression.
+SCHEMA = 2
 
 
 def _cache_salt() -> str:

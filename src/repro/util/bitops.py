@@ -15,9 +15,14 @@ the state-assignment code rely on.
 
 from __future__ import annotations
 
+import sys
 from typing import Iterator, Sequence
 
 import numpy as np
+
+#: All-ones uint64 word, the identity mask of the bit-parallel simulator.
+WORD_BITS = 64
+_NATIVE_LITTLE = sys.byteorder == "little"
 
 
 def popcount(value: int) -> int:
@@ -78,6 +83,70 @@ def iter_minterms(care_mask: int, value: int, num_vars: int) -> Iterator[int]:
             if (assignment >> idx) & 1:
                 minterm |= 1 << var
         yield minterm
+
+
+def lane_count(num_patterns: int) -> int:
+    """uint64 lanes needed for ``num_patterns`` bit-packed patterns."""
+    if num_patterns < 0:
+        raise ValueError("num_patterns must be non-negative")
+    return (num_patterns + WORD_BITS - 1) // WORD_BITS
+
+
+def lane_mask(num_patterns: int) -> np.ndarray:
+    """(W,) uint64 mask with exactly the first ``num_patterns`` bits set.
+
+    This is the packed representation of the all-ones value: full words
+    except the last, which keeps the tail bits (beyond the pattern count)
+    zero.  The bit-parallel simulator maintains the invariant that every
+    node's tail bits are zero, so packed words can be compared directly
+    without spurious tail differences.
+    """
+    width = lane_count(num_patterns)
+    mask = np.full(width, np.uint64(0xFFFFFFFFFFFFFFFF), dtype=np.uint64)
+    tail = num_patterns % WORD_BITS
+    if width and tail:
+        mask[-1] = np.uint64((1 << tail) - 1)
+    return mask
+
+
+def pack_lanes(bits: np.ndarray) -> np.ndarray:
+    """Pack 0/1 values along the last axis into uint64 lanes.
+
+    ``(..., P)`` 0/1 input becomes ``(..., ceil(P/64))`` uint64, where bit
+    ``b`` of lane word ``w`` is element ``w * 64 + b``.  Tail bits of the
+    last word are zero.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    num = bits.shape[-1]
+    width = lane_count(num)
+    pad = width * WORD_BITS - num
+    if pad:
+        bits = np.concatenate(
+            [bits, np.zeros(bits.shape[:-1] + (pad,), dtype=np.uint8)], axis=-1
+        )
+    packed = np.packbits(bits, axis=-1, bitorder="little")
+    if not _NATIVE_LITTLE:  # pragma: no cover - big-endian hosts only
+        packed = packed.reshape(bits.shape[:-1] + (width, 8))[..., ::-1]
+    packed = np.ascontiguousarray(packed).reshape(bits.shape[:-1] + (width * 8,))
+    return packed.view(np.uint64)
+
+
+def unpack_lanes(words: np.ndarray, num_patterns: int) -> np.ndarray:
+    """Inverse of :func:`pack_lanes`: ``(..., W)`` uint64 → ``(..., P)`` uint8."""
+    words = np.asarray(words, dtype=np.uint64)
+    if words.shape[-1] != lane_count(num_patterns):
+        raise ValueError(
+            f"expected {lane_count(num_patterns)} lanes for "
+            f"{num_patterns} patterns, got {words.shape[-1]}"
+        )
+    raw = np.ascontiguousarray(words).view(np.uint8)
+    if not _NATIVE_LITTLE:  # pragma: no cover - big-endian hosts only
+        raw = raw.reshape(words.shape + (8,))[..., ::-1].reshape(
+            words.shape[:-1] + (words.shape[-1] * 8,)
+        )
+        raw = np.ascontiguousarray(raw)
+    bits = np.unpackbits(raw, axis=-1, bitorder="little")
+    return bits[..., :num_patterns]
 
 
 def minterm_indices(care_mask: int, value: int, num_vars: int) -> np.ndarray:

@@ -1,0 +1,71 @@
+"""Benchmark smoke: the bit-parallel kernel must actually be fast.
+
+Excluded from tier-1 (``slow`` marker); CI runs it in a separate lane.
+The assertion is on the batched multi-fault entry point — one shared
+fault-free sweep plus cone-restricted per-fault re-sweeps — because that
+is the shape table extraction and fault grading drive; a single
+fault-free sweep over a small netlist is numpy-overhead-bound on both
+paths and measures nothing.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.fsm.benchmarks import load_benchmark
+from repro.logic.sim import PackedSimulator, evaluate_batch_uint8
+from repro.logic.synthesis import synthesize_fsm
+from repro.util.rng import rng_for
+
+NUM_PATTERNS = 1024
+MIN_SPEEDUP = 4.0
+
+
+def _best_of(function, repeats: int = 5) -> float:
+    timings = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        timings.append(time.perf_counter() - start)
+    return min(timings)
+
+
+@pytest.mark.slow
+def test_packed_multi_fault_at_least_4x_uint8():
+    synthesis = synthesize_fsm(load_benchmark("s27"))
+    netlist = synthesis.netlist
+    rng = rng_for(0, "speed-smoke")
+    patterns = rng.integers(
+        0, 2, size=(NUM_PATTERNS, netlist.num_inputs), dtype=np.uint8
+    )
+    faults = [
+        (node, value) for node in netlist.logic_nodes() for value in (0, 1)
+    ]
+
+    def uint8_campaign():
+        for fault in faults:
+            evaluate_batch_uint8(netlist, patterns, fault=fault)
+
+    def packed_campaign():
+        simulator = PackedSimulator(netlist, patterns)
+        for fault in faults:
+            simulator.faulty_outputs(fault)
+
+    # Correctness first, so a timing win can never paper over a wrong result.
+    simulator = PackedSimulator(netlist, patterns)
+    for fault in faults[:10]:
+        assert np.array_equal(
+            simulator.faulty_outputs(fault),
+            evaluate_batch_uint8(netlist, patterns, fault=fault),
+        )
+
+    uint8_time = _best_of(uint8_campaign)
+    packed_time = _best_of(packed_campaign)
+    speedup = uint8_time / packed_time
+    assert speedup >= MIN_SPEEDUP, (
+        f"packed kernel only {speedup:.1f}x faster than uint8 "
+        f"({uint8_time * 1e3:.1f}ms vs {packed_time * 1e3:.1f}ms)"
+    )

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.cover import covers_all
 from repro.core.detectability import (
@@ -142,3 +144,178 @@ class TestExtraction:
         first = extract_table(traffic_synthesis, traffic_model, config)
         second = extract_table(traffic_synthesis, traffic_model, config)
         assert np.array_equal(first.rows, second.rows)
+
+
+class TestDeterministicSubset:
+    """Regression for the subsample-size bug: ``int(idx * step)`` strides
+    can collide, and a collision used to silently shrink the sample."""
+
+    @staticmethod
+    def _family(count):
+        return {frozenset({index, count + index}) for index in range(count)}
+
+    def test_exact_size_across_sweep(self):
+        from repro.core.detectability import _deterministic_subset
+
+        for total in (1, 2, 3, 7, 10, 97, 256, 1000):
+            family = self._family(total)
+            for size in (1, 2, 3, total // 2, total - 1, total, total + 5):
+                if size <= 0:
+                    continue
+                subset = _deterministic_subset(family, size)
+                assert len(subset) == min(size, total)
+                assert subset <= family
+
+    def test_deterministic_and_order_insensitive(self):
+        from repro.core.detectability import _deterministic_subset
+
+        family = self._family(50)
+        first = _deterministic_subset(set(family), 13)
+        second = _deterministic_subset(set(sorted(family, key=sorted)), 13)
+        assert first == second
+
+
+class TestPackedRowTwins:
+    """The packed-row hot path must be an exact transcription of the
+    frozenset reference algebra: same family, same canonical order."""
+
+    WORDS = st.integers(min_value=1, max_value=2**63 - 1)
+
+    @staticmethod
+    def _pack(family):
+        from repro.core.detectability import _canonical_order
+
+        ordered = _canonical_order(list(family))
+        width = max((len(s) for s in ordered), default=0) or 1
+        rows = np.zeros((len(ordered), width), dtype=np.uint64)
+        for index, options in enumerate(ordered):
+            rows[index, : len(options)] = sorted(options)
+        return rows
+
+    @staticmethod
+    def _unpack(rows):
+        return [
+            frozenset(int(w) for w in row if w) for row in rows.tolist()
+        ]
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.lists(
+            st.frozensets(WORDS, min_size=1, max_size=3),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_unique_rows_is_canonical_order(self, sets):
+        from repro.core.detectability import _canonical_order, _unique_rows
+
+        width = max(len(s) for s in sets)
+        rows = np.zeros((len(sets), width), dtype=np.uint64)
+        for index, options in enumerate(sets):
+            rows[index, : len(options)] = sorted(options)
+        unique = _unique_rows(rows)
+        assert self._unpack(unique) == _canonical_order(set(sets))
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.sets(
+            st.frozensets(WORDS, min_size=1, max_size=3),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_reduce_rows_matches_cheap_reduce(self, family):
+        from repro.core.detectability import _cheap_reduce, _reduce_rows
+
+        reduced = self._unpack(_reduce_rows(self._pack(family)))
+        assert set(reduced) == _cheap_reduce(family)
+        assert len(reduced) == len(set(reduced))
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.sets(
+            st.frozensets(WORDS, min_size=1, max_size=3),
+            min_size=1,
+            max_size=40,
+        ),
+        st.integers(min_value=1, max_value=45),
+    )
+    def test_subset_rows_matches_deterministic_subset(self, family, size):
+        from repro.core.detectability import (
+            _deterministic_subset,
+            _subset_rows,
+        )
+
+        subset = self._unpack(_subset_rows(self._pack(family), size))
+        assert set(subset) == _deterministic_subset(family, size)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.lists(
+            st.frozensets(WORDS, min_size=0, max_size=2),
+            min_size=1,
+            max_size=20,
+        ),
+        WORDS,
+    )
+    def test_insert_word_is_rowwise_union(self, sets, word):
+        from repro.core.detectability import _insert_word
+
+        width = max(len(s) for s in sets) + 1
+        rows = np.zeros((len(sets), width - 1), dtype=np.uint64)
+        for index, options in enumerate(sets):
+            rows[index, : len(options)] = sorted(options)
+        out = _insert_word(rows, word)
+        assert out.shape == (len(sets), width)
+        assert self._unpack(out) == [s | {word} for s in sets]
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2**63 - 1),
+                st.lists(
+                    st.frozensets(WORDS, min_size=0, max_size=2),
+                    min_size=0,
+                    max_size=6,
+                ),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_merge_small_matches_batch_pipeline(self, branches):
+        """The pure-Python small-merge twin must equal the vectorized
+        merge → unique → reduce pipeline, zero diffs and empties included."""
+        from repro.core.detectability import (
+            _merge_branches,
+            _merge_small,
+            _reduce_rows,
+            _unique_rows,
+        )
+
+        depth = 3
+        steps = [(diff, 0, 0) for diff, _ in branches]
+        children = []
+        for _, sets in branches:
+            child = np.zeros((len(sets), depth - 1), dtype=np.uint64)
+            for index, options in enumerate(sets):
+                child[index, : len(options)] = sorted(options)
+            children.append(child)
+        batch = _reduce_rows(
+            _unique_rows(_merge_branches(steps, children, depth))
+        )
+        small = _merge_small(steps, children, depth)
+        assert np.array_equal(batch, small)
+
+    def test_reduce_rows_empty_set_absorbs(self):
+        from repro.core.detectability import _cheap_reduce, _reduce_rows
+
+        rows = np.array(
+            [[0, 0], [3, 0], [3, 5]], dtype=np.uint64
+        )
+        reduced = _reduce_rows(rows)
+        assert reduced.tolist() == [[0, 0]]
+        assert _cheap_reduce({frozenset(), frozenset({3}), frozenset({3, 5})}) == {
+            frozenset()
+        }

@@ -88,6 +88,45 @@ class TestRandomizedRounding:
         assert result.best_covered >= 0
         assert result.best_betas
 
+    def test_quick_filter_exhaustion_scores_best_on_full_table(self):
+        # frac forces the candidate {0b01} every attempt; the quick subset
+        # holds only the row it cannot cover, so every attempt quick-fails.
+        rows = np.array([[0b01, 0], [0b10, 0]], dtype=np.uint64)
+        quick = rows[1:]
+        frac = np.array([[1.0, 0.0]])
+        result = randomized_rounding(
+            rows, frac, 7, rng_for(11, "qs"), jitter=0.0, quick_rows=quick
+        )
+        assert not result.success
+        # The best quick-failing candidate is kept and scored on the FULL
+        # table (it covers row 0b01 even though the quick subset hid that).
+        assert result.best_betas == [1]
+        assert result.best_covered == 1
+
+    def test_rng_draw_count_is_iteration_exact(self):
+        """Exactly one rng.random draw per iteration, whether attempts die
+        on the quick filter or reach the full-table check — so downstream
+        draws never depend on the quick subset."""
+
+        class CountingRng:
+            def __init__(self, rng):
+                self.rng = rng
+                self.calls = 0
+
+            def random(self, *args, **kwargs):
+                self.calls += 1
+                return self.rng.random(*args, **kwargs)
+
+        rows = np.array([[0b01, 0], [0b10, 0]], dtype=np.uint64)
+        frac = np.array([[1.0, 0.0]])
+        for quick in (None, rows[1:]):
+            spy = CountingRng(rng_for(12, "count"))
+            result = randomized_rounding(
+                rows, frac, 9, spy, jitter=0.0, quick_rows=quick
+            )
+            assert not result.success
+            assert spy.calls == 9
+
     @settings(max_examples=20, deadline=None)
     @given(st.integers(min_value=0, max_value=1000))
     def test_successful_results_always_verified(self, seed):

@@ -1,0 +1,196 @@
+"""Differential tests: bit-parallel kernel vs the uint8 reference path.
+
+The packed kernel (64 patterns per uint64 lane) must be bit-for-bit
+identical to the historical one-uint8-per-pattern evaluator — fault-free
+and under every stuck-at fault, for pattern counts that do and do not
+fill a whole lane, and on degenerate netlists (zero inputs, zero
+outputs, constant cones).  Any divergence here is a kernel bug, never a
+tolerance question.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.netlist import GateKind, Netlist
+from repro.logic.sim import (
+    PackedSimulator,
+    evaluate_batch,
+    evaluate_batch_multi,
+    evaluate_batch_uint8,
+)
+from repro.util.bitops import lane_count, lane_mask, pack_lanes, unpack_lanes
+from repro.util.rng import rng_for
+from tests.strategies import raw_netlists
+
+#: Pattern counts around the lane boundary: below, at, and above one and
+#: two full 64-bit words, plus the single-pattern edge.
+LANE_EDGE_COUNTS = (1, 2, 63, 64, 65, 127, 128, 130)
+
+
+def _random_patterns(netlist: Netlist, num_patterns: int, seed: int) -> np.ndarray:
+    rng = rng_for(seed, "packed-diff")
+    return rng.integers(
+        0, 2, size=(num_patterns, netlist.num_inputs), dtype=np.uint8
+    )
+
+
+class TestPackedMatchesUint8:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        raw_netlists(),
+        st.sampled_from(LANE_EDGE_COUNTS),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_fault_free_bit_for_bit(self, netlist, num_patterns, seed):
+        patterns = _random_patterns(netlist, num_patterns, seed)
+        packed = evaluate_batch(netlist, patterns)
+        reference = evaluate_batch_uint8(netlist, patterns)
+        assert packed.shape == reference.shape
+        assert packed.dtype == reference.dtype
+        assert np.array_equal(packed, reference)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        raw_netlists(),
+        st.sampled_from(LANE_EDGE_COUNTS),
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=0, max_value=1),
+    )
+    def test_faulty_bit_for_bit_every_node(self, netlist, num_patterns, seed, stuck):
+        patterns = _random_patterns(netlist, num_patterns, seed)
+        simulator = PackedSimulator(netlist, patterns)
+        for node in range(netlist.num_nodes):
+            fault = (node, stuck)
+            reference = evaluate_batch_uint8(netlist, patterns, fault=fault)
+            assert np.array_equal(
+                evaluate_batch(netlist, patterns, fault=fault), reference
+            )
+            assert np.array_equal(simulator.faulty_outputs(fault), reference)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        raw_netlists(),
+        st.sampled_from(LANE_EDGE_COUNTS),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_multi_fault_entry_point(self, netlist, num_patterns, seed):
+        patterns = _random_patterns(netlist, num_patterns, seed)
+        faults = [
+            (node, value)
+            for node in range(netlist.num_nodes)
+            for value in (0, 1)
+        ]
+        good, bad = evaluate_batch_multi(netlist, patterns, faults)
+        assert np.array_equal(good, evaluate_batch_uint8(netlist, patterns))
+        for fault, responses in zip(faults, bad):
+            assert np.array_equal(
+                responses, evaluate_batch_uint8(netlist, patterns, fault=fault)
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        raw_netlists(),
+        st.sampled_from(LANE_EDGE_COUNTS),
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=0, max_value=1),
+    )
+    def test_fault_detected_agrees_with_full_compare(
+        self, netlist, num_patterns, seed, stuck
+    ):
+        patterns = _random_patterns(netlist, num_patterns, seed)
+        simulator = PackedSimulator(netlist, patterns)
+        good = evaluate_batch_uint8(netlist, patterns)
+        for node in range(netlist.num_nodes):
+            bad = evaluate_batch_uint8(netlist, patterns, fault=(node, stuck))
+            assert simulator.fault_detected((node, stuck)) == (
+                not np.array_equal(good, bad)
+            )
+
+
+class TestPackedEdgeCases:
+    def test_zero_output_netlist(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        netlist.add_gate(GateKind.AND, [a, a])
+        patterns = np.array([[0], [1], [1]], dtype=np.uint8)
+        result = evaluate_batch(netlist, patterns)
+        assert result.shape == (3, 0)
+        assert result.dtype == np.uint8
+        assert PackedSimulator(netlist, patterns).good_outputs().shape == (3, 0)
+
+    def test_single_pattern(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        netlist.add_output("y", netlist.add_gate(GateKind.XOR, [a, b]))
+        patterns = np.array([[1, 0]], dtype=np.uint8)
+        assert np.array_equal(
+            evaluate_batch(netlist, patterns),
+            evaluate_batch_uint8(netlist, patterns),
+        )
+
+    def test_constant_only_netlist_no_inputs(self):
+        netlist = Netlist()
+        one = netlist.add_const(1)
+        netlist.add_output("y", one)
+        patterns = np.zeros((70, 0), dtype=np.uint8)
+        packed = evaluate_batch(netlist, patterns)
+        assert packed.shape == (70, 1)
+        assert packed.tolist() == [[1]] * 70
+
+    def test_fault_node_out_of_range_rejected(self):
+        netlist = Netlist()
+        netlist.add_output("y", netlist.add_input("a"))
+        patterns = np.array([[1]], dtype=np.uint8)
+        simulator = PackedSimulator(netlist, patterns)
+        try:
+            simulator.faulty_outputs((99, 1))
+        except ValueError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("out-of-range fault node must raise")
+
+
+class TestLaneHelpers:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=6),
+        st.sampled_from((0,) + LANE_EDGE_COUNTS),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_pack_unpack_round_trip(self, rows, num_patterns, seed):
+        rng = rng_for(seed, "roundtrip")
+        bits = rng.integers(0, 2, size=(rows, num_patterns), dtype=np.uint8)
+        words = pack_lanes(bits)
+        assert words.shape == (rows, lane_count(num_patterns))
+        assert np.array_equal(unpack_lanes(words, num_patterns), bits)
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.sampled_from((0,) + LANE_EDGE_COUNTS))
+    def test_lane_mask_tail_is_zero(self, num_patterns):
+        mask = lane_mask(num_patterns)
+        assert mask.shape == (lane_count(num_patterns),)
+        unpacked = unpack_lanes(mask[None, :], num_patterns)
+        assert unpacked.all()  # every valid bit set …
+        as_bits = np.unpackbits(
+            mask.view(np.uint8), bitorder="little"
+        )
+        assert int(as_bits.sum()) == num_patterns  # … and no tail bit
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        raw_netlists(),
+        st.sampled_from(LANE_EDGE_COUNTS),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_node_words_have_no_tail_bits(self, netlist, num_patterns, seed):
+        """The kernel invariant: every node word is tail-clean, so words
+        compare equal iff the valid lanes compare equal."""
+        patterns = _random_patterns(netlist, num_patterns, seed)
+        simulator = PackedSimulator(netlist, patterns)
+        mask = lane_mask(num_patterns)
+        for words in simulator.good:
+            assert np.array_equal(words & ~mask, np.zeros_like(words))

@@ -234,3 +234,24 @@ class TestFlowCaching:
         design_ced("seqdet", latency=1, max_faults=60, cache=cache)
         design_ced("serparity", latency=1, max_faults=60, cache=cache)
         assert counts == {"synthesis": 2, "tables": 2, "solve": 2}
+
+
+class TestSchemaSalt:
+    """The kernel PR bumped ``SCHEMA`` 1 → 2: uint8-era entries must be
+    misses under the new salt, never silently replayed."""
+
+    def test_schema_bump_invalidates_old_entries(self, cache, monkeypatch):
+        import repro.runtime.cache as cache_module
+
+        current = cache_module.SCHEMA
+        assert current >= 2  # the bit-parallel kernel bump
+        monkeypatch.setattr(cache_module, "SCHEMA", current - 1)
+        stale_key = fingerprint("tables", "s27", TableConfig())
+        cache.put("tables", stale_key, "uint8-era artifact")
+        monkeypatch.setattr(cache_module, "SCHEMA", current)
+        fresh_key = fingerprint("tables", "s27", TableConfig())
+        assert fresh_key != stale_key
+        found, _ = cache.get("tables", fresh_key)
+        assert not found  # pre-bump entry can never satisfy a new lookup
+        found, value = cache.get("tables", stale_key)
+        assert found and value == "uint8-era artifact"

@@ -14,6 +14,7 @@ from hypothesis import strategies as st
 
 from repro.fsm.generate import GeneratorSpec, generate_fsm
 from repro.fsm.machine import FSM
+from repro.logic.netlist import Gate, GateKind, Netlist
 from repro.util.rng import rng_for
 from repro.verification.generator import FUZZ_SHAPES, random_fsm
 
@@ -68,3 +69,64 @@ def fuzz_machines(name: str = "hyp") -> st.SearchStrategy[FSM]:
 def machines(name: str = "hyp") -> st.SearchStrategy[FSM]:
     """The union distribution: classic specs ∪ fuzzer shapes."""
     return st.one_of(spec_machines(name), fuzz_machines(name))
+
+
+#: Gate kinds a random netlist may contain (everything but INPUT, which is
+#: added through ``add_input``).  Raw :class:`Gate` records are appended
+#: directly — bypassing ``add_gate``'s simplifier — so the NAND/NOR/XNOR/
+#: BUF evaluation paths stay reachable even though the builder normalises
+#: them away.
+_RAW_GATE_KINDS = (
+    GateKind.CONST0,
+    GateKind.CONST1,
+    GateKind.NOT,
+    GateKind.BUF,
+    GateKind.AND,
+    GateKind.OR,
+    GateKind.NAND,
+    GateKind.NOR,
+    GateKind.XOR,
+    GateKind.XNOR,
+)
+
+
+@st.composite
+def raw_netlists(
+    draw,
+    max_inputs: int = 4,
+    max_gates: int = 16,
+    max_outputs: int = 3,
+) -> Netlist:
+    """Arbitrary well-formed combinational DAGs over every gate kind.
+
+    Includes the shapes the bit-parallel kernel must survive: zero
+    inputs, zero outputs, fanout reconvergence, outputs aliased to the
+    same node, and constant-only cones.
+    """
+    netlist = Netlist()
+    for index in range(draw(st.integers(min_value=0, max_value=max_inputs))):
+        netlist.add_input(f"x{index}")
+    for _ in range(draw(st.integers(min_value=1, max_value=max_gates))):
+        kind = draw(st.sampled_from(_RAW_GATE_KINDS))
+        available = netlist.num_nodes
+        if available == 0 and kind not in (GateKind.CONST0, GateKind.CONST1):
+            kind = GateKind.CONST0  # nothing to drive a fanin yet
+        if kind in (GateKind.CONST0, GateKind.CONST1):
+            fanin: tuple[int, ...] = ()
+        elif kind in (GateKind.NOT, GateKind.BUF):
+            fanin = (draw(st.integers(0, available - 1)),)
+        else:
+            fanin = tuple(
+                draw(
+                    st.lists(
+                        st.integers(0, available - 1),
+                        min_size=1,
+                        max_size=3,
+                    )
+                )
+            )
+        netlist.gates.append(Gate(kind, fanin))
+    for index in range(draw(st.integers(min_value=0, max_value=max_outputs))):
+        node = draw(st.integers(0, netlist.num_nodes - 1))
+        netlist.add_output(f"y{index}", node)
+    return netlist

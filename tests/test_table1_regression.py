@@ -1,0 +1,23 @@
+"""Byte-identity regression against the pre-kernel seed artifact.
+
+``tests/data/table1_prekernel_small.json`` was produced by the uint8
+evaluator (``table1 --circuits s27 dk512 --max-faults 300 --no-cache``)
+immediately before the bit-parallel kernel landed.  The kernel, the
+shared-block table extraction, the batched CED verification and the
+rounding/subsample fixes must all leave this output byte-identical —
+any drift is a semantic change, not an optimisation.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments.report import table1_to_json
+from repro.experiments.table1 import Table1Config, run_table1
+
+ARTIFACT = Path(__file__).parent / "data" / "table1_prekernel_small.json"
+
+
+def test_table1_bytes_match_prekernel_artifact():
+    result = run_table1(("s27", "dk512"), Table1Config(max_faults=300))
+    assert table1_to_json(result) + "\n" == ARTIFACT.read_text()
