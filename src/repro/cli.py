@@ -12,19 +12,24 @@ Installed as ``repro-ced`` (also ``python -m repro``).  Subcommands:
 * ``sweep CIRCUIT...`` — latency-saturation curves;
 * ``table1``           — reproduce the paper's Table 1 (+ summary stats);
 * ``campaign``         — run a circuits × latencies job matrix in parallel;
+* ``report``           — summarise a run's journal/manifest/table1.json,
+  or diff two runs and flag q/cost/runtime regressions;
 * ``cache``            — artifact-cache statistics / purge;
 * ``list``             — list available benchmarks.
 
 ``design``, ``sweep``, ``table1`` and ``campaign`` share the campaign
-runtime flags: ``--jobs N`` (worker processes), ``--cache-dir PATH`` and
-``--no-cache``.  Results are bit-identical whatever the flags — the cache
-stores values of pure functions and jobs are seeded deterministically.
+runtime flags: ``--jobs N`` (worker processes), ``--cache-dir PATH``,
+``--no-cache`` and ``--journal PATH`` (write the traced run journal).
+Results are bit-identical whatever the flags — the cache stores values of
+pure functions, jobs are seeded deterministically, and tracing is
+write-only observability (it never feeds back into results or keys).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 from typing import Sequence
 
 from repro.experiments.figures import latency_saturation_curves
@@ -41,6 +46,7 @@ from repro.fsm.benchmarks import (
 from repro.logic.synthesis import synthesize_fsm
 from repro.runtime.cache import ArtifactCache, open_cache
 from repro.runtime.campaign import CampaignOptions, design_matrix_jobs, run_campaign
+from repro.runtime.trace import JournalWriter, Tracer, use_tracer
 from repro.util.tables import format_table
 
 
@@ -57,6 +63,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "table1": _cmd_table1,
         "campaign": _cmd_campaign,
+        "report": _cmd_report,
         "cache": _cmd_cache,
     }[args.command]
     try:
@@ -71,7 +78,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
 
-def _add_runtime_flags(parser: argparse.ArgumentParser, jobs: bool = True) -> None:
+def _add_runtime_flags(
+    parser: argparse.ArgumentParser, jobs: bool = True, journal: bool = False
+) -> None:
     if jobs:
         parser.add_argument("--jobs", type=int, default=1, metavar="N",
                             help="worker processes (default 1 = serial)")
@@ -80,6 +89,10 @@ def _add_runtime_flags(parser: argparse.ArgumentParser, jobs: bool = True) -> No
                         "$REPRO_CACHE_DIR or ~/.cache/repro-ced)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the artifact cache for this run")
+    if journal:
+        parser.add_argument("--journal", metavar="PATH",
+                            help="write the traced run journal (JSONL) here; "
+                            "render it with `repro-ced report`")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -116,7 +129,7 @@ def _build_parser() -> argparse.ArgumentParser:
     design.add_argument("--max-faults", type=int, default=800)
     design.add_argument("--verify", action="store_true",
                         help="run the fault-injection verifier")
-    _add_runtime_flags(design)
+    _add_runtime_flags(design, journal=True)
 
     verify = sub.add_parser(
         "verify",
@@ -173,7 +186,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--max-latency", type=int, default=4)
     sweep.add_argument("--semantics", default="trajectory",
                        choices=("checker", "trajectory"))
-    _add_runtime_flags(sweep)
+    _add_runtime_flags(sweep, journal=True)
 
     table1 = sub.add_parser("table1", help="reproduce the paper's Table 1")
     table1.add_argument("--circuits", nargs="*", default=list(TABLE1_CIRCUITS))
@@ -189,7 +202,7 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="per-circuit wall-clock limit")
     table1.add_argument("--retries", type=int, default=1,
                         help="extra attempts before the degraded fallback")
-    _add_runtime_flags(table1)
+    _add_runtime_flags(table1, journal=True)
 
     campaign = sub.add_parser(
         "campaign",
@@ -215,7 +228,22 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--manifest", metavar="PATH",
                           default="repro-campaign-manifest.json",
                           help="run manifest path (default %(default)s)")
-    _add_runtime_flags(campaign)
+    _add_runtime_flags(campaign, journal=True)
+
+    report = sub.add_parser(
+        "report",
+        help="summarise run artifacts, or diff two runs for regressions",
+    )
+    report.add_argument("paths", nargs="+", metavar="PATH",
+                        help="run directory (holding journal.jsonl / "
+                        "manifest.json / table1.json) or one such file")
+    report.add_argument("--diff", action="store_true",
+                        help="compare exactly two runs: BASELINE NEW")
+    report.add_argument("--fail-on-regression", action="store_true",
+                        help="exit 1 when the diff finds a blocking "
+                        "regression (q or cost; runtime stays advisory)")
+    report.add_argument("--include-runtime", action="store_true",
+                        help="make runtime regressions blocking too")
 
     cache = sub.add_parser("cache", help="artifact cache maintenance")
     cache.add_argument("action", choices=("stats", "purge"))
@@ -275,15 +303,22 @@ def _cmd_synth(args: argparse.Namespace) -> int:
 
 def _cmd_design(args: argparse.Namespace) -> int:
     cache = open_cache(args.cache_dir, enabled=not args.no_cache)
-    design = design_ced(
-        args.circuit,
-        latency=args.latency,
-        semantics=args.semantics,
-        encoding=args.encoding,
-        max_faults=args.max_faults,
-        verify=args.verify,
-        cache=cache,
-    )
+    tracer = Tracer() if args.journal else None
+    context = use_tracer(tracer) if tracer is not None else nullcontext()
+    with context:
+        design = design_ced(
+            args.circuit,
+            latency=args.latency,
+            semantics=args.semantics,
+            encoding=args.encoding,
+            max_faults=args.max_faults,
+            verify=args.verify,
+            cache=cache,
+        )
+    if tracer is not None:
+        with JournalWriter(args.journal, name=f"design-{args.circuit}") as writer:
+            writer.write_all(tracer.records, job=args.circuit)
+        print(f"journal written to {args.journal}")
     print(design.summary())
     print(f"  parity vectors: {[hex(b) for b in design.solve_result.betas]}")
     breakdown = {
@@ -385,6 +420,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         cache=not args.no_cache,
+        journal_path=args.journal,
         name="sweep",
     )
     curves = latency_saturation_curves(
@@ -413,6 +449,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         retries=args.retries,
         manifest_path=args.manifest,
+        journal_path=args.journal,
         name="table1",
     )
     result = run_table1(tuple(args.circuits), config, options=options)
@@ -426,6 +463,8 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         print(f"\nJSON written to {args.json}")
     if args.manifest:
         print(f"manifest written to {args.manifest}")
+    if args.journal:
+        print(f"journal written to {args.journal}")
     return 0
 
 
@@ -450,6 +489,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         retries=args.retries,
         fallback=not args.no_fallback,
         manifest_path=args.manifest,
+        journal_path=args.journal,
         name="campaign",
     )
     run = run_campaign(jobs, options, echo=print)
@@ -483,7 +523,42 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     )
     if args.manifest:
         print(f"manifest written to {args.manifest}")
+    if args.journal:
+        print(f"journal written to {args.journal}")
     return 1 if run.failed else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.runtime.report import (
+        diff_runs,
+        format_diff,
+        has_regressions,
+        load_run,
+        summarize_run,
+    )
+
+    try:
+        runs = [load_run(path) for path in args.paths]
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.diff:
+        if len(runs) != 2:
+            print("error: --diff needs exactly two paths (BASELINE NEW)",
+                  file=sys.stderr)
+            return 2
+        findings = diff_runs(runs[0], runs[1])
+        print(format_diff(runs[0], runs[1], findings))
+        if args.fail_on_regression and has_regressions(
+            findings, include_runtime=args.include_runtime
+        ):
+            return 1
+        return 0
+    for index, run in enumerate(runs):
+        if index:
+            print()
+        print(summarize_run(run))
+    return 0
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:

@@ -54,6 +54,7 @@ import numpy as np
 from repro.faults.model import Fault, FaultModel, is_netlist_fault
 from repro.logic.sim import evaluate_batch
 from repro.logic.synthesis import SynthesisResult
+from repro.runtime.trace import current_tracer
 
 SEMANTICS = ("trajectory", "checker")
 
@@ -340,7 +341,11 @@ def extract_tables(
     good.ensure(reachable)
     shared = _SharedFaultBlock(synthesis, fault_model, alphabet, reachable)
 
+    tracer = current_tracer()
     per_latency: dict[int, set[frozenset[int]]] = {p: set() for p in latencies}
+    raw_rows = {p: 0 for p in latencies}
+    reduced_rows = {p: 0 for p in latencies}
+    capped_faults = {p: 0 for p in latencies}
     num_activations = 0
     truncated = False
     faults = fault_model.faults()
@@ -353,8 +358,11 @@ def extract_tables(
         truncated = truncated or extractor.truncated
         for p in latencies:
             rows = _reduce_rows(local[p])
+            raw_rows[p] += int(local[p].shape[0])
+            reduced_rows[p] += int(rows.shape[0])
             if rows.shape[0] > config.max_rows_per_fault:
                 rows = _subset_rows(rows, config.max_rows_per_fault)
+                capped_faults[p] += 1
                 truncated = True
             lengths = (rows != np.uint64(0)).sum(axis=1).tolist()
             target = per_latency[p]
@@ -363,6 +371,7 @@ def extract_tables(
 
     tables: dict[int, DetectabilityTable] = {}
     for p in latencies:
+        pooled = len(per_latency[p])
         option_sets = minimal_option_sets(per_latency[p])
         rows = (
             pack_option_sets(list(option_sets))
@@ -370,6 +379,7 @@ def extract_tables(
             else np.zeros((0, 1), dtype=np.uint64)
         )
         table_truncated = truncated
+        row_capped = False
         if rows.shape[0] > config.max_rows:
             from repro.util.rng import rng_for
 
@@ -379,6 +389,7 @@ def extract_tables(
             )
             rows = rows[np.sort(chosen)]
             table_truncated = True
+            row_capped = True
         stats = TableStats(
             fsm_name=synthesis.fsm.name,
             num_faults=len(faults),
@@ -392,6 +403,35 @@ def extract_tables(
         )
         tables[p] = DetectabilityTable(
             num_bits=synthesis.num_bits, latency=p, rows=rows, stats=stats
+        )
+        if tracer.enabled:
+            tracer.event(
+                "tables.latency",
+                fsm=synthesis.fsm.name,
+                latency=p,
+                rows=int(rows.shape[0]),
+                bits=synthesis.num_bits,
+                width=int(rows.shape[1]),
+                raw_fault_rows=raw_rows[p],
+                deduped_fault_rows=reduced_rows[p],
+                pooled_option_sets=pooled,
+                minimal_option_sets=len(option_sets),
+                capped_faults=capped_faults[p],
+                row_capped=row_capped,
+                truncated=table_truncated,
+            )
+    if tracer.enabled:
+        tracer.event(
+            "tables.extract",
+            fsm=synthesis.fsm.name,
+            semantics=config.semantics,
+            faults=len(faults),
+            activations=num_activations,
+            reachable_states=len(reachable),
+            alphabet=int(alphabet.shape[0]),
+            input_mode=input_mode,
+            latencies=list(latencies),
+            truncated=truncated,
         )
     return tables
 

@@ -23,9 +23,15 @@ import numpy as np
 
 from repro.core.cover import batch_coverage
 from repro.core.detectability import DetectabilityTable
+from repro.runtime.trace import current_tracer
 
 POOLS = ("singles", "pairs", "triples", "all")
 _MAX_ALL_BITS = 16
+
+#: A greedy cover rarely needs more than a few dozen picks; the traced
+#: coverage progression is capped here so a pathological run cannot bloat
+#: the journal.
+_TRACE_PROGRESSION_CAP = 64
 
 
 def candidate_pool(num_bits: int, pool: str) -> list[int]:
@@ -68,6 +74,8 @@ def greedy_parity_cover(
     coverage = batch_coverage(table.rows, candidates)  # (C, m)
     uncovered = np.ones(table.num_rows, dtype=bool)
     chosen: list[int] = []
+    tracer = current_tracer()
+    progression: list[int] = []
     while uncovered.any():
         gains = (coverage & uncovered[None, :]).sum(axis=1)
         best_gain = int(gains.max())
@@ -79,4 +87,15 @@ def greedy_parity_cover(
         )
         chosen.append(candidates[best_index])
         uncovered &= ~coverage[best_index]
+        if tracer.enabled and len(progression) < _TRACE_PROGRESSION_CAP:
+            progression.append(int(uncovered.sum()))
+    if tracer.enabled:
+        tracer.event(
+            "greedy.cover",
+            picks=len(chosen),
+            pool_size=len(candidates),
+            rows=table.num_rows,
+            uncovered_progression=progression,
+            progression_truncated=len(chosen) > len(progression),
+        )
     return chosen

@@ -20,8 +20,42 @@ from scipy.optimize import linprog
 
 from repro.core.detectability import DetectabilityTable
 from repro.core.ilp import IntegerProgram
+from repro.runtime.trace import current_tracer
 
 OBJECTIVES = ("max-r", "min-beta", "feasibility")
+
+#: β entries farther than this from both 0 and 1 count as fractional in
+#: the trace's relaxation-gap measure (HiGHS vertex solutions are often
+#: integral up to solver tolerance).
+_FRACTIONAL_TOL = 1e-6
+
+
+def _trace_solve(
+    table: DetectabilityTable,
+    q: int,
+    status: str,
+    beta: np.ndarray,
+    objective_value: float,
+    iterations: int,
+) -> None:
+    """One ``lp.solve`` journal event (status, iterations, objective, gap)."""
+    tracer = current_tracer()
+    if not tracer.enabled:
+        return
+    fractional = 0.0
+    if beta.size:
+        interior = (beta > _FRACTIONAL_TOL) & (beta < 1.0 - _FRACTIONAL_TOL)
+        fractional = float(np.mean(interior))
+    tracer.event(
+        "lp.solve",
+        q=q,
+        status=status,
+        iterations=iterations,
+        objective=objective_value,
+        rows=table.num_rows,
+        bits=table.num_bits,
+        fractional_share=round(fractional, 6),
+    )
 
 
 @dataclass
@@ -48,6 +82,9 @@ def solve_lp_relaxation(
     if objective not in OBJECTIVES:
         raise ValueError(f"objective must be one of {OBJECTIVES}")
     if table.num_rows == 0:
+        _trace_solve(
+            table, q, "optimal", np.zeros((0,)), 0.0, iterations=0
+        )
         return LpSolution(
             q=q,
             num_bits=table.num_bits,
@@ -77,8 +114,12 @@ def solve_lp_relaxation(
         bounds=bounds,
         method="highs",
     )
+    iterations = int(np.sum(getattr(result, "nit", 0)))
     if not result.success:
         status = "infeasible" if result.status == 2 else f"failed({result.status})"
+        _trace_solve(
+            table, q, status, np.zeros((0,)), float("nan"), iterations
+        )
         return LpSolution(
             q=q,
             num_bits=table.num_bits,
@@ -88,6 +129,7 @@ def solve_lp_relaxation(
         )
     beta = result.x[: program.num_beta_vars].reshape(q, table.num_bits)
     beta = np.clip(beta, 0.0, 1.0)
+    _trace_solve(table, q, "optimal", beta, float(result.fun), iterations)
     return LpSolution(
         q=q,
         num_bits=table.num_bits,

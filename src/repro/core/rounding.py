@@ -22,7 +22,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.cover import covered_rows
+from repro.runtime.trace import current_tracer
 from repro.util.bitops import bits_to_int
+
+#: Coverage-fraction histogram resolution of the ``rounding`` trace event
+#: (bucket i counts attempts covering [i/10, (i+1)/10) of the rows; the
+#: last bucket is exact full coverage).
+_HIST_BUCKETS = 10
 
 
 @dataclass
@@ -74,6 +80,10 @@ def randomized_rounding(
     use_quick = (
         quick_rows is not None and quick_rows.shape[0] < rows.shape[0]
     )
+    tracer = current_tracer()
+    trace_on = tracer.enabled
+    hist = [0] * (_HIST_BUCKETS + 1)
+    quick_rejects = 0
     best_betas: list[int] = []
     best_covered = -1
     best_quick: list[int] = []
@@ -87,6 +97,7 @@ def randomized_rounding(
                 # Rejected by the prefilter: remember the best such
                 # attempt (ranked on the quick subset, which is already
                 # computed) without paying a full-table check.
+                quick_rejects += 1
                 quick_count = int(quick_covered.sum())
                 if quick_count > best_quick_covered:
                     best_quick_covered = quick_count
@@ -94,16 +105,22 @@ def randomized_rounding(
                 continue
         covered = covered_rows(rows, candidate)
         count = int(covered.sum())
+        if trace_on:
+            hist[count * _HIST_BUCKETS // rows.shape[0]] += 1
         if count > best_covered:
             best_covered = count
             best_betas = candidate
         if count == rows.shape[0]:
-            return RoundingResult(
+            result = RoundingResult(
                 betas=candidate,
                 attempts=attempt,
                 best_betas=candidate,
                 best_covered=count,
             )
+            _trace_rounding(
+                tracer, result, rows.shape[0], quick_rejects, hist
+            )
+            return result
     if best_covered < 0:
         # Every attempt failed the quick filter: score the best of those
         # attempts on the full table (once) so repair starts from the
@@ -111,9 +128,35 @@ def randomized_rounding(
         # which would make the draw count depend on the quick subset.
         best_betas = best_quick
         best_covered = int(covered_rows(rows, best_betas).sum())
-    return RoundingResult(
+    result = RoundingResult(
         betas=None,
         attempts=iterations,
         best_betas=best_betas,
         best_covered=best_covered,
+    )
+    _trace_rounding(tracer, result, rows.shape[0], quick_rejects, hist)
+    return result
+
+
+def _trace_rounding(
+    tracer,
+    result: RoundingResult,
+    num_rows: int,
+    quick_rejects: int,
+    hist: list[int],
+) -> None:
+    """One ``rounding`` journal event summarising a whole campaign."""
+    if not tracer.enabled:
+        return
+    tracer.event(
+        "rounding",
+        attempts=result.attempts,
+        success=result.success,
+        quick_rejects=quick_rejects,
+        quick_reject_rate=(
+            round(quick_rejects / result.attempts, 4) if result.attempts else 0.0
+        ),
+        best_covered=result.best_covered,
+        rows=num_rows,
+        coverage_hist=hist,
     )

@@ -37,6 +37,7 @@ from repro.core.detectability import DetectabilityTable
 from repro.core.greedy import greedy_parity_cover
 from repro.core.lp import solve_lp_relaxation, subsample_table
 from repro.core.rounding import randomized_rounding
+from repro.runtime.trace import current_tracer
 from repro.util.rng import rng_for
 
 
@@ -124,12 +125,15 @@ def minimize_parity_bits(
             result.incumbent_source = "greedy"
 
     lp_table = subsample_table(table, config.lp_max_rows, config.seed)
+    tracer = current_tracer()
 
     low = 0  # largest q known (or assumed) infeasible
     high = len(best)  # smallest q with a known-feasible β set
     while high - low > 1:
         mid = (low + high) // 2
-        outcome, betas = _try_q(table, lp_table, mid, config, result)
+        with tracer.span("search.q", q=mid, low=low, high=high) as span:
+            outcome, betas = _try_q(table, lp_table, mid, config, result)
+            span.set(outcome=outcome, feasible=betas is not None)
         result.per_q_outcome[mid] = outcome
         if betas is not None:
             best = betas
@@ -141,6 +145,17 @@ def minimize_parity_bits(
     result.q = len(best)
     result.betas = sorted(best)
     assert covers_all(table.rows, result.betas)
+    if tracer.enabled:
+        tracer.event(
+            "search.done",
+            latency=table.latency,
+            q=result.q,
+            source=result.incumbent_source,
+            lp_solves=result.lp_solves,
+            rounding_attempts=result.rounding_attempts,
+            rows=table.num_rows,
+            bits=table.num_bits,
+        )
     return result
 
 
@@ -248,9 +263,19 @@ def _repair(
     else:
         extras = []
     combined = _prune(table.rows, list(dict.fromkeys(partial + extras)))
-    if combined is not None and len(combined) <= q:
-        return combined
-    return None
+    repaired = combined if combined is not None and len(combined) <= q else None
+    tracer = current_tracer()
+    if tracer.enabled:
+        tracer.event(
+            "search.repair",
+            q=q,
+            partial=len(partial),
+            uncovered=int(uncovered.sum()),
+            extras=len(extras),
+            final=len(combined) if combined is not None else None,
+            success=repaired is not None,
+        )
+    return repaired
 
 
 def _try_exact(table: DetectabilityTable) -> list[int] | None:

@@ -15,6 +15,14 @@ of SIS's ``read_kiss``.  A file looks like::
 
 ``.s`` (state count), ``.p`` (product-term count) and ``.r`` (reset state)
 are optional; when present they are cross-checked against the table.
+
+KISS2 itself does not record state *order*, but order matters here: state
+encodings (and therefore the whole CED design) are assigned by position in
+``FSM.states``.  :func:`write_kiss` therefore emits a ``# states: ...``
+comment naming the states in order, and :func:`parse_kiss` honours it when
+present — external tools ignore it (it is a comment), while in-repo
+round-trips preserve order exactly, including states that appear in no
+transition row (which appearance-order inference alone would drop).
 """
 
 from __future__ import annotations
@@ -31,9 +39,17 @@ def parse_kiss(text: str, name: str = "fsm") -> FSM:
     declared_states: int | None = None
     declared_products: int | None = None
     reset_state = ""
+    declared_order: list[str] | None = None
     rows: list[Transition] = []
 
     for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        comment = raw_line.split("#", 1)[1].strip() if "#" in raw_line else ""
+        if comment.startswith("states:"):
+            declared_order = comment[len("states:"):].split()
+            if len(set(declared_order)) != len(declared_order):
+                raise KissFormatError(
+                    line_number, "# states: marker lists a state twice"
+                )
         line = raw_line.split("#", 1)[0].strip()
         if not line:
             continue
@@ -82,6 +98,13 @@ def parse_kiss(text: str, name: str = "fsm") -> FSM:
         for state in (row.src, row.dst):
             if state not in states:
                 states.append(state)
+    if declared_order is not None:
+        missing = [state for state in states if state not in declared_order]
+        if missing:
+            raise KissFormatError(
+                0, f"# states: marker omits state {missing[0]!r}"
+            )
+        states = declared_order
 
     fsm = FSM(
         name=name,
@@ -116,6 +139,7 @@ def write_kiss(fsm: FSM) -> str:
         f".s {fsm.num_states}",
         f".p {len(fsm.transitions)}",
         f".r {fsm.reset_state}",
+        "# states: " + " ".join(fsm.states),
     ]
     lines.extend(
         f"{t.input_cube} {t.src} {t.dst} {t.output}" for t in fsm.transitions

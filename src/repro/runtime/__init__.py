@@ -29,16 +29,6 @@ from repro.runtime.cache import (
     fingerprint,
     open_cache,
 )
-from repro.runtime.campaign import (
-    CampaignJob,
-    CampaignOptions,
-    CampaignRun,
-    DesignJobSpec,
-    JobReport,
-    design_matrix_jobs,
-    run_campaign,
-    table1_jobs,
-)
 from repro.runtime.executor import (
     ExecutorConfig,
     JobOutcome,
@@ -47,8 +37,47 @@ from repro.runtime.executor import (
     run_jobs,
 )
 from repro.runtime.metrics import MetricsRecorder, StageMetrics, peak_rss_kb
+from repro.runtime.trace import (
+    JOURNAL_SCHEMA,
+    JournalWriter,
+    NullTracer,
+    Tracer,
+    current_tracer,
+    read_journal,
+    use_tracer,
+)
+
+#: Campaign names are resolved lazily (PEP 562): ``repro.runtime.campaign``
+#: imports the solver stack, while the solver stack imports
+#: ``repro.runtime.trace`` — an eager import here would close that loop.
+_CAMPAIGN_EXPORTS = (
+    "CampaignJob",
+    "CampaignOptions",
+    "CampaignRun",
+    "DesignJobSpec",
+    "JobReport",
+    "design_matrix_jobs",
+    "run_campaign",
+    "table1_jobs",
+)
+
+
+def __getattr__(name: str):
+    if name in _CAMPAIGN_EXPORTS:
+        from repro.runtime import campaign
+
+        return getattr(campaign, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
+    "JOURNAL_SCHEMA",
+    "JournalWriter",
+    "NullTracer",
+    "Tracer",
+    "current_tracer",
+    "read_journal",
+    "use_tracer",
     "ArtifactCache",
     "Cache",
     "CacheStats",

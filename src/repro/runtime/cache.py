@@ -37,6 +37,8 @@ from typing import Any, Callable, Iterator, Union
 
 import numpy as np
 
+from repro.runtime.trace import current_tracer
+
 #: Bump ``SCHEMA`` whenever the meaning or layout of cached artifacts
 #: changes; the package version covers everything else.  Revision 2: the
 #: bit-parallel simulation kernel replaced the uint8 evaluator — results
@@ -202,6 +204,7 @@ class ArtifactCache:
         except Exception:
             self._corrupt += 1
             self._misses += 1
+            current_tracer().event("cache.corrupt", stage=stage)
             try:
                 path.unlink()
             except OSError:
@@ -292,6 +295,9 @@ def cached_call(
 ) -> tuple[Any, bool]:
     """(value, was_cached) — fetch or compute-and-store one artifact."""
     found, value = cache.get(stage, key)
+    tracer = current_tracer()
+    if tracer.enabled and not isinstance(cache, NullCache):
+        tracer.event("cache", stage=stage, hit=found)
     if found:
         return value, True
     value = compute()

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import json
 import time
+from contextlib import nullcontext
 from dataclasses import asdict, dataclass, field
 from datetime import datetime, timezone
 from pathlib import Path
@@ -46,6 +47,7 @@ from repro.runtime.cache import (
 )
 from repro.runtime.executor import ExecutorConfig, job_seed, run_jobs
 from repro.runtime.metrics import MetricsRecorder
+from repro.runtime.trace import JournalWriter, Tracer, use_tracer
 
 JOB_KINDS = ("design", "table1-row", "sweep", "fuzz")
 
@@ -91,6 +93,9 @@ class CampaignOptions:
     retries: int = 1
     fallback: bool = True
     manifest_path: str | None = None
+    #: When set, every job runs traced and the run journal (JSONL, see
+    #: ``docs/journal-schema.md``) is written here.
+    journal_path: str | None = None
     name: str = "campaign"
 
 
@@ -107,6 +112,11 @@ class JobReport:
     cache_hits: int = 0
     cache_misses: int = 0
     error: str | None = None
+    #: None = no timeout configured; False = timeout requested but the
+    #: SIGALRM timer could not be armed (budget was NOT enforced).
+    timeout_armed: bool | None = None
+    timeouts: int = 0
+    wait_seconds: float = 0.0
     result: Any = None
 
 
@@ -292,18 +302,28 @@ _DISPATCH: dict[str, Callable] = {
 
 
 def campaign_worker(payload: tuple, degraded: bool) -> dict:
-    """Executor entry point (module-level: crosses process boundaries)."""
-    kind, name, spec, cache_dir, cache_enabled = payload
+    """Executor entry point (module-level: crosses process boundaries).
+
+    When the payload's ``trace`` flag is set the job runs under a fresh
+    :class:`Tracer` and its records travel back in the result envelope
+    (they are plain dicts, so they pickle across the pool boundary); the
+    driver stamps them with the job name and appends them to the journal.
+    """
+    kind, name, spec, cache_dir, cache_enabled, trace = payload
     cache = _worker_cache(cache_dir, cache_enabled)
     recorder = MetricsRecorder()
     hits_before, misses_before = cache.counters()
-    value = _DISPATCH[kind](spec, cache, recorder, degraded)
+    tracer = Tracer() if trace else None
+    context = use_tracer(tracer) if tracer is not None else nullcontext()
+    with context:
+        value = _DISPATCH[kind](spec, cache, recorder, degraded)
     hits_after, misses_after = cache.counters()
     return {
         "value": value,
         "stages": recorder.as_dicts(),
         "cache_hits": hits_after - hits_before,
         "cache_misses": misses_after - misses_before,
+        "trace": tracer.records if tracer is not None else [],
     }
 
 
@@ -322,8 +342,9 @@ def run_campaign(
     """
     started = time.perf_counter()
     created = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    trace = options.journal_path is not None
     payloads = [
-        (job.kind, job.name, job.spec, options.cache_dir, options.cache)
+        (job.kind, job.name, job.spec, options.cache_dir, options.cache, trace)
         for job in jobs
     ]
     executor = ExecutorConfig(
@@ -332,39 +353,74 @@ def run_campaign(
         retries=options.retries,
         fallback=options.fallback,
     )
+    writer = (
+        JournalWriter(Path(options.journal_path), name=options.name)
+        if trace
+        else None
+    )
+    driver_tracer = Tracer() if trace else None
     reports: dict[int, JobReport] = {}
     values: dict[str, Any] = {}
-    for outcome in run_jobs(campaign_worker, payloads, executor):
-        job = jobs[outcome.index]
-        if outcome.ok:
-            envelope = outcome.value
-            report = JobReport(
-                name=job.name,
-                kind=job.kind,
-                status="degraded" if outcome.degraded else "ok",
-                attempts=outcome.attempts,
-                seconds=outcome.seconds,
-                stages=envelope["stages"],
-                cache_hits=envelope["cache_hits"],
-                cache_misses=envelope["cache_misses"],
-                result=_brief(envelope["value"]),
+    try:
+        context = use_tracer(driver_tracer) if trace else nullcontext()
+        with context:
+            for outcome in run_jobs(campaign_worker, payloads, executor):
+                job = jobs[outcome.index]
+                if outcome.ok:
+                    envelope = outcome.value
+                    report = JobReport(
+                        name=job.name,
+                        kind=job.kind,
+                        status="degraded" if outcome.degraded else "ok",
+                        attempts=outcome.attempts,
+                        seconds=outcome.seconds,
+                        stages=envelope["stages"],
+                        cache_hits=envelope["cache_hits"],
+                        cache_misses=envelope["cache_misses"],
+                        timeout_armed=outcome.timeout_armed,
+                        timeouts=outcome.timeouts,
+                        wait_seconds=outcome.wait_seconds,
+                        result=_brief(envelope["value"]),
+                    )
+                    values[job.name] = envelope["value"]
+                    if writer is not None:
+                        writer.write_all(
+                            envelope.get("trace", []), job=job.name
+                        )
+                else:
+                    report = JobReport(
+                        name=job.name,
+                        kind=job.kind,
+                        status="failed",
+                        attempts=outcome.attempts,
+                        seconds=outcome.seconds,
+                        error=outcome.error,
+                        timeout_armed=outcome.timeout_armed,
+                        timeouts=outcome.timeouts,
+                        wait_seconds=outcome.wait_seconds,
+                    )
+                reports[outcome.index] = report
+                if writer is not None:
+                    writer.write(_job_record(report))
+                if echo is not None:
+                    echo(_progress_line(report, len(reports), len(jobs)))
+        wall = time.perf_counter() - started
+        ordered = [reports[index] for index in range(len(jobs))]
+        manifest = _build_manifest(ordered, options, created, wall)
+        if writer is not None:
+            # Driver-side records (executor.job events) plus the closing
+            # roll-up, so a journal is self-contained without the manifest.
+            writer.write_all(driver_tracer.records, job=None)
+            writer.write(
+                {
+                    "type": "summary",
+                    "campaign": options.name,
+                    **manifest["totals"],
+                }
             )
-            values[job.name] = envelope["value"]
-        else:
-            report = JobReport(
-                name=job.name,
-                kind=job.kind,
-                status="failed",
-                attempts=outcome.attempts,
-                seconds=outcome.seconds,
-                error=outcome.error,
-            )
-        reports[outcome.index] = report
-        if echo is not None:
-            echo(_progress_line(report, len(reports), len(jobs)))
-    wall = time.perf_counter() - started
-    ordered = [reports[index] for index in range(len(jobs))]
-    manifest = _build_manifest(ordered, options, created, wall)
+    finally:
+        if writer is not None:
+            writer.close()
     if options.manifest_path:
         path = Path(options.manifest_path)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -372,6 +428,24 @@ def run_campaign(
     return CampaignRun(
         reports=ordered, values=values, manifest=manifest, wall_seconds=wall
     )
+
+
+def _job_record(report: JobReport) -> dict:
+    """The journal's per-job roll-up record."""
+    return {
+        "type": "job",
+        "name": report.name,
+        "kind": report.kind,
+        "status": report.status,
+        "attempts": report.attempts,
+        "timeouts": report.timeouts,
+        "timeout_armed": report.timeout_armed,
+        "seconds": round(report.seconds, 6),
+        "wait_seconds": round(report.wait_seconds, 6),
+        "cache_hits": report.cache_hits,
+        "cache_misses": report.cache_misses,
+        "error": report.error,
+    }
 
 
 def _progress_line(report: JobReport, done: int, total: int) -> str:
@@ -440,6 +514,7 @@ def _build_manifest(
             "timeout": options.timeout,
             "retries": options.retries,
             "fallback": options.fallback,
+            "journal": options.journal_path,
         },
         "cache": cache_stats,
         "totals": {
@@ -451,6 +526,12 @@ def _build_manifest(
             "job_seconds": round(sum(r.seconds for r in reports), 3),
             "cache_hits": sum(r.cache_hits for r in reports),
             "cache_misses": sum(r.cache_misses for r in reports),
+            "timeouts": sum(r.timeouts for r in reports),
+            # Jobs whose per-attempt budget could not be enforced
+            # (timeout requested, SIGALRM unavailable).
+            "timeout_unenforced": sum(
+                1 for r in reports if r.timeout_armed is False
+            ),
         },
         "jobs": [asdict(report) for report in reports],
     }

@@ -26,10 +26,12 @@ from __future__ import annotations
 
 import signal
 import time
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Sequence
 
+from repro.runtime.trace import current_tracer
 from repro.util.rng import rng_for
 
 
@@ -60,6 +62,17 @@ class JobOutcome:
     attempts: int = 1
     degraded: bool = False
     seconds: float = 0.0
+    #: Whether the per-attempt SIGALRM timer was actually armed for this
+    #: job: ``None`` when no timeout was configured, ``False`` when one was
+    #: requested but could not be armed (non-main thread, unsupported
+    #: platform) — in which case attempts ran unbounded.
+    timeout_armed: bool | None = None
+    #: Number of attempts that failed specifically by exceeding the
+    #: wall-clock budget.
+    timeouts: int = 0
+    #: Time the job spent queued in the pool, waiting for a worker slot
+    #: (always 0.0 in serial mode).
+    wait_seconds: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -78,35 +91,54 @@ def _alarm_handler(signum: int, frame: object) -> None:
     raise JobTimeout("job attempt timed out")
 
 
+#: Per-process latch so the "timeout requested but unenforceable" warning
+#: fires at most once, not once per attempt.
+_warned_unarmed = False
+
+
 def invoke_with_timeout(
     worker: Callable[[Any, bool], Any],
     payload: Any,
     degraded: bool,
     timeout: float | None,
-) -> tuple[Any, float]:
+) -> tuple[Any, float, bool | None]:
     """Run one attempt, enforcing ``timeout`` via SIGALRM where possible.
 
-    Returns ``(value, seconds)``.  Runs in the worker process (or inline);
-    if alarms are unavailable (non-main thread), the attempt simply runs
-    unbounded rather than failing.
+    Returns ``(value, seconds, armed)``; ``armed`` is ``None`` when no
+    timeout was requested, else whether the SIGALRM timer could actually
+    be installed.  Runs in the worker process (or inline); if alarms are
+    unavailable (non-main thread, platform without ``setitimer``), the
+    attempt runs unbounded rather than failing — but a ``RuntimeWarning``
+    is emitted once per process and ``armed=False`` is reported so callers
+    can surface the unenforced budget instead of silently trusting it.
     """
+    global _warned_unarmed
     start = time.perf_counter()
-    armed = False
+    armed: bool | None = None
     previous = None
     if timeout is not None and timeout > 0:
+        armed = False
         try:
             previous = signal.signal(signal.SIGALRM, _alarm_handler)
             signal.setitimer(signal.ITIMER_REAL, timeout)
             armed = True
         except (ValueError, OSError, AttributeError):
-            armed = False
+            if not _warned_unarmed:
+                _warned_unarmed = True
+                warnings.warn(
+                    "per-attempt timeout requested but SIGALRM could not be "
+                    "armed (non-main thread or unsupported platform); "
+                    "attempts will run unbounded",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
     try:
         value = worker(payload, degraded)
     finally:
         if armed:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
             signal.signal(signal.SIGALRM, previous)
-    return value, time.perf_counter() - start
+    return value, time.perf_counter() - start, armed
 
 
 def _pool_entry(
@@ -114,7 +146,7 @@ def _pool_entry(
     payload: Any,
     degraded: bool,
     timeout: float | None,
-) -> tuple[Any, float]:
+) -> tuple[Any, float, bool | None]:
     return invoke_with_timeout(worker, payload, degraded, timeout)
 
 
@@ -129,6 +161,9 @@ class _JobState:
     degraded: bool = False
     seconds: float = 0.0
     last_error: str | None = None
+    timeout_armed: bool | None = None
+    timeouts: int = 0
+    wait_seconds: float = 0.0
 
 
 def run_jobs(
@@ -143,9 +178,24 @@ def run_jobs(
     order, tagged with the payload's original ``index``.
     """
     if config.jobs <= 1 or len(payloads) <= 1:
-        yield from _run_serial(worker, payloads, config)
-        return
-    yield from _run_pool(worker, payloads, config)
+        stream = _run_serial(worker, payloads, config)
+    else:
+        stream = _run_pool(worker, payloads, config)
+    tracer = current_tracer()
+    for outcome in stream:
+        if tracer.enabled:
+            tracer.event(
+                "executor.job",
+                index=outcome.index,
+                ok=outcome.ok,
+                attempts=outcome.attempts,
+                timeouts=outcome.timeouts,
+                degraded=outcome.degraded,
+                seconds=round(outcome.seconds, 6),
+                wait_seconds=round(outcome.wait_seconds, 6),
+                timeout_armed=outcome.timeout_armed,
+            )
+        yield outcome
 
 
 def _attempt_failed(state: _JobState, config: ExecutorConfig) -> JobOutcome | None:
@@ -161,6 +211,9 @@ def _attempt_failed(state: _JobState, config: ExecutorConfig) -> JobOutcome | No
         attempts=state.attempts,
         degraded=state.degraded,
         seconds=state.seconds,
+        timeout_armed=state.timeout_armed,
+        timeouts=state.timeouts,
+        wait_seconds=state.wait_seconds,
     )
 
 
@@ -174,20 +227,27 @@ def _run_serial(
         while True:
             state.attempts += 1
             try:
-                value, seconds = invoke_with_timeout(
+                value, seconds, armed = invoke_with_timeout(
                     worker, payload, state.degraded, config.timeout
                 )
                 state.seconds += seconds
+                state.timeout_armed = armed
                 yield JobOutcome(
                     index=index,
                     value=value,
                     attempts=state.attempts,
                     degraded=state.degraded,
                     seconds=state.seconds,
+                    timeout_armed=state.timeout_armed,
+                    timeouts=state.timeouts,
+                    wait_seconds=state.wait_seconds,
                 )
                 break
             except Exception as error:
                 state.last_error = f"{type(error).__name__}: {error}"
+                if isinstance(error, JobTimeout):
+                    state.timeouts += 1
+                    state.timeout_armed = True
                 outcome = _attempt_failed(state, config)
                 if outcome is not None:
                     yield outcome
@@ -204,12 +264,14 @@ def _run_pool(
         for index, payload in enumerate(payloads)
     ]
     with ProcessPoolExecutor(max_workers=config.jobs) as pool:
+        submitted_at: dict[Any, float] = {}
 
         def submit(state: _JobState):
             state.attempts += 1
             future = pool.submit(
                 _pool_entry, worker, state.payload, state.degraded, config.timeout
             )
+            submitted_at[future] = time.perf_counter()
             return future
 
         pending = {submit(state): state for state in states}
@@ -217,10 +279,17 @@ def _run_pool(
             done, _ = wait(pending, return_when=FIRST_COMPLETED)
             for future in done:
                 state = pending.pop(future)
+                turnaround = time.perf_counter() - submitted_at.pop(future)
                 try:
-                    value, seconds = future.result()
+                    value, seconds, armed = future.result()
                 except Exception as error:
                     state.last_error = f"{type(error).__name__}: {error}"
+                    if isinstance(error, JobTimeout):
+                        state.timeouts += 1
+                        state.timeout_armed = True
+                        state.wait_seconds += max(
+                            0.0, turnaround - (config.timeout or 0.0)
+                        )
                     outcome = _attempt_failed(state, config)
                     if outcome is not None:
                         yield outcome
@@ -228,10 +297,17 @@ def _run_pool(
                         pending[submit(state)] = state
                     continue
                 state.seconds += seconds
+                state.timeout_armed = armed
+                # Queue wait = submit→completion turnaround minus the time
+                # the attempt actually spent executing in the worker.
+                state.wait_seconds += max(0.0, turnaround - seconds)
                 yield JobOutcome(
                     index=state.index,
                     value=value,
                     attempts=state.attempts,
                     degraded=state.degraded,
                     seconds=state.seconds,
+                    timeout_armed=state.timeout_armed,
+                    timeouts=state.timeouts,
+                    wait_seconds=state.wait_seconds,
                 )

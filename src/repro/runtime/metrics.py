@@ -7,7 +7,15 @@ collected :class:`StageMetrics` into the run manifest.
 
 Memory is reported as the process peak RSS (``ru_maxrss``) observed at
 the end of each stage.  The counter is monotone per process — it tells
-you which stage drove the high-water mark, not per-stage allocation.
+you which stage drove the high-water mark, not per-stage allocation —
+and it is only meaningful for stages that actually ran: a stage satisfied
+from the artifact cache did no work, so its ``peak_rss_kb`` is ``None``
+(serialised as JSON ``null``) rather than a misattributed process-wide
+number.
+
+When a tracer is active (:func:`repro.runtime.trace.current_tracer`),
+every stage additionally opens a ``stage.<name>`` span, so deep solver
+events nest under the pipeline stage that produced them.
 """
 
 from __future__ import annotations
@@ -16,6 +24,8 @@ import time
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass
 from typing import Iterator
+
+from repro.runtime.trace import current_tracer
 
 
 def peak_rss_kb() -> int:
@@ -33,7 +43,8 @@ class StageMetrics:
 
     name: str
     seconds: float = 0.0
-    peak_rss_kb: int = 0
+    #: Process peak RSS at stage end; ``None`` for cached (skipped) stages.
+    peak_rss_kb: int | None = None
     cached: bool = False
 
 
@@ -48,12 +59,15 @@ class MetricsRecorder:
         """Time a stage; the yielded record's ``cached`` flag is writable."""
         record = StageMetrics(name=name)
         start = time.perf_counter()
-        try:
-            yield record
-        finally:
-            record.seconds = time.perf_counter() - start
-            record.peak_rss_kb = peak_rss_kb()
-            self.stages.append(record)
+        with current_tracer().span(f"stage.{name}") as span:
+            try:
+                yield record
+            finally:
+                record.seconds = time.perf_counter() - start
+                if not record.cached:
+                    record.peak_rss_kb = peak_rss_kb()
+                span.set(cached=record.cached, peak_rss_kb=record.peak_rss_kb)
+                self.stages.append(record)
 
     @property
     def total_seconds(self) -> float:

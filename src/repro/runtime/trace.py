@@ -1,0 +1,280 @@
+"""Structured tracing and the append-only run journal.
+
+The solver pipeline is a search (binary search over q, an LP solve, up to
+a thousand rounding draws, greedy repair) whose behaviour used to be
+invisible: metrics recorded wall time per stage and nothing else.  This
+module adds a lightweight hierarchical *span* API plus flat *events*;
+instrumented code reports what it did (LP status and iteration counts,
+rounding acceptance histograms, greedy coverage progression, table
+dimensions, cache hits, executor attempts) and the campaign layer writes
+everything to one append-only JSONL *run journal* that ``repro-ced
+report`` renders and diffs.
+
+Design constraints, in order:
+
+* **Zero cost when disabled.**  The default tracer is a process-wide
+  no-op singleton; instrumented code asks ``current_tracer()`` and guards
+  any non-trivial bookkeeping behind ``tracer.enabled``.  With tracing
+  off, the hot path pays one contextvar read per *function call* (not per
+  loop iteration) and nothing else.
+* **Determinism.**  Tracing is write-only observability: span/event
+  records never feed back into cache keys, seeds or results.  Record
+  timestamps are offsets from the tracer's start (``time.perf_counter``
+  deltas), so two runs of the same inputs produce journals that differ
+  only in timing values, never in structure.
+* **Versioned schema.**  Every journal starts with a header record
+  carrying :data:`JOURNAL_SCHEMA`; readers reject journals they do not
+  understand.  The record vocabulary is documented in
+  ``docs/journal-schema.md``.
+
+Plumbing: the tracer travels through a :class:`contextvars.ContextVar`
+(:func:`use_tracer` / :func:`current_tracer`), not through function
+signatures — the instrumented functions sit five layers deep and their
+signatures stay stable.  Worker processes run their own :class:`Tracer`
+and ship ``tracer.records`` back in the result envelope; the campaign
+driver stamps each record with the job name and appends it to the
+journal.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from pathlib import Path
+from typing import Any, Iterator
+
+#: Bump whenever a record type or field changes meaning; readers
+#: (``read_journal``, ``repro-ced report``) refuse newer schemas.
+JOURNAL_SCHEMA = 1
+
+
+# ----------------------------------------------------------------------
+# Tracers
+# ----------------------------------------------------------------------
+class _NullSpan:
+    """Shared no-op span handle (one instance serves every disabled span)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    ``enabled`` is ``False`` so instrumentation can skip building
+    attribute payloads (histograms, progressions) entirely.
+    """
+
+    enabled = False
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs: Any) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+
+class _Span:
+    """Live span handle: ``set()`` adds attributes until the span closes."""
+
+    __slots__ = ("attrs",)
+
+    def __init__(self, attrs: dict[str, Any]) -> None:
+        self.attrs = attrs
+
+    def set(self, **attrs: Any) -> None:
+        self.attrs.update(attrs)
+
+
+class Tracer:
+    """Collects span/event records in memory, in completion order.
+
+    Spans nest via an explicit stack (one tracer belongs to one thread of
+    execution); a span's record is appended when it closes, carrying its
+    start offset ``t0`` and duration ``dt`` so readers can rebuild the
+    timeline.  Events attach to the innermost open span.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+        self._origin = time.perf_counter()
+        self._next_id = 0
+        self._stack: list[int] = []
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._origin
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[_Span]:
+        span_id = self._next_id
+        self._next_id += 1
+        parent = self._stack[-1] if self._stack else None
+        handle = _Span(dict(attrs))
+        t0 = self._now()
+        self._stack.append(span_id)
+        try:
+            yield handle
+        finally:
+            self._stack.pop()
+            self.records.append(
+                {
+                    "type": "span",
+                    "id": span_id,
+                    "parent": parent,
+                    "name": name,
+                    "t0": round(t0, 6),
+                    "dt": round(self._now() - t0, 6),
+                    "attrs": handle.attrs,
+                }
+            )
+
+    def event(self, name: str, **attrs: Any) -> None:
+        self.records.append(
+            {
+                "type": "event",
+                "span": self._stack[-1] if self._stack else None,
+                "name": name,
+                "t": round(self._now(), 6),
+                "attrs": attrs,
+            }
+        )
+
+
+# ----------------------------------------------------------------------
+# Context plumbing
+# ----------------------------------------------------------------------
+_CURRENT: ContextVar[Any] = ContextVar("repro_tracer", default=NULL_TRACER)
+
+
+def current_tracer():
+    """The tracer of the current context (the no-op singleton by default)."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def use_tracer(tracer) -> Iterator[Any]:
+    """Install ``tracer`` as the current tracer for the enclosed block."""
+    token = _CURRENT.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _CURRENT.reset(token)
+
+
+# ----------------------------------------------------------------------
+# Journal I/O
+# ----------------------------------------------------------------------
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars/arrays and containers into JSON-clean values."""
+    item = getattr(value, "item", None)
+    if item is not None and not isinstance(value, (int, float, str, bool)):
+        try:
+            return _jsonable(item())
+        except (TypeError, ValueError):
+            pass
+    if isinstance(value, dict):
+        return {str(key): _jsonable(val) for key, val in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(val) for val in value]
+    tolist = getattr(value, "tolist", None)
+    if tolist is not None:
+        return _jsonable(tolist())
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None  # strict-JSON safe
+    if value is None or isinstance(value, (int, str, bool)):
+        return value
+    return repr(value)
+
+
+class JournalWriter:
+    """Append-only JSONL journal for one run.
+
+    The header record (schema version, producing tool, run name) is
+    written on open; every :meth:`write` appends one line and flushes, so
+    a crashed run leaves a valid prefix rather than a corrupt file.
+    """
+
+    def __init__(self, path: str | Path, name: str = "run") -> None:
+        from datetime import datetime, timezone
+
+        from repro import __version__
+
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._stream = self.path.open("w", encoding="utf-8")
+        self.write(
+            {
+                "type": "header",
+                "schema": JOURNAL_SCHEMA,
+                "tool": f"repro-ced {__version__}",
+                "name": name,
+                "created": datetime.now(timezone.utc).isoformat(
+                    timespec="seconds"
+                ),
+            }
+        )
+
+    def write(self, record: dict) -> None:
+        self._stream.write(json.dumps(_jsonable(record)) + "\n")
+        self._stream.flush()
+
+    def write_all(self, records: list[dict], **extra: Any) -> None:
+        """Append many records, stamping each with ``extra`` fields."""
+        for record in records:
+            self.write({**record, **extra} if extra else record)
+
+    def close(self) -> None:
+        self._stream.close()
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_journal(path: str | Path) -> list[dict]:
+    """Parse a journal; validates the header and the schema version.
+
+    Truncated trailing lines (a run killed mid-write) are tolerated and
+    dropped; anything else malformed raises ``ValueError``.
+    """
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    records: list[dict] = []
+    for index, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if index == len(lines) - 1:
+                break  # torn tail write of a killed run
+            raise ValueError(f"{path}: malformed journal line {index + 1}")
+    if not records or records[0].get("type") != "header":
+        raise ValueError(f"{path}: missing journal header record")
+    schema = records[0].get("schema")
+    if not isinstance(schema, int) or schema > JOURNAL_SCHEMA:
+        raise ValueError(
+            f"{path}: journal schema {schema!r} not supported "
+            f"(reader understands <= {JOURNAL_SCHEMA})"
+        )
+    return records

@@ -49,5 +49,25 @@ def _cell(value: object) -> str:
 
 
 def _looks_numeric(cell: str) -> bool:
-    stripped = cell.replace("-", "").replace(".", "").replace("%", "")
-    return stripped.isdigit() and cell != ""
+    """True when the cell reads as numeric content, so it right-aligns.
+
+    Cells are often composite — units, signs, separators: ``-7.08 %``,
+    ``5 / 276.5``, ``379.5 (+1.0%)``.  The old character-stripping
+    heuristic mis-classified those (the space survived the strip and
+    ``isdigit`` failed), left-aligning numeric columns.  Instead,
+    tokenise on whitespace and ``/`` and require every token to be a
+    number after shedding decoration characters; tokens that are *pure*
+    decoration (``%``, ``-``, ``±``) are allowed but do not count, so a
+    placeholder like ``-`` alone stays left-aligned.
+    """
+    seen_number = False
+    for token in cell.replace("/", " ").split():
+        core = token.strip("()+-±%,")
+        if not core:
+            continue  # pure decoration between numbers
+        try:
+            float(core)
+        except ValueError:
+            return False
+        seen_number = True
+    return seen_number

@@ -7,6 +7,8 @@ from hypothesis import strategies as st
 from repro.fsm.benchmarks import HAND_WRITTEN, load_benchmark
 from repro.fsm.generate import GeneratorSpec, generate_fsm
 from repro.fsm.kiss import KissFormatError, parse_kiss, write_kiss
+from repro.fsm.machine import FSM, Transition
+from tests.strategies import machines
 
 SAMPLE = """\
 .i 2
@@ -83,7 +85,66 @@ class TestRoundTrip:
         fsm = generate_fsm(spec, seed=seed)
         rebuilt = parse_kiss(write_kiss(fsm), name="rt")
         assert rebuilt.transitions == fsm.transitions
-        # State *order* is appearance-inferred on parse; the set and the
-        # reset state are what round-trips.
-        assert set(rebuilt.states) == set(fsm.states)
+        assert rebuilt.states == fsm.states
         assert rebuilt.reset_state == fsm.reset_state
+
+    @settings(max_examples=40, deadline=None)
+    @given(machines("rt"))
+    def test_state_order_invariant_property(self, fsm):
+        # State order determines encodings and hence the whole CED design:
+        # write→parse must preserve it exactly, not just as a set.
+        rebuilt = parse_kiss(write_kiss(fsm), name=fsm.name)
+        assert rebuilt.states == fsm.states
+        assert rebuilt.transitions == fsm.transitions
+        assert rebuilt.reset_state == fsm.reset_state
+
+    def test_non_appearance_order_round_trips(self):
+        # "c" is listed first but appears last in the rows; appearance
+        # inference alone would reorder to reset-then-appearance.
+        fsm = FSM(
+            name="shuffled",
+            num_inputs=1,
+            num_outputs=1,
+            states=["c", "a", "b"],
+            transitions=[
+                Transition("0", "a", "b", "0"),
+                Transition("1", "a", "a", "1"),
+                Transition("-", "b", "c", "0"),
+                Transition("-", "c", "a", "1"),
+            ],
+            reset_state="a",
+        )
+        rebuilt = parse_kiss(write_kiss(fsm), name="shuffled")
+        assert rebuilt.states == ["c", "a", "b"]
+        assert rebuilt.reset_state == "a"
+
+    def test_isolated_state_round_trips(self):
+        # A state with no transitions would vanish under appearance
+        # inference and trip the .s cross-check.
+        fsm = FSM(
+            name="island",
+            num_inputs=1,
+            num_outputs=1,
+            states=["a", "island", "b"],
+            transitions=[
+                Transition("0", "a", "b", "0"),
+                Transition("1", "a", "a", "1"),
+                Transition("-", "b", "a", "0"),
+            ],
+            reset_state="a",
+        )
+        rebuilt = parse_kiss(write_kiss(fsm), name="island")
+        assert rebuilt.states == ["a", "island", "b"]
+
+    def test_marker_omitting_a_used_state_rejected(self):
+        text = (
+            ".i 1\n.o 1\n.r a\n# states: a\n"
+            "0 a b 0\n1 a a 1\n- b a 0\n.e\n"
+        )
+        with pytest.raises(KissFormatError, match="omits state 'b'"):
+            parse_kiss(text)
+
+    def test_duplicate_marker_state_rejected(self):
+        text = ".i 1\n.o 1\n# states: a a\n0 a a 0\n.e\n"
+        with pytest.raises(KissFormatError, match="twice"):
+            parse_kiss(text)

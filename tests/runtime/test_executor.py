@@ -97,6 +97,14 @@ class TestSerial:
         assert outcome.ok
         assert outcome.degraded
         assert outcome.value == "fast"
+        assert outcome.timeouts == 1
+        assert outcome.timeout_armed is True
+
+    def test_no_timeout_leaves_armed_unset(self):
+        (outcome,) = run_jobs(_double, [1], ExecutorConfig(jobs=1))
+        assert outcome.timeout_armed is None
+        assert outcome.timeouts == 0
+        assert outcome.wait_seconds == 0.0
 
 
 class TestTimeoutPrimitive:
@@ -107,10 +115,44 @@ class TestTimeoutPrimitive:
             )
 
     def test_fast_job_unaffected_and_alarm_disarmed(self):
-        value, seconds = invoke_with_timeout(_double, 21, False, 5.0)
+        value, seconds, armed = invoke_with_timeout(_double, 21, False, 5.0)
         assert value == 42
         assert seconds < 1.0
+        assert armed is True
         time.sleep(0.05)  # a leaked alarm would fire during the suite
+
+    def test_no_timeout_reports_armed_none(self):
+        value, _, armed = invoke_with_timeout(_double, 21, False, None)
+        assert value == 42
+        assert armed is None
+
+    def test_unarmable_timeout_warns_once_and_runs_unbounded(self):
+        # SIGALRM can only be armed from the main thread: run in a worker
+        # thread to exercise the degraded (unenforced) path.
+        import threading
+        import warnings
+
+        from repro.runtime import executor as executor_module
+
+        executor_module._warned_unarmed = False
+        results = []
+
+        def target():
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                results.append(invoke_with_timeout(_double, 5, False, 1.0))
+                results.append(invoke_with_timeout(_double, 6, False, 1.0))
+                results.append(
+                    [w for w in caught if issubclass(w.category, RuntimeWarning)]
+                )
+
+        thread = threading.Thread(target=target)
+        thread.start()
+        thread.join()
+        (value1, _, armed1), (value2, _, armed2), warned = results
+        assert (value1, armed1) == (10, False)
+        assert (value2, armed2) == (12, False)
+        assert len(warned) == 1  # one-time warning, not once per attempt
 
 
 class TestJobSeed:

@@ -1,0 +1,176 @@
+"""Tests for the tracing/span API and the JSONL run journal."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.runtime.trace import (
+    JOURNAL_SCHEMA,
+    JournalWriter,
+    NullTracer,
+    Tracer,
+    current_tracer,
+    read_journal,
+    use_tracer,
+)
+
+
+class TestNullTracer:
+    def test_default_tracer_is_disabled(self):
+        tracer = current_tracer()
+        assert isinstance(tracer, NullTracer)
+        assert tracer.enabled is False
+
+    def test_span_and_event_are_noops(self):
+        tracer = NullTracer()
+        with tracer.span("anything", q=3) as span:
+            span.set(outcome="ok")
+        tracer.event("whatever", x=1)  # no records anywhere to assert on
+
+    def test_span_handle_is_shared(self):
+        tracer = NullTracer()
+        assert tracer.span("a") is tracer.span("b")
+
+
+class TestTracer:
+    def test_spans_nest_and_record_on_close(self):
+        tracer = Tracer()
+        with tracer.span("outer", a=1) as outer:
+            with tracer.span("inner"):
+                tracer.event("ping", n=7)
+            outer.set(b=2)
+        names = [r["name"] for r in tracer.records]
+        assert names == ["ping", "inner", "outer"]  # completion order
+        event, inner, outer = tracer.records
+        assert event["type"] == "event"
+        assert event["span"] == inner["id"]
+        assert inner["parent"] == outer["id"]
+        assert outer["parent"] is None
+        assert outer["attrs"] == {"a": 1, "b": 2}
+        assert inner["t0"] >= outer["t0"]
+        assert inner["dt"] <= outer["dt"] + 1e-6
+
+    def test_use_tracer_scopes_the_context(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert current_tracer() is tracer
+            current_tracer().event("inside")
+        assert isinstance(current_tracer(), NullTracer)
+        assert [r["name"] for r in tracer.records] == ["inside"]
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        assert tracer.records[0]["name"] == "doomed"
+
+
+class TestJournal:
+    def test_round_trip_with_header(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with JournalWriter(path, name="unit") as writer:
+            writer.write({"type": "event", "name": "x", "attrs": {}})
+            writer.write_all(
+                [{"type": "event", "name": "y", "attrs": {}}], job="j1"
+            )
+        records = read_journal(path)
+        header = records[0]
+        assert header["type"] == "header"
+        assert header["schema"] == JOURNAL_SCHEMA
+        assert header["name"] == "unit"
+        assert records[1]["name"] == "x"
+        assert records[2]["job"] == "j1"
+
+    def test_numpy_and_nonfinite_values_serialise(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with JournalWriter(path) as writer:
+            writer.write({
+                "type": "event",
+                "name": "mixed",
+                "attrs": {
+                    "i": np.int64(7),
+                    "f": np.float32(1.5),
+                    "arr": np.array([1, 2]),
+                    "nan": float("nan"),
+                    "inf": float("inf"),
+                },
+            })
+        # Strict JSON (no NaN literals) must parse every line.
+        for line in path.read_text().splitlines():
+            json.loads(line, parse_constant=lambda c: pytest.fail(c))
+        attrs = read_journal(path)[1]["attrs"]
+        assert attrs == {"i": 7, "f": 1.5, "arr": [1, 2], "nan": None, "inf": None}
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with JournalWriter(path, name="torn") as writer:
+            writer.write({"type": "event", "name": "ok", "attrs": {}})
+        with path.open("a") as stream:
+            stream.write('{"type": "event", "na')  # killed mid-write
+        records = read_journal(path)
+        assert [r["type"] for r in records] == ["header", "event"]
+
+    def test_malformed_middle_line_rejected(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with JournalWriter(path) as writer:
+            writer.write({"type": "event", "name": "ok", "attrs": {}})
+        text = path.read_text().splitlines()
+        text.insert(1, "not json")
+        path.write_text("\n".join(text) + "\n")
+        with pytest.raises(ValueError, match="malformed"):
+            read_journal(path)
+
+    def test_newer_schema_rejected(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        header = {"type": "header", "schema": JOURNAL_SCHEMA + 1}
+        path.write_text(json.dumps(header) + "\n")
+        with pytest.raises(ValueError, match="not supported"):
+            read_journal(path)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text('{"type": "event", "name": "x"}\n')
+        with pytest.raises(ValueError, match="header"):
+            read_journal(path)
+
+
+class TestInstrumentation:
+    """The solver pipeline emits its documented events when traced."""
+
+    @staticmethod
+    def _solve_traffic(tracer):
+        from repro.core.detectability import TableConfig, extract_tables
+        from repro.core.search import minimize_parity_bits
+        from repro.faults.model import StuckAtModel
+        from repro.fsm.benchmarks import load_benchmark
+        from repro.logic.synthesis import synthesize_fsm
+
+        synthesis = synthesize_fsm(load_benchmark("traffic"))
+        model = StuckAtModel(synthesis, max_faults=30, seed=2004)
+        context = use_tracer(tracer) if tracer is not None else None
+        if context is not None:
+            with context:
+                tables = extract_tables(synthesis, model, TableConfig(latency=1))
+                return minimize_parity_bits(tables[1])
+        tables = extract_tables(synthesis, model, TableConfig(latency=1))
+        return minimize_parity_bits(tables[1])
+
+    def test_traced_solve_emits_solver_events(self):
+        tracer = Tracer()
+        result = self._solve_traffic(tracer)
+        names = {r["name"] for r in tracer.records}
+        assert "tables.extract" in names
+        assert "tables.latency" in names
+        assert "search.done" in names
+        done = next(r for r in tracer.records if r["name"] == "search.done")
+        assert done["attrs"]["q"] == result.q
+
+    def test_untraced_solve_produces_identical_result(self):
+        plain = self._solve_traffic(None)
+        traced = self._solve_traffic(Tracer())
+        assert traced.q == plain.q
+        assert traced.betas == plain.betas

@@ -190,3 +190,64 @@ class TestCampaignRuntime:
         assert "purged" in capsys.readouterr().out
         assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
         assert "entries 0" in capsys.readouterr().out
+
+
+class TestReportCommand:
+    def test_design_journal_then_report_summary(self, capsys, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        assert main([
+            "design", "seqdet", "--latency", "1", "--max-faults", "40",
+            "--no-cache", "--journal", str(journal),
+        ]) == 0
+        assert "journal written to" in capsys.readouterr().out
+        assert main(["report", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "journal: design-seqdet" in out
+        assert "LP solves" in out
+
+    def test_campaign_journal_then_report_directory(self, capsys, tmp_path):
+        run_dir = tmp_path / "run"
+        assert main([
+            "campaign", "--circuits", "seqdet", "--latencies", "1",
+            "--max-faults", "40", "--cache-dir", str(tmp_path / "cache"),
+            "--manifest", str(run_dir / "manifest.json"),
+            "--journal", str(run_dir / "journal.jsonl"),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["report", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "journal: campaign" in out
+        assert "campaign 'campaign'" in out
+
+    def test_diff_flags_regression_and_gates_exit(self, capsys, tmp_path):
+        table = {
+            "config": {"latencies": [1]},
+            "rows": [{
+                "name": "c", "gates": 1, "cost": 10.0,
+                "latencies": {"1": {"trees": 3, "gates": 1, "cost": 10.0}},
+            }],
+        }
+        base_dir = tmp_path / "base"
+        new_dir = tmp_path / "new"
+        for directory in (base_dir, new_dir):
+            directory.mkdir()
+        (base_dir / "table1.json").write_text(json.dumps(table))
+        table["rows"][0]["latencies"]["1"]["trees"] = 4
+        (new_dir / "table1.json").write_text(json.dumps(table))
+        assert main(["report", "--diff", str(base_dir), str(new_dir)]) == 0
+        assert "REGRESSION" in capsys.readouterr().out
+        assert main([
+            "report", "--diff", str(base_dir), str(new_dir),
+            "--fail-on-regression",
+        ]) == 1
+
+    def test_diff_needs_two_paths(self, capsys, tmp_path):
+        (tmp_path / "table1.json").write_text(
+            json.dumps({"config": {"latencies": []}, "rows": []})
+        )
+        assert main(["report", "--diff", str(tmp_path)]) == 2
+        assert "exactly two" in capsys.readouterr().err
+
+    def test_bogus_path_exits_two(self, capsys, tmp_path):
+        assert main(["report", str(tmp_path / "nope")]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,48 @@
+"""Tests for the plain-text table renderer, esp. numeric-cell detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.tables import _looks_numeric, format_table
+
+
+class TestLooksNumeric:
+    @pytest.mark.parametrize("cell", [
+        "12", "-3", "1463.0", "4992.50", "-7.08", "100%", "53.0%",
+        # Composite cells from real reports: a percent with a space, the
+        # paper-style "trees / cost" pair, a diff annotation.
+        "-7.08 %", "5 / 276.5", "379.5 (+1.0%)", "0/3", "1.5e3",
+    ])
+    def test_numeric_cells(self, cell):
+        assert _looks_numeric(cell)
+
+    @pytest.mark.parametrize("cell", [
+        "", "-", "%", "cse", "ok", "done (degraded)", "p1:Trees",
+        "27.21s", "n/a", "yes",
+    ])
+    def test_non_numeric_cells(self, cell):
+        assert not _looks_numeric(cell)
+
+    def test_real_table1_row_alignment(self):
+        # A Table-1-shaped row: every numeric column must right-align even
+        # when a cell carries a unit or a composite value.
+        text = format_table(
+            ["Circuit", "Gates", "Cost", "p1", "dev"],
+            [
+                ["dk512", 63, 195.0, "5 / 276.5", "-7.08 %"],
+                ["s1488", 2336, 7450.0, "17 / 7684.0", "+1.05 %"],
+            ],
+        )
+        lines = text.splitlines()
+        # Right-aligned cells end flush at the column edge; the composite
+        # and percent cells must not be padded on the right like text.
+        assert "|    63 |" in lines[2]
+        assert "|   5 / 276.5 |" in lines[2]
+        assert "| -7.08 % |" in lines[2]
+        assert "| 17 / 7684.0 |" in lines[3]
+        assert "| +1.05 % |" in lines[3]
+
+    def test_placeholder_stays_left_aligned(self):
+        text = format_table(["a", "bbbb"], [["x", "-"]])
+        assert "| -    |" in text.splitlines()[2]
