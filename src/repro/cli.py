@@ -14,8 +14,13 @@ Installed as ``repro-ced`` (also ``python -m repro``).  Subcommands:
 * ``campaign``         — run a circuits × latencies job matrix in parallel;
 * ``report``           — summarise a run's journal/manifest/table1.json,
   or diff two runs and flag q/cost/runtime regressions;
+* ``serve``            — long-lived design-service daemon (HTTP over TCP
+  or a unix socket; hot cache, request coalescing, worker pool);
 * ``cache``            — artifact-cache statistics / purge;
 * ``list``             — list available benchmarks.
+
+``design --server ADDR`` delegates the query to a running daemon instead
+of computing locally (see ``docs/service-api.md``).
 
 ``design``, ``sweep``, ``table1`` and ``campaign`` share the campaign
 runtime flags: ``--jobs N`` (worker processes), ``--cache-dir PATH``,
@@ -64,6 +69,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "table1": _cmd_table1,
         "campaign": _cmd_campaign,
         "report": _cmd_report,
+        "serve": _cmd_serve,
         "cache": _cmd_cache,
     }[args.command]
     try:
@@ -129,6 +135,10 @@ def _build_parser() -> argparse.ArgumentParser:
     design.add_argument("--max-faults", type=int, default=800)
     design.add_argument("--verify", action="store_true",
                         help="run the fault-injection verifier")
+    design.add_argument("--server", metavar="ADDR",
+                        help="delegate to a running `repro-ced serve` "
+                        "daemon (host:port or unix:PATH) instead of "
+                        "computing locally")
     _add_runtime_flags(design, journal=True)
 
     verify = sub.add_parser(
@@ -245,6 +255,32 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--include-runtime", action="store_true",
                         help="make runtime regressions blocking too")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived design-service daemon",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="TCP bind address (default %(default)s)")
+    serve.add_argument("--port", type=int, default=8537,
+                       help="TCP port (default %(default)s; 0 = ephemeral)")
+    serve.add_argument("--socket", metavar="PATH", default=None,
+                       help="serve over a unix domain socket instead of TCP")
+    serve.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="pool processes owned by the daemon "
+                       "(default %(default)s; 0 = compute in the request "
+                       "thread)")
+    serve.add_argument("--hot-cache-size", type=int, default=256, metavar="N",
+                       help="in-memory LRU response entries "
+                       "(default %(default)s)")
+    serve.add_argument("--queue-limit", type=int, default=8, metavar="N",
+                       help="max concurrent computations before requests "
+                       "are rejected with HTTP 429 (default %(default)s)")
+    serve.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                       help="per-request wall-clock budget")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request to stderr")
+    _add_runtime_flags(serve, jobs=False, journal=True)
+
     cache = sub.add_parser("cache", help="artifact cache maintenance")
     cache.add_argument("action", choices=("stats", "purge"))
     cache.add_argument("--stage", default=None,
@@ -301,7 +337,61 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_design_remote(args: argparse.Namespace) -> int:
+    """``design --server``: ship the query to a running daemon."""
+    from repro.service.client import ServiceClient, ServiceError
+
+    if args.verify:
+        print("error: --verify runs locally only (the service returns "
+              "design summaries, not netlists)", file=sys.stderr)
+        return 2
+    client = ServiceClient(args.server)
+    try:
+        body = client.design(
+            circuit=args.circuit,
+            latency=args.latency,
+            semantics=args.semantics,
+            encoding=args.encoding,
+            max_faults=args.max_faults,
+        )
+    except ServiceError as error:
+        print(f"error: server {args.server}: {error}", file=sys.stderr)
+        if error.busy:
+            return 3  # transient: daemon busy or draining
+        return 2 if error.status == 400 else 1
+    except OSError as error:
+        print(f"error: cannot reach server {args.server}: {error}",
+              file=sys.stderr)
+        return 3
+    result, meta = body["result"], body["meta"]
+    print(
+        f"{result['circuit']}: latency={result['latency']} "
+        f"parity bits={result['q']} CED gates={result['gates']} "
+        f"cost={result['cost']:.1f} "
+        f"(original gates={result['original']['gates']} "
+        f"cost={result['original']['cost']:.1f})"
+    )
+    print(f"  parity vectors: {[hex(b) for b in result['betas']]}")
+    labels = {
+        "parity_trees": "parity trees",
+        "predictor": "predictor",
+        "comparator": "comparator+holds",
+    }
+    for part, label in labels.items():
+        stats = result["breakdown"][part]
+        print(f"  {label:17s} {stats['gates']:4d} gates, "
+              f"cost {stats['cost']:8.1f}")
+    print(
+        f"  served by {args.server} in {meta['elapsed_ms']:.1f} ms "
+        f"(hot_cache={str(meta['hot_cache']).lower()}, "
+        f"coalesced={str(meta['coalesced']).lower()})"
+    )
+    return 0
+
+
 def _cmd_design(args: argparse.Namespace) -> int:
+    if args.server:
+        return _cmd_design_remote(args)
     cache = open_cache(args.cache_dir, enabled=not args.no_cache)
     tracer = Tracer() if args.journal else None
     context = use_tracer(tracer) if tracer is not None else nullcontext()
@@ -559,6 +649,25 @@ def _cmd_report(args: argparse.Namespace) -> int:
             print()
         print(summarize_run(run))
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.daemon import ServiceConfig, serve
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        socket_path=args.socket,
+        workers=args.workers,
+        hot_cache_size=args.hot_cache_size,
+        queue_limit=args.queue_limit,
+        timeout=args.timeout,
+        cache_dir=args.cache_dir,
+        cache=not args.no_cache,
+        journal_path=args.journal,
+        verbose=args.verbose,
+    )
+    return serve(config)
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:

@@ -223,12 +223,14 @@ class ArtifactCache:
             with os.fdopen(handle, "wb") as stream:
                 pickle.dump(value, stream, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp_name, path)
-        except BaseException:
+        finally:
+            # A serialization failure between mkstemp and os.replace must
+            # not strand the temp file in the cache directory; after a
+            # successful replace the name is gone and unlink is a no-op.
             try:
                 os.unlink(tmp_name)
             except OSError:
                 pass
-            raise
         self._puts += 1
 
     # -- maintenance ---------------------------------------------------

@@ -111,12 +111,23 @@ def invoke_with_timeout(
     attempt runs unbounded rather than failing — but a ``RuntimeWarning``
     is emitted once per process and ``armed=False`` is reported so callers
     can surface the unenforced budget instead of silently trusting it.
+
+    A zero or negative ``timeout`` is *already expired* and raises
+    :class:`JobTimeout` without running the attempt: ``setitimer(0.0)``
+    would **disarm** the timer rather than fire it immediately, so a
+    caller handing down an exhausted remaining budget (a daemon-owned
+    pool reusing workers across nested timed sections) would otherwise
+    run unbounded under a budget it believed enforced.
     """
     global _warned_unarmed
+    if timeout is not None and timeout <= 0:
+        raise JobTimeout(
+            f"job attempt timed out (remaining budget {timeout:g}s <= 0)"
+        )
     start = time.perf_counter()
     armed: bool | None = None
     previous = None
-    if timeout is not None and timeout > 0:
+    if timeout is not None:
         armed = False
         try:
             previous = signal.signal(signal.SIGALRM, _alarm_handler)

@@ -211,15 +211,21 @@ class JournalWriter:
     The header record (schema version, producing tool, run name) is
     written on open; every :meth:`write` appends one line and flushes, so
     a crashed run leaves a valid prefix rather than a corrupt file.
+
+    Writes are serialised by an internal lock: the design-service daemon
+    appends from many request-handler threads at once, and two records
+    must never interleave within one line.
     """
 
     def __init__(self, path: str | Path, name: str = "run") -> None:
+        import threading
         from datetime import datetime, timezone
 
         from repro import __version__
 
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
         self._stream = self.path.open("w", encoding="utf-8")
         self.write(
             {
@@ -234,8 +240,10 @@ class JournalWriter:
         )
 
     def write(self, record: dict) -> None:
-        self._stream.write(json.dumps(_jsonable(record)) + "\n")
-        self._stream.flush()
+        line = json.dumps(_jsonable(record)) + "\n"
+        with self._lock:
+            self._stream.write(line)
+            self._stream.flush()
 
     def write_all(self, records: list[dict], **extra: Any) -> None:
         """Append many records, stamping each with ``extra`` fields."""

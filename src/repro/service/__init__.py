@@ -1,0 +1,38 @@
+"""Long-lived design service: daemon, hot cache, coalescing, client.
+
+Every CLI invocation is a cold process — it re-imports numpy, re-opens
+the disk cache and (for parallel runs) spins up a fresh worker pool even
+when the answer is already cached.  This package keeps all of that warm
+in one persistent daemon (``repro-ced serve``):
+
+* :mod:`repro.service.hotcache`  — in-memory LRU layered above the disk
+  :class:`repro.runtime.cache.ArtifactCache` (same fingerprint keying);
+* :mod:`repro.service.queries`   — request normalisation, content keys
+  and the picklable worker the daemon's pool executes;
+* :mod:`repro.service.daemon`    — the HTTP daemon itself (TCP or unix
+  socket, request coalescing, bounded backpressure, graceful drain);
+* :mod:`repro.service.client`    — a stdlib client; ``repro-ced design
+  --server ADDR`` delegates through it.
+
+See ``docs/service-api.md`` for the wire protocol.
+"""
+
+from repro.service.client import ServiceClient, ServiceError, parse_address
+from repro.service.daemon import (
+    DesignService,
+    RunningService,
+    ServiceConfig,
+    serve,
+)
+from repro.service.hotcache import HotCache
+
+__all__ = [
+    "DesignService",
+    "HotCache",
+    "RunningService",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "parse_address",
+    "serve",
+]

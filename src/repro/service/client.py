@@ -1,0 +1,151 @@
+"""Stdlib client for the design-service daemon.
+
+Speaks the JSON protocol of :mod:`repro.service.daemon` over TCP or a
+unix domain socket.  ``repro-ced design --server ADDR`` delegates through
+:class:`ServiceClient`; tests and the CI smoke lane use it directly.
+
+Addresses::
+
+    "127.0.0.1:8537"      TCP host:port
+    ":8537"               TCP, localhost implied
+    "unix:/run/ced.sock"  unix domain socket
+    "/run/ced.sock"       unix socket too (any address with a slash)
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Any
+
+DEFAULT_TIMEOUT = 600.0
+
+
+class ServiceError(RuntimeError):
+    """A non-200 response; carries the HTTP status and the server body."""
+
+    def __init__(self, status: int, message: str, body: dict | None = None):
+        super().__init__(message)
+        self.status = status
+        self.body = body or {}
+
+    @property
+    def busy(self) -> bool:
+        """True for load-shedding responses (retry later is reasonable)."""
+        return self.status in (429, 503)
+
+
+def parse_address(address: str) -> tuple:
+    """``("tcp", host, port)`` or ``("unix", path)``."""
+    if address.startswith("unix:"):
+        path = address[len("unix:"):]
+        if not path:
+            raise ValueError("empty unix socket path")
+        return ("unix", path)
+    if "/" in address:
+        return ("unix", address)
+    host, sep, port = address.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(
+            f"bad server address {address!r}: want host:port or unix:PATH"
+        )
+    return ("tcp", host or "127.0.0.1", int(port))
+
+
+class _UnixHTTPConnection(http.client.HTTPConnection):
+    def __init__(self, path: str, timeout: float) -> None:
+        super().__init__("localhost", timeout=timeout)
+        self._unix_path = path
+
+    def connect(self) -> None:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        sock.connect(self._unix_path)
+        self.sock = sock
+
+
+class ServiceClient:
+    """One daemon address; a fresh connection per request (daemon closes
+    connections after each response, so there is nothing to pool)."""
+
+    def __init__(self, address: str, timeout: float = DEFAULT_TIMEOUT) -> None:
+        self.address = address
+        self.timeout = timeout
+        self._parsed = parse_address(address)
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._parsed[0] == "unix":
+            return _UnixHTTPConnection(self._parsed[1], self.timeout)
+        _, host, port = self._parsed
+        return http.client.HTTPConnection(host, port, timeout=self.timeout)
+
+    # -- raw -----------------------------------------------------------
+    def request_raw(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> tuple[int, bytes]:
+        """(status, body bytes) — the transport truth, for byte-level tests."""
+        connection = self._connection()
+        try:
+            body = None
+            headers = {"Accept": "application/json"}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            return response.status, response.read()
+        finally:
+            connection.close()
+
+    def request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> tuple[int, dict]:
+        status, raw = self.request_raw(method, path, payload)
+        try:
+            parsed = json.loads(raw.decode("utf-8"))
+        except ValueError:
+            parsed = {"error": f"non-JSON response: {raw[:200]!r}"}
+        return status, parsed
+
+    # -- typed ---------------------------------------------------------
+    def call(self, kind: str, **params: Any) -> dict:
+        """POST one query; returns the ``{"meta", "result"}`` body."""
+        status, body = self.request("POST", f"/{kind}", params)
+        if status != 200:
+            raise ServiceError(
+                status, body.get("error", f"HTTP {status}"), body
+            )
+        return body
+
+    def design(self, **params: Any) -> dict:
+        return self.call("design", **params)
+
+    def sweep(self, **params: Any) -> dict:
+        return self.call("sweep", **params)
+
+    def table1(self, **params: Any) -> dict:
+        return self.call("table1", **params)
+
+    def healthz(self) -> dict:
+        status, body = self.request("GET", "/healthz")
+        if status not in (200, 503):
+            raise ServiceError(status, body.get("error", f"HTTP {status}"))
+        return body
+
+    def stats(self) -> dict:
+        status, body = self.request("GET", "/stats")
+        if status != 200:
+            raise ServiceError(status, body.get("error", f"HTTP {status}"))
+        return body
+
+    def ping(self, attempts: int = 50, delay: float = 0.1) -> bool:
+        """Poll ``/healthz`` until the daemon answers (daemon startup)."""
+        for _ in range(attempts):
+            try:
+                self.healthz()
+                return True
+            except (OSError, ServiceError):
+                time.sleep(delay)
+        return False

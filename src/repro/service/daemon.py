@@ -1,0 +1,565 @@
+"""The design-service daemon: HTTP over TCP or a unix socket, stdlib only.
+
+One long-lived process owns everything a cold CLI run pays for on every
+invocation: the imported numpy/scipy stack, an open disk
+:class:`~repro.runtime.cache.ArtifactCache`, a reusable worker pool, and
+an in-memory :class:`~repro.service.hotcache.HotCache` of serialised
+query responses.  Request lifecycle:
+
+1. **Hot cache.**  The normalised request's content key
+   (:func:`repro.service.queries.query_key`) is looked up in the LRU;
+   a hit is served as the stored canonical-JSON bytes (``meta.hot_cache``
+   is true) without touching the pool.
+2. **Coalescing.**  A miss joins the in-flight *flight* for its key if
+   one exists (``meta.coalesced`` true — the request does no work and
+   waits for the leader's result), else it becomes the leader.
+3. **Backpressure.**  A new leader past ``queue_limit`` concurrent
+   computations is rejected with HTTP 429 (``{"error": "busy"}``) —
+   the daemon sheds load instead of queueing unboundedly.
+4. **Compute.**  The leader runs
+   :func:`~repro.service.queries.service_worker` on the daemon-owned
+   ``ProcessPoolExecutor`` (created once at startup; ``workers=0``
+   computes inline on the request thread), bounded by the per-request
+   ``timeout`` via the executor's SIGALRM machinery.
+5. **Drain.**  SIGTERM/SIGINT flip the service into draining mode: new
+   requests get HTTP 503, in-flight ones finish (the server joins its
+   handler threads on close), then the pool and journal shut down.
+
+Every response carries ``meta`` (hot_cache / coalesced / elapsed_ms /
+key) alongside the deterministic ``result``; ``/healthz`` and ``/stats``
+expose liveness and the counters.  With ``journal_path`` set, worker
+traces and per-request ``type: "request"`` records stream into the PR-4
+run journal (`docs/journal-schema.md`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socketserver
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Callable
+
+from repro import __version__
+from repro.fsm.benchmarks import UnknownBenchmarkError
+from repro.runtime.executor import JobTimeout, invoke_with_timeout
+from repro.runtime.trace import JournalWriter
+from repro.service.hotcache import HotCache
+from repro.service.queries import (
+    QUERY_KINDS,
+    canonical_json,
+    query_key,
+    query_label,
+    service_worker,
+    warmup_worker,
+)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Daemon knobs (``repro-ced serve`` flags map 1:1 onto these)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8537
+    #: Serve over a unix domain socket instead of TCP when set.
+    socket_path: str | None = None
+    #: Pool processes owned by the daemon; 0 computes inline on the
+    #: request thread (useful for tests and tiny deployments).
+    workers: int = 1
+    hot_cache_size: int = 256
+    #: Maximum concurrent computations (leaders); more gets HTTP 429.
+    queue_limit: int = 8
+    #: Per-request wall-clock budget (executor SIGALRM; None = unlimited).
+    timeout: float | None = None
+    cache_dir: str | None = None
+    cache: bool = True
+    journal_path: str | None = None
+    verbose: bool = False
+
+
+class _Flight:
+    """One in-flight computation; followers wait on ``event``."""
+
+    __slots__ = ("event", "result_json", "error", "error_status")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.result_json: str | None = None
+        self.error: str | None = None
+        self.error_status = 500
+
+
+class DesignService:
+    """Request handling, shared state and counters (HTTP layer aside).
+
+    Thread-safe: one instance is shared by every handler thread.  The
+    ``worker`` hook exists for tests (inject a gated/instant worker);
+    production uses :func:`~repro.service.queries.service_worker`.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig = ServiceConfig(),
+        worker: Callable[[tuple, bool], dict] = service_worker,
+    ) -> None:
+        self.config = config
+        self._worker = worker
+        self.hot = HotCache(config.hot_cache_size)
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._inflight: dict[str, _Flight] = {}
+        self._draining = False
+        self._pool = None
+        self._journal: JournalWriter | None = None
+        self._started = time.monotonic()
+        # Counters (all guarded by _lock).
+        self._requests = 0
+        self._by_kind = {kind: 0 for kind in QUERY_KINDS}
+        self._hot_hits = 0
+        self._coalesced = 0
+        self._busy_rejections = 0
+        self._computed = 0
+        self._errors = 0
+        self._timeouts = 0
+        self._disk_hits = 0
+        self._disk_misses = 0
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> None:
+        if self.config.journal_path:
+            self._journal = JournalWriter(
+                Path(self.config.journal_path), name="serve"
+            )
+        if self.config.workers > 0:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._pool = ProcessPoolExecutor(max_workers=self.config.workers)
+            # Fire-and-forget warmups: pay the numpy/scipy import cost at
+            # startup, not on the first real request.
+            for _ in range(self.config.workers):
+                self._pool.submit(warmup_worker, None, False)
+
+    def begin_drain(self) -> None:
+        """Stop accepting work; in-flight requests keep running."""
+        with self._lock:
+            self._draining = True
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until no computation is in flight; False on timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._idle:
+            while self._inflight:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._idle.wait(remaining)
+        return True
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._journal is not None:
+            self._journal.write({"type": "summary", **self._stats_locked()})
+            self._journal.close()
+            self._journal = None
+
+    # -- read endpoints ------------------------------------------------
+    def healthz(self) -> dict:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "version": __version__,
+            "uptime_seconds": round(time.monotonic() - self._started, 3),
+        }
+
+    def _stats_locked(self) -> dict:
+        return {
+            "version": __version__,
+            "uptime_seconds": round(time.monotonic() - self._started, 3),
+            "draining": self._draining,
+            "workers": self.config.workers,
+            "queue_limit": self.config.queue_limit,
+            "inflight": len(self._inflight),
+            "requests": {
+                "total": self._requests,
+                "by_kind": dict(self._by_kind),
+                "hot_cache_hits": self._hot_hits,
+                "coalesced": self._coalesced,
+                "busy_rejections": self._busy_rejections,
+                "computed": self._computed,
+                "errors": self._errors,
+                "timeouts": self._timeouts,
+            },
+            "hot_cache": self.hot.stats().as_dict(),
+            "disk_cache": {
+                "hits": self._disk_hits,
+                "misses": self._disk_misses,
+            },
+        }
+
+    def stats(self) -> dict:
+        with self._lock:
+            return self._stats_locked()
+
+    # -- query path ----------------------------------------------------
+    def handle_query(self, kind: str, params: dict) -> tuple[int, str]:
+        """One query in, ``(http_status, body_json)`` out."""
+        t0 = time.perf_counter()
+        if kind not in QUERY_KINDS:
+            return 404, _error_body(f"unknown query kind {kind!r}")
+        if self._draining:
+            return 503, _error_body("draining: daemon is shutting down")
+        try:
+            spec = QUERY_KINDS[kind][0](params)
+        except (UnknownBenchmarkError, ValueError, TypeError) as error:
+            return 400, _error_body(str(error))
+        key = query_key(kind, spec)
+        leader = False
+        with self._lock:
+            self._requests += 1
+            self._by_kind[kind] += 1
+            found, result_json = self.hot.get(key)
+            if found:
+                self._hot_hits += 1
+                body = _response_body(
+                    result_json, hot=True, coalesced=False, key=key, t0=t0
+                )
+                self._journal_request(kind, spec, key, t0, "hot")
+                return 200, body
+            flight = self._inflight.get(key)
+            if flight is None:
+                if len(self._inflight) >= self.config.queue_limit:
+                    self._busy_rejections += 1
+                    self._journal_request(kind, spec, key, t0, "busy")
+                    return 429, _error_body(
+                        f"busy: {len(self._inflight)} computations in "
+                        "flight (queue_limit reached); retry later"
+                    )
+                flight = _Flight()
+                self._inflight[key] = flight
+                leader = True
+            else:
+                self._coalesced += 1
+        if leader:
+            self._compute(kind, spec, key, flight)
+        else:
+            flight.event.wait()
+        if flight.error is not None:
+            return flight.error_status, _error_body(flight.error)
+        assert flight.result_json is not None
+        status = "computed" if leader else "coalesced"
+        self._journal_request(kind, spec, key, t0, status)
+        return 200, _response_body(
+            flight.result_json, hot=False, coalesced=not leader, key=key, t0=t0
+        )
+
+    def _compute(
+        self, kind: str, spec: Any, key: str, flight: _Flight
+    ) -> None:
+        """Leader path: run the worker, publish the result, wake followers."""
+        payload = (
+            kind,
+            spec,
+            self.config.cache_dir,
+            self.config.cache,
+            self._journal is not None,
+        )
+        try:
+            if self._pool is not None:
+                envelope, _seconds, _armed = self._pool.submit(
+                    invoke_with_timeout,
+                    self._worker,
+                    payload,
+                    False,
+                    self.config.timeout,
+                ).result()
+            else:
+                envelope, _seconds, _armed = invoke_with_timeout(
+                    self._worker, payload, False, self.config.timeout
+                )
+        except JobTimeout as error:
+            flight.error = f"timeout: {error}"
+            flight.error_status = 504
+            with self._lock:
+                self._errors += 1
+                self._timeouts += 1
+        except Exception as error:  # noqa: BLE001 - served as HTTP 500
+            flight.error = f"{type(error).__name__}: {error}"
+            flight.error_status = 500
+            with self._lock:
+                self._errors += 1
+        else:
+            result_json = canonical_json(envelope["value"])
+            flight.result_json = result_json
+            if self._journal is not None:
+                self._journal.write_all(
+                    envelope.get("trace", []), job=query_label(kind, spec)
+                )
+            with self._lock:
+                self.hot.put(key, result_json)
+                self._computed += 1
+                self._disk_hits += envelope.get("cache_hits", 0)
+                self._disk_misses += envelope.get("cache_misses", 0)
+        finally:
+            with self._idle:
+                self._inflight.pop(key, None)
+                if not self._inflight:
+                    self._idle.notify_all()
+            flight.event.set()
+
+    def _journal_request(
+        self, kind: str, spec: Any, key: str, t0: float, status: str
+    ) -> None:
+        if self._journal is None:
+            return
+        self._journal.write(
+            {
+                "type": "request",
+                "kind": kind,
+                "job": query_label(kind, spec),
+                "key": key[:16],
+                "status": status,
+                "seconds": round(time.perf_counter() - t0, 6),
+            }
+        )
+
+
+def _error_body(message: str) -> str:
+    return canonical_json({"error": message})
+
+
+def _response_body(
+    result_json: str, hot: bool, coalesced: bool, key: str, t0: float
+) -> str:
+    """``{"meta": ..., "result": ...}`` — result bytes are the cached string.
+
+    ``meta`` is serialised independently so the ``result`` member stays
+    byte-identical across hot/cold/coalesced servings of the same query.
+    """
+    meta = canonical_json(
+        {
+            "hot_cache": hot,
+            "coalesced": coalesced,
+            "key": key[:16],
+            "elapsed_ms": round((time.perf_counter() - t0) * 1000, 3),
+        }
+    )
+    return f'{{"meta":{meta},"result":{result_json}}}'
+
+
+# ----------------------------------------------------------------------
+# HTTP layer
+# ----------------------------------------------------------------------
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Routes HTTP verbs onto the shared :class:`DesignService`."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = f"repro-ced/{__version__}"
+
+    @property
+    def service(self) -> DesignService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        if path == "/healthz":
+            health = self.service.healthz()
+            status = 200 if health["status"] == "ok" else 503
+            self._send(status, canonical_json(health))
+        elif path == "/stats":
+            self._send(200, canonical_json(self.service.stats()))
+        else:
+            self._send(404, _error_body(f"no such endpoint {path!r}"))
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        kind = path.lstrip("/")
+        if kind not in QUERY_KINDS:
+            self._send(404, _error_body(f"no such endpoint {path!r}"))
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length) if length else b"{}"
+            params = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            self._send(400, _error_body(f"invalid JSON body: {error}"))
+            return
+        if not isinstance(params, dict):
+            self._send(400, _error_body("request body must be a JSON object"))
+            return
+        status, body = self.service.handle_query(kind, params)
+        self._send(status, body)
+
+    def _send(self, status: int, body: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        # One request per connection: drain must never wait on an idle
+        # keep-alive socket (server_close joins every handler thread).
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(payload)
+        self.close_connection = True
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+
+class _TcpServer(ThreadingHTTPServer):
+    #: Non-daemon handler threads: ``server_close`` joins them, which is
+    #: exactly the "finish in-flight work" half of graceful drain.
+    daemon_threads = False
+
+    def __init__(self, config: ServiceConfig, service: DesignService) -> None:
+        self.service = service
+        self.verbose = config.verbose
+        super().__init__((config.host, config.port), ServiceHandler)
+
+
+class _UnixServer(socketserver.ThreadingUnixStreamServer):
+    daemon_threads = False
+    allow_reuse_address = False
+
+    def __init__(self, config: ServiceConfig, service: DesignService) -> None:
+        self.service = service
+        self.verbose = config.verbose
+        path = Path(config.socket_path)  # type: ignore[arg-type]
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if path.is_socket():
+            path.unlink()  # stale socket from a killed daemon
+        super().__init__(str(path), ServiceHandler)
+        # BaseHTTPRequestHandler expects these TCP-ish attributes.
+        self.server_name = "localhost"
+        self.server_port = 0
+
+    def get_request(self):
+        request, _ = super().get_request()
+        return request, ("localhost", 0)
+
+    def server_close(self) -> None:
+        super().server_close()
+        try:
+            os.unlink(self.server_address)  # type: ignore[arg-type]
+        except OSError:
+            pass
+
+
+def build_server(service: DesignService):
+    """The right socketserver for the config (unix socket wins over TCP)."""
+    if service.config.socket_path:
+        return _UnixServer(service.config, service)
+    return _TcpServer(service.config, service)
+
+
+def server_address_string(server) -> str:
+    """Client-usable address: ``host:port`` or ``unix:/path``."""
+    if isinstance(server, _UnixServer):
+        return f"unix:{server.server_address}"
+    host, port = server.server_address[:2]
+    return f"{host}:{port}"
+
+
+# ----------------------------------------------------------------------
+# Running it
+# ----------------------------------------------------------------------
+class RunningService:
+    """A started daemon on a background thread (tests, embedding).
+
+    Context-manager friendly::
+
+        with RunningService(ServiceConfig(port=0, workers=0)) as running:
+            ServiceClient(running.address).design(circuit="s27")
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig = ServiceConfig(),
+        worker: Callable[[tuple, bool], dict] = service_worker,
+    ) -> None:
+        self.service = DesignService(config, worker=worker)
+        self.service.start()
+        self.server = build_server(self.service)
+        self.address = server_address_string(self.server)
+        self._thread = threading.Thread(
+            target=self.server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-serve",
+            daemon=True,
+        )
+        self._stopped = False
+
+    def __enter__(self) -> "RunningService":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Full graceful drain: reject new, finish in-flight, close."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self.service.begin_drain()
+        self.server.shutdown()
+        self._thread.join()
+        self.server.server_close()  # joins in-flight handler threads
+        self.service.close()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def serve(
+    config: ServiceConfig,
+    echo: Callable[[str], None] = print,
+    install_signals: bool = True,
+) -> int:
+    """Blocking entry point behind ``repro-ced serve``.
+
+    SIGTERM and SIGINT trigger the graceful drain; returns 0 once the
+    last in-flight request has been answered and the pool is down.
+    """
+    service = DesignService(config)
+    service.start()
+    server = build_server(service)
+    address = server_address_string(server)
+
+    def _drain(signum: int, frame: object) -> None:
+        echo(f"signal {signal.Signals(signum).name}: draining "
+             f"({service.stats()['inflight']} in flight)")
+        service.begin_drain()
+        # shutdown() must not run on the serve_forever thread (deadlock).
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    if install_signals:
+        signal.signal(signal.SIGTERM, _drain)
+        signal.signal(signal.SIGINT, _drain)
+    echo(
+        f"repro-ced service listening on {address} "
+        f"(workers={config.workers}, hot cache {config.hot_cache_size} "
+        f"entries, queue limit {config.queue_limit})"
+    )
+    try:
+        server.serve_forever(poll_interval=0.1)
+    finally:
+        server.server_close()  # waits for in-flight handler threads
+        service.close()
+        totals = service.stats()["requests"]
+        echo(
+            f"drained: {totals['total']} requests served "
+            f"({totals['hot_cache_hits']} hot, {totals['coalesced']} "
+            f"coalesced, {totals['busy_rejections']} busy-rejected, "
+            f"{totals['errors']} errors)"
+        )
+    return 0

@@ -1,0 +1,93 @@
+"""In-memory LRU hot cache for the design service.
+
+The disk :class:`repro.runtime.cache.ArtifactCache` makes warm requests
+cheap (no recompute), but a daemon can do better: the most recent query
+*responses* are kept in memory as already-serialised JSON, so a repeated
+request costs one dictionary lookup — no pickle load, no disk I/O, no
+re-serialisation.  Keys are the same content fingerprints
+(:func:`repro.runtime.cache.fingerprint`, salted by package version and
+cache schema) that address the disk cache, so a hot entry can never
+outlive the artifacts it was derived from across releases.
+
+The cache is thread-safe: the daemon serves each HTTP request on its own
+thread and they all share one instance.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import asdict, dataclass
+from typing import Any
+
+
+@dataclass
+class HotCacheStats:
+    """Counters of one hot-cache instance (``/stats`` reports these)."""
+
+    entries: int = 0
+    max_entries: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+class HotCache:
+    """A bounded LRU map: most-recently-used entries survive eviction.
+
+    ``get`` refreshes recency; ``put`` evicts the least-recently-used
+    entry once ``max_entries`` is exceeded.  Values are opaque (the
+    daemon stores canonical JSON strings).
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ValueError("hot cache needs room for at least one entry")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, Any] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: str) -> tuple[bool, Any]:
+        """(found, value); a hit moves the entry to most-recently-used."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return True, self._entries[key]
+            self._misses += 1
+            return False, None
+
+    def put(self, key: str, value: Any) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> int:
+        """Drop every entry; returns the count removed (counters stay)."""
+        with self._lock:
+            removed = len(self._entries)
+            self._entries.clear()
+            return removed
+
+    def stats(self) -> HotCacheStats:
+        with self._lock:
+            return HotCacheStats(
+                entries=len(self._entries),
+                max_entries=self.max_entries,
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+            )

@@ -1,0 +1,293 @@
+"""Service queries: request normalisation, content keys, worker function.
+
+A *query* is one HTTP request body turned into a fully pinned-down,
+picklable spec.  Normalisation fills defaults (matching the equivalent
+CLI command exactly, so a delegated ``repro-ced design --server`` returns
+the same numbers as a local run), validates every field, and rejects
+unknown ones — a typo must be a 400, not a silently different design.
+
+Determinism contract: every random choice downstream derives from the
+*request* (the spec carries the seed; the solver uses
+:func:`repro.util.rng.rng_for` on it), never from daemon state, worker
+identity or arrival order.  The spec is also the content key
+(:func:`query_key` fingerprints it with the shared cache salt), so two
+identical requests — concurrent or years apart — map to one computation
+and byte-identical canonical JSON.
+
+:func:`service_worker` is the module-level function the daemon's process
+pool executes; it mirrors :func:`repro.runtime.campaign.campaign_worker`
+(shared per-process disk cache, metrics, optional tracing) but returns
+service-shaped results.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import nullcontext
+from dataclasses import asdict
+from typing import Any, Callable
+
+from repro.core.search import SolveConfig
+from repro.runtime.cache import fingerprint
+from repro.runtime.campaign import (
+    DesignJobSpec,
+    _brief,
+    _run_sweep,
+    _run_table1_row,
+    _worker_cache,
+)
+from repro.runtime.metrics import MetricsRecorder
+from repro.runtime.trace import Tracer, _jsonable, use_tracer
+
+SEMANTICS = ("checker", "trajectory")
+ENCODINGS = ("binary", "gray", "onehot", "weighted")
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON: sorted keys, minimal separators, no NaN.
+
+    The daemon stores and serves query results as these strings, so
+    "byte-identical responses" is a property of the encoder, not a hope
+    about dict ordering.
+    """
+    return json.dumps(
+        _jsonable(value), sort_keys=True, separators=(",", ":"),
+        allow_nan=False,
+    )
+
+
+# ----------------------------------------------------------------------
+# Normalisation
+# ----------------------------------------------------------------------
+def _take(params: dict, allowed: dict[str, Any]) -> dict:
+    """Fill defaults and reject unknown fields (a typo must be a 400)."""
+    if not isinstance(params, dict):
+        raise ValueError("request body must be a JSON object")
+    unknown = sorted(set(params) - set(allowed))
+    if unknown:
+        raise ValueError(
+            f"unknown field(s) {', '.join(unknown)}; "
+            f"allowed: {', '.join(sorted(allowed))}"
+        )
+    return {name: params.get(name, default) for name, default in allowed.items()}
+
+
+def _circuit(value: Any, seed: int) -> str:
+    from repro.fsm.benchmarks import load_benchmark
+
+    if not isinstance(value, str) or not value:
+        raise ValueError("'circuit' (benchmark name) is required")
+    load_benchmark(value, seed=seed)  # raises UnknownBenchmarkError
+    return value
+
+
+def _int_field(value: Any, name: str, minimum: int) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(f"{name!r} must be an integer")
+    if value < minimum:
+        raise ValueError(f"{name!r} must be >= {minimum}")
+    return value
+
+
+def _choice(value: Any, name: str, choices: tuple[str, ...]) -> str:
+    if value not in choices:
+        raise ValueError(f"{name!r} must be one of {', '.join(choices)}")
+    return value
+
+
+def _max_faults(value: Any) -> int | None:
+    if value is None:
+        return None
+    return _int_field(value, "max_faults", 1)
+
+
+def normalize_design(params: dict) -> DesignJobSpec:
+    """Defaults mirror ``repro-ced design`` (checker semantics, seed 2004)."""
+    fields = _take(params, {
+        "circuit": None, "latency": 1, "semantics": "checker",
+        "encoding": "binary", "max_faults": 800, "multilevel": False,
+        "seed": 2004,
+    })
+    seed = _int_field(fields["seed"], "seed", 0)
+    return DesignJobSpec(
+        circuit=_circuit(fields["circuit"], seed),
+        latencies=(_int_field(fields["latency"], "latency", 1),),
+        semantics=_choice(fields["semantics"], "semantics", SEMANTICS),
+        encoding=_choice(fields["encoding"], "encoding", ENCODINGS),
+        max_faults=_max_faults(fields["max_faults"]),
+        multilevel=bool(fields["multilevel"]),
+        seed=seed,
+        solve=SolveConfig(seed=seed),
+    )
+
+
+def normalize_sweep(params: dict) -> tuple:
+    """Defaults mirror ``repro-ced sweep`` (trajectory, max_faults 400)."""
+    fields = _take(params, {
+        "circuit": None, "max_latency": 4, "semantics": "trajectory",
+        "max_faults": 400, "seed": 2004,
+    })
+    seed = _int_field(fields["seed"], "seed", 0)
+    return (
+        _circuit(fields["circuit"], seed),
+        _int_field(fields["max_latency"], "max_latency", 1),
+        _choice(fields["semantics"], "semantics", SEMANTICS),
+        _max_faults(fields["max_faults"]),
+        SolveConfig(seed=seed),
+        seed,
+    )
+
+
+def normalize_table1(params: dict) -> tuple:
+    """One circuit row, defaults mirroring ``repro-ced table1``."""
+    from repro.experiments.table1 import Table1Config
+
+    fields = _take(params, {
+        "circuit": None, "latencies": [1, 2, 3], "semantics": "trajectory",
+        "encoding": "binary", "max_faults": 800, "multilevel": True,
+        "seed": 2004,
+    })
+    seed = _int_field(fields["seed"], "seed", 0)
+    latencies = fields["latencies"]
+    if not isinstance(latencies, (list, tuple)) or not latencies:
+        raise ValueError("'latencies' must be a non-empty list of integers")
+    config = Table1Config(
+        latencies=tuple(
+            _int_field(p, "latencies", 1) for p in latencies
+        ),
+        semantics=_choice(fields["semantics"], "semantics", SEMANTICS),
+        encoding=_choice(fields["encoding"], "encoding", ENCODINGS),
+        max_faults=_max_faults(fields["max_faults"]),
+        seed=seed,
+        multilevel=bool(fields["multilevel"]),
+        solve=SolveConfig(seed=seed),
+    )
+    return (_circuit(fields["circuit"], seed), config)
+
+
+def query_key(kind: str, spec: Any) -> str:
+    """Content key of a normalised query (shares the disk cache's salt)."""
+    return fingerprint("service", kind, spec)
+
+
+def query_label(kind: str, spec: Any) -> str:
+    """Short human label (journal stamping, log lines)."""
+    circuit = getattr(spec, "circuit", None)
+    if circuit is None and isinstance(spec, tuple):
+        circuit = spec[0]
+    return f"{kind}:{circuit}"
+
+
+# ----------------------------------------------------------------------
+# Compute (runs in the daemon's pool workers — or inline)
+# ----------------------------------------------------------------------
+def _run_design_query(spec: DesignJobSpec, cache, recorder, degraded):
+    from repro.flow import design_ced_sweep
+    from repro.fsm.benchmarks import load_benchmark
+
+    fsm = load_benchmark(spec.circuit, seed=spec.seed)
+    designs = design_ced_sweep(
+        fsm,
+        latencies=list(spec.latencies),
+        semantics=spec.semantics,
+        encoding=spec.encoding,
+        max_faults=spec.max_faults,
+        solve_config=spec.solve,
+        multilevel=spec.multilevel,
+        cache=cache,
+        recorder=recorder,
+        degraded=degraded,
+    )
+    design = designs[spec.latencies[0]]
+    hardware = design.hardware
+    return {
+        "circuit": spec.circuit,
+        "latency": design.latency,
+        "semantics": spec.semantics,
+        "encoding": spec.encoding,
+        "max_faults": spec.max_faults,
+        "seed": spec.seed,
+        "q": design.num_parity_bits,
+        "betas": [int(beta) for beta in design.solve_result.betas],
+        "source": design.solve_result.incumbent_source,
+        "gates": design.gates,
+        "cost": design.cost,
+        "original": {
+            "gates": design.synthesis.stats.gates,
+            "cost": design.synthesis.stats.cost,
+        },
+        "breakdown": {
+            "parity_trees": {
+                "gates": hardware.parity_stats.gates,
+                "cost": hardware.parity_stats.cost,
+            },
+            "predictor": {
+                "gates": hardware.predictor_stats.gates,
+                "cost": hardware.predictor_stats.cost,
+            },
+            "comparator": {
+                "gates": hardware.comparator_stats.gates,
+                "cost": hardware.comparator_stats.cost,
+            },
+        },
+    }
+
+
+def _run_sweep_query(spec: tuple, cache, recorder, degraded):
+    curve = _run_sweep(spec, cache, recorder, degraded)
+    circuit, max_latency, semantics, max_faults, _solve, seed = spec
+    return {
+        "circuit": circuit,
+        "max_latency": max_latency,
+        "semantics": semantics,
+        "max_faults": max_faults,
+        "seed": seed,
+        "points": [asdict(point) for point in curve.points],
+    }
+
+
+def _run_table1_query(spec: tuple, cache, recorder, degraded):
+    return _brief(_run_table1_row(spec, cache, recorder, degraded))
+
+
+#: kind -> (normalize, runner); the daemon routes ``POST /<kind>`` here.
+QUERY_KINDS: dict[str, tuple[Callable, Callable]] = {
+    "design": (normalize_design, _run_design_query),
+    "sweep": (normalize_sweep, _run_sweep_query),
+    "table1": (normalize_table1, _run_table1_query),
+}
+
+
+def service_worker(payload: tuple, degraded: bool) -> dict:
+    """Pool entry point: one query in, a result envelope out.
+
+    Module-level so it pickles across the daemon's process pool; reuses
+    the campaign layer's per-process disk cache so every worker shares
+    one :class:`~repro.runtime.cache.ArtifactCache` across requests.
+    """
+    kind, spec, cache_dir, cache_enabled, trace = payload
+    cache = _worker_cache(cache_dir, cache_enabled)
+    recorder = MetricsRecorder()
+    hits_before, misses_before = cache.counters()
+    tracer = Tracer() if trace else None
+    context = use_tracer(tracer) if tracer is not None else nullcontext()
+    with context:
+        value = QUERY_KINDS[kind][1](spec, cache, recorder, degraded)
+    hits_after, misses_after = cache.counters()
+    return {
+        "value": value,
+        "stages": recorder.as_dicts(),
+        "cache_hits": hits_after - hits_before,
+        "cache_misses": misses_after - misses_before,
+        "trace": tracer.records if tracer is not None else [],
+    }
+
+
+def warmup_worker(payload: object, degraded: bool) -> str:
+    """Pre-import the heavy flow modules so the first request pays nothing."""
+    import repro.flow  # noqa: F401
+    import repro.logic.synthesis  # noqa: F401
+
+    from repro import __version__
+
+    return __version__

@@ -159,6 +159,32 @@ class TestArtifactCache:
         assert cache.purge() == 1
         assert cache.stats().entries == 0
 
+    def test_failed_put_leaves_no_temp_files(self, cache):
+        # Regression: a serializer error between mkstemp and os.replace
+        # must not strand the temp file in the cache directory (stranded
+        # .tmp files accumulate forever under a long-lived daemon).
+        key = fingerprint("unpicklable")
+        with pytest.raises(Exception):
+            cache.put("stage", key, lambda: None)  # lambdas don't pickle
+        leftovers = [
+            path for path in cache.cache_dir.rglob("*") if path.is_file()
+        ]
+        assert leftovers == [], "failed put stranded files in the cache"
+        assert cache.get("stage", key) == (False, None)  # key still a miss
+        # The slot is usable afterwards: a good put lands normally.
+        cache.put("stage", key, 42)
+        assert cache.get("stage", key) == (True, 42)
+
+    def test_successful_put_leaves_only_the_entry(self, cache):
+        # The success path's unlink is a no-op (os.replace consumed the
+        # temp name): exactly one file remains, the entry itself.
+        key = fingerprint("clean")
+        cache.put("stage", key, [1, 2, 3])
+        files = [
+            path for path in cache.cache_dir.rglob("*") if path.is_file()
+        ]
+        assert files == [cache._path("stage", key)]
+
     def test_null_cache_never_stores(self):
         null = NullCache()
         null.put("stage", "key", 1)

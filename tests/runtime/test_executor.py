@@ -126,6 +126,31 @@ class TestTimeoutPrimitive:
         assert value == 42
         assert armed is None
 
+    @pytest.mark.parametrize("budget", [0, 0.0, -0.5, -3])
+    def test_exhausted_budget_is_already_expired(self, budget):
+        # setitimer(0.0) DISARMS the timer instead of firing immediately;
+        # a zero/negative remaining budget must fail fast, not run the
+        # attempt unbounded under a budget the caller believes enforced.
+        calls = []
+
+        def worker(payload, degraded):  # pragma: no cover - must not run
+            calls.append(payload)
+            return payload
+
+        with pytest.raises(JobTimeout, match="remaining budget"):
+            invoke_with_timeout(worker, "x", False, budget)
+        assert calls == []  # the worker was never invoked
+
+    def test_exhausted_budget_through_run_jobs(self):
+        (outcome,) = run_jobs(
+            _double, [21],
+            ExecutorConfig(jobs=1, timeout=0, retries=1, fallback=False),
+        )
+        assert not outcome.ok
+        assert outcome.attempts == 2  # retried, then exhausted
+        assert outcome.timeouts == 2
+        assert "budget" in outcome.error
+
     def test_unarmable_timeout_warns_once_and_runs_unbounded(self):
         # SIGALRM can only be armed from the main thread: run in a worker
         # thread to exercise the degraded (unenforced) path.

@@ -1,0 +1,138 @@
+"""Tests for address parsing and the query layer (no daemon needed)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fsm.benchmarks import UnknownBenchmarkError
+from repro.service.client import ServiceError, parse_address
+from repro.service.queries import (
+    canonical_json,
+    normalize_design,
+    normalize_sweep,
+    normalize_table1,
+    query_key,
+    query_label,
+)
+
+
+class TestParseAddress:
+    def test_tcp_host_port(self):
+        assert parse_address("10.1.2.3:8537") == ("tcp", "10.1.2.3", 8537)
+
+    def test_tcp_port_only_implies_localhost(self):
+        assert parse_address(":9000") == ("tcp", "127.0.0.1", 9000)
+
+    def test_unix_prefix(self):
+        assert parse_address("unix:/run/ced.sock") == ("unix", "/run/ced.sock")
+
+    def test_bare_path_is_unix(self):
+        assert parse_address("/tmp/x.sock") == ("unix", "/tmp/x.sock")
+
+    @pytest.mark.parametrize("bad", ["", "host", "host:", "host:abc", "unix:"])
+    def test_bad_addresses_raise(self, bad):
+        with pytest.raises(ValueError):
+            parse_address(bad)
+
+
+class TestServiceError:
+    def test_busy_statuses(self):
+        assert ServiceError(429, "busy").busy
+        assert ServiceError(503, "draining").busy
+        assert not ServiceError(400, "bad").busy
+
+
+class TestNormalization:
+    def test_design_defaults_match_cli(self):
+        spec = normalize_design({"circuit": "seqdet"})
+        assert spec.latencies == (1,)
+        assert spec.semantics == "checker"
+        assert spec.encoding == "binary"
+        assert spec.max_faults == 800
+        assert spec.seed == 2004
+        assert spec.solve.seed == 2004
+
+    def test_seed_flows_into_solve_config(self):
+        spec = normalize_design({"circuit": "seqdet", "seed": 7})
+        assert spec.seed == 7 and spec.solve.seed == 7
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown field"):
+            normalize_design({"circuit": "seqdet", "latencey": 2})
+
+    def test_unknown_circuit_rejected_with_suggestion(self):
+        with pytest.raises(UnknownBenchmarkError):
+            normalize_design({"circuit": "sqedet"})
+
+    def test_missing_circuit_rejected(self):
+        with pytest.raises(ValueError, match="circuit"):
+            normalize_design({})
+
+    @pytest.mark.parametrize("field,value", [
+        ("latency", 0),
+        ("latency", "2"),
+        ("semantics", "magic"),
+        ("encoding", "ternary"),
+        ("max_faults", 0),
+        ("seed", -1),
+        ("seed", True),
+    ])
+    def test_bad_field_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            normalize_design({"circuit": "seqdet", field: value})
+
+    def test_max_faults_null_means_unlimited(self):
+        spec = normalize_design({"circuit": "seqdet", "max_faults": None})
+        assert spec.max_faults is None
+
+    def test_sweep_and_table1_normalize(self):
+        sweep = normalize_sweep({"circuit": "traffic", "max_latency": 3})
+        assert sweep[0] == "traffic" and sweep[1] == 3
+        circuit, config = normalize_table1(
+            {"circuit": "traffic", "latencies": [1, 2]}
+        )
+        assert circuit == "traffic" and config.latencies == (1, 2)
+        with pytest.raises(ValueError):
+            normalize_table1({"circuit": "traffic", "latencies": []})
+
+
+class TestKeys:
+    def test_identical_requests_share_a_key(self):
+        a = query_key("design", normalize_design({"circuit": "seqdet"}))
+        b = query_key("design", normalize_design({"circuit": "seqdet",
+                                                  "latency": 1}))
+        assert a == b  # explicit default == implicit default
+
+    def test_any_field_change_changes_the_key(self):
+        base = query_key("design", normalize_design({"circuit": "seqdet"}))
+        for params in (
+            {"circuit": "traffic"},
+            {"circuit": "seqdet", "latency": 2},
+            {"circuit": "seqdet", "semantics": "trajectory"},
+            {"circuit": "seqdet", "max_faults": 100},
+            {"circuit": "seqdet", "seed": 1},
+        ):
+            assert query_key("design", normalize_design(params)) != base, params
+
+    def test_kind_is_part_of_the_key(self):
+        spec = normalize_design({"circuit": "seqdet"})
+        assert query_key("design", spec) != query_key("other", spec)
+
+    def test_label(self):
+        assert query_label(
+            "design", normalize_design({"circuit": "seqdet"})
+        ) == "design:seqdet"
+        assert query_label(
+            "sweep", normalize_sweep({"circuit": "traffic"})
+        ) == "sweep:traffic"
+
+
+class TestCanonicalJson:
+    def test_sorted_and_minimal(self):
+        assert canonical_json({"b": 1, "a": [1.5, True]}) == \
+            '{"a":[1.5,true],"b":1}'
+
+    def test_numpy_values_coerced(self):
+        import numpy as np
+
+        assert canonical_json({"q": np.int64(3)}) == '{"q":3}'

@@ -1,0 +1,470 @@
+"""Daemon lifecycle tests: hot cache, coalescing, backpressure, drain.
+
+Most tests inject a gated worker through the ``DesignService(worker=...)``
+hook and run with ``workers=0`` (inline compute on the handler thread),
+which makes concurrency scenarios deterministic: a ``threading.Event``
+holds the leader inside the worker while the test observes coalescing,
+busy rejection or drain behaviour from outside.  A few tests run the real
+:func:`repro.service.queries.service_worker` end to end on small circuits.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.runtime.trace import read_journal
+from repro.service import (
+    RunningService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+)
+
+
+def _config(tmp_path, **overrides) -> ServiceConfig:
+    defaults = dict(
+        port=0,  # ephemeral TCP port
+        workers=0,  # inline compute: handler thread runs the worker
+        hot_cache_size=8,
+        queue_limit=4,
+        cache_dir=str(tmp_path / "cache"),
+    )
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+def _instant_worker(payload, degraded):
+    kind, spec, _cache_dir, _cache_enabled, _trace = payload
+    circuit = getattr(spec, "circuit", None) or spec[0]
+    return {"value": {"kind": kind, "circuit": circuit, "answer": 42}}
+
+
+def _wait_until(predicate, timeout: float = 10.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return bool(predicate())
+
+
+def _result_bytes(raw: bytes) -> bytes:
+    """The ``result`` member's bytes (meta differs by timing; result must not)."""
+    prefix, sep, rest = raw.partition(b'"result":')
+    assert sep, raw
+    return rest
+
+
+class TestEndpoints:
+    def test_healthz_and_stats_shape(self, tmp_path):
+        with RunningService(_config(tmp_path), worker=_instant_worker) as run:
+            client = ServiceClient(run.address, timeout=30)
+            health = client.healthz()
+            assert health["status"] == "ok"
+            assert "version" in health and health["uptime_seconds"] >= 0
+            stats = client.stats()
+            assert stats["requests"]["total"] == 0
+            assert stats["requests"]["by_kind"] == {
+                "design": 0, "sweep": 0, "table1": 0,
+            }
+            assert stats["hot_cache"]["max_entries"] == 8
+            assert stats["queue_limit"] == 4
+            assert stats["inflight"] == 0
+            assert stats["draining"] is False
+            assert stats["disk_cache"] == {"hits": 0, "misses": 0}
+
+    def test_unknown_paths_are_404(self, tmp_path):
+        with RunningService(_config(tmp_path), worker=_instant_worker) as run:
+            client = ServiceClient(run.address, timeout=30)
+            status, body = client.request("GET", "/nope")
+            assert status == 404 and "no such endpoint" in body["error"]
+            status, body = client.request("POST", "/nope", {})
+            assert status == 404 and "no such endpoint" in body["error"]
+
+    def test_bad_bodies_are_400(self, tmp_path):
+        with RunningService(_config(tmp_path), worker=_instant_worker) as run:
+            client = ServiceClient(run.address, timeout=30)
+            # Missing required field.
+            with pytest.raises(ServiceError) as excinfo:
+                client.design()
+            assert excinfo.value.status == 400
+            assert "circuit" in str(excinfo.value)
+            # Unknown field (typo must not silently change the design).
+            with pytest.raises(ServiceError) as excinfo:
+                client.design(circuit="seqdet", latencey=2)
+            assert excinfo.value.status == 400
+            assert "unknown field" in str(excinfo.value)
+            # Unknown circuit.
+            with pytest.raises(ServiceError) as excinfo:
+                client.design(circuit="no-such-circuit")
+            assert excinfo.value.status == 400
+            # Non-object JSON body.
+            status, body = client.request("POST", "/design", [1, 2, 3])
+            assert status == 400 and "JSON object" in body["error"]
+
+    def test_malformed_json_is_400(self, tmp_path):
+        with RunningService(_config(tmp_path), worker=_instant_worker) as run:
+            host, port = run.address.rsplit(":", 1)
+            connection = http.client.HTTPConnection(host, int(port), timeout=30)
+            try:
+                connection.request(
+                    "POST", "/design", body=b"{not json",
+                    headers={"Content-Type": "application/json",
+                             "Content-Length": "9"},
+                )
+                response = connection.getresponse()
+                body = json.loads(response.read())
+            finally:
+                connection.close()
+            assert response.status == 400
+            assert "invalid JSON body" in body["error"]
+
+    def test_worker_exception_is_500(self, tmp_path):
+        def broken_worker(payload, degraded):
+            raise RuntimeError("worker exploded")
+
+        with RunningService(_config(tmp_path), worker=broken_worker) as run:
+            client = ServiceClient(run.address, timeout=30)
+            with pytest.raises(ServiceError) as excinfo:
+                client.design(circuit="seqdet")
+            assert excinfo.value.status == 500
+            assert "worker exploded" in str(excinfo.value)
+            stats = client.stats()
+            assert stats["requests"]["errors"] == 1
+            assert stats["inflight"] == 0  # flight cleaned up after failure
+
+
+class TestHotPath:
+    def test_cold_then_hot_is_byte_identical(self, tmp_path):
+        params = {"circuit": "seqdet", "max_faults": 60}
+        with RunningService(_config(tmp_path)) as run:  # real worker
+            client = ServiceClient(run.address, timeout=300)
+            status1, raw1 = client.request_raw("POST", "/design", params)
+            status2, raw2 = client.request_raw("POST", "/design", params)
+            assert status1 == status2 == 200
+            body1 = json.loads(raw1)
+            body2 = json.loads(raw2)
+            assert body1["meta"]["hot_cache"] is False
+            assert body2["meta"]["hot_cache"] is True
+            # Acceptance: warm serve of a cached circuit under 50 ms.
+            assert body2["meta"]["elapsed_ms"] < 50
+            assert _result_bytes(raw1) == _result_bytes(raw2)
+            result = body1["result"]
+            assert result["circuit"] == "seqdet"
+            assert result["q"] >= 1 and len(result["betas"]) == result["q"]
+            assert result["gates"] > result["original"]["gates"]
+            stats = client.stats()
+            assert stats["requests"]["total"] == 2
+            assert stats["requests"]["computed"] == 1
+            assert stats["requests"]["hot_cache_hits"] == 1
+            assert stats["requests"]["by_kind"]["design"] == 2
+            assert stats["hot_cache"]["hits"] == 1
+            assert stats["hot_cache"]["entries"] == 1
+
+    def test_determinism_across_daemon_instances(self, tmp_path):
+        # No disk cache, two independent daemons: byte-identical results
+        # means every random choice derives from the request, not from
+        # daemon state.
+        params = {"circuit": "seqdet", "max_faults": 60}
+        bodies = []
+        for instance in ("a", "b"):
+            config = _config(tmp_path / instance, cache=False)
+            with RunningService(config) as run:  # real worker
+                client = ServiceClient(run.address, timeout=300)
+                _status, raw = client.request_raw("POST", "/design", params)
+                bodies.append(raw)
+        assert _result_bytes(bodies[0]) == _result_bytes(bodies[1])
+
+    def test_default_fields_share_one_hot_entry(self, tmp_path):
+        # Explicit defaults and implicit defaults are the same query.
+        with RunningService(_config(tmp_path), worker=_instant_worker) as run:
+            client = ServiceClient(run.address, timeout=30)
+            first = client.design(circuit="seqdet")
+            second = client.design(circuit="seqdet", latency=1, seed=2004)
+            assert first["meta"]["hot_cache"] is False
+            assert second["meta"]["hot_cache"] is True
+            assert first["meta"]["key"] == second["meta"]["key"]
+
+
+class TestCoalescing:
+    def test_concurrent_identical_requests_share_one_computation(
+        self, tmp_path
+    ):
+        gate = threading.Event()
+        entered = threading.Event()
+        calls = []
+
+        def gated_worker(payload, degraded):
+            calls.append(payload[0])
+            entered.set()
+            assert gate.wait(timeout=30)
+            return _instant_worker(payload, degraded)
+
+        with RunningService(_config(tmp_path), worker=gated_worker) as run:
+            client = ServiceClient(run.address, timeout=60)
+            results: list[tuple[int, bytes]] = [None, None]
+
+            def query(slot: int) -> None:
+                results[slot] = client.request_raw(
+                    "POST", "/design", {"circuit": "seqdet"}
+                )
+
+            threads = [
+                threading.Thread(target=query, args=(slot,))
+                for slot in (0, 1)
+            ]
+            try:
+                threads[0].start()
+                assert entered.wait(timeout=10)  # leader is inside the worker
+                threads[1].start()
+                # The follower joined the flight (counter bumps at join
+                # time, before it starts waiting).
+                assert _wait_until(
+                    lambda: run.service.stats()["requests"]["coalesced"] == 1
+                )
+            finally:
+                gate.set()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert len(calls) == 1  # exactly one computation
+            statuses = [status for status, _raw in results]
+            assert statuses == [200, 200]
+            metas = [json.loads(raw)["meta"] for _status, raw in results]
+            # Acceptance: coalesced true on exactly one of the two.
+            assert sorted(meta["coalesced"] for meta in metas) == [False, True]
+            assert all(meta["hot_cache"] is False for meta in metas)
+            raws = [_result_bytes(raw) for _status, raw in results]
+            assert raws[0] == raws[1]
+            stats = run.service.stats()
+            assert stats["requests"]["computed"] == 1
+            assert stats["requests"]["coalesced"] == 1
+            assert stats["requests"]["total"] == 2
+
+
+class TestBackpressure:
+    def test_excess_leaders_get_429(self, tmp_path):
+        gate = threading.Event()
+        entered = threading.Event()
+
+        def gated_worker(payload, degraded):
+            entered.set()
+            assert gate.wait(timeout=30)
+            return _instant_worker(payload, degraded)
+
+        config = _config(tmp_path, queue_limit=1)
+        with RunningService(config, worker=gated_worker) as run:
+            client = ServiceClient(run.address, timeout=60)
+            holder: dict = {}
+
+            def query() -> None:
+                holder["body"] = client.design(circuit="seqdet")
+
+            thread = threading.Thread(target=query)
+            try:
+                thread.start()
+                assert entered.wait(timeout=10)
+                # A *different* query needs a new leader slot: rejected.
+                with pytest.raises(ServiceError) as excinfo:
+                    client.design(circuit="traffic")
+                assert excinfo.value.status == 429
+                assert excinfo.value.busy
+                assert "busy" in str(excinfo.value)
+            finally:
+                gate.set()
+            thread.join(timeout=30)
+            assert holder["body"]["result"]["circuit"] == "seqdet"
+            stats = run.service.stats()
+            assert stats["requests"]["busy_rejections"] == 1
+            assert stats["requests"]["computed"] == 1
+
+
+class TestDrain:
+    def test_drain_finishes_inflight_and_rejects_new(self, tmp_path):
+        gate = threading.Event()
+        entered = threading.Event()
+
+        def gated_worker(payload, degraded):
+            entered.set()
+            assert gate.wait(timeout=30)
+            return _instant_worker(payload, degraded)
+
+        with RunningService(_config(tmp_path), worker=gated_worker) as run:
+            client = ServiceClient(run.address, timeout=60)
+            holder: dict = {}
+
+            def query() -> None:
+                holder["body"] = client.design(circuit="seqdet")
+
+            thread = threading.Thread(target=query)
+            try:
+                thread.start()
+                assert entered.wait(timeout=10)
+                run.service.begin_drain()
+                # New queries are shed immediately...
+                with pytest.raises(ServiceError) as excinfo:
+                    client.design(circuit="traffic")
+                assert excinfo.value.status == 503
+                assert excinfo.value.busy
+                assert "draining" in str(excinfo.value)
+                # ...and health reports draining with a 503.
+                health = client.healthz()
+                assert health["status"] == "draining"
+            finally:
+                gate.set()
+            thread.join(timeout=30)
+            # The in-flight request completed normally during the drain.
+            assert holder["body"]["result"]["circuit"] == "seqdet"
+            assert run.service.wait_idle(timeout=10)
+
+    @pytest.mark.parametrize("transport", ["tcp", "unix"])
+    def test_sigterm_drains_subprocess_daemon(self, tmp_path, transport):
+        if transport == "unix":
+            address = f"unix:{tmp_path / 'daemon.sock'}"
+            listen = ["--socket", str(tmp_path / "daemon.sock")]
+        else:
+            address = "127.0.0.1:18537"
+            listen = ["--host", "127.0.0.1", "--port", "18537"]
+        env = dict(os.environ)
+        env["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
+        src = Path(__file__).resolve().parents[2] / "src"
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(src)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--workers", "0",
+             *listen],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            client = ServiceClient(address, timeout=300)
+            assert client.ping(attempts=100, delay=0.1), "daemon never came up"
+            holder: dict = {}
+
+            def query() -> None:
+                holder["body"] = client.design(circuit="seqdet", max_faults=60)
+
+            thread = threading.Thread(target=query)
+            thread.start()
+            time.sleep(0.3)  # let the request reach the daemon
+            proc.send_signal(signal.SIGTERM)
+            thread.join(timeout=300)
+            assert not thread.is_alive()
+            # The in-flight request was answered, not dropped.
+            assert holder["body"]["result"]["circuit"] == "seqdet"
+            out, _ = proc.communicate(timeout=60)
+            assert proc.returncode == 0, out
+            assert "draining" in out
+            assert "drained:" in out
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        if transport == "unix":
+            assert not (tmp_path / "daemon.sock").exists()  # socket removed
+
+
+class TestUnixSocket:
+    def test_serve_over_unix_socket(self, tmp_path):
+        socket_path = tmp_path / "service.sock"
+        config = _config(tmp_path, socket_path=str(socket_path))
+        with RunningService(config, worker=_instant_worker) as run:
+            assert run.address == f"unix:{socket_path}"
+            client = ServiceClient(run.address, timeout=30)
+            assert client.healthz()["status"] == "ok"
+            body = client.design(circuit="seqdet")
+            assert body["result"]["circuit"] == "seqdet"
+        assert not socket_path.exists()  # cleaned up on close
+
+
+class TestJournal:
+    def test_requests_and_worker_traces_land_in_the_journal(self, tmp_path):
+        def traced_worker(payload, degraded):
+            envelope = _instant_worker(payload, degraded)
+            envelope["trace"] = [
+                {"type": "event", "span": None, "name": "probe",
+                 "t": 0.0, "attrs": {"value": 1}},
+            ]
+            return envelope
+
+        journal_path = tmp_path / "journal.jsonl"
+        config = _config(tmp_path, journal_path=str(journal_path))
+        with RunningService(config, worker=traced_worker) as run:
+            client = ServiceClient(run.address, timeout=30)
+            client.design(circuit="seqdet")  # computed
+            client.design(circuit="seqdet")  # hot
+        records = read_journal(journal_path)
+        assert records[0]["type"] == "header"
+        assert records[0]["name"] == "serve"
+        requests = [r for r in records if r["type"] == "request"]
+        assert [r["status"] for r in requests] == ["computed", "hot"]
+        for record in requests:
+            assert record["kind"] == "design"
+            assert record["job"] == "design:seqdet"
+            assert len(record["key"]) == 16
+            assert record["seconds"] >= 0
+        events = [r for r in records if r["type"] == "event"]
+        assert events and events[0]["name"] == "probe"
+        assert events[0]["job"] == "design:seqdet"  # stamped by the daemon
+        assert records[-1]["type"] == "summary"
+        assert records[-1]["requests"]["total"] == 2
+
+
+class TestCliDelegation:
+    def test_design_server_flag_delegates(self, tmp_path, capsys):
+        from repro.cli import main
+
+        with RunningService(_config(tmp_path)) as run:  # real worker
+            rc = main([
+                "design", "seqdet", "--server", run.address,
+                "--max-faults", "60",
+            ])
+            assert rc == 0
+            out = capsys.readouterr().out
+            assert "seqdet: latency=1" in out
+            assert "parity vectors:" in out
+            assert f"served by {run.address}" in out
+            # Same query again: served from the daemon's hot cache.
+            rc = main([
+                "design", "seqdet", "--server", run.address,
+                "--max-faults", "60",
+            ])
+            assert rc == 0
+            assert "hot_cache=true" in capsys.readouterr().out
+
+    def test_design_server_verify_is_local_only(self, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "design", "seqdet", "--server", "127.0.0.1:1", "--verify",
+        ])
+        assert rc == 2
+        assert "--verify runs locally" in capsys.readouterr().err
+
+    def test_design_server_unreachable_is_transient_error(self, capsys):
+        from repro.cli import main
+
+        rc = main(["design", "seqdet", "--server", "127.0.0.1:1"])
+        assert rc == 3
+        assert "cannot reach server" in capsys.readouterr().err
+
+    def test_design_server_bad_request_is_usage_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        with RunningService(_config(tmp_path), worker=_instant_worker) as run:
+            rc = main([
+                "design", "seqdet", "--server", run.address,
+                "--semantics", "checker", "--max-faults", "-5",
+            ])
+            assert rc == 2
+            assert "max_faults" in capsys.readouterr().err

@@ -1,0 +1,93 @@
+"""Tests for the in-memory LRU hot cache."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.service.hotcache import HotCache
+
+
+class TestHotCache:
+    def test_get_put_roundtrip(self):
+        cache = HotCache(max_entries=4)
+        assert cache.get("k") == (False, None)
+        cache.put("k", "body")
+        assert cache.get("k") == (True, "body")
+        assert len(cache) == 1
+
+    def test_lru_eviction_order(self):
+        cache = HotCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts a (least recently used)
+        assert cache.get("a") == (False, None)
+        assert cache.get("b") == (True, 2)
+        assert cache.get("c") == (True, 3)
+        assert cache.stats().evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = HotCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == (True, 1)  # a is now most recent
+        cache.put("c", 3)  # evicts b, not a
+        assert cache.get("a") == (True, 1)
+        assert cache.get("b") == (False, None)
+
+    def test_put_refreshes_recency_and_overwrites(self):
+        cache = HotCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # overwrite refreshes too
+        cache.put("c", 3)  # evicts b
+        assert cache.get("a") == (True, 10)
+        assert cache.get("b") == (False, None)
+        assert len(cache) == 2
+
+    def test_stats_counters(self):
+        cache = HotCache(max_entries=8)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        cache.get("missing")
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.evictions) == (2, 1, 0)
+        assert stats.entries == 1 and stats.max_entries == 8
+        assert stats.as_dict()["hits"] == 2
+
+    def test_clear_keeps_counters(self):
+        cache = HotCache(max_entries=8)
+        cache.put("a", 1)
+        cache.get("a")
+        assert cache.clear() == 1
+        assert len(cache) == 0
+        assert cache.stats().hits == 1
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            HotCache(max_entries=0)
+
+    def test_thread_safety_smoke(self):
+        cache = HotCache(max_entries=32)
+        errors = []
+
+        def worker(base: int) -> None:
+            try:
+                for i in range(200):
+                    key = f"k{(base + i) % 64}"
+                    cache.put(key, i)
+                    cache.get(key)
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(n,)) for n in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 32
