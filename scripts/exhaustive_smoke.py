@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""CI smoke test for the exhaustive verification tier.
+
+Proves the bounded-latency property exactly on the hand-written small
+circuits at p in {1, 2} and checks the certificate contract end to end:
+
+1. Every certificate is ``mode: "exhaustive"`` and the bound holds
+   (zero escaping faults on shipped designs).
+2. Certificates are byte-identical across a cold run, a warm (artifact
+   cache hit) run, and a cache-free run — the canonical JSON carries no
+   wall-clock or host data.
+3. Every proved per-fault worst-case latency respects the bound.
+4. The CLI agrees: ``repro-ced verify --exhaustive`` exits 0 and writes
+   the same canonical JSON it printed facts about.
+
+Run as ``python scripts/exhaustive_smoke.py``.  Exit code 0 = all
+checks passed.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.fsm.benchmarks import HAND_WRITTEN  # noqa: E402
+from repro.runtime.cache import ArtifactCache, NullCache  # noqa: E402
+from repro.verification.certificate import (  # noqa: E402
+    certificate_json,
+    parse_certificate,
+)
+from repro.verification.exhaustive import (  # noqa: E402
+    ExhaustiveConfig,
+    verify_exhaustive,
+)
+
+LATENCIES = (1, 2)
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"FAIL: {message}", file=sys.stderr)
+        sys.exit(1)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as scratch:
+        cache = ArtifactCache(Path(scratch) / "cache")
+        for circuit in HAND_WRITTEN:
+            for latency in LATENCIES:
+                config = ExhaustiveConfig(latency=latency)
+                cold = verify_exhaustive(circuit, config, cache=cache)
+                warm = verify_exhaustive(circuit, config, cache=cache)
+                fresh = verify_exhaustive(circuit, config, cache=NullCache())
+
+                check(
+                    cold["mode"] == "exhaustive",
+                    f"{circuit} p={latency}: expected exhaustive mode, "
+                    f"got {cold['mode']}",
+                )
+                check(
+                    cold["summary"]["bound_holds"],
+                    f"{circuit} p={latency}: bound violated: "
+                    f"{cold['escapes']}",
+                )
+                check(
+                    all(
+                        int(k) <= latency
+                        for k in cold["latency_histogram"]
+                    ),
+                    f"{circuit} p={latency}: histogram exceeds the bound",
+                )
+                cold_bytes = certificate_json(cold)
+                check(
+                    cold_bytes == certificate_json(warm),
+                    f"{circuit} p={latency}: cold vs cache-served "
+                    "certificates differ",
+                )
+                check(
+                    cold_bytes == certificate_json(fresh),
+                    f"{circuit} p={latency}: certificates differ across "
+                    "independent runs",
+                )
+                parse_certificate(cold_bytes)
+                print(
+                    f"ok: {circuit} p={latency} "
+                    f"({cold['summary']['proved']} faults proved, "
+                    f"worst latency {cold['summary']['worst_latency']})"
+                )
+
+        # CLI agreement on one circuit: exit code and written certificate.
+        target = Path(scratch) / "certificate.json"
+        completed = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "verify", "seqdet",
+                "--latency", "2", "--exhaustive", "--no-cache",
+                "--certificate", str(target),
+            ],
+            cwd=REPO,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        check(
+            completed.returncode == 0,
+            f"CLI verify --exhaustive failed:\n{completed.stdout}"
+            f"{completed.stderr}",
+        )
+        check("BOUND HOLDS" in completed.stdout, "CLI did not report the bound")
+        written = parse_certificate(target.read_text())
+        reference = verify_exhaustive("seqdet", ExhaustiveConfig(latency=2))
+        check(
+            certificate_json(written) == certificate_json(reference),
+            "CLI-written certificate differs from the library's",
+        )
+        print("ok: CLI certificate is byte-identical to the library's")
+    print("exhaustive smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,7 +6,9 @@ Installed as ``repro-ced`` (also ``python -m repro``).  Subcommands:
 * ``synth CIRCUIT``    — synthesize and print gate/cost statistics;
 * ``design CIRCUIT``   — full bounded-latency CED design (+ verification);
 * ``verify CIRCUIT``   — fault-injection check of the latency guarantee
-  (exit 1 on violations; accepts ``--kiss PATH`` for external machines);
+  (exit 1 on violations; accepts ``--kiss PATH`` for external machines;
+  ``--exhaustive`` proves the bound exactly and emits a machine-readable
+  certificate, see ``docs/certificate-schema.md``);
 * ``fuzz``             — coverage-guided differential fuzzing of the
   whole pipeline (exit 1 on discrepancies);
 * ``sweep CIRCUIT...`` — latency-saturation curves;
@@ -55,6 +57,15 @@ from repro.runtime.trace import JournalWriter, Tracer, use_tracer
 from repro.util.tables import format_table
 
 
+class CliError(Exception):
+    """A user-input error: printed as ``error: ...`` and exits 2.
+
+    The same convention :class:`UnknownBenchmarkError` gets from
+    :func:`main` — raise this instead of hand-rolling print-and-return-2
+    in subcommand handlers.
+    """
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -74,7 +85,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     }[args.command]
     try:
         return handler(args)
-    except UnknownBenchmarkError as error:
+    except (UnknownBenchmarkError, CliError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     except BrokenPipeError:  # e.g. `repro-ced list | head`
@@ -82,6 +93,35 @@ def main(argv: Sequence[str] | None = None) -> int:
 
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
+
+
+def _load_fsm(circuit: str | None, kiss: str | None):
+    """Load from a benchmark name or a KISS file, with uniform errors.
+
+    Benchmark typos propagate :class:`UnknownBenchmarkError` (nearest-match
+    suggestion included); unreadable or malformed KISS files become
+    :class:`CliError` — both reach the user as ``error: ...`` + exit 2
+    instead of a traceback.
+    """
+    if (circuit is None) == (kiss is None):
+        raise CliError("give exactly one of CIRCUIT or --kiss PATH")
+    if kiss is not None:
+        from repro.fsm.kiss import parse_kiss_file
+
+        try:
+            return parse_kiss_file(kiss)
+        except OSError as error:
+            raise CliError(f"cannot read KISS file {kiss!r}: "
+                           f"{error.strerror or error}") from error
+        except ValueError as error:
+            raise CliError(f"bad KISS file {kiss!r}: {error}") from error
+    return load_benchmark(circuit)
+
+
+def _check_circuits(circuits: Sequence[str]) -> None:
+    """Fail fast on benchmark typos — before forking workers."""
+    for circuit in circuits:
+        load_benchmark(circuit)
 
 
 def _add_runtime_flags(
@@ -155,7 +195,21 @@ def _build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--encoding", default="binary",
                         choices=("binary", "gray", "onehot", "weighted"))
     verify.add_argument("--max-faults", type=int, default=800)
-    _add_runtime_flags(verify, jobs=False)
+    verify.add_argument("--exhaustive", action="store_true",
+                        help="prove the bound exactly (breadth-first search "
+                        "over every reachable fault activation) instead of "
+                        "sampling it; exit 1 on any escape")
+    verify.add_argument("--state-budget", type=int, default=None,
+                        metavar="N",
+                        help="with --exhaustive: fall back to the sampled "
+                        "verifier above N enumerated (state, input) "
+                        "patterns (default 65536); the certificate is "
+                        "then marked mode=sampled")
+    verify.add_argument("--certificate", metavar="PATH",
+                        help="with --exhaustive: write the machine-readable "
+                        "certificate (canonical JSON, see "
+                        "docs/certificate-schema.md)")
+    _add_runtime_flags(verify, jobs=False, journal=True)
 
     fuzz = sub.add_parser(
         "fuzz",
@@ -431,16 +485,9 @@ def _cmd_design(args: argparse.Namespace) -> int:
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
-    if (args.circuit is None) == (args.kiss is None):
-        print("error: give exactly one of CIRCUIT or --kiss PATH",
-              file=sys.stderr)
-        return 2
-    if args.kiss:
-        from repro.fsm.kiss import parse_kiss_file
-
-        fsm = parse_kiss_file(args.kiss)
-    else:
-        fsm = load_benchmark(args.circuit)
+    fsm = _load_fsm(args.circuit, args.kiss)
+    if args.exhaustive:
+        return _cmd_verify_exhaustive(args, fsm)
     cache = open_cache(args.cache_dir, enabled=not args.no_cache)
     design = design_ced(
         fsm,
@@ -460,6 +507,49 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     if len(report.violations) > 10:
         print(f"  ... and {len(report.violations) - 10} more")
     return 0 if report.clean else 1
+
+
+def _cmd_verify_exhaustive(args: argparse.Namespace, fsm) -> int:
+    """``verify --exhaustive``: prove the bound, emit the certificate."""
+    from pathlib import Path
+
+    from repro.verification.certificate import (
+        certificate_json,
+        render_certificate,
+    )
+    from repro.verification.exhaustive import (
+        DEFAULT_STATE_BUDGET,
+        ExhaustiveConfig,
+        verify_exhaustive,
+    )
+
+    config = ExhaustiveConfig(
+        latency=args.latency,
+        semantics=args.semantics,
+        encoding=args.encoding,
+        max_faults=args.max_faults,
+        state_budget=(
+            args.state_budget
+            if args.state_budget is not None
+            else DEFAULT_STATE_BUDGET
+        ),
+    )
+    cache = open_cache(args.cache_dir, enabled=not args.no_cache)
+    tracer = Tracer() if args.journal else None
+    context = use_tracer(tracer) if tracer is not None else nullcontext()
+    with context:
+        certificate = verify_exhaustive(fsm, config, cache=cache)
+    if tracer is not None:
+        with JournalWriter(args.journal, name=f"verify-{fsm.name}") as writer:
+            writer.write_all(tracer.records, job=fsm.name)
+        print(f"journal written to {args.journal}")
+    print(render_certificate(certificate))
+    if args.certificate:
+        path = Path(args.certificate)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(certificate_json(certificate) + "\n")
+        print(f"certificate written to {args.certificate}")
+    return 0 if certificate["summary"]["bound_holds"] else 1
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -504,8 +594,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    for circuit in args.circuits:  # fail fast, before forking workers
-        load_benchmark(circuit)
+    _check_circuits(args.circuits)
     options = CampaignOptions(
         jobs=args.jobs,
         cache_dir=args.cache_dir,
@@ -527,8 +616,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
-    for circuit in args.circuits:
-        load_benchmark(circuit)
+    _check_circuits(args.circuits)
     config = Table1Config(
         semantics=args.semantics, max_faults=args.max_faults, seed=args.seed
     )
@@ -559,8 +647,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
-    for circuit in args.circuits:
-        load_benchmark(circuit)
+    _check_circuits(args.circuits)
     jobs = design_matrix_jobs(
         args.circuits,
         latencies=args.latencies,

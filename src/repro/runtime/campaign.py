@@ -21,7 +21,11 @@ Three job kinds are understood:
   fuzzer (:func:`repro.verification.oracle.run_oracle`) on a machine
   shipped as KISS text in the spec (``repro-ced fuzz`` runs its whole
   campaign through this kind, inheriting timeouts, retries and the
-  shared artifact cache).
+  shared artifact cache);
+* ``verify-exhaustive`` — one exact bounded-latency verification
+  (:func:`repro.verification.exhaustive.verify_exhaustive`) producing a
+  machine-readable certificate (the ``repro-ced verify --exhaustive``
+  engine, batched).
 
 Jobs are independent pure functions of their spec, so results are
 bit-identical regardless of ``--jobs``, scheduling order or cache state.
@@ -49,7 +53,7 @@ from repro.runtime.executor import ExecutorConfig, job_seed, run_jobs
 from repro.runtime.metrics import MetricsRecorder
 from repro.runtime.trace import JournalWriter, Tracer, use_tracer
 
-JOB_KINDS = ("design", "table1-row", "sweep", "fuzz")
+JOB_KINDS = ("design", "table1-row", "sweep", "fuzz", "verify-exhaustive")
 
 
 # ----------------------------------------------------------------------
@@ -183,6 +187,18 @@ def table1_jobs(circuits: Sequence[str], config: Any) -> list[CampaignJob]:
     ]
 
 
+def verify_exhaustive_jobs(
+    circuits: Sequence[str], config: Any
+) -> list[CampaignJob]:
+    """One ``verify-exhaustive`` job (circuit, ExhaustiveConfig) per circuit."""
+    return [
+        CampaignJob(
+            kind="verify-exhaustive", name=circuit, spec=(circuit, config)
+        )
+        for circuit in circuits
+    ]
+
+
 # ----------------------------------------------------------------------
 # Worker side
 # ----------------------------------------------------------------------
@@ -293,11 +309,21 @@ def _run_fuzz(spec: tuple, cache, recorder, degraded: bool) -> dict:
     }
 
 
+def _run_verify_exhaustive(spec: tuple, cache, recorder, degraded: bool) -> dict:
+    from repro.verification.exhaustive import verify_exhaustive
+
+    circuit, config = spec
+    return verify_exhaustive(
+        circuit, config, cache=cache, recorder=recorder, degraded=degraded
+    )
+
+
 _DISPATCH: dict[str, Callable] = {
     "design": _run_design,
     "table1-row": _run_table1_row,
     "sweep": _run_sweep,
     "fuzz": _run_fuzz,
+    "verify-exhaustive": _run_verify_exhaustive,
 }
 
 

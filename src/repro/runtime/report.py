@@ -6,7 +6,9 @@
 * ``journal.jsonl``  — the traced run journal (``repro.runtime.trace``);
 * ``manifest.json``  — the campaign manifest (``repro.runtime.campaign``);
 * ``table1.json``    — machine-readable Table-1 results
-  (``repro.experiments.report``).
+  (``repro.experiments.report``);
+* ``certificate.json`` — a bounded-latency verification certificate
+  (``repro.verification.certificate``, ``docs/certificate-schema.md``).
 
 ``summarize_run`` renders whatever is present as a human-readable
 summary: per-job status/attempts/timeouts, per-stage wall time, solver
@@ -56,10 +58,16 @@ class RunData:
     journal: list[dict] | None = None
     manifest: dict | None = None
     table: dict | None = None
+    certificate: dict | None = None
 
     @property
     def empty(self) -> bool:
-        return self.journal is None and self.manifest is None and self.table is None
+        return (
+            self.journal is None
+            and self.manifest is None
+            and self.table is None
+            and self.certificate is None
+        )
 
 
 def load_run(path: str | Path, label: str | None = None) -> RunData:
@@ -75,19 +83,23 @@ def load_run(path: str | Path, label: str | None = None) -> RunData:
         journal = path / "journal.jsonl"
         manifest = path / "manifest.json"
         table = path / "table1.json"
+        certificate = path / "certificate.json"
         if journal.is_file():
             run.journal = read_journal(journal)
         if manifest.is_file():
             run.manifest = json.loads(manifest.read_text())
         if table.is_file():
             run.table = json.loads(table.read_text())
+        if certificate.is_file():
+            run.certificate = json.loads(certificate.read_text())
     elif path.is_file():
         _classify_file(path, run)
     else:
         raise ValueError(f"{path}: no such file or directory")
     if run.empty:
         raise ValueError(
-            f"{path}: no journal.jsonl / manifest.json / table1.json found"
+            f"{path}: no journal.jsonl / manifest.json / table1.json / "
+            "certificate.json found"
         )
     return run
 
@@ -103,6 +115,8 @@ def _classify_file(path: Path, run: RunData) -> None:
         run.table = payload
     elif "jobs" in payload and "totals" in payload:
         run.manifest = payload
+    elif payload.get("kind") == "bounded-latency-certificate":
+        run.certificate = payload
     else:
         raise ValueError(f"{path}: not a recognised run artifact")
 
@@ -191,7 +205,18 @@ def summarize_run(run: RunData) -> str:
         sections.append(_summarize_manifest(run.manifest))
     if run.table is not None:
         sections.append(_summarize_table(run.table))
+    if run.certificate is not None:
+        sections.append(_summarize_certificate(run.certificate))
     return "\n\n".join(sections)
+
+
+def _summarize_certificate(certificate: dict) -> str:
+    from repro.verification.certificate import render_certificate
+
+    try:
+        return "certificate:\n" + render_certificate(certificate)
+    except KeyError as error:  # stale/foreign file: show, don't crash
+        return f"certificate: unreadable (missing key {error})"
 
 
 def _summarize_journal(records: list[dict]) -> str:
@@ -310,7 +335,7 @@ class Finding:
     """One flagged difference between two runs."""
 
     severity: str  # "regression" | "improvement" | "info"
-    metric: str  # "q" | "cost" | "runtime" | "status"
+    metric: str  # "q" | "cost" | "runtime" | "status" | "escapes" | "latency"
     subject: str  # e.g. "ex1 p2"
     before: Any
     after: Any
@@ -338,6 +363,8 @@ def diff_runs(base: RunData, new: RunData) -> list[Finding]:
         findings.extend(_diff_tables(base.table, new.table))
     if base.manifest is not None and new.manifest is not None:
         findings.extend(_diff_manifests(base.manifest, new.manifest))
+    if base.certificate is not None and new.certificate is not None:
+        findings.extend(_diff_certificates(base.certificate, new.certificate))
     order = {"regression": 0, "improvement": 1, "info": 2}
     findings.sort(key=lambda f: (order[f.severity], f.metric, f.subject))
     return findings
@@ -435,6 +462,65 @@ def _diff_manifests(base: dict, new: dict) -> list[Finding]:
                 f"{old_wall:.1f}s", f"{new_wall:.1f}s",
                 f"{100 * rel:+.0f}% (advisory)",
             ))
+    return findings
+
+
+def _diff_certificates(base: dict, new: dict) -> list[Finding]:
+    """Certificate-vs-certificate findings.
+
+    A lost bound or any new escape is a blocking regression; so is a
+    worst-case latency increase (the certificate's headline number is
+    exact, so there is no noise floor).  Mode changes (exhaustive →
+    sampled means the claim got *weaker*) are reported as info.
+    """
+    findings: list[Finding] = []
+    subject = new.get("circuit", base.get("circuit", "?"))
+    old_summary = base.get("summary", {})
+    new_summary = new.get("summary", {})
+    old_holds = old_summary.get("bound_holds")
+    new_holds = new_summary.get("bound_holds")
+    if old_holds != new_holds:
+        findings.append(Finding(
+            "regression" if old_holds and not new_holds else "improvement",
+            "status", subject,
+            "bound holds" if old_holds else "bound violated",
+            "bound holds" if new_holds else "bound violated",
+        ))
+    old_escaped = old_summary.get("escaped", 0)
+    new_escaped = new_summary.get("escaped", 0)
+    if old_escaped != new_escaped:
+        findings.append(Finding(
+            "regression" if new_escaped > old_escaped else "improvement",
+            "escapes", subject, old_escaped, new_escaped,
+            "escaping faults changed",
+        ))
+    old_worst = old_summary.get("worst_latency")
+    new_worst = new_summary.get("worst_latency")
+    if old_worst != new_worst and None not in (old_worst, new_worst):
+        findings.append(Finding(
+            "regression" if new_worst > old_worst else "improvement",
+            "latency", subject, old_worst, new_worst,
+            "exact worst-case detection latency changed",
+        ))
+    old_q = base.get("design", {}).get("q")
+    new_q = new.get("design", {}).get("q")
+    if old_q != new_q:
+        findings.append(Finding(
+            "regression" if (new_q or 0) > (old_q or 0) else "improvement",
+            "q", subject, old_q, new_q, "parity-tree count changed",
+        ))
+    if base.get("mode") != new.get("mode"):
+        findings.append(Finding(
+            "info", "status", subject,
+            f"mode={base.get('mode')}", f"mode={new.get('mode')}",
+            "verification mode changed",
+        ))
+    if base.get("latency_histogram") != new.get("latency_histogram"):
+        findings.append(Finding(
+            "info", "latency", subject,
+            base.get("latency_histogram"), new.get("latency_histogram"),
+            "latency histogram changed",
+        ))
     return findings
 
 

@@ -128,6 +128,9 @@ class ServiceClient:
     def table1(self, **params: Any) -> dict:
         return self.call("table1", **params)
 
+    def verify(self, **params: Any) -> dict:
+        return self.call("verify", **params)
+
     def healthz(self) -> dict:
         status, body = self.request("GET", "/healthz")
         if status not in (200, 503):

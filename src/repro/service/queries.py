@@ -165,6 +165,31 @@ def normalize_table1(params: dict) -> tuple:
     return (_circuit(fields["circuit"], seed), config)
 
 
+def normalize_verify(params: dict) -> tuple:
+    """One exact verification; defaults mirror ``repro-ced verify --exhaustive``."""
+    from repro.verification.exhaustive import (
+        DEFAULT_STATE_BUDGET,
+        ExhaustiveConfig,
+    )
+
+    fields = _take(params, {
+        "circuit": None, "latency": 1, "semantics": "checker",
+        "encoding": "binary", "max_faults": 800, "multilevel": False,
+        "seed": 2004, "state_budget": DEFAULT_STATE_BUDGET,
+    })
+    seed = _int_field(fields["seed"], "seed", 0)
+    config = ExhaustiveConfig(
+        latency=_int_field(fields["latency"], "latency", 1),
+        semantics=_choice(fields["semantics"], "semantics", SEMANTICS),
+        encoding=_choice(fields["encoding"], "encoding", ENCODINGS),
+        max_faults=_max_faults(fields["max_faults"]),
+        multilevel=bool(fields["multilevel"]),
+        seed=seed,
+        state_budget=_int_field(fields["state_budget"], "state_budget", 1),
+    )
+    return (_circuit(fields["circuit"], seed), config)
+
+
 def query_key(kind: str, spec: Any) -> str:
     """Content key of a normalised query (shares the disk cache's salt)."""
     return fingerprint("service", kind, spec)
@@ -250,11 +275,21 @@ def _run_table1_query(spec: tuple, cache, recorder, degraded):
     return _brief(_run_table1_row(spec, cache, recorder, degraded))
 
 
+def _run_verify_query(spec: tuple, cache, recorder, degraded):
+    from repro.verification.exhaustive import verify_exhaustive
+
+    circuit, config = spec
+    return verify_exhaustive(
+        circuit, config, cache=cache, recorder=recorder, degraded=degraded
+    )
+
+
 #: kind -> (normalize, runner); the daemon routes ``POST /<kind>`` here.
 QUERY_KINDS: dict[str, tuple[Callable, Callable]] = {
     "design": (normalize_design, _run_design_query),
     "sweep": (normalize_sweep, _run_sweep_query),
     "table1": (normalize_table1, _run_table1_query),
+    "verify": (normalize_verify, _run_verify_query),
 }
 
 

@@ -23,12 +23,36 @@ systematic adversary:
 * :mod:`repro.verification.fuzzer` — the driver: batches of fuzzed
   machines through the campaign executor (parallel, per-job timeouts,
   bounded retry, shared artifact cache), a JSON discrepancy manifest, and
-  auto-shrunk reproducers written back to the corpus.
+  auto-shrunk reproducers written back to the corpus;
+* :mod:`repro.verification.exhaustive` — the exact tier: a breadth-first
+  product-machine search that *proves* the bounded-latency property per
+  collapsed fault (exact worst-case latency, or a replayable escape
+  witness) instead of sampling it, degrading to the fuzzer above a state
+  budget;
+* :mod:`repro.verification.certificate` — versioned, byte-stable
+  machine-readable certificates recording what the exact tier
+  established.
 
-CLI entry point: ``repro-ced fuzz``.
+CLI entry points: ``repro-ced fuzz``, ``repro-ced verify --exhaustive``.
 """
 
+from repro.verification.certificate import (
+    CERTIFICATE_KIND,
+    CERTIFICATE_SCHEMA,
+    certificate_json,
+    parse_certificate,
+    render_certificate,
+    validate_certificate,
+)
 from repro.verification.corpus import load_seed_corpus, shrink_fsm, write_reproducer
+from repro.verification.exhaustive import (
+    ExhaustiveConfig,
+    ExhaustiveReport,
+    FaultVerdict,
+    exhaustive_check,
+    replay_witness,
+    verify_exhaustive,
+)
 from repro.verification.fuzzer import FuzzOptions, FuzzRun, run_fuzz
 from repro.verification.generator import FUZZ_SHAPES, mutate_fsm, random_fsm
 from repro.verification.oracle import (
@@ -39,17 +63,29 @@ from repro.verification.oracle import (
 )
 
 __all__ = [
-    "FUZZ_SHAPES",
+    "CERTIFICATE_KIND",
+    "CERTIFICATE_SCHEMA",
     "Discrepancy",
+    "ExhaustiveConfig",
+    "ExhaustiveReport",
+    "FUZZ_SHAPES",
+    "FaultVerdict",
     "FuzzOptions",
     "FuzzRun",
     "OracleConfig",
     "OracleReport",
+    "certificate_json",
+    "exhaustive_check",
     "load_seed_corpus",
     "mutate_fsm",
+    "parse_certificate",
     "random_fsm",
+    "render_certificate",
+    "replay_witness",
     "run_fuzz",
     "run_oracle",
     "shrink_fsm",
+    "validate_certificate",
+    "verify_exhaustive",
     "write_reproducer",
 ]

@@ -1,0 +1,308 @@
+"""Machine-readable bounded-latency certificates.
+
+A certificate is the durable, diffable record of one verification run:
+what was verified (circuit + full config fingerprint), how (``mode:
+"exhaustive"`` for the exact engine, ``mode: "sampled"`` for the
+fuzzer fallback above the state budget), and what was established
+(reachable-state inventory, per-fault exact latency histogram, escape
+witnesses, the headline ``bound_holds``).
+
+Certificates are **deterministic by construction**: plain JSON types
+only, no wall-clock timestamps, no environment data, and a canonical
+serialization (:func:`certificate_json`) with sorted keys and compact
+separators — so the same config always yields byte-identical JSON,
+whether computed fresh or served from the artifact cache.  The schema is
+versioned like the journal schema (``docs/certificate-schema.md``); any
+change to field meaning bumps :data:`CERTIFICATE_SCHEMA`.
+
+Layering: ``repro.runtime.report`` renders and diffs certificates by
+importing this module — never the reverse.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ced.verify import VerificationReport
+    from repro.flow import CedDesign
+    from repro.verification.exhaustive import ExhaustiveConfig, ExhaustiveReport
+
+CERTIFICATE_SCHEMA = 1
+CERTIFICATE_KIND = "bounded-latency-certificate"
+
+#: Keys every valid certificate carries, regardless of mode.
+_REQUIRED_KEYS = (
+    "schema",
+    "kind",
+    "circuit",
+    "mode",
+    "config",
+    "fingerprint",
+    "design",
+    "machine",
+    "alphabet",
+    "faults",
+    "summary",
+)
+_MODES = ("exhaustive", "sampled")
+
+
+# ----------------------------------------------------------------------
+# Builders
+# ----------------------------------------------------------------------
+def _common_body(
+    fsm_name: str,
+    config: "ExhaustiveConfig",
+    design: "CedDesign",
+    universe: int,
+    collapsed: int,
+    checked: int,
+    alphabet_size: int,
+    input_mode: str,
+    num_patterns: int,
+) -> dict:
+    from repro.runtime.cache import fingerprint
+
+    synthesis = design.synthesis
+    return {
+        "schema": CERTIFICATE_SCHEMA,
+        "kind": CERTIFICATE_KIND,
+        "circuit": fsm_name,
+        "config": {
+            "latency": config.latency,
+            "semantics": config.semantics,
+            "encoding": config.encoding,
+            "max_faults": config.max_faults,
+            "multilevel": config.multilevel,
+            "seed": config.seed,
+            "state_budget": config.state_budget,
+        },
+        "fingerprint": fingerprint("certificate", fsm_name, config),
+        "design": {
+            "q": design.num_parity_bits,
+            "betas": [int(beta) for beta in design.solve_result.betas],
+            "source": design.solve_result.incumbent_source,
+            "gates": design.gates,
+            "cost": float(design.cost),
+        },
+        "machine": {
+            "inputs": synthesis.num_inputs,
+            "state_bits": synthesis.num_state_bits,
+            "outputs": synthesis.num_fsm_outputs,
+            "bits": synthesis.num_bits,
+            "states": len(synthesis.fsm.states),
+            "patterns": num_patterns,
+        },
+        "alphabet": {"size": alphabet_size, "mode": input_mode},
+        "faults": {
+            "universe": universe,
+            "collapsed": collapsed,
+            "checked": checked,
+        },
+    }
+
+
+def build_exhaustive_certificate(
+    fsm_name: str,
+    config: "ExhaustiveConfig",
+    design: "CedDesign",
+    report: "ExhaustiveReport",
+    universe: int,
+    collapsed: int,
+) -> dict:
+    """Certificate for an exact (``mode: "exhaustive"``) verification."""
+    counts = report.counts()
+    certificate = _common_body(
+        fsm_name,
+        config,
+        design,
+        universe=universe,
+        collapsed=collapsed,
+        checked=counts["checked"],
+        alphabet_size=len(report.alphabet),
+        input_mode=report.input_mode,
+        num_patterns=report.num_patterns,
+    )
+    escapes = [
+        verdict.witness
+        for verdict in report.escapes
+        if verdict.witness is not None
+    ]
+    certificate.update(
+        {
+            "mode": "exhaustive",
+            "faults": {
+                **certificate["faults"],
+                "idle": counts["idle"],
+                "proved": counts["proved"],
+                "escaped": counts["escaped"],
+            },
+            "reachable": {
+                "good": report.reachable_good,
+                "good_count": len(report.reachable_good),
+                "activation": report.activation_states,
+                "activation_count": len(report.activation_states),
+            },
+            "latency_histogram": {
+                str(k): count
+                for k, count in sorted(report.histogram().items())
+            },
+            "worst_latency": report.worst_latency,
+            "escapes": escapes,
+            "summary": {
+                "bound_holds": report.clean,
+                "proved": counts["proved"],
+                "escaped": counts["escaped"],
+                "worst_latency": report.worst_latency,
+            },
+        }
+    )
+    return certificate
+
+
+def build_sampled_certificate(
+    fsm_name: str,
+    config: "ExhaustiveConfig",
+    design: "CedDesign",
+    report: "VerificationReport",
+    universe: int,
+    collapsed: int,
+    num_patterns: int,
+    input_mode: str,
+    alphabet_size: int,
+) -> dict:
+    """Fallback certificate (``mode: "sampled"``) above the state budget.
+
+    A sampled certificate makes a strictly weaker claim: ``bound_holds``
+    means *no violation was observed*, not that none exists, and the
+    latency histogram counts observed detections, not exact worst cases.
+    """
+    certificate = _common_body(
+        fsm_name,
+        config,
+        design,
+        universe=universe,
+        collapsed=collapsed,
+        checked=report.num_faults,
+        alphabet_size=alphabet_size,
+        input_mode=input_mode,
+        num_patterns=num_patterns,
+    )
+    histogram = {
+        str(k): count
+        for k, count in sorted(report.detection_latencies.items())
+    }
+    observed = [int(k) for k in report.detection_latencies]
+    certificate.update(
+        {
+            "mode": "sampled",
+            "latency_histogram": histogram,
+            "worst_latency": max(observed) if observed else None,
+            "escapes": [],
+            "sampled": {
+                "runs": report.num_runs,
+                "activated_runs": report.num_activated_runs,
+                "detected_within_bound": report.num_detected_within_bound,
+                "violations": list(report.violations),
+            },
+            "summary": {
+                "bound_holds": report.clean,
+                "proved": 0,
+                "escaped": len(report.violations),
+                "worst_latency": max(observed) if observed else None,
+            },
+        }
+    )
+    return certificate
+
+
+# ----------------------------------------------------------------------
+# Serialization / validation
+# ----------------------------------------------------------------------
+def certificate_json(certificate: dict) -> str:
+    """Canonical byte-stable JSON: sorted keys, compact, no NaN."""
+    return json.dumps(
+        certificate, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def parse_certificate(text: str) -> dict:
+    """Parse and validate canonical certificate JSON."""
+    certificate = json.loads(text)
+    validate_certificate(certificate)
+    return certificate
+
+
+def validate_certificate(certificate: dict) -> None:
+    """Raise ``ValueError`` unless ``certificate`` is one we understand."""
+    if not isinstance(certificate, dict):
+        raise ValueError("certificate must be a JSON object")
+    missing = [key for key in _REQUIRED_KEYS if key not in certificate]
+    if missing:
+        raise ValueError(f"certificate missing keys: {', '.join(missing)}")
+    if certificate["kind"] != CERTIFICATE_KIND:
+        raise ValueError(f"unknown certificate kind {certificate['kind']!r}")
+    if certificate["schema"] != CERTIFICATE_SCHEMA:
+        raise ValueError(
+            f"unsupported certificate schema {certificate['schema']!r} "
+            f"(this build reads schema {CERTIFICATE_SCHEMA})"
+        )
+    if certificate["mode"] not in _MODES:
+        raise ValueError(f"unknown certificate mode {certificate['mode']!r}")
+    if certificate["mode"] == "sampled" and "sampled" not in certificate:
+        raise ValueError("sampled certificate missing 'sampled' section")
+
+
+def render_certificate(certificate: dict) -> str:
+    """Human-readable multi-line rendering (CLI + report)."""
+    summary = certificate["summary"]
+    faults = certificate["faults"]
+    design = certificate["design"]
+    config = certificate["config"]
+    status = "BOUND HOLDS" if summary["bound_holds"] else "BOUND VIOLATED"
+    mode = certificate["mode"]
+    lines = [
+        f"{certificate['circuit']}: {status} "
+        f"(p={config['latency']}, mode={mode})",
+        f"  design: q={design['q']} betas={design['betas']} "
+        f"source={design['source']} gates={design['gates']}",
+        f"  faults: {faults['checked']} checked "
+        f"of {faults['collapsed']} collapsed "
+        f"({faults['universe']} universe)",
+    ]
+    if mode == "exhaustive":
+        reachable = certificate["reachable"]
+        lines.append(
+            f"  reachable: {reachable['good_count']} good states, "
+            f"{reachable['activation_count']} activation states, "
+            f"{certificate['machine']['patterns']} patterns swept"
+        )
+        lines.append(
+            f"  verdicts: {faults['proved']} proved, "
+            f"{faults['idle']} idle, {faults['escaped']} escaped"
+        )
+    else:
+        sampled = certificate["sampled"]
+        lines.append(
+            f"  sampled: {sampled['activated_runs']} activated of "
+            f"{sampled['runs']} runs, "
+            f"{sampled['detected_within_bound']} detected in bound"
+        )
+    histogram = certificate.get("latency_histogram", {})
+    if histogram:
+        spread = " ".join(
+            f"{k}:{histogram[k]}" for k in sorted(histogram, key=int)
+        )
+        kind = "exact worst-case" if mode == "exhaustive" else "observed"
+        lines.append(f"  latency histogram ({kind}): {spread}")
+    if summary["worst_latency"] is not None:
+        lines.append(f"  worst latency: {summary['worst_latency']}")
+    for witness in certificate.get("escapes", []):
+        lines.append(
+            f"  escape: fault={witness['fault']} "
+            f"inputs={witness['inputs']} "
+            f"activation_cycle={witness['activation_cycle']}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,599 @@
+"""Exhaustive bounded-latency verification: prove the bound, don't sample it.
+
+The fuzz/fault-injection verifier (:mod:`repro.ced.verify`) samples the
+bounded-latency property with random runs.  For bounded machines the
+property is a bounded-reachability question we can settle exactly: for
+every collapsed stuck-at fault, explore the product of the faulty machine
+and the checker from **every** reachable fault-activation point, breadth
+first, up to depth ``p``.  Either every length-``p`` continuation detects
+— and the per-fault **worst-case detection latency** is the exact level at
+which the last undetected frontier empties — or some path survives
+undetected and a concrete, replayable **escape witness** (an input
+sequence from reset) is extracted.
+
+The search never steps a simulator cycle by cycle.  All per-fault data is
+precomputed with the packed uint64 kernel (:mod:`repro.logic.sim`) over
+the full ``2**s states x alphabet`` pattern block: the fault-free
+transition words, the predictor outputs, and — per fault, via the
+cone-restricted :class:`~repro.logic.sim.PackedSimulator` re-sweep — the
+faulty words.  From these three matrices, error (``E``), detection
+(``D``) and faulty next-state (``NF``) matrices follow by word-parallel
+bit algebra, and each BFS level is a numpy gather.
+
+Semantics match :func:`repro.ced.verify.verify_bounded_latency` exactly:
+
+* an *activation* is the first erroneous transition of a run, so
+  activation states are those reachable from reset through **error-free**
+  faulty transitions (before the first error the faulty machine tracks
+  the good one);
+* a step *detects* when some parity tree over the checker-visible word
+  (registered faulty state + held outputs) disagrees with the predictor's
+  output for that (state, input) — the Fig. 3 comparator at ``t+1``;
+* the input alphabet is the table-extraction alphabet
+  (:func:`repro.core.detectability.input_alphabet`), so exhaustive-mode
+  machines (``r <= exhaustive_input_limit``) are proved over the full
+  input space and cube-mode machines over the recorded alphabet.
+
+Above a configurable state budget (``2**s * |alphabet|`` patterns) the
+engine degrades gracefully to the sampled verifier and the emitted
+certificate is marked ``mode: "sampled"``.
+
+Entry points: :func:`exhaustive_check` (synthesis + hardware in, report
+out) and :func:`verify_exhaustive` (benchmark/FSM in, cached certificate
+dict out — the ``repro-ced verify --exhaustive`` / campaign / service
+path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.ced.hardware import CedHardware
+from repro.core.detectability import (
+    TableConfig,
+    _pack_bits,
+    _patterns,
+    input_alphabet,
+)
+from repro.faults.collapse import collapse_faults
+from repro.faults.model import Fault, is_netlist_fault, stuck_at_universe
+from repro.logic.sim import PackedSimulator, evaluate_batch
+from repro.logic.synthesis import SynthesisResult
+from repro.runtime.trace import current_tracer
+from repro.util.rng import rng_for
+
+#: Default ceiling on the enumerated pattern block (``2**s * |alphabet|``).
+#: Every bundled benchmark fits (the largest Table-1 circuits enumerate
+#: 64 states x 64 alphabet vectors = 4096 patterns); the budget guards
+#: against externally supplied machines with wide state registers.
+DEFAULT_STATE_BUDGET = 1 << 16
+
+
+@dataclass(frozen=True)
+class ExhaustiveConfig:
+    """Everything one exhaustive verification depends on (picklable)."""
+
+    latency: int = 1
+    semantics: str = "checker"
+    encoding: str = "binary"
+    max_faults: int | None = 800
+    multilevel: bool = False
+    seed: int = 2004
+    #: Degrade to the sampled fuzzer above this many enumerated patterns.
+    state_budget: int = DEFAULT_STATE_BUDGET
+    #: Escape witnesses extracted per report (the rest are counted only).
+    max_witnesses: int = 8
+
+    def __post_init__(self) -> None:
+        if self.latency < 1:
+            raise ValueError("latency must be at least 1")
+        if self.state_budget < 1:
+            raise ValueError("state_budget must be positive")
+
+
+@dataclass(frozen=True)
+class FaultVerdict:
+    """The exact outcome for one fault."""
+
+    fault: str
+    #: "proved" — every activation detects within the bound;
+    #: "escape" — some length-p continuation stays undetected;
+    #: "idle"   — the fault produces no erroneous reachable transition.
+    status: str
+    #: Exact worst-case detection latency (proved faults only).
+    worst_latency: int | None = None
+    #: Number of reachable erroneous (state, input) activation points.
+    activations: int = 0
+    #: Replayable escape trace (escapes only; capped per report).
+    witness: dict | None = None
+
+
+@dataclass
+class ExhaustiveReport:
+    """Everything the exact search established for one design."""
+
+    latency: int
+    alphabet: list[int]
+    input_mode: str
+    num_state_bits: int
+    num_patterns: int
+    verdicts: list[FaultVerdict] = field(default_factory=list)
+    #: Good-machine reachable state codes (the certificate's inventory).
+    reachable_good: list[int] = field(default_factory=list)
+    #: Union over faults of error-free-reachable (activation) states.
+    activation_states: list[int] = field(default_factory=list)
+
+    @property
+    def escapes(self) -> list[FaultVerdict]:
+        return [v for v in self.verdicts if v.status == "escape"]
+
+    @property
+    def clean(self) -> bool:
+        return not self.escapes
+
+    @property
+    def worst_latency(self) -> int | None:
+        """Exact worst-case detection latency over all proved faults."""
+        proved = [
+            v.worst_latency for v in self.verdicts if v.status == "proved"
+        ]
+        return max(proved) if proved else None
+
+    def histogram(self) -> dict[int, int]:
+        """faults per exact worst-case latency (proved faults only)."""
+        counts: dict[int, int] = {}
+        for verdict in self.verdicts:
+            if verdict.status == "proved":
+                assert verdict.worst_latency is not None
+                counts[verdict.worst_latency] = (
+                    counts.get(verdict.worst_latency, 0) + 1
+                )
+        return counts
+
+    def counts(self) -> dict[str, int]:
+        return {
+            "checked": len(self.verdicts),
+            "idle": sum(1 for v in self.verdicts if v.status == "idle"),
+            "proved": sum(1 for v in self.verdicts if v.status == "proved"),
+            "escaped": len(self.escapes),
+        }
+
+
+# ----------------------------------------------------------------------
+# The exact engine
+# ----------------------------------------------------------------------
+def exhaustive_check(
+    synthesis: SynthesisResult,
+    hardware: CedHardware,
+    faults: Sequence[Fault],
+    latency: int,
+    alphabet: np.ndarray | None = None,
+    input_mode: str | None = None,
+    max_witnesses: int = 8,
+) -> ExhaustiveReport:
+    """Exact bounded-latency check of built CED hardware.
+
+    Only netlist stuck-at faults (payload ``(node, value)``) participate;
+    other fault kinds are skipped, matching the sampled verifier.
+    """
+    if latency < 1:
+        raise ValueError("latency must be at least 1")
+    if alphabet is None:
+        alphabet, input_mode = input_alphabet(
+            synthesis, TableConfig(latency=latency)
+        )
+    alphabet = np.asarray(alphabet, dtype=np.int64)
+    s = synthesis.num_state_bits
+    num_states = 1 << s
+    num_inputs = int(alphabet.shape[0])
+    state_mask = np.int64(num_states - 1)
+    reset = synthesis.reset_code
+
+    # One pattern block covers every (state code, alphabet input) pair —
+    # the faulty machine may wander into codes the good machine never
+    # uses, so all 2**s codes are enumerated.  Row = code * |A| + input.
+    patterns = _patterns(synthesis, list(range(num_states)), alphabet)
+    good_words = _pack_bits(
+        evaluate_batch(synthesis.netlist, patterns)
+    ).reshape(num_states, num_inputs)
+    betas = hardware.betas
+    if betas:
+        predicted = _pack_bits(
+            evaluate_batch(hardware.predictor.netlist, patterns)
+        ).reshape(num_states, num_inputs)
+    else:
+        predicted = np.zeros((num_states, num_inputs), dtype=np.int64)
+
+    simulator = PackedSimulator(synthesis.netlist, patterns)
+    good_next = (good_words & state_mask).astype(np.int64)
+    no_error = np.zeros((num_states, num_inputs), dtype=bool)
+    good_reach, _ = _restricted_reachable(good_next, no_error, reset)
+
+    tracer = current_tracer()
+    report = ExhaustiveReport(
+        latency=latency,
+        alphabet=[int(a) for a in alphabet],
+        input_mode=input_mode or "exhaustive",
+        num_state_bits=s,
+        num_patterns=int(patterns.shape[0]),
+        reachable_good=[int(c) for c in np.nonzero(good_reach)[0]],
+    )
+    activation_union = np.zeros(num_states, dtype=bool)
+    witnesses_left = max_witnesses
+
+    with tracer.span(
+        "exhaustive.search",
+        circuit=synthesis.fsm.name,
+        latency=latency,
+        faults=len(faults),
+        patterns=report.num_patterns,
+        alphabet=num_inputs,
+    ):
+        for fault in faults:
+            if not is_netlist_fault(fault):
+                continue
+            verdict, act_reach = _check_fault(
+                fault=fault,
+                simulator=simulator,
+                good_words=good_words,
+                predicted=predicted,
+                betas=betas,
+                state_mask=state_mask,
+                reset=reset,
+                latency=latency,
+                alphabet=alphabet,
+                shape=(num_states, num_inputs),
+                want_witness=witnesses_left > 0,
+            )
+            if verdict.witness is not None:
+                witnesses_left -= 1
+            activation_union |= act_reach
+            report.verdicts.append(verdict)
+            tracer.event(
+                "exhaustive.fault",
+                fault=verdict.fault,
+                status=verdict.status,
+                worst_latency=verdict.worst_latency,
+                activations=verdict.activations,
+            )
+    report.activation_states = [
+        int(c) for c in np.nonzero(activation_union)[0]
+    ]
+    return report
+
+
+def _check_fault(
+    fault: Fault,
+    simulator: PackedSimulator,
+    good_words: np.ndarray,
+    predicted: np.ndarray,
+    betas: list[int],
+    state_mask: np.int64,
+    reset: int,
+    latency: int,
+    alphabet: np.ndarray,
+    shape: tuple[int, int],
+    want_witness: bool,
+) -> tuple[FaultVerdict, np.ndarray]:
+    """Exact verdict for one fault plus its activation-reachable mask."""
+    num_states, num_inputs = shape
+    node, value = fault.payload  # type: ignore[misc]
+    faulty_words = _pack_bits(
+        simulator.faulty_outputs((int(node), int(value)))
+    ).reshape(num_states, num_inputs)
+    erroneous = faulty_words != good_words
+    if betas:
+        detected = _parity_words(faulty_words, betas) != predicted
+    else:
+        detected = np.zeros(shape, dtype=bool)
+    next_state = (faulty_words & state_mask).astype(np.int64)
+
+    # Activation points: reachable through error-free faulty transitions
+    # (before the first error, the faulty machine tracks the good one),
+    # then an erroneous step.
+    act_reach, parents = _restricted_reachable(next_state, erroneous, reset)
+    activations = act_reach[:, None] & erroneous
+    num_activations = int(activations.sum())
+    if num_activations == 0:
+        return FaultVerdict(fault.name, "idle"), act_reach
+
+    # Level 1 is the activation transition itself; F_k collects faulty
+    # states still undetected after k steps.  The bound is proved at the
+    # first empty frontier; a non-empty F_p is an escape.
+    undetected_act = activations & ~detected
+    if not undetected_act.any():
+        return (
+            FaultVerdict(fault.name, "proved", 1, num_activations),
+            act_reach,
+        )
+    levels = [np.unique(next_state[undetected_act])]
+    worst: int | None = None
+    for step in range(2, latency + 1):
+        frontier = levels[-1]
+        survive = ~detected[frontier]  # (|F|, A)
+        if not survive.any():
+            worst = step
+            break
+        levels.append(np.unique(next_state[frontier][survive]))
+    if worst is not None:
+        return (
+            FaultVerdict(fault.name, "proved", worst, num_activations),
+            act_reach,
+        )
+    witness = None
+    if want_witness:
+        witness = _escape_witness(
+            fault_name=fault.name,
+            levels=levels,
+            next_state=next_state,
+            detected=detected,
+            undetected_act=undetected_act,
+            parents=parents,
+            alphabet=alphabet,
+            reset=reset,
+            latency=latency,
+        )
+    return (
+        FaultVerdict(
+            fault.name, "escape", None, num_activations, witness
+        ),
+        act_reach,
+    )
+
+
+def _parity_words(words: np.ndarray, betas: Sequence[int]) -> np.ndarray:
+    """Per-beta parities of packed words, packed into one int per cell."""
+    out = np.zeros_like(words)
+    one = np.int64(1)
+    for index, beta in enumerate(betas):
+        masked = words & np.int64(beta)
+        for shift in (32, 16, 8, 4, 2, 1):
+            masked = masked ^ (masked >> np.int64(shift))
+        out |= (masked & one) << np.int64(index)
+    return out
+
+
+def _restricted_reachable(
+    next_state: np.ndarray, blocked: np.ndarray, reset: int
+) -> tuple[np.ndarray, dict[int, tuple[int, int] | None]]:
+    """BFS from reset over non-blocked edges; mask + parent pointers.
+
+    Iteration order (states in discovery order, inputs ascending) is
+    deterministic, so the recorded parents — and every witness built from
+    them — are stable across runs.
+    """
+    reach = np.zeros(next_state.shape[0], dtype=bool)
+    reach[reset] = True
+    parents: dict[int, tuple[int, int] | None] = {reset: None}
+    frontier = [reset]
+    while frontier:
+        upcoming: list[int] = []
+        for code in frontier:
+            allowed = np.nonzero(~blocked[code])[0]
+            for column in allowed.tolist():
+                successor = int(next_state[code, column])
+                if not reach[successor]:
+                    reach[successor] = True
+                    parents[successor] = (code, column)
+                    upcoming.append(successor)
+        frontier = upcoming
+    return reach, parents
+
+
+def _escape_witness(
+    fault_name: str,
+    levels: list[np.ndarray],
+    next_state: np.ndarray,
+    detected: np.ndarray,
+    undetected_act: np.ndarray,
+    parents: dict[int, tuple[int, int] | None],
+    alphabet: np.ndarray,
+    reset: int,
+    latency: int,
+) -> dict:
+    """A concrete input sequence from reset that evades detection.
+
+    Walks the stored frontiers backwards (smallest state / input at every
+    choice, so the witness is deterministic), then prepends the error-free
+    prefix recorded by the activation BFS.
+    """
+    current = int(levels[-1].min())
+    continuation: list[int] = []
+    for level in range(len(levels) - 1, 0, -1):
+        source = None
+        for code in levels[level - 1].tolist():
+            columns = np.nonzero(
+                ~detected[code] & (next_state[code] == current)
+            )[0]
+            if columns.size:
+                source = (int(code), int(columns[0]))
+                break
+        assert source is not None, "broken frontier chain"
+        continuation.append(int(alphabet[source[1]]))
+        current = source[0]
+    continuation.reverse()
+
+    activation = None
+    act_states, act_columns = np.nonzero(undetected_act)
+    for code, column in zip(act_states.tolist(), act_columns.tolist()):
+        if int(next_state[code, column]) == current:
+            activation = (int(code), int(column))
+            break
+    assert activation is not None, "activation lost"
+
+    prefix: list[int] = []
+    cursor: int | None = activation[0]
+    while parents[cursor] is not None:
+        cursor, column = parents[cursor]  # type: ignore[misc]
+        prefix.append(int(alphabet[column]))
+    prefix.reverse()
+    inputs = prefix + [int(alphabet[activation[1]])] + continuation
+    return {
+        "fault": fault_name,
+        "inputs": inputs,
+        "activation_cycle": len(prefix),
+        "activation_state": activation[0],
+        "latency": latency,
+    }
+
+
+def replay_witness(
+    synthesis: SynthesisResult,
+    hardware: CedHardware,
+    fault: tuple[int, int],
+    witness: dict,
+) -> bool:
+    """True iff the witness reproduces an escape on the cycle simulator.
+
+    The replay is the sampled verifier's exact acceptance test: the
+    witness's activation cycle must be the run's first erroneous
+    transition and no step of the ``latency``-wide window may detect.
+    """
+    from repro.ced.checker import CedMachine
+
+    machine = CedMachine(synthesis, hardware)
+    trace = machine.run(witness["inputs"], fault=fault)
+    activation = next(
+        (step.cycle for step in trace if step.erroneous), None
+    )
+    if activation != witness["activation_cycle"]:
+        return False
+    window = trace[activation : activation + witness["latency"]]
+    return not any(step.detected for step in window)
+
+
+# ----------------------------------------------------------------------
+# Benchmark-level driver (cache / campaign / service / CLI entry point)
+# ----------------------------------------------------------------------
+def collapsed_fault_list(
+    synthesis: SynthesisResult, max_faults: int | None, seed: int
+) -> tuple[int, int, list[Fault]]:
+    """(universe size, collapsed size, checked list) for the certificate.
+
+    Selection mirrors :meth:`repro.faults.model.StuckAtModel.faults`
+    token for token, so the exhaustive engine and the sampled verifier
+    see the same fault sample for the same seed.
+    """
+    universe = stuck_at_universe(synthesis.netlist, include_inputs=True)
+    collapsed = collapse_faults(synthesis.netlist, universe)
+    chosen = collapsed
+    if max_faults is not None and len(collapsed) > max_faults:
+        rng = rng_for(seed, "stuck-at-sample", synthesis.fsm.name)
+        picks = rng.choice(len(collapsed), size=max_faults, replace=False)
+        chosen = [collapsed[idx] for idx in sorted(picks.tolist())]
+    return len(universe), len(collapsed), chosen
+
+
+def verify_exhaustive(
+    fsm,
+    config: ExhaustiveConfig = ExhaustiveConfig(),
+    cache=None,
+    recorder=None,
+    degraded: bool = False,
+) -> dict:
+    """Design + exactly verify one machine; return the certificate dict.
+
+    The certificate is stored in the artifact cache's ``certificate``
+    stage; cached servings are byte-identical to fresh computations (the
+    certificate contains no wall-clock data).
+    """
+    from repro.core.search import SolveConfig
+    from repro.fsm.benchmarks import load_benchmark
+    from repro.runtime.cache import NullCache, cached_call, fingerprint
+    from repro.runtime.metrics import MetricsRecorder
+
+    if isinstance(fsm, str):
+        fsm = load_benchmark(fsm)
+    if cache is None:
+        cache = NullCache()
+    if recorder is None:
+        recorder = MetricsRecorder()
+    with recorder.stage("certificate") as stage:
+        certificate, stage.cached = cached_call(
+            cache,
+            "certificate",
+            fingerprint("verify-exhaustive", fsm, config, degraded),
+            lambda: _compute_certificate(
+                fsm, config, cache, recorder, degraded, SolveConfig
+            ),
+        )
+    return certificate
+
+
+def _compute_certificate(
+    fsm, config: ExhaustiveConfig, cache, recorder, degraded, solve_config_cls
+) -> dict:
+    from repro.flow import design_ced
+    from repro.verification.certificate import (
+        build_exhaustive_certificate,
+        build_sampled_certificate,
+    )
+
+    design = design_ced(
+        fsm,
+        latency=config.latency,
+        semantics=config.semantics,
+        encoding=config.encoding,
+        max_faults=config.max_faults,
+        solve_config=solve_config_cls(seed=config.seed),
+        multilevel=config.multilevel,
+        cache=cache,
+        recorder=recorder,
+        degraded=degraded,
+    )
+    synthesis = design.synthesis
+    universe, collapsed, faults = collapsed_fault_list(
+        synthesis, config.max_faults, config.seed
+    )
+    alphabet, input_mode = input_alphabet(
+        synthesis, TableConfig(latency=config.latency)
+    )
+    num_patterns = (1 << synthesis.num_state_bits) * int(alphabet.shape[0])
+    tracer = current_tracer()
+    if num_patterns > config.state_budget:
+        from repro.ced.verify import verify_bounded_latency
+
+        with tracer.span(
+            "exhaustive.fallback",
+            circuit=synthesis.fsm.name,
+            patterns=num_patterns,
+            budget=config.state_budget,
+        ):
+            sampled = verify_bounded_latency(
+                synthesis,
+                design.hardware,
+                faults,
+                latency=config.latency,
+                seed=config.seed,
+            )
+        return build_sampled_certificate(
+            fsm_name=synthesis.fsm.name,
+            config=config,
+            design=design,
+            report=sampled,
+            universe=universe,
+            collapsed=collapsed,
+            num_patterns=num_patterns,
+            input_mode=input_mode,
+            alphabet_size=int(alphabet.shape[0]),
+        )
+    report = exhaustive_check(
+        synthesis,
+        design.hardware,
+        faults,
+        config.latency,
+        alphabet=alphabet,
+        input_mode=input_mode,
+        max_witnesses=config.max_witnesses,
+    )
+    return build_exhaustive_certificate(
+        fsm_name=synthesis.fsm.name,
+        config=config,
+        design=design,
+        report=report,
+        universe=universe,
+        collapsed=collapsed,
+    )

@@ -207,14 +207,100 @@ class TestSummaries:
         assert "stage time:" in text
 
 
-def _run(tmp_path, label, table=None, manifest=None):
+def _run(tmp_path, label, table=None, manifest=None, certificate=None):
     directory = tmp_path / label
     directory.mkdir(exist_ok=True)
     if table is not None:
         (directory / "table1.json").write_text(json.dumps(table))
     if manifest is not None:
         (directory / "manifest.json").write_text(json.dumps(manifest))
+    if certificate is not None:
+        (directory / "certificate.json").write_text(json.dumps(certificate))
     return load_run(directory, label=label)
+
+
+def _certificate(
+    holds=True, escaped=0, worst=1, q=2, mode="exhaustive", histogram=None
+):
+    """A minimal but renderable bounded-latency certificate."""
+    payload = {
+        "schema": 1,
+        "kind": "bounded-latency-certificate",
+        "circuit": "c",
+        "mode": mode,
+        "config": {"latency": 2, "semantics": "checker", "encoding": "binary",
+                   "max_faults": 800, "multilevel": False, "seed": 2004,
+                   "state_budget": 65536},
+        "fingerprint": "f" * 64,
+        "design": {"q": q, "betas": [3, 5][:q], "source": "greedy",
+                   "gates": 20, "cost": 60.0},
+        "machine": {"inputs": 1, "state_bits": 2, "outputs": 1, "bits": 3,
+                    "states": 4, "patterns": 8},
+        "alphabet": {"size": 2, "mode": "exhaustive"},
+        "faults": {"universe": 30, "collapsed": 20, "checked": 20,
+                   "idle": 0, "proved": 20 - escaped, "escaped": escaped},
+        "reachable": {"good": [0, 1, 2], "good_count": 3,
+                      "activation": [0, 1], "activation_count": 2},
+        "latency_histogram": histogram or {"1": 20 - escaped},
+        "worst_latency": worst,
+        "escapes": [],
+        "summary": {"bound_holds": holds, "proved": 20 - escaped,
+                    "escaped": escaped, "worst_latency": worst},
+    }
+    if mode == "sampled":
+        payload["sampled"] = {"runs": 10, "activated_runs": 8,
+                              "detected_within_bound": 8, "violations": []}
+    return payload
+
+
+class TestCertificates:
+    def test_load_certificate_directory_and_file(self, tmp_path):
+        run = _run(tmp_path, "a", certificate=_certificate())
+        assert run.certificate is not None and run.table is None
+        loose = tmp_path / "loose.json"
+        loose.write_text(json.dumps(_certificate()))
+        assert load_run(loose).certificate is not None
+
+    def test_summarize_renders_certificate(self, tmp_path):
+        run = _run(tmp_path, "a", certificate=_certificate())
+        text = summarize_run(run)
+        assert "BOUND HOLDS" in text and "mode=exhaustive" in text
+
+    def test_lost_bound_and_new_escape_block(self, tmp_path):
+        base = _run(tmp_path, "a", certificate=_certificate())
+        new = _run(
+            tmp_path, "b",
+            certificate=_certificate(holds=False, escaped=2),
+        )
+        findings = diff_runs(base, new)
+        assert has_regressions(findings)
+        metrics = {f.metric for f in findings if f.severity == "regression"}
+        assert {"status", "escapes"} <= metrics
+
+    def test_worst_latency_increase_blocks(self, tmp_path):
+        base = _run(tmp_path, "a", certificate=_certificate(worst=1))
+        new = _run(
+            tmp_path, "b",
+            certificate=_certificate(worst=2, histogram={"1": 19, "2": 1}),
+        )
+        findings = diff_runs(base, new)
+        assert any(
+            f.metric == "latency" and f.severity == "regression"
+            for f in findings
+        )
+        assert has_regressions(findings)
+
+    def test_mode_downgrade_is_info(self, tmp_path):
+        base = _run(tmp_path, "a", certificate=_certificate())
+        new = _run(tmp_path, "b", certificate=_certificate(mode="sampled"))
+        findings = diff_runs(base, new)
+        assert findings and all(f.severity == "info" for f in findings)
+        assert not has_regressions(findings)
+
+    def test_identical_certificates_diff_clean(self, tmp_path):
+        base = _run(tmp_path, "a", certificate=_certificate())
+        new = _run(tmp_path, "b", certificate=_certificate())
+        assert diff_runs(base, new) == []
 
 
 class TestFinding:

@@ -75,7 +75,7 @@ class TestEndpoints:
             stats = client.stats()
             assert stats["requests"]["total"] == 0
             assert stats["requests"]["by_kind"] == {
-                "design": 0, "sweep": 0, "table1": 0,
+                "design": 0, "sweep": 0, "table1": 0, "verify": 0,
             }
             assert stats["hot_cache"]["max_entries"] == 8
             assert stats["queue_limit"] == 4
@@ -170,6 +170,42 @@ class TestHotPath:
             assert stats["requests"]["by_kind"]["design"] == 2
             assert stats["hot_cache"]["hits"] == 1
             assert stats["hot_cache"]["entries"] == 1
+
+    def test_verify_endpoint_serves_byte_stable_certificates(self, tmp_path):
+        from repro.verification.certificate import validate_certificate
+
+        params = {"circuit": "seqdet", "latency": 2}
+        with RunningService(_config(tmp_path)) as run:  # real worker
+            client = ServiceClient(run.address, timeout=300)
+            status1, raw1 = client.request_raw("POST", "/verify", params)
+            status2, raw2 = client.request_raw("POST", "/verify", params)
+            assert status1 == status2 == 200
+            body1 = json.loads(raw1)
+            body2 = json.loads(raw2)
+            assert body1["meta"]["hot_cache"] is False
+            assert body2["meta"]["hot_cache"] is True
+            assert _result_bytes(raw1) == _result_bytes(raw2)
+            certificate = body1["result"]
+            validate_certificate(certificate)
+            assert certificate["mode"] == "exhaustive"
+            assert certificate["summary"]["bound_holds"]
+            # The served certificate is byte-identical to a local run of
+            # the same config (service adds no fields inside "result").
+            from repro.service.queries import canonical_json
+            from repro.verification.certificate import certificate_json
+            from repro.verification.exhaustive import (
+                ExhaustiveConfig,
+                verify_exhaustive,
+            )
+
+            local = verify_exhaustive("seqdet", ExhaustiveConfig(latency=2))
+            assert canonical_json(certificate) == certificate_json(local)
+            # Validation errors surface as 400s, like the other kinds.
+            with pytest.raises(ServiceError) as excinfo:
+                client.verify(circuit="seqdet", bogus_field=1)
+            assert excinfo.value.status == 400
+            assert "unknown field" in str(excinfo.value)
+            assert client.stats()["requests"]["by_kind"]["verify"] == 2
 
     def test_determinism_across_daemon_instances(self, tmp_path):
         # No disk cache, two independent daemons: byte-identical results

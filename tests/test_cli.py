@@ -82,6 +82,61 @@ class TestCli:
         assert main(["verify", "serparity", "--kiss", "x.kiss"]) == 2
         assert "exactly one" in capsys.readouterr().err
 
+    def test_verify_unreadable_kiss_exits_two_without_traceback(self, capsys):
+        assert main(["verify", "--kiss", "/no/such/file.kiss"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot read KISS file")
+
+    def test_verify_malformed_kiss_exits_two(self, capsys, tmp_path):
+        bad = tmp_path / "bad.kiss"
+        bad.write_text("this is not KISS format\n")
+        assert main(["verify", "--kiss", str(bad)]) == 2
+        assert "error: bad KISS file" in capsys.readouterr().err
+
+    def test_verify_unknown_circuit_suggests_nearest_match(self, capsys):
+        assert main(["verify", "s72"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown circuit 's72'" in err
+        assert "did you mean 's27'?" in err
+
+    def test_verify_exhaustive_writes_certificate_and_exits_zero(
+        self, capsys, tmp_path
+    ):
+        from repro.verification.certificate import parse_certificate
+
+        target = tmp_path / "certificate.json"
+        assert main([
+            "verify", "serparity", "--latency", "2", "--exhaustive",
+            "--certificate", str(target),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "BOUND HOLDS" in out
+        assert "mode=exhaustive" in out
+        certificate = parse_certificate(target.read_text())
+        assert certificate["circuit"] == "serparity"
+        assert certificate["summary"]["bound_holds"]
+
+    def test_verify_exhaustive_escape_exits_one(self, capsys):
+        from importlib import resources
+
+        gapcase = resources.files("repro.verification") / "corpus/gapcase.kiss"
+        with resources.as_file(gapcase) as path:
+            assert main([
+                "verify", "--kiss", str(path), "--exhaustive",
+                "--semantics", "trajectory", "--latency", "2",
+            ]) == 1
+        out = capsys.readouterr().out
+        assert "BOUND VIOLATED" in out
+        assert "escape:" in out
+
+    def test_verify_exhaustive_state_budget_falls_back_to_sampled(
+        self, capsys
+    ):
+        assert main([
+            "verify", "serparity", "--exhaustive", "--state-budget", "1",
+        ]) == 0
+        assert "mode=sampled" in capsys.readouterr().out
+
     def test_fuzz_smoke_exits_zero_and_writes_manifest(self, capsys, tmp_path):
         import json as json_module
 

@@ -1,0 +1,97 @@
+"""Certificate schema: round-trip, validation, rendering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.verification.certificate import (
+    CERTIFICATE_KIND,
+    CERTIFICATE_SCHEMA,
+    certificate_json,
+    parse_certificate,
+    render_certificate,
+    validate_certificate,
+)
+from repro.verification.exhaustive import ExhaustiveConfig, verify_exhaustive
+
+
+@pytest.fixture(scope="module")
+def certificate():
+    return verify_exhaustive("traffic", ExhaustiveConfig(latency=2))
+
+
+def test_round_trip_is_lossless_and_canonical(certificate):
+    text = certificate_json(certificate)
+    parsed = parse_certificate(text)
+    assert parsed == certificate
+    # Canonical form is a fixed point: re-serializing the parse gives
+    # the same bytes (sorted keys, compact separators).
+    assert certificate_json(parsed) == text
+    assert "\n" not in text
+
+
+def test_certificate_carries_the_versioned_envelope(certificate):
+    assert certificate["schema"] == CERTIFICATE_SCHEMA
+    assert certificate["kind"] == CERTIFICATE_KIND
+    assert certificate["circuit"] == "traffic"
+    assert certificate["config"]["latency"] == 2
+    assert len(certificate["fingerprint"]) == 64  # sha256 hex
+    assert certificate["faults"]["checked"] <= certificate["faults"]["collapsed"]
+    assert certificate["faults"]["collapsed"] <= certificate["faults"]["universe"]
+
+
+def test_certificate_has_no_wall_clock_fields(certificate):
+    # Byte-stability across runs depends on this: nothing time- or
+    # host-dependent may appear anywhere in the payload.
+    text = certificate_json(certificate).lower()
+    for banned in ("created", "timestamp", "elapsed", "seconds", "hostname"):
+        assert banned not in text
+
+
+def test_validation_rejects_malformed_certificates(certificate):
+    with pytest.raises(ValueError, match="JSON object"):
+        validate_certificate(["not", "an", "object"])
+
+    missing = dict(certificate)
+    del missing["summary"]
+    with pytest.raises(ValueError, match="missing keys: summary"):
+        validate_certificate(missing)
+
+    wrong_kind = dict(certificate, kind="something-else")
+    with pytest.raises(ValueError, match="unknown certificate kind"):
+        validate_certificate(wrong_kind)
+
+    future = dict(certificate, schema=CERTIFICATE_SCHEMA + 1)
+    with pytest.raises(ValueError, match="unsupported certificate schema"):
+        validate_certificate(future)
+
+    bad_mode = dict(certificate, mode="approximate")
+    with pytest.raises(ValueError, match="unknown certificate mode"):
+        validate_certificate(bad_mode)
+
+    fake_sampled = dict(certificate, mode="sampled")
+    with pytest.raises(ValueError, match="missing 'sampled'"):
+        validate_certificate(fake_sampled)
+
+    with pytest.raises(json.JSONDecodeError):
+        parse_certificate("not json")
+
+
+def test_render_mentions_the_headline_facts(certificate):
+    text = render_certificate(certificate)
+    assert "traffic" in text
+    assert "BOUND HOLDS" in text
+    assert "mode=exhaustive" in text
+    assert "latency histogram" in text
+
+
+def test_sampled_certificate_renders_and_validates():
+    sampled = verify_exhaustive(
+        "seqdet", ExhaustiveConfig(latency=1, state_budget=1)
+    )
+    validate_certificate(sampled)
+    text = render_certificate(sampled)
+    assert "mode=sampled" in text
+    assert "sampled:" in text
