@@ -75,18 +75,22 @@ def bench_circuit(name: str) -> dict:
 
 def main() -> None:
     results = [bench_circuit(name) for name in CIRCUITS]
-    payload = {
-        "description": (
-            "Fault-simulation throughput (fault-pattern evaluations per "
-            "second) of the original uint8 lane-per-pattern evaluator vs "
-            "the bit-packed 64-patterns-per-word kernel's batched "
-            "multi-fault path."
-        ),
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "results": results,
-    }
     out = Path(__file__).parent / "BENCH_sim.json"
+    # Merge: bench_tables.py owns the "tables"/"end_to_end" sections.
+    payload = json.loads(out.read_text()) if out.exists() else {}
+    payload.update(
+        {
+            "description": (
+                "Fault-simulation throughput (fault-pattern evaluations per "
+                "second) of the original uint8 lane-per-pattern evaluator vs "
+                "the bit-packed 64-patterns-per-word kernel's batched "
+                "multi-fault path."
+            ),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "results": results,
+        }
+    )
     out.write_text(json.dumps(payload, indent=2) + "\n")
     print(json.dumps(payload, indent=2))
 

@@ -1,0 +1,153 @@
+"""Extend ``BENCH_sim.json`` with the incremental table-extraction series.
+
+Measures, per benchmark circuit:
+
+- **tables stage** — from-scratch ``extract_tables`` over p ∈ {1, 2, 4}
+  against (a) the chained cold path a sweep campaign drives (grow one
+  state p=1 → 1,2 → 1,2,4, deriving tables at each step, vs rebuilding
+  every prefix from scratch) and (b) the warm-derive path (state already
+  grown, extension is a no-op, derivation only pools frontier rows).
+- **end to end** — ``design_ced_sweep`` on a cold artifact cache vs the
+  same sweep re-run warm against the cache the cold run populated.
+
+Results are merged into ``BENCH_sim.json`` next to the fault-simulation
+series (``bench_sim.py`` owns the top-level ``results`` list; this script
+owns the ``tables`` and ``end_to_end`` sections and leaves the rest of
+the file untouched).
+
+Run from the repo root:
+
+    PYTHONPATH=src python benchmarks/bench_tables.py
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.detectability import (
+    TableConfig,
+    extend_extraction_state,
+    extract_tables,
+    new_extraction_state,
+    tables_from_state,
+)
+from repro.faults.model import StuckAtModel
+from repro.flow import design_ced_sweep
+from repro.fsm.benchmarks import load_benchmark
+from repro.logic.synthesis import synthesize_fsm
+from repro.runtime.cache import ArtifactCache
+
+CIRCUITS = ("s27", "dk512", "s386")
+LATENCIES = (1, 2, 4)
+MAX_FAULTS = 800
+REPEATS = 3
+
+
+def _best_of(function, repeats: int = REPEATS) -> float:
+    timings = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        timings.append(time.perf_counter() - start)
+    return min(timings)
+
+
+def bench_tables_stage(name: str) -> dict:
+    synthesis = synthesize_fsm(load_benchmark(name))
+    model = StuckAtModel(synthesis, max_faults=MAX_FAULTS)
+    config = TableConfig(latency=max(LATENCIES), semantics="checker")
+    prefixes = [list(LATENCIES[: stop + 1]) for stop in range(len(LATENCIES))]
+
+    def fresh_full():
+        extract_tables(synthesis, model, config, list(LATENCIES))
+
+    def rebuild_chain():
+        for prefix in prefixes:
+            extract_tables(synthesis, model, config, prefix)
+
+    def chained_cold():
+        state = new_extraction_state(synthesis, model, config)
+        for prefix in prefixes:
+            extend_extraction_state(state, synthesis, model, config, prefix)
+            tables_from_state(state, config, prefix)
+
+    warm_state = new_extraction_state(synthesis, model, config)
+    extend_extraction_state(
+        warm_state, synthesis, model, config, list(LATENCIES)
+    )
+
+    def warm_derive():
+        extend_extraction_state(
+            warm_state, synthesis, model, config, list(LATENCIES)
+        )
+        tables_from_state(warm_state, config, list(LATENCIES))
+
+    fresh_time = _best_of(fresh_full)
+    rebuild_time = _best_of(rebuild_chain)
+    chained_time = _best_of(chained_cold)
+    warm_time = _best_of(warm_derive)
+    return {
+        "circuit": name,
+        "latencies": list(LATENCIES),
+        "num_faults": len(model.faults()),
+        "fresh_ms": round(fresh_time * 1e3, 2),
+        "rebuild_chain_ms": round(rebuild_time * 1e3, 2),
+        "chained_cold_ms": round(chained_time * 1e3, 2),
+        "warm_derive_ms": round(warm_time * 1e3, 2),
+        "chained_speedup": round(rebuild_time / chained_time, 2),
+        "warm_speedup": round(fresh_time / warm_time, 2),
+    }
+
+
+def bench_end_to_end(name: str) -> dict:
+    with tempfile.TemporaryDirectory() as scratch:
+        cache = ArtifactCache(Path(scratch) / "bench-cache")
+        start = time.perf_counter()
+        design_ced_sweep(
+            name, list(LATENCIES), max_faults=MAX_FAULTS, cache=cache
+        )
+        cold_time = time.perf_counter() - start
+        warm_time = _best_of(
+            lambda: design_ced_sweep(
+                name, list(LATENCIES), max_faults=MAX_FAULTS, cache=cache
+            )
+        )
+    return {
+        "circuit": name,
+        "latencies": list(LATENCIES),
+        "cold_ms": round(cold_time * 1e3, 2),
+        "warm_ms": round(warm_time * 1e3, 2),
+        "speedup": round(cold_time / warm_time, 2),
+    }
+
+
+def main() -> None:
+    out = Path(__file__).parent / "BENCH_sim.json"
+    payload = json.loads(out.read_text()) if out.exists() else {}
+    payload["tables"] = {
+        "description": (
+            "Detectability-table extraction over p in {1,2,4}: from-scratch "
+            "enumeration vs the incremental frontier path — chained cold "
+            "(grow one state p=1 -> 1,2 -> 1,2,4 vs rebuilding every "
+            "prefix) and warm derive (state already grown; derivation "
+            "pools frontier rows without re-enumerating suffixes)."
+        ),
+        "results": [bench_tables_stage(name) for name in CIRCUITS],
+    }
+    payload["end_to_end"] = {
+        "description": (
+            "design_ced_sweep on a cold artifact cache vs re-running warm "
+            "against the cache the cold run populated (tables served from "
+            "the persisted extraction state and cached artifacts)."
+        ),
+        "results": [bench_end_to_end(name) for name in CIRCUITS],
+    }
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -338,7 +338,10 @@ def _build_parser() -> argparse.ArgumentParser:
     cache = sub.add_parser("cache", help="artifact cache maintenance")
     cache.add_argument("action", choices=("stats", "purge"))
     cache.add_argument("--stage", default=None,
-                       help="purge only one stage (synthesis/tables/solve/...)")
+                       help="purge only one stage (synthesis/tables/"
+                       "tables-state/solve/...); tables-state holds the "
+                       "incremental extraction frontiers derived tables "
+                       "are extended from")
     cache.add_argument("--cache-dir", metavar="PATH",
                        help="cache directory (default $REPRO_CACHE_DIR or "
                        "~/.cache/repro-ced)")

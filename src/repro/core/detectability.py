@@ -316,58 +316,243 @@ def reachable_state_codes(
 
 
 # ----------------------------------------------------------------------
-# Extraction
+# Incremental extraction state
+#
+# Table extraction is split into three pure steps so cross-latency work
+# can be *reused* instead of re-enumerated:
+#
+# 1. :func:`new_extraction_state` — the latency-independent setup (input
+#    alphabet, good-machine reachability, the fault universe) plus one
+#    empty :class:`ExtractionFrontier` per fault;
+# 2. :func:`extend_extraction_state` — per fault, discover the activation
+#    branches (once) and compute the reduced packed rows for every newly
+#    requested latency, growing the memoized suffix antichains in place.
+#    A latency-``p+1`` request extends the ``p`` enumeration's frontier:
+#    every ``(pair, depth)`` suffix antichain computed for ``p`` is
+#    reused verbatim, only the genuinely new keys are merged;
+# 3. :func:`tables_from_state` — pool the per-fault rows of the requested
+#    latencies into canonical tables.
+#
+# Every memo entry is a pure function of its ``(pair, depth)`` key, and
+# per-entry *subtree* truncation flags record exactly which enumerations
+# hit ``max_suffixes_per_state`` — so a table derived from a state that
+# was grown over several requests is byte-identical to one extracted
+# from scratch for the same latency set.  The state is picklable: the
+# runtime persists it in a derived artifact-cache stage so warm sweeps
+# chain ``p=1 → 2 → 4`` across processes without recompute.
 # ----------------------------------------------------------------------
-def extract_tables(
-    synthesis: SynthesisResult,
-    fault_model: FaultModel,
-    config: TableConfig,
-    latencies: Sequence[int] | None = None,
-) -> dict[int, DetectabilityTable]:
-    """Build tables for every requested latency in one enumeration pass.
 
-    ``latencies`` defaults to ``1 .. config.latency``; all values must be
-    within the configured bound.
+#: Bump when the pickled state layout changes (the cache salt already
+#: covers released schema changes; this guards same-version skew).
+STATE_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class RowMeta:
+    """Bookkeeping of one fault's reduced rows at one latency."""
+
+    raw: int  # deduplicated branch-extension rows before reduction
+    reduced: int  # rows after the cheap antichain reduction
+    capped: bool  # hit max_rows_per_fault (deterministic subsample)
+    suffix_truncated: bool  # any suffix merge in this latency's subtree
+    # hit max_suffixes_per_state
+
+
+@dataclass
+class ExtractionFrontier:
+    """One fault's reusable enumeration frontier.
+
+    ``branches`` (the distinct activation ``(diff, good next, bad next)``
+    triples) and ``activations`` are latency-independent and discovered
+    once.  ``suffix_memo`` maps ``(reference, faulty, depth)`` to the
+    minimal antichain of packed option-set rows over depth-``depth``
+    paths from the pair — the quantity a deeper extraction extends
+    instead of recomputing.  ``truncated_keys`` holds every memo key
+    whose *subtree* hit ``max_suffixes_per_state``, so truncation flags
+    can be reproduced exactly for any latency subset.
     """
+
+    fault_name: str
+    activations: int = 0
+    branches: list[tuple[int, int, int]] | None = None
+    step_memo: dict[tuple[int, int], list[tuple[int, int, int]]] = field(
+        default_factory=dict
+    )
+    suffix_memo: dict[tuple[int, int, int], np.ndarray] = field(
+        default_factory=dict
+    )
+    truncated_keys: set[tuple[int, int, int]] = field(default_factory=set)
+    rows: dict[int, np.ndarray] = field(default_factory=dict)
+    row_meta: dict[int, RowMeta] = field(default_factory=dict)
+
+    def approx_nbytes(self) -> int:
+        total = sum(arr.nbytes for arr in self.suffix_memo.values())
+        total += sum(arr.nbytes for arr in self.rows.values())
+        total += 96 * (len(self.suffix_memo) + len(self.step_memo))
+        total += 48 * sum(len(steps) for steps in self.step_memo.values())
+        return total
+
+
+@dataclass
+class ExtractionState:
+    """Everything needed to derive (and extend) detectability tables."""
+
+    fsm_name: str
+    semantics: str
+    num_bits: int
+    alphabet: np.ndarray
+    input_mode: str
+    reachable: list[int]
+    fault_names: tuple[str, ...]
+    frontiers: list[ExtractionFrontier]
+    latencies: set[int] = field(default_factory=set)
+    schema: int = STATE_SCHEMA
+
+    def approx_nbytes(self) -> int:
+        """Rough pickled size, used to bound what the cache persists."""
+        return self.alphabet.nbytes + sum(
+            frontier.approx_nbytes() for frontier in self.frontiers
+        )
+
+    def suffix_entries(self) -> int:
+        return sum(len(frontier.suffix_memo) for frontier in self.frontiers)
+
+
+@dataclass(frozen=True)
+class ExtendStats:
+    """What one :func:`extend_extraction_state` call did."""
+
+    new_latencies: tuple[int, ...]
+    reused_suffix_entries: int
+    new_suffix_entries: int
+
+    @property
+    def reuse_ratio(self) -> float:
+        total = self.reused_suffix_entries + self.new_suffix_entries
+        return self.reused_suffix_entries / total if total else 0.0
+
+
+def _normalize_latencies(
+    config: TableConfig, latencies: Sequence[int] | None
+) -> list[int]:
     if latencies is None:
         latencies = list(range(1, config.latency + 1))
     latencies = sorted(set(int(p) for p in latencies))
     if not latencies or latencies[0] < 1 or latencies[-1] > config.latency:
         raise ValueError("latencies must lie in [1, config.latency]")
+    return latencies
 
+
+def new_extraction_state(
+    synthesis: SynthesisResult,
+    fault_model: FaultModel,
+    config: TableConfig,
+) -> ExtractionState:
+    """Latency-independent setup: alphabet, reachability, fault universe."""
     alphabet, input_mode = input_alphabet(synthesis, config)
-    good = _StateEvaluator(synthesis, alphabet)
     reachable = reachable_state_codes(synthesis, alphabet)
-    good.ensure(reachable)
-    shared = _SharedFaultBlock(synthesis, fault_model, alphabet, reachable)
+    faults = fault_model.faults()
+    return ExtractionState(
+        fsm_name=synthesis.fsm.name,
+        semantics=config.semantics,
+        num_bits=synthesis.num_bits,
+        alphabet=alphabet,
+        input_mode=input_mode,
+        reachable=reachable,
+        fault_names=tuple(fault.name for fault in faults),
+        frontiers=[
+            ExtractionFrontier(fault_name=fault.name) for fault in faults
+        ],
+    )
 
+
+def extend_extraction_state(
+    state: ExtractionState,
+    synthesis: SynthesisResult,
+    fault_model: FaultModel,
+    config: TableConfig,
+    latencies: Sequence[int] | None = None,
+) -> ExtendStats:
+    """Grow the state to cover ``latencies``, reusing every memoized suffix.
+
+    Already-covered latencies cost nothing; new ones enumerate only the
+    suffix keys the previous extractions never needed.  Mutates ``state``
+    in place and returns reuse statistics.
+    """
+    latencies = _normalize_latencies(config, latencies)
+    if config.semantics != state.semantics:
+        raise ValueError("semantics does not match the extraction state")
+    needed = [p for p in latencies if p not in state.latencies]
+    reused = state.suffix_entries()
+    if not needed:
+        return ExtendStats((), reused, 0)
+    faults = fault_model.faults()
+    if tuple(fault.name for fault in faults) != state.fault_names:
+        raise ValueError("fault universe does not match the extraction state")
+    good = _StateEvaluator(synthesis, state.alphabet)
+    good.ensure(state.reachable)
+    shared = _SharedFaultBlock(
+        synthesis, fault_model, state.alphabet, state.reachable
+    )
+    for fault, frontier in zip(faults, state.frontiers):
+        extractor = _FaultExtractor(
+            synthesis,
+            fault_model,
+            fault,
+            state.alphabet,
+            good,
+            config,
+            shared=shared,
+            frontier=frontier,
+        )
+        extractor.discover(state.reachable)
+        for p in needed:
+            if p not in frontier.rows:
+                extractor.rows_for(p)
+    state.latencies.update(needed)
+    return ExtendStats(
+        tuple(needed), reused, state.suffix_entries() - reused
+    )
+
+
+def tables_from_state(
+    state: ExtractionState,
+    config: TableConfig,
+    latencies: Sequence[int] | None = None,
+) -> dict[int, DetectabilityTable]:
+    """Pool a state's per-fault rows into canonical tables.
+
+    Byte-identical to a from-scratch :func:`extract_tables` call for the
+    same latency set, regardless of the order in which the state was
+    grown: rows, stats and truncation flags are all derived from exact
+    per-``(fault, latency)`` bookkeeping.
+    """
+    latencies = _normalize_latencies(config, latencies)
+    missing = [p for p in latencies if p not in state.latencies]
+    if missing:
+        raise ValueError(
+            f"state has no rows for latencies {missing}; extend it first"
+        )
     tracer = current_tracer()
     per_latency: dict[int, set[frozenset[int]]] = {p: set() for p in latencies}
     raw_rows = {p: 0 for p in latencies}
     reduced_rows = {p: 0 for p in latencies}
     capped_faults = {p: 0 for p in latencies}
-    num_activations = 0
     truncated = False
-    faults = fault_model.faults()
-    for fault in faults:
-        extractor = _FaultExtractor(
-            synthesis, fault_model, fault, alphabet, good, config, shared=shared
-        )
-        activations, local = extractor.collect(reachable, latencies)
-        num_activations += activations
-        truncated = truncated or extractor.truncated
+    for frontier in state.frontiers:
         for p in latencies:
-            rows = _reduce_rows(local[p])
-            raw_rows[p] += int(local[p].shape[0])
-            reduced_rows[p] += int(rows.shape[0])
-            if rows.shape[0] > config.max_rows_per_fault:
-                rows = _subset_rows(rows, config.max_rows_per_fault)
+            meta = frontier.row_meta[p]
+            raw_rows[p] += meta.raw
+            reduced_rows[p] += meta.reduced
+            if meta.capped:
                 capped_faults[p] += 1
-                truncated = True
+            truncated = truncated or meta.capped or meta.suffix_truncated
+            rows = frontier.rows[p]
             lengths = (rows != np.uint64(0)).sum(axis=1).tolist()
             target = per_latency[p]
             for row, length in zip(rows.tolist(), lengths):
                 target.add(frozenset(row[:length]))
+    num_activations = sum(f.activations for f in state.frontiers)
 
     tables: dict[int, DetectabilityTable] = {}
     for p in latencies:
@@ -383,7 +568,7 @@ def extract_tables(
         if rows.shape[0] > config.max_rows:
             from repro.util.rng import rng_for
 
-            rng = rng_for(config.seed, "row-cap", synthesis.fsm.name, p)
+            rng = rng_for(config.seed, "row-cap", state.fsm_name, p)
             chosen = rng.choice(
                 rows.shape[0], size=config.max_rows, replace=False
             )
@@ -391,26 +576,26 @@ def extract_tables(
             table_truncated = True
             row_capped = True
         stats = TableStats(
-            fsm_name=synthesis.fsm.name,
-            num_faults=len(faults),
+            fsm_name=state.fsm_name,
+            num_faults=len(state.frontiers),
             num_activations=num_activations,
             num_rows=int(rows.shape[0]),
-            alphabet_size=int(alphabet.shape[0]),
-            input_mode=input_mode,
+            alphabet_size=int(state.alphabet.shape[0]),
+            input_mode=state.input_mode,
             semantics=config.semantics,
-            num_reachable_states=len(reachable),
+            num_reachable_states=len(state.reachable),
             truncated=table_truncated,
         )
         tables[p] = DetectabilityTable(
-            num_bits=synthesis.num_bits, latency=p, rows=rows, stats=stats
+            num_bits=state.num_bits, latency=p, rows=rows, stats=stats
         )
         if tracer.enabled:
             tracer.event(
                 "tables.latency",
-                fsm=synthesis.fsm.name,
+                fsm=state.fsm_name,
                 latency=p,
                 rows=int(rows.shape[0]),
-                bits=synthesis.num_bits,
+                bits=state.num_bits,
                 width=int(rows.shape[1]),
                 raw_fault_rows=raw_rows[p],
                 deduped_fault_rows=reduced_rows[p],
@@ -423,17 +608,41 @@ def extract_tables(
     if tracer.enabled:
         tracer.event(
             "tables.extract",
-            fsm=synthesis.fsm.name,
+            fsm=state.fsm_name,
             semantics=config.semantics,
-            faults=len(faults),
+            faults=len(state.frontiers),
             activations=num_activations,
-            reachable_states=len(reachable),
-            alphabet=int(alphabet.shape[0]),
-            input_mode=input_mode,
+            reachable_states=len(state.reachable),
+            alphabet=int(state.alphabet.shape[0]),
+            input_mode=state.input_mode,
             latencies=list(latencies),
             truncated=truncated,
         )
     return tables
+
+
+# ----------------------------------------------------------------------
+# Extraction
+# ----------------------------------------------------------------------
+def extract_tables(
+    synthesis: SynthesisResult,
+    fault_model: FaultModel,
+    config: TableConfig,
+    latencies: Sequence[int] | None = None,
+) -> dict[int, DetectabilityTable]:
+    """Build tables for every requested latency in one enumeration pass.
+
+    ``latencies`` defaults to ``1 .. config.latency``; all values must be
+    within the configured bound.  This is the one-shot composition of the
+    incremental API (:func:`new_extraction_state` →
+    :func:`extend_extraction_state` → :func:`tables_from_state`); the
+    runtime flow persists the intermediate state so later calls extend it
+    instead of starting here.
+    """
+    latencies = _normalize_latencies(config, latencies)
+    state = new_extraction_state(synthesis, fault_model, config)
+    extend_extraction_state(state, synthesis, fault_model, config, latencies)
+    return tables_from_state(state, config, latencies)
 
 
 def _subset_positions(total: int, size: int) -> list[int]:
@@ -675,6 +884,13 @@ class _FaultExtractor:
     trajectory semantics the reference evolves through the good machine;
     under checker semantics the reference is the faulty machine's own state
     (the pair stays diagonal).
+
+    All enumeration state (step/suffix memos, truncation flags, reduced
+    rows) lives on an :class:`ExtractionFrontier` so a later, deeper
+    extraction — possibly in a different process, via the artifact cache —
+    resumes exactly where this one stopped.  Every memo entry is a pure
+    function of its key, so resumed results are byte-identical to
+    from-scratch ones.
     """
 
     def __init__(
@@ -686,6 +902,7 @@ class _FaultExtractor:
         good: _StateEvaluator,
         config: TableConfig,
         shared: "_SharedFaultBlock | None" = None,
+        frontier: ExtractionFrontier | None = None,
     ) -> None:
         self.synthesis = synthesis
         self.alphabet = alphabet
@@ -695,26 +912,28 @@ class _FaultExtractor:
         )
         self.config = config
         self.trajectory = config.semantics == "trajectory"
-        self.truncated = False
-        self._packed_memo: dict[tuple[int, int, int], np.ndarray] = {}
-        self._step_memo: dict[tuple[int, int], list[tuple[int, int, int]]] = {}
+        self.frontier = (
+            frontier
+            if frontier is not None
+            else ExtractionFrontier(fault_name=fault.name)
+        )
+        self._packed_memo = self.frontier.suffix_memo
+        self._step_memo = self.frontier.step_memo
+        self._truncated_keys = self.frontier.truncated_keys
 
-    def collect(
-        self, reachable: list[int], latencies: list[int]
-    ) -> tuple[int, dict[int, np.ndarray]]:
-        """This fault's option sets per latency, as deduplicated packed rows.
+    def discover(self, reachable: list[int]) -> None:
+        """Find this fault's distinct activation branches (once per fault).
 
-        The returned ``(k, p)`` arrays are canonically ordered (see the
-        packed-row section): ``np.unique(axis=0)`` both deduplicates the
-        branch contributions and sorts them into ``_canonical_order``.
+        Many present states activate the same (diff, next-pair) branch,
+        and each branch contributes the same option sets at every latency
+        — so only the deduplicated branch set and the activation count
+        are kept; both are latency-independent.
         """
+        frontier = self.frontier
+        if frontier.branches is not None:
+            return
         self.bad.ensure(reachable)
         activations = 0
-        blocks: dict[int, list[np.ndarray]] = {p: [] for p in latencies}
-        ones: list[int] = []
-        # Distinct branches only: many present states activate the same
-        # (diff, next-pair) branch, and each branch contributes the same
-        # option sets — the per-fault dedup skips those re-unions.
         seen: set[tuple[int, int, int]] = set()
         for code in reachable:
             good_packed, good_next = self.good.info(code)
@@ -724,42 +943,68 @@ class _FaultExtractor:
             activations += int(nonzero.shape[0])
             if not nonzero.shape[0]:
                 continue
-            branches = (
-                set(
-                    zip(
-                        diffs[nonzero].tolist(),
-                        good_next[nonzero].tolist(),
-                        bad_next[nonzero].tolist(),
-                    )
+            seen |= set(
+                zip(
+                    diffs[nonzero].tolist(),
+                    good_next[nonzero].tolist(),
+                    bad_next[nonzero].tolist(),
                 )
-                - seen
             )
-            seen |= branches
+        frontier.activations = activations
+        frontier.branches = sorted(seen)
+
+    def rows_for(self, p: int) -> np.ndarray:
+        """This fault's reduced option-set rows at latency ``p``.
+
+        Extends the memoized suffix antichains only as deep as ``p - 1``
+        requires; shallower entries computed by earlier calls (or earlier
+        runs, via a persisted frontier) are reused verbatim.  The rows are
+        canonically ordered, antichain-reduced and per-fault capped —
+        exactly the per-fault contribution the table pooling consumes.
+        """
+        frontier = self.frontier
+        cached = frontier.rows.get(p)
+        if cached is not None:
+            return cached
+        branches = frontier.branches
+        if branches is None:
+            raise RuntimeError("discover() must run before rows_for()")
+        suffix_truncated = False
+        if p == 1:
+            if branches:
+                rows = _unique_rows(
+                    np.array([diff for diff, _, _ in branches], dtype=np.uint64)[
+                        :, None
+                    ]
+                )
+            else:
+                rows = np.zeros((0, 1), dtype=np.uint64)
+        elif branches:
+            blocks: list[np.ndarray] = []
             for diff, good_code, bad_code in branches:
                 reference = good_code if self.trajectory else bad_code
-                for p in latencies:
-                    if p == 1:
-                        ones.append(diff)
-                        continue
-                    suffixes = self._packed_suffixes(
-                        reference, bad_code, p - 1
-                    )
-                    blocks[p].append(_insert_word(suffixes, diff))
-        rows_by_latency: dict[int, np.ndarray] = {}
-        for p in latencies:
-            if p == 1:
-                if ones:
-                    rows = _unique_rows(
-                        np.array(ones, dtype=np.uint64)[:, None]
-                    )
-                else:
-                    rows = np.zeros((0, 1), dtype=np.uint64)
-            elif blocks[p]:
-                rows = _unique_rows(np.concatenate(blocks[p]))
-            else:
-                rows = np.zeros((0, p), dtype=np.uint64)
-            rows_by_latency[p] = rows
-        return activations, rows_by_latency
+                suffixes = self._packed_suffixes(reference, bad_code, p - 1)
+                blocks.append(_insert_word(suffixes, diff))
+                if (reference, bad_code, p - 1) in self._truncated_keys:
+                    suffix_truncated = True
+            rows = _unique_rows(np.concatenate(blocks))
+        else:
+            rows = np.zeros((0, p), dtype=np.uint64)
+        raw = int(rows.shape[0])
+        rows = _reduce_rows(rows)
+        reduced = int(rows.shape[0])
+        capped = False
+        if rows.shape[0] > self.config.max_rows_per_fault:
+            rows = _subset_rows(rows, self.config.max_rows_per_fault)
+            capped = True
+        frontier.rows[p] = rows
+        frontier.row_meta[p] = RowMeta(
+            raw=raw,
+            reduced=reduced,
+            capped=capped,
+            suffix_truncated=suffix_truncated,
+        )
+        return rows
 
     def _packed_suffixes(
         self, reference: int, faulty: int, depth: int
@@ -769,7 +1014,10 @@ class _FaultExtractor:
 
         Rows are canonically ordered; the partial antichain reduction is
         the packed-row twin of :func:`_cheap_reduce`, applied exactly as
-        the frozenset implementation did per memo entry.
+        the frozenset implementation did per memo entry.  A key lands in
+        ``truncated_keys`` iff its *subtree* hit the suffix limit, so any
+        latency subset derived later reproduces the exact truncation flag
+        a fresh enumeration of that subset would report.
         """
         if depth == 0:
             return _EMPTY_SUFFIX
@@ -784,8 +1032,11 @@ class _FaultExtractor:
         ]
         limit = self.config.max_suffixes_per_state
         raw_total = sum(child.shape[0] for child in children)
+        truncated_here = False
         if raw_total >= limit:
-            rows = self._merge_limited(steps, children, depth, limit)
+            rows, truncated_here = self._merge_limited(
+                steps, children, depth, limit
+            )
             result = _reduce_rows(_unique_rows(rows))
         elif raw_total <= _SMALL_MERGE:
             result = _merge_small(steps, children, depth)
@@ -796,6 +1047,15 @@ class _FaultExtractor:
             rows = _unique_rows(_merge_branches(steps, children, depth))
             result = _reduce_rows(rows)
         self._packed_memo[key] = result
+        if truncated_here or (
+            depth > 1
+            and any(
+                (next_reference, next_faulty, depth - 1)
+                in self._truncated_keys
+                for _, next_reference, next_faulty in steps
+            )
+        ):
+            self._truncated_keys.add(key)
         return result
 
     def _merge_limited(
@@ -804,17 +1064,18 @@ class _FaultExtractor:
         children: list[np.ndarray],
         depth: int,
         limit: int,
-    ) -> np.ndarray:
+    ) -> tuple[np.ndarray, bool]:
         """Branch merge with the exact per-branch truncation semantics.
 
         Mirrors the reference implementation: branches are taken in
         ``_pair_step`` order, the *deduplicated* running count is checked
         after each branch, and the first branch to reach the limit stops
-        the enumeration and marks the table truncated.
+        the enumeration and reports truncation.
         """
         seen: set[bytes] = set()
         kept: list[np.ndarray] = []
         row_bytes = depth * 8
+        truncated = False
         for (diff, _, _), child in zip(steps, children):
             if diff == 0:
                 extended = np.zeros((child.shape[0], depth), dtype=np.uint64)
@@ -835,11 +1096,13 @@ class _FaultExtractor:
                     else extended[np.asarray(fresh)]
                 )
             if len(seen) >= limit:
-                self.truncated = True
+                truncated = True
                 break
         if not kept:
-            return np.zeros((0, depth), dtype=np.uint64)
-        return np.concatenate(kept) if len(kept) > 1 else kept[0]
+            return np.zeros((0, depth), dtype=np.uint64), truncated
+        return (
+            np.concatenate(kept) if len(kept) > 1 else kept[0]
+        ), truncated
 
     def _pair_step(
         self, reference: int, faulty: int

@@ -21,9 +21,10 @@ from itertools import combinations
 
 import numpy as np
 
-from repro.core.cover import batch_coverage
+from repro.core.cover import batch_coverage, packed_coverage
 from repro.core.detectability import DetectabilityTable
 from repro.runtime.trace import current_tracer
+from repro.util.bitops import lane_mask
 
 POOLS = ("singles", "pairs", "triples", "all")
 _MAX_ALL_BITS = 16
@@ -65,6 +66,58 @@ def greedy_parity_cover(
     erroneous cases (ties broken toward fewer XOR inputs, then smaller
     mask).  Raises if the pool cannot cover the table — impossible for the
     built-in pools, which all contain the single-bit functions.
+
+    The coverage matrix is lane-packed (64 rows per uint64 word, the same
+    algebra as the tables themselves): each pick scores all candidates
+    with one ``np.bitwise_count`` sweep over 1/64th of the memory the
+    boolean matrix would touch.  Picks are identical to the boolean
+    reference (:func:`greedy_parity_cover_reference`).
+    """
+    if table.num_rows == 0:
+        return []
+    candidates = (
+        candidate_pool(table.num_bits, pool) if isinstance(pool, str) else list(pool)
+    )
+    coverage = packed_coverage(table.rows, candidates)  # (C, W)
+    uncovered = lane_mask(table.num_rows)  # (W,)
+    chosen: list[int] = []
+    tracer = current_tracer()
+    progression: list[int] = []
+    while uncovered.any():
+        gains = np.bitwise_count(coverage & uncovered[None, :]).sum(
+            axis=1, dtype=np.int64
+        )
+        best_gain = int(gains.max())
+        if best_gain == 0:
+            raise ValueError("candidate pool cannot cover the table")
+        best_index = min(
+            np.flatnonzero(gains == best_gain).tolist(),
+            key=lambda idx: (bin(candidates[idx]).count("1"), candidates[idx]),
+        )
+        chosen.append(candidates[best_index])
+        uncovered &= ~coverage[best_index]
+        if tracer.enabled and len(progression) < _TRACE_PROGRESSION_CAP:
+            progression.append(int(np.bitwise_count(uncovered).sum()))
+    if tracer.enabled:
+        tracer.event(
+            "greedy.cover",
+            picks=len(chosen),
+            pool_size=len(candidates),
+            rows=table.num_rows,
+            uncovered_progression=progression,
+            progression_truncated=len(chosen) > len(progression),
+        )
+    return chosen
+
+
+def greedy_parity_cover_reference(
+    table: DetectabilityTable,
+    pool: str | list[int] = "pairs",
+) -> list[int]:
+    """Boolean-matrix reference for :func:`greedy_parity_cover`.
+
+    The pre-packing implementation, kept for the differential tests that
+    pin the lane-packed gain scoring to it pick for pick.
     """
     if table.num_rows == 0:
         return []
@@ -74,8 +127,6 @@ def greedy_parity_cover(
     coverage = batch_coverage(table.rows, candidates)  # (C, m)
     uncovered = np.ones(table.num_rows, dtype=bool)
     chosen: list[int] = []
-    tracer = current_tracer()
-    progression: list[int] = []
     while uncovered.any():
         gains = (coverage & uncovered[None, :]).sum(axis=1)
         best_gain = int(gains.max())
@@ -87,15 +138,4 @@ def greedy_parity_cover(
         )
         chosen.append(candidates[best_index])
         uncovered &= ~coverage[best_index]
-        if tracer.enabled and len(progression) < _TRACE_PROGRESSION_CAP:
-            progression.append(int(uncovered.sum()))
-    if tracer.enabled:
-        tracer.event(
-            "greedy.cover",
-            picks=len(chosen),
-            pool_size=len(candidates),
-            rows=table.num_rows,
-            uncovered_progression=progression,
-            progression_truncated=len(chosen) > len(progression),
-        )
     return chosen

@@ -30,6 +30,11 @@ from repro.util.bitops import bits_to_int
 #: last bucket is exact full coverage).
 _HIST_BUCKETS = 10
 
+#: Attempts whose RNG draws and β packing are batched per numpy call.  A
+#: Generator fills a (k, q, n) request from the same stream positions as
+#: k sequential (q, n) requests, so any chunking yields the same draws.
+_BATCH_ATTEMPTS = 128
+
 
 @dataclass
 class RoundingResult:
@@ -73,6 +78,105 @@ def randomized_rounding(
     pre-filter: candidates that already fail on it are rejected without
     paying the full-table check (the search layer passes the LP's row
     subsample).  Acceptance is always decided on the full ``rows``.
+
+    RNG draws and candidate scoring (β bit-packing) are batched
+    ``_BATCH_ATTEMPTS`` at a time on the packed uint64 algebra; results —
+    draws, attempt counts, accepted and best candidates — are identical
+    to :func:`randomized_rounding_reference`, which keeps the original
+    attempt-at-a-time loop.
+    """
+    beta_fractional = np.asarray(beta_fractional)
+    if beta_fractional.ndim != 2 or beta_fractional.shape[1] > 64:
+        # β masks wider than one word (or oddly shaped inputs) take the
+        # reference path, which packs bits in pure Python.
+        return randomized_rounding_reference(
+            rows, beta_fractional, iterations, rng,
+            jitter=jitter, quick_rows=quick_rows,
+        )
+    rows = np.asarray(rows, dtype=np.uint64)
+    if rows.shape[0] == 0:
+        return RoundingResult(betas=[], attempts=0, best_betas=[], best_covered=0)
+    use_quick = (
+        quick_rows is not None and quick_rows.shape[0] < rows.shape[0]
+    )
+    tracer = current_tracer()
+    trace_on = tracer.enabled
+    hist = [0] * (_HIST_BUCKETS + 1)
+    quick_rejects = 0
+    best_betas: list[int] = []
+    best_covered = -1
+    best_quick: list[int] = []
+    best_quick_covered = -1
+    probabilities = np.clip(beta_fractional, jitter, 1.0 - jitter)
+    weights = np.uint64(1) << np.arange(
+        beta_fractional.shape[1], dtype=np.uint64
+    )
+    attempt = 0
+    while attempt < iterations:
+        batch = min(_BATCH_ATTEMPTS, iterations - attempt)
+        sampled = rng.random((batch,) + beta_fractional.shape) < probabilities
+        packed = (sampled * weights).sum(axis=2)  # (batch, q) β masks
+        for betas_row in packed.tolist():
+            attempt += 1
+            candidate = [b for b in dict.fromkeys(betas_row) if b != 0]
+            if use_quick:
+                quick_covered = covered_rows(quick_rows, candidate)
+                if not quick_covered.all():
+                    quick_rejects += 1
+                    quick_count = int(quick_covered.sum())
+                    if quick_count > best_quick_covered:
+                        best_quick_covered = quick_count
+                        best_quick = candidate
+                    continue
+            covered = covered_rows(rows, candidate)
+            count = int(covered.sum())
+            if trace_on:
+                hist[count * _HIST_BUCKETS // rows.shape[0]] += 1
+            if count > best_covered:
+                best_covered = count
+                best_betas = candidate
+            if count == rows.shape[0]:
+                result = RoundingResult(
+                    betas=candidate,
+                    attempts=attempt,
+                    best_betas=candidate,
+                    best_covered=count,
+                )
+                _trace_rounding(
+                    tracer, result, rows.shape[0], quick_rejects, hist
+                )
+                return result
+    if best_covered < 0:
+        # Every attempt failed the quick filter: score the best of those
+        # attempts on the full table (once) so repair starts from the
+        # best candidate actually seen — never from a fresh RNG draw,
+        # which would make the draw count depend on the quick subset.
+        best_betas = best_quick
+        best_covered = int(covered_rows(rows, best_betas).sum())
+    result = RoundingResult(
+        betas=None,
+        attempts=iterations,
+        best_betas=best_betas,
+        best_covered=best_covered,
+    )
+    _trace_rounding(tracer, result, rows.shape[0], quick_rejects, hist)
+    return result
+
+
+def randomized_rounding_reference(
+    rows: np.ndarray,
+    beta_fractional: np.ndarray,
+    iterations: int,
+    rng: np.random.Generator,
+    jitter: float = 0.02,
+    quick_rows: np.ndarray | None = None,
+) -> RoundingResult:
+    """Attempt-at-a-time reference for :func:`randomized_rounding`.
+
+    The original implementation (one :func:`round_once` RNG draw and one
+    pure-Python bit-pack per attempt), kept as the differential-test
+    anchor for the batched path and as the fallback for β masks wider
+    than one uint64 word.
     """
     rows = np.asarray(rows, dtype=np.uint64)
     if rows.shape[0] == 0:

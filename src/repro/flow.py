@@ -23,14 +23,20 @@ of pure functions.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from repro.ced.hardware import CedHardware, build_ced_hardware
 from repro.ced.verify import VerificationReport, verify_bounded_latency
 from repro.core.detectability import (
+    STATE_SCHEMA,
     DetectabilityTable,
+    ExtractionState,
     TableConfig,
+    extend_extraction_state,
     extract_tables,
+    new_extraction_state,
+    tables_from_state,
 )
 from repro.core.search import (
     SolveConfig,
@@ -44,6 +50,101 @@ from repro.fsm.machine import FSM
 from repro.logic.synthesis import SynthesisResult, synthesize_fsm
 from repro.runtime.cache import Cache, NullCache, cached_call, fingerprint
 from repro.runtime.metrics import MetricsRecorder
+from repro.runtime.trace import current_tracer
+
+#: Don't persist extraction states whose frontier arrays exceed this many
+#: bytes — the reuse win is dwarfed by pickle/IO on pathological machines.
+_STATE_PERSIST_LIMIT = 128 * 1024 * 1024
+
+
+def _config_sans_latency(table_config: TableConfig) -> tuple:
+    """The TableConfig fields that shape the extraction *state*.
+
+    ``latency`` is deliberately excluded: it is exactly the axis the
+    persisted state is shared across — a ``p=4`` sweep must find and
+    extend the state a ``p=1`` run left behind.
+    """
+    return tuple(
+        (fld.name, getattr(table_config, fld.name))
+        for fld in dataclasses.fields(table_config)
+        if fld.name != "latency"
+    )
+
+
+def _incremental_extract(
+    cache: Cache,
+    fsm: FSM,
+    synthesis: SynthesisResult,
+    fault_model: FaultModel,
+    table_config: TableConfig,
+    latencies: list[int],
+    encoding: str,
+    multilevel: bool,
+    fault_desc: tuple,
+) -> dict[int, DetectabilityTable]:
+    """Extract tables by extending a cached enumeration frontier.
+
+    The pickled :class:`ExtractionState` lives in the derived
+    ``tables-state`` cache stage, keyed by everything that shapes the
+    enumeration *except* the latency set — so a warm ``p=1→2→4`` sweep
+    reuses every memoized suffix antichain instead of re-enumerating.
+    Byte-identity with :func:`extract_tables` is guaranteed by the pure
+    per-key memo semantics (and pinned by the differential tests).
+    """
+    if isinstance(cache, NullCache):
+        return extract_tables(synthesis, fault_model, table_config, latencies)
+    state_key = fingerprint(
+        "tables-state", fsm, encoding, multilevel, fault_desc,
+        _config_sans_latency(table_config),
+    )
+    found, state = cache.get("tables-state", state_key)
+    usable = (
+        found
+        and isinstance(state, ExtractionState)
+        and state.schema == STATE_SCHEMA
+        and state.fault_names
+        == tuple(fault.name for fault in fault_model.faults())
+    )
+    tracer = current_tracer()
+    if tracer.enabled:
+        tracer.event(
+            "tables.incremental.state",
+            fsm=fsm.name,
+            hit=bool(found),
+            usable=bool(usable),
+        )
+    if not usable:
+        state = new_extraction_state(synthesis, fault_model, table_config)
+    parent_latencies = sorted(state.latencies)
+    stats = extend_extraction_state(
+        state, synthesis, fault_model, table_config, latencies
+    )
+    mode = (
+        "derive"
+        if not stats.new_latencies
+        else ("extend" if parent_latencies else "build")
+    )
+    tables = tables_from_state(state, table_config, latencies)
+    persisted = False
+    state_bytes = state.approx_nbytes()
+    if stats.new_latencies and state_bytes <= _STATE_PERSIST_LIMIT:
+        cache.put("tables-state", state_key, state)
+        persisted = True
+    if tracer.enabled:
+        tracer.event(
+            "tables.incremental.extend",
+            fsm=fsm.name,
+            mode=mode,
+            parent_latencies=parent_latencies,
+            latencies=sorted(set(int(p) for p in latencies)),
+            new_latencies=list(stats.new_latencies),
+            reused_suffix_entries=stats.reused_suffix_entries,
+            new_suffix_entries=stats.new_suffix_entries,
+            reuse_ratio=round(stats.reuse_ratio, 4),
+            state_persisted=persisted,
+            state_bytes=state_bytes,
+        )
+    return tables
 
 
 @dataclass
@@ -179,8 +280,9 @@ def design_ced_sweep(
                     "tables", fsm, encoding, multilevel, fault_desc,
                     table_config, tuple(sorted(set(latencies))),
                 ),
-                lambda: extract_tables(
-                    synthesis, fault_model, table_config, latencies
+                lambda: _incremental_extract(
+                    cache, fsm, synthesis, fault_model, table_config,
+                    latencies, encoding, multilevel, fault_desc,
                 ),
             )
 

@@ -43,8 +43,12 @@ from repro.runtime.trace import current_tracer
 #: changes; the package version covers everything else.  Revision 2: the
 #: bit-parallel simulation kernel replaced the uint8 evaluator — results
 #: are bit-identical by design, but the bump guarantees uint8-era entries
-#: can never mask a kernel regression.
-SCHEMA = 2
+#: can never mask a kernel regression.  Revision 3: table extraction went
+#: incremental and grew a derived ``tables-state`` stage holding pickled
+#: :class:`~repro.core.detectability.ExtractionState` frontiers; the bump
+#: keeps pre-incremental entries from ever being replayed against the new
+#: extension path.
+SCHEMA = 3
 
 
 def _cache_salt() -> str:
@@ -142,6 +146,8 @@ class CacheStats:
     entries: int = 0
     bytes: int = 0
     stages: dict[str, int] = field(default_factory=dict)
+    stage_hits: dict[str, int] = field(default_factory=dict)
+    stage_misses: dict[str, int] = field(default_factory=dict)
 
     def format(self) -> str:
         lines = [
@@ -149,8 +155,19 @@ class CacheStats:
             f"session: {self.hits} hits / {self.misses} misses / "
             f"{self.puts} writes / {self.corrupt} corrupt",
         ]
-        for stage, count in sorted(self.stages.items()):
-            lines.append(f"  {stage:12s} {count} entries")
+        touched = sorted(
+            set(self.stages) | set(self.stage_hits) | set(self.stage_misses)
+        )
+        for stage in touched:
+            count = self.stages.get(stage, 0)
+            hits = self.stage_hits.get(stage, 0)
+            misses = self.stage_misses.get(stage, 0)
+            reuse = (
+                f"  ({hits} reused / {misses} computed)"
+                if hits or misses
+                else ""
+            )
+            lines.append(f"  {stage:12s} {count} entries{reuse}")
         return "\n".join(lines)
 
 
@@ -169,6 +186,9 @@ class NullCache:
     def counters(self) -> tuple[int, int]:
         return 0, 0
 
+    def stage_counters(self) -> tuple[dict[str, int], dict[str, int]]:
+        return {}, {}
+
 
 class ArtifactCache:
     """Content-addressed pickle store with atomic writes.
@@ -185,6 +205,8 @@ class ArtifactCache:
         self._misses = 0
         self._puts = 0
         self._corrupt = 0
+        self._stage_hits: dict[str, int] = {}
+        self._stage_misses: dict[str, int] = {}
 
     # -- keying --------------------------------------------------------
     def _path(self, stage: str, key: str) -> Path:
@@ -197,13 +219,13 @@ class ArtifactCache:
         try:
             payload = path.read_bytes()
         except OSError:
-            self._misses += 1
+            self._miss(stage)
             return False, None
         try:
             value = pickle.loads(payload)
         except Exception:
             self._corrupt += 1
-            self._misses += 1
+            self._miss(stage)
             current_tracer().event("cache.corrupt", stage=stage)
             try:
                 path.unlink()
@@ -211,7 +233,12 @@ class ArtifactCache:
                 pass
             return False, None
         self._hits += 1
+        self._stage_hits[stage] = self._stage_hits.get(stage, 0) + 1
         return True, value
+
+    def _miss(self, stage: str) -> None:
+        self._misses += 1
+        self._stage_misses[stage] = self._stage_misses.get(stage, 0) + 1
 
     def put(self, stage: str, key: str, value: Any) -> None:
         path = self._path(stage, key)
@@ -245,6 +272,8 @@ class ArtifactCache:
             misses=self._misses,
             puts=self._puts,
             corrupt=self._corrupt,
+            stage_hits=dict(self._stage_hits),
+            stage_misses=dict(self._stage_misses),
         )
         for path in self._entries():
             stats.entries += 1
@@ -259,6 +288,10 @@ class ArtifactCache:
     def counters(self) -> tuple[int, int]:
         """(hits, misses) so far — cheap snapshot for per-job deltas."""
         return self._hits, self._misses
+
+    def stage_counters(self) -> tuple[dict[str, int], dict[str, int]]:
+        """(per-stage hits, per-stage misses) snapshots for reuse deltas."""
+        return dict(self._stage_hits), dict(self._stage_misses)
 
     def purge(self, stage: str | None = None) -> int:
         """Delete all entries (or one stage's); returns the count removed."""

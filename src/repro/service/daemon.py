@@ -128,6 +128,8 @@ class DesignService:
         self._timeouts = 0
         self._disk_hits = 0
         self._disk_misses = 0
+        self._disk_stage_hits: dict[str, int] = {}
+        self._disk_stage_misses: dict[str, int] = {}
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> None:
@@ -205,6 +207,19 @@ class DesignService:
             "disk_cache": {
                 "hits": self._disk_hits,
                 "misses": self._disk_misses,
+                # Per-stage reuse: "tables-state" hits here are sweeps
+                # that extended a persisted enumeration frontier instead
+                # of re-enumerating from scratch.
+                "by_stage": {
+                    stage: {
+                        "hits": self._disk_stage_hits.get(stage, 0),
+                        "misses": self._disk_stage_misses.get(stage, 0),
+                    }
+                    for stage in sorted(
+                        set(self._disk_stage_hits)
+                        | set(self._disk_stage_misses)
+                    )
+                },
             },
         }
 
@@ -311,6 +326,18 @@ class DesignService:
                 self._computed += 1
                 self._disk_hits += envelope.get("cache_hits", 0)
                 self._disk_misses += envelope.get("cache_misses", 0)
+                for stage, count in envelope.get(
+                    "cache_stage_hits", {}
+                ).items():
+                    self._disk_stage_hits[stage] = (
+                        self._disk_stage_hits.get(stage, 0) + count
+                    )
+                for stage, count in envelope.get(
+                    "cache_stage_misses", {}
+                ).items():
+                    self._disk_stage_misses[stage] = (
+                        self._disk_stage_misses.get(stage, 0) + count
+                    )
         finally:
             with self._idle:
                 self._inflight.pop(key, None)

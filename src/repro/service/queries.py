@@ -304,18 +304,33 @@ def service_worker(payload: tuple, degraded: bool) -> dict:
     cache = _worker_cache(cache_dir, cache_enabled)
     recorder = MetricsRecorder()
     hits_before, misses_before = cache.counters()
+    stage_hits_before, stage_misses_before = cache.stage_counters()
     tracer = Tracer() if trace else None
     context = use_tracer(tracer) if tracer is not None else nullcontext()
     with context:
         value = QUERY_KINDS[kind][1](spec, cache, recorder, degraded)
     hits_after, misses_after = cache.counters()
+    stage_hits_after, stage_misses_after = cache.stage_counters()
     return {
         "value": value,
         "stages": recorder.as_dicts(),
         "cache_hits": hits_after - hits_before,
         "cache_misses": misses_after - misses_before,
+        "cache_stage_hits": _counter_delta(stage_hits_before, stage_hits_after),
+        "cache_stage_misses": _counter_delta(
+            stage_misses_before, stage_misses_after
+        ),
         "trace": tracer.records if tracer is not None else [],
     }
+
+
+def _counter_delta(
+    before: dict[str, int], after: dict[str, int]
+) -> dict[str, int]:
+    delta = {
+        stage: count - before.get(stage, 0) for stage, count in after.items()
+    }
+    return {stage: count for stage, count in delta.items() if count}
 
 
 def warmup_worker(payload: object, degraded: bool) -> str:

@@ -222,6 +222,8 @@ def _run_checks(
     fault_desc = ("stuck-at", True, True, config.max_faults, model.seed)
     for semantics in ("checker", "trajectory"):
         table_config = TableConfig(latency=config.latency, semantics=semantics)
+        from repro.flow import _incremental_extract
+
         tables[semantics], _ = cached_call(
             cache,
             "tables",
@@ -229,7 +231,10 @@ def _run_checks(
                 "tables", fsm, "binary", False, fault_desc,
                 table_config, tuple(latencies),
             ),
-            lambda tc=table_config: extract_tables(synthesis, model, tc, latencies),
+            lambda tc=table_config: _incremental_extract(
+                cache, fsm, synthesis, model, tc, latencies,
+                "binary", False, fault_desc,
+            ),
         )
 
     checker = tables["checker"]

@@ -1,0 +1,73 @@
+"""Benchmark smoke: warm table derivation must actually skip enumeration.
+
+Excluded from tier-1 (``slow`` marker); CI runs it in the bench lane.
+The assertion is on the warm-derive path — a state already grown over the
+requested latencies, so ``extend_extraction_state`` is a no-op and
+``tables_from_state`` only pools frontier rows — against a from-scratch
+``extract_tables`` of the same latency set.  That is the shape a warm
+sweep re-run or a widened campaign hits: the suffix enumeration is the
+dominant cost, and chaining off the persisted state must avoid paying it
+again.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.detectability import (
+    TableConfig,
+    extend_extraction_state,
+    extract_tables,
+    new_extraction_state,
+    tables_from_state,
+)
+from repro.faults.model import StuckAtModel
+from repro.fsm.benchmarks import load_benchmark
+from repro.logic.synthesis import synthesize_fsm
+
+CIRCUIT = "s386"
+LATENCIES = [1, 2, 4]
+MIN_SPEEDUP = 2.0
+
+
+def _best_of(function, repeats: int = 3) -> float:
+    timings = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        timings.append(time.perf_counter() - start)
+    return min(timings)
+
+
+@pytest.mark.slow
+def test_warm_derivation_at_least_2x_fresh_extraction():
+    synthesis = synthesize_fsm(load_benchmark(CIRCUIT))
+    model = StuckAtModel(synthesis, max_faults=800)
+    config = TableConfig(latency=max(LATENCIES), semantics="checker")
+
+    state = new_extraction_state(synthesis, model, config)
+    extend_extraction_state(state, synthesis, model, config, LATENCIES)
+
+    def fresh_extraction():
+        return extract_tables(synthesis, model, config, LATENCIES)
+
+    def warm_derivation():
+        extend_extraction_state(state, synthesis, model, config, LATENCIES)
+        return tables_from_state(state, config, LATENCIES)
+
+    # Correctness first, so a timing win can never paper over a wrong result.
+    fresh_tables = fresh_extraction()
+    warm_tables = warm_derivation()
+    for p in LATENCIES:
+        assert warm_tables[p].rows.tobytes() == fresh_tables[p].rows.tobytes()
+        assert warm_tables[p].stats == fresh_tables[p].stats
+
+    fresh_time = _best_of(fresh_extraction)
+    warm_time = _best_of(warm_derivation)
+    speedup = fresh_time / warm_time
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm derivation only {speedup:.1f}x faster than fresh extraction "
+        f"({fresh_time * 1e3:.1f}ms vs {warm_time * 1e3:.1f}ms)"
+    )

@@ -1,0 +1,208 @@
+"""Differential properties of incremental cross-latency table extraction.
+
+The incremental API (``new_extraction_state`` → ``extend_extraction_state``
+→ ``tables_from_state``) promises that a table derived from a state grown
+over several requests is *byte-identical* to one extracted from scratch
+for the same latency set — rows, stats and truncation flags included.
+These properties pin that promise across encodings, fault collapsing,
+both semantics, and arbitrary extension orders, on the shared fuzzer
+machine distribution.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.detectability import (
+    DetectabilityTable,
+    TableConfig,
+    extend_extraction_state,
+    extract_tables,
+    new_extraction_state,
+    tables_from_state,
+)
+from repro.faults.model import StuckAtModel
+from repro.fsm.encoding import STRATEGIES
+from repro.logic.synthesis import synthesize_fsm
+from tests.strategies import machines
+
+SEMANTICS = ("trajectory", "checker")
+
+
+def assert_tables_identical(
+    actual: DetectabilityTable, expected: DetectabilityTable
+) -> None:
+    assert actual.num_bits == expected.num_bits
+    assert actual.latency == expected.latency
+    assert actual.rows.dtype == expected.rows.dtype
+    assert actual.rows.shape == expected.rows.shape
+    assert actual.rows.tobytes() == expected.rows.tobytes()
+    assert actual.stats == expected.stats
+
+
+class TestExtensionMatchesScratch:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        fsm=machines("incr"),
+        encoding=st.sampled_from(STRATEGIES),
+        collapse=st.booleans(),
+        semantics=st.sampled_from(SEMANTICS),
+    )
+    def test_extended_p_plus_1_table_is_byte_identical(
+        self, fsm, encoding, collapse, semantics
+    ):
+        """Extending a p table's frontier to p+1 equals re-enumerating."""
+        synthesis = synthesize_fsm(fsm, encoding=encoding)
+        model = StuckAtModel(synthesis, collapse=collapse, max_faults=40)
+        config = TableConfig(latency=3, semantics=semantics)
+        state = new_extraction_state(synthesis, model, config)
+        extend_extraction_state(state, synthesis, model, config, [1, 2])
+        stats = extend_extraction_state(
+            state, synthesis, model, config, [1, 2, 3]
+        )
+        assert stats.new_latencies == (3,)
+        extended = tables_from_state(state, config, [1, 2, 3])
+        scratch = extract_tables(synthesis, model, config, [1, 2, 3])
+        for p in (1, 2, 3):
+            assert_tables_identical(extended[p], scratch[p])
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        fsm=machines("incr-subset"),
+        semantics=st.sampled_from(SEMANTICS),
+    )
+    def test_subset_derivation_matches_fresh_subset_extraction(
+        self, fsm, semantics
+    ):
+        """Any latency subset of a grown state equals a fresh extraction
+        of exactly that subset — including the per-subset truncation flag
+        (a state grown deep must not leak deep-path truncation into a
+        shallow derivation)."""
+        synthesis = synthesize_fsm(fsm)
+        model = StuckAtModel(synthesis, max_faults=40)
+        config = TableConfig(latency=3, semantics=semantics)
+        state = new_extraction_state(synthesis, model, config)
+        extend_extraction_state(state, synthesis, model, config, [1, 2, 3])
+        for subset in ([1], [2], [3], [1, 3], [2, 3]):
+            derived = tables_from_state(state, config, subset)
+            fresh = extract_tables(synthesis, model, config, subset)
+            for p in subset:
+                assert_tables_identical(derived[p], fresh[p])
+
+    @settings(max_examples=8, deadline=None)
+    @given(fsm=machines("incr-order"), semantics=st.sampled_from(SEMANTICS))
+    def test_extension_order_is_irrelevant(self, fsm, semantics):
+        """Deep-first and shallow-first growth converge to the same state
+        output (every memo entry is a pure function of its key)."""
+        synthesis = synthesize_fsm(fsm)
+        model = StuckAtModel(synthesis, max_faults=40)
+        config = TableConfig(latency=3, semantics=semantics)
+        shallow_first = new_extraction_state(synthesis, model, config)
+        for request in ([1], [2], [3]):
+            extend_extraction_state(
+                shallow_first, synthesis, model, config, request
+            )
+        deep_first = new_extraction_state(synthesis, model, config)
+        for request in ([3], [2], [1]):
+            extend_extraction_state(
+                deep_first, synthesis, model, config, request
+            )
+        a = tables_from_state(shallow_first, config, [1, 2, 3])
+        b = tables_from_state(deep_first, config, [1, 2, 3])
+        for p in (1, 2, 3):
+            assert_tables_identical(a[p], b[p])
+
+    @settings(max_examples=6, deadline=None)
+    @given(fsm=machines("incr-pickle"))
+    def test_pickled_state_resumes_byte_identically(self, fsm):
+        """The persistence round-trip the artifact cache performs: a
+        pickled shallow state, extended in a 'different process', matches
+        scratch."""
+        synthesis = synthesize_fsm(fsm)
+        model = StuckAtModel(synthesis, max_faults=40)
+        config = TableConfig(latency=3, semantics="checker")
+        state = new_extraction_state(synthesis, model, config)
+        extend_extraction_state(state, synthesis, model, config, [1, 2])
+        resumed = pickle.loads(pickle.dumps(state))
+        extend_extraction_state(resumed, synthesis, model, config, [3])
+        derived = tables_from_state(resumed, config, [1, 2, 3])
+        scratch = extract_tables(synthesis, model, config, [1, 2, 3])
+        for p in (1, 2, 3):
+            assert_tables_identical(derived[p], scratch[p])
+
+
+class TestStateValidation:
+    def test_derive_requires_extension(self, traffic_synthesis, traffic_model):
+        config = TableConfig(latency=2, semantics="checker")
+        state = new_extraction_state(
+            traffic_synthesis, traffic_model, config
+        )
+        with pytest.raises(ValueError, match="extend it first"):
+            tables_from_state(state, config, [1, 2])
+
+    def test_semantics_mismatch_is_rejected(
+        self, traffic_synthesis, traffic_model
+    ):
+        config = TableConfig(latency=2, semantics="checker")
+        state = new_extraction_state(
+            traffic_synthesis, traffic_model, config
+        )
+        other = TableConfig(latency=2, semantics="trajectory")
+        with pytest.raises(ValueError, match="semantics"):
+            extend_extraction_state(
+                state, traffic_synthesis, traffic_model, other, [1]
+            )
+
+    def test_fault_universe_mismatch_is_rejected(
+        self, traffic_synthesis, traffic_model
+    ):
+        config = TableConfig(latency=2, semantics="checker")
+        state = new_extraction_state(
+            traffic_synthesis, traffic_model, config
+        )
+        smaller = StuckAtModel(traffic_synthesis, max_faults=3)
+        with pytest.raises(ValueError, match="fault universe"):
+            extend_extraction_state(
+                state, traffic_synthesis, smaller, config, [1]
+            )
+
+    def test_reuse_stats_account_for_every_suffix_entry(
+        self, seqdet_synthesis, seqdet_model
+    ):
+        config = TableConfig(latency=3, semantics="trajectory")
+        state = new_extraction_state(seqdet_synthesis, seqdet_model, config)
+        first = extend_extraction_state(
+            state, seqdet_synthesis, seqdet_model, config, [1, 2]
+        )
+        assert first.reused_suffix_entries == 0
+        second = extend_extraction_state(
+            state, seqdet_synthesis, seqdet_model, config, [3]
+        )
+        assert second.reused_suffix_entries == first.new_suffix_entries
+        assert second.new_latencies == (3,)
+        assert 0.0 <= second.reuse_ratio <= 1.0
+        noop = extend_extraction_state(
+            state, seqdet_synthesis, seqdet_model, config, [1, 2, 3]
+        )
+        assert noop.new_latencies == ()
+        assert noop.new_suffix_entries == 0
+
+    def test_empty_table_machine_round_trips(self):
+        """A machine with rows at some latencies and a state grown to the
+        config bound still derives the p=1 table identically."""
+        from repro.fsm.benchmarks import load_benchmark
+
+        synthesis = synthesize_fsm(load_benchmark("serparity"))
+        model = StuckAtModel(synthesis, max_faults=20)
+        config = TableConfig(latency=2, semantics="checker")
+        state = new_extraction_state(synthesis, model, config)
+        extend_extraction_state(state, synthesis, model, config, [1, 2])
+        derived = tables_from_state(state, config, [1])
+        fresh = extract_tables(synthesis, model, config, [1])
+        assert_tables_identical(derived[1], fresh[1])
+        assert derived[1].rows.dtype == np.uint64

@@ -1,0 +1,136 @@
+"""The vectorized solve-loop kernels against their pure-Python references.
+
+``cover``/``greedy``/``rounding`` each keep a deliberately simple
+reference implementation; these properties pin the packed-uint64 paths to
+them — coverage masks bit for bit, greedy picks pick for pick, rounding
+results draw for draw (including RNG stream positions, attempt counts and
+best-candidate bookkeeping).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cover import (
+    batch_coverage,
+    batch_coverage_reference,
+    coverage_mask,
+    coverage_mask_reference,
+    covered_rows,
+    covered_rows_reference,
+    packed_coverage,
+)
+from repro.core.detectability import DetectabilityTable
+from repro.core.greedy import (
+    greedy_parity_cover,
+    greedy_parity_cover_reference,
+)
+from repro.core.rounding import (
+    randomized_rounding,
+    randomized_rounding_reference,
+)
+from repro.util.bitops import lane_count, unpack_lanes
+from repro.util.rng import rng_for
+
+
+@st.composite
+def packed_tables(draw, max_bits: int = 12):
+    """(rows, num_bits): a random packed option-set table."""
+    num_bits = draw(st.integers(min_value=1, max_value=max_bits))
+    num_rows = draw(st.integers(min_value=0, max_value=48))
+    width = draw(st.integers(min_value=1, max_value=3))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = rng_for(seed, "vec-table")
+    rows = rng.integers(
+        0, 1 << num_bits, size=(num_rows, width), dtype=np.uint64
+    )
+    return rows, num_bits
+
+
+class TestCoverReferences:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        table=packed_tables(),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_vectorized_coverage_matches_reference(self, table, seed):
+        rows, num_bits = table
+        rng = rng_for(seed, "vec-betas")
+        betas = rng.integers(0, 1 << num_bits, size=6).tolist()
+        assert np.array_equal(
+            coverage_mask(rows, betas[0]),
+            coverage_mask_reference(rows, betas[0]),
+        )
+        assert np.array_equal(
+            covered_rows(rows, betas), covered_rows_reference(rows, betas)
+        )
+        assert np.array_equal(
+            batch_coverage(rows, betas), batch_coverage_reference(rows, betas)
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        table=packed_tables(),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_packed_coverage_is_lane_packed_batch_coverage(self, table, seed):
+        rows, num_bits = table
+        rng = rng_for(seed, "vec-packed")
+        betas = rng.integers(0, 1 << num_bits, size=9).tolist()
+        lanes = packed_coverage(rows, betas)
+        assert lanes.shape == (len(betas), lane_count(rows.shape[0]))
+        assert np.array_equal(
+            unpack_lanes(lanes, rows.shape[0]).astype(bool),
+            batch_coverage(rows, betas),
+        )
+
+
+class TestGreedyReference:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        table=packed_tables(max_bits=8),
+        pool=st.sampled_from(("singles", "pairs")),
+    )
+    def test_packed_greedy_picks_match_boolean_reference(self, table, pool):
+        rows, num_bits = table
+        # Greedy needs coverable rows: drop all-zero difference rows.
+        rows = rows[(rows != np.uint64(0)).any(axis=1)]
+        det = DetectabilityTable(
+            num_bits=num_bits, latency=rows.shape[1], rows=rows, stats=None
+        )
+        assert greedy_parity_cover(det, pool) == greedy_parity_cover_reference(
+            det, pool
+        )
+
+
+class TestRoundingReference:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        table=packed_tables(max_bits=10),
+        q=st.integers(min_value=1, max_value=5),
+        iterations=st.integers(min_value=1, max_value=120),
+        use_quick=st.booleans(),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_batched_rounding_matches_reference(
+        self, table, q, iterations, use_quick, seed
+    ):
+        """Same RNG seed → identical outcome: accepted set, attempt count,
+        best candidate, best coverage — across chunk boundaries, with and
+        without the quick prefilter."""
+        rows, num_bits = table
+        rows = rows[(rows != np.uint64(0)).any(axis=1)]
+        frac = rng_for(seed, "vec-frac").random((q, num_bits))
+        quick = rows[: max(1, rows.shape[0] // 3)] if use_quick else None
+        batched = randomized_rounding(
+            rows, frac, iterations, rng_for(seed, "vec-rr"), quick_rows=quick
+        )
+        reference = randomized_rounding_reference(
+            rows, frac, iterations, rng_for(seed, "vec-rr"), quick_rows=quick
+        )
+        assert batched.betas == reference.betas
+        assert batched.attempts == reference.attempts
+        assert batched.best_betas == reference.best_betas
+        assert batched.best_covered == reference.best_covered

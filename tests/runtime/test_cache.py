@@ -201,7 +201,7 @@ class TestFlowCaching:
 
         counts = {"synthesis": 0, "tables": 0, "solve": 0}
         real_synth = flow.synthesize_fsm
-        real_tables = flow.extract_tables
+        real_tables = flow._incremental_extract
         real_solve = flow.solve_for_latencies
 
         def synth(*args, **kwargs):
@@ -209,6 +209,8 @@ class TestFlowCaching:
             return real_synth(*args, **kwargs)
 
         def tables(*args, **kwargs):
+            # The incremental extractor is the flow's sole tables-compute
+            # path; a cached "tables" artifact never reaches it.
             counts["tables"] += 1
             return real_tables(*args, **kwargs)
 
@@ -217,7 +219,7 @@ class TestFlowCaching:
             return real_solve(*args, **kwargs)
 
         monkeypatch.setattr(flow, "synthesize_fsm", synth)
-        monkeypatch.setattr(flow, "extract_tables", tables)
+        monkeypatch.setattr(flow, "_incremental_extract", tables)
         monkeypatch.setattr(flow, "solve_for_latencies", solve)
         return counts
 
@@ -281,3 +283,53 @@ class TestSchemaSalt:
         assert not found  # pre-bump entry can never satisfy a new lookup
         found, value = cache.get("tables", stale_key)
         assert found and value == "uint8-era artifact"
+
+    def test_pre_incremental_tables_state_entry_is_a_miss(
+        self, cache, monkeypatch
+    ):
+        """The incremental-tables PR bumped ``SCHEMA`` 2 → 3: a
+        ``tables-state`` frontier written under the old salt must never be
+        replayed — the flow must rebuild from scratch, not extend a
+        pre-bump state."""
+        import repro.runtime.cache as cache_module
+
+        current = cache_module.SCHEMA
+        assert current >= 3  # the incremental-extraction bump
+        fsm = load_benchmark("s27")
+        parts = ("tables-state", fsm, "binary", False, ("stuck-at",))
+        monkeypatch.setattr(cache_module, "SCHEMA", current - 1)
+        stale_key = fingerprint(*parts)
+        cache.put("tables-state", stale_key, "pre-incremental frontier")
+        monkeypatch.setattr(cache_module, "SCHEMA", current)
+        fresh_key = fingerprint(*parts)
+        assert fresh_key != stale_key
+        found, _ = cache.get("tables-state", fresh_key)
+        assert not found
+
+    def test_unusable_tables_state_entry_triggers_rebuild(self, cache):
+        """Even a *reachable* entry that isn't a valid current-schema
+        ExtractionState (e.g. survived a partial upgrade) must be ignored:
+        the flow rebuilds and the derived tables stay byte-identical."""
+        from repro.flow import design_ced_sweep
+
+        designs = design_ced_sweep("s27", [1], max_faults=60, cache=cache)
+        state_paths = list((cache.cache_dir / "tables-state").glob("??/*.pkl"))
+        assert len(state_paths) == 1
+        # Clobber the persisted state with a wrong-schema object and drop
+        # the derived tables so the next sweep must consult the state.
+        from repro.core.detectability import ExtractionState
+
+        found_key = state_paths[0].stem
+        _, state = cache.get("tables-state", found_key)
+        assert isinstance(state, ExtractionState)
+        state.schema = -1
+        cache.put("tables-state", found_key, state)
+        cache.purge(stage="tables")
+        again = design_ced_sweep("s27", [1], max_faults=60, cache=cache)
+        assert (
+            designs[1].table.rows.tobytes() == again[1].table.rows.tobytes()
+        )
+        # The rebuild replaced the poisoned state with a valid one.
+        _, healed = cache.get("tables-state", found_key)
+        assert isinstance(healed, ExtractionState)
+        assert healed.schema != -1

@@ -81,7 +81,9 @@ class TestEndpoints:
             assert stats["queue_limit"] == 4
             assert stats["inflight"] == 0
             assert stats["draining"] is False
-            assert stats["disk_cache"] == {"hits": 0, "misses": 0}
+            assert stats["disk_cache"] == {
+                "hits": 0, "misses": 0, "by_stage": {},
+            }
 
     def test_unknown_paths_are_404(self, tmp_path):
         with RunningService(_config(tmp_path), worker=_instant_worker) as run:

@@ -10,14 +10,125 @@ any drift is a semantic change, not an optimisation.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from pathlib import Path
 
 from repro.experiments.report import table1_to_json
 from repro.experiments.table1 import Table1Config, run_table1
+from repro.flow import design_ced_sweep
+from repro.runtime.cache import ArtifactCache, NullCache
+from repro.runtime.trace import Tracer, use_tracer
 
 ARTIFACT = Path(__file__).parent / "data" / "table1_prekernel_small.json"
+CHAINED_ARTIFACT = Path(__file__).parent / "data" / "chained_sweep_small.json"
+
+CHAINED_CIRCUITS = ("s27", "dk512")
+CHAINED_LATENCIES = (1, 2, 4)
 
 
 def test_table1_bytes_match_prekernel_artifact():
     result = run_table1(("s27", "dk512"), Table1Config(max_faults=300))
     assert table1_to_json(result) + "\n" == ARTIFACT.read_text()
+
+
+def chained_sweep_digest(designs_by_circuit: dict) -> str:
+    """Canonical JSON digest of a chained sweep's observable artifacts."""
+    payload = {
+        circuit: {
+            str(p): {
+                "rows_sha256": hashlib.sha256(
+                    designs[p].table.rows.tobytes()
+                ).hexdigest(),
+                "num_rows": designs[p].table.num_rows,
+                "q": designs[p].solve_result.q,
+                "betas": designs[p].solve_result.betas,
+                "cost": round(designs[p].cost, 6),
+            }
+            for p in sorted(designs)
+        }
+        for circuit, designs in designs_by_circuit.items()
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def run_chained_sweep(cache) -> tuple[dict, list]:
+    """p=1 → 1,2 → 1,2,4 over the regression circuits, one shared cache."""
+    tracer = Tracer()
+    designs_by_circuit = {}
+    with use_tracer(tracer):
+        for circuit in CHAINED_CIRCUITS:
+            for stop in range(1, len(CHAINED_LATENCIES) + 1):
+                designs_by_circuit[circuit] = design_ced_sweep(
+                    circuit,
+                    list(CHAINED_LATENCIES[:stop]),
+                    max_faults=300,
+                    cache=cache,
+                )
+    return designs_by_circuit, tracer.records
+
+
+def test_chained_sweep_is_incremental_and_byte_stable(tmp_path):
+    """The chained p=1→2→4 lane: the incremental extension path must be
+    the *sole* tables code path (journal-span assertion), its reuse must
+    actually happen (build → extend → extend per circuit), and the
+    resulting tables/solutions must match both a from-scratch sweep and
+    the committed artifact byte for byte."""
+    cache = ArtifactCache(tmp_path / "chained-cache")
+    designs_by_circuit, records = run_chained_sweep(cache)
+
+    incremental = [
+        r for r in records if r.get("name") == "tables.incremental.extend"
+    ]
+    table_misses = [
+        r
+        for r in records
+        if r.get("name") == "cache"
+        and r["attrs"]["stage"] == "tables"
+        and not r["attrs"]["hit"]
+    ]
+    # Every tables-stage compute went through the incremental extractor —
+    # no silent fallback to from-scratch enumeration.
+    expected = len(CHAINED_CIRCUITS) * len(CHAINED_LATENCIES)
+    assert len(incremental) == len(table_misses) == expected
+    modes = {}
+    for record in incremental:
+        modes.setdefault(record["attrs"]["fsm"], []).append(
+            record["attrs"]["mode"]
+        )
+    for circuit in CHAINED_CIRCUITS:
+        assert modes[circuit] == ["build", "extend", "extend"], modes
+    # The extensions reused earlier frontiers rather than restarting.
+    for record in incremental:
+        if record["attrs"]["mode"] == "extend":
+            assert record["attrs"]["reused_suffix_entries"] > 0 or (
+                record["attrs"]["parent_latencies"] == [1]
+            )
+            assert record["attrs"]["state_persisted"]
+
+    # Byte-identity: chained == from-scratch == committed artifact.
+    fresh = {
+        circuit: design_ced_sweep(
+            circuit,
+            list(CHAINED_LATENCIES),
+            max_faults=300,
+            cache=NullCache(),
+        )
+        for circuit in CHAINED_CIRCUITS
+    }
+    for circuit in CHAINED_CIRCUITS:
+        for p in CHAINED_LATENCIES:
+            chained_design = designs_by_circuit[circuit][p]
+            fresh_design = fresh[circuit][p]
+            assert (
+                chained_design.table.rows.tobytes()
+                == fresh_design.table.rows.tobytes()
+            )
+            assert chained_design.table.stats == fresh_design.table.stats
+            assert (
+                chained_design.solve_result.betas
+                == fresh_design.solve_result.betas
+            )
+    assert chained_sweep_digest(designs_by_circuit) == (
+        CHAINED_ARTIFACT.read_text()
+    )
