@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""CI smoke test for the sharded design service.
+
+Boots two `repro-ced serve` replicas (separate cache directories) and a
+`repro-ced route` front tier as real subprocesses on unix sockets, wires
+the replicas into a peer-cache mesh, then checks the distributed
+contract end to end:
+
+1. The router's `/healthz` sees both replicas up.
+2. A routed `/design` computes on one replica; the *other* replica,
+   asked directly, answers byte-identically by fetching the artifacts
+   over the cache-peer protocol (measured: peer-cache hits > 0) instead
+   of re-solving; a routed replay serves from the hot cache —
+   byte-identical again.
+3. A short seeded loadgen run (design/sweep/verify mix) through the
+   router completes with zero failures and zero identity violations,
+   recording p50/p95/p99 + throughput into benchmarks/BENCH_service.json
+   (CI uploads it as an artifact).
+4. SIGTERM drains router and replicas gracefully: all exit 0.
+
+Run as `python scripts/distributed_smoke.py` with `PYTHONPATH=src`.
+Exit code 0 = all checks passed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.service.client import ServiceClient  # noqa: E402
+
+CIRCUIT = "seqdet"
+MAX_FAULTS = 64
+LOADGEN_REQUESTS = 40
+LOADGEN_CONCURRENCY = 4
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        fail(message)
+    print(f"  ok: {message}")
+
+
+def result_bytes(raw: bytes) -> bytes:
+    _prefix, sep, rest = raw.partition(b'"result":')
+    if not sep:
+        fail(f"response has no result member: {raw[:200]!r}")
+    return rest
+
+
+def spawn(argv: list[str], cache_dir: Path) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["REPRO_CACHE_DIR"] = str(cache_dir)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO / "src")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *argv],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+
+
+def ping_or_die(address: str, procs: list[subprocess.Popen],
+                what: str) -> None:
+    if ServiceClient(address, timeout=60).ping(attempts=200, delay=0.1):
+        return
+    for proc in procs:
+        if proc.poll() is None:
+            proc.kill()
+    fail(f"{what} never answered /healthz at {address}")
+
+
+def drain(proc: subprocess.Popen, what: str) -> None:
+    proc.send_signal(signal.SIGTERM)
+    out, _ = proc.communicate(timeout=120)
+    check(proc.returncode == 0, f"{what} exited 0 (got {proc.returncode})")
+    return out
+
+
+def main() -> int:
+    workdir = Path(tempfile.mkdtemp(prefix="distributed-smoke-"))
+    sock_a = workdir / "replica-a.sock"
+    sock_b = workdir / "replica-b.sock"
+    sock_r = workdir / "router.sock"
+    bench_json = REPO / "benchmarks" / "BENCH_service.json"
+
+    print("starting 2 replicas + router on unix sockets")
+    replica_a = spawn(
+        ["serve", "--socket", str(sock_a), "--workers", "1",
+         "--peer", f"unix:{sock_b}",
+         "--journal", str(workdir / "replica-a.jsonl")],
+        workdir / "cache-a",
+    )
+    replica_b = spawn(
+        ["serve", "--socket", str(sock_b), "--workers", "1",
+         "--peer", f"unix:{sock_a}",
+         "--journal", str(workdir / "replica-b.jsonl")],
+        workdir / "cache-b",
+    )
+    procs = [replica_a, replica_b]
+    try:
+        ping_or_die(f"unix:{sock_a}", procs, "replica A")
+        ping_or_die(f"unix:{sock_b}", procs, "replica B")
+        router = spawn(
+            ["route", "--socket", str(sock_r),
+             "--replica", f"unix:{sock_a}", "--replica", f"unix:{sock_b}",
+             "--journal", str(workdir / "router.jsonl")],
+            workdir / "cache-router",
+        )
+        procs.append(router)
+        ping_or_die(f"unix:{sock_r}", procs, "router")
+        client = ServiceClient(f"unix:{sock_r}", timeout=600)
+
+        print("[1/4] router healthz sees the fleet")
+        health = client.healthz()
+        check(health.get("status") == "ok", f"router healthz ok: {health}")
+        check(health.get("replicas_up") == 2,
+              f"both replicas up: {health.get('replicas')}")
+
+        print("[2/4] byte-identity: routed cold / direct peer-fetch / "
+              "routed hot")
+        params = {"circuit": CIRCUIT, "max_faults": MAX_FAULTS}
+        status, cold = client.request_raw("POST", "/design", params)
+        check(status == 200,
+              f"routed /design is 200 (got {status}: {cold[:200]!r})")
+        # Whichever replica computed, the *other* one must now answer by
+        # peer-fetching the artifacts rather than re-solving.
+        stats_a = ServiceClient(f"unix:{sock_a}").stats()
+        computed_on_a = stats_a["requests"]["total"] > 0
+        other = f"unix:{sock_b}" if computed_on_a else f"unix:{sock_a}"
+        status, peered = ServiceClient(other, timeout=600).request_raw(
+            "POST", "/design", params
+        )
+        check(status == 200, f"direct peer-replica /design is 200")
+        status, hot = client.request_raw("POST", "/design", params)
+        check(status == 200 and json.loads(hot)["meta"]["hot_cache"],
+              "routed replay served from the hot cache")
+        check(result_bytes(cold) == result_bytes(peered),
+              "peer-fetched serving is byte-identical to the computed one")
+        check(result_bytes(cold) == result_bytes(hot),
+              "hot serving is byte-identical to the computed one")
+        peer_stats = ServiceClient(other).stats()["peer_cache"]
+        check(peer_stats["hits"] > 0,
+              f"peer-cache hits avoided re-solves: {peer_stats['hits']} "
+              f"hits, {peer_stats['fetched_bytes']} bytes fetched")
+
+        print("[3/4] seeded loadgen mix through the router")
+        loadgen = subprocess.run(
+            [sys.executable, str(REPO / "scripts" / "loadgen.py"),
+             "--server", f"unix:{sock_r}",
+             "--requests", str(LOADGEN_REQUESTS),
+             "--concurrency", str(LOADGEN_CONCURRENCY),
+             "--mix", "design=6,sweep=2,verify=2",
+             "--circuits", "seqdet", "traffic",
+             "--distinct", "6",
+             "--label", "ci-router-2-replicas",
+             "--json", str(bench_json)],
+            capture_output=True, text=True, timeout=900,
+        )
+        print("\n".join(
+            f"    {line}" for line in loadgen.stdout.splitlines()
+        ))
+        check(loadgen.returncode == 0,
+              f"loadgen exited 0 (got {loadgen.returncode}):\n"
+              f"{loadgen.stdout}\n{loadgen.stderr}")
+        entry = next(
+            e for e in json.loads(bench_json.read_text())["results"]
+            if e["label"] == "ci-router-2-replicas"
+        )
+        check(entry["failures"] == 0 and entry["identity_violations"] == 0,
+              f"loadgen clean: {entry['requests']} ok, "
+              f"{entry['throughput_rps']} req/s, p95 {entry['p95_ms']} ms")
+        router_stats = client.stats()
+        check(router_stats["requests"]["routed"] > 0,
+              f"router dispatched {router_stats['requests']['routed']} "
+              f"requests ({router_stats['requests']['retries']} retries, "
+              f"{router_stats['requests']['hedges']} hedges)")
+
+        print("[4/4] SIGTERM drains router and replicas gracefully")
+        out = drain(router, "router")
+        check("router drained:" in out, f"router drain summary:\n{out}")
+        for proc, name in ((replica_a, "replica A"), (replica_b,
+                                                      "replica B")):
+            out = drain(proc, name)
+            check("drained:" in out, f"{name} drain summary printed")
+        print("distributed smoke passed")
+        return 0
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

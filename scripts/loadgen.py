@@ -1,0 +1,335 @@
+#!/usr/bin/env python3
+"""Load generator for the design service (single daemon or router).
+
+Replays a deterministic mix of design/sweep/verify queries against a
+running ``repro-ced serve`` daemon or ``repro-ced route`` front tier at a
+configurable concurrency, then reports per-kind and overall latency
+quantiles (p50/p95/p99) and sustained throughput.  Transient 429/503
+answers are absorbed with the client's jittered-backoff retry — exactly
+how a production caller behaves — and counted.
+
+The workload is seeded: the same ``--seed`` replays the same request
+sequence, so two runs (or a run against one replica vs a sharded fleet)
+measure the same work.  Every response's ``result`` member is also
+checked for byte-identity against the first serving of the same query —
+a router hedging and failing over must never mix response bytes.
+
+Usage (daemon or router address)::
+
+    PYTHONPATH=src python scripts/loadgen.py --server 127.0.0.1:8600 \
+        --requests 200 --concurrency 8 --mix design=6,sweep=2,verify=2 \
+        --json benchmarks/BENCH_service.json --label router-2-replicas
+
+Exit code 0 = every request eventually succeeded and all repeats were
+byte-identical.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import queue
+import random
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.service.client import (  # noqa: E402
+    RetryPolicy,
+    ServiceClient,
+    ServiceError,
+)
+
+#: Small, fast circuits so a smoke-scale run finishes in CI time.
+DEFAULT_CIRCUITS = ("seqdet", "traffic", "graycnt")
+
+#: Per-kind parameter template; seeds vary per request for key diversity.
+KIND_PARAMS = {
+    "design": lambda circuit, seed: {
+        "circuit": circuit, "max_faults": 64, "seed": seed,
+    },
+    "sweep": lambda circuit, seed: {
+        "circuit": circuit, "max_latency": 2, "max_faults": 48,
+        "seed": seed,
+    },
+    "verify": lambda circuit, seed: {
+        "circuit": circuit, "max_faults": 48, "seed": seed,
+    },
+}
+
+
+def parse_mix(text: str) -> dict[str, int]:
+    """``design=6,sweep=2,verify=2`` -> weighted kind map."""
+    mix: dict[str, int] = {}
+    for part in text.split(","):
+        kind, _, weight = part.partition("=")
+        kind = kind.strip()
+        if kind not in KIND_PARAMS:
+            raise SystemExit(
+                f"error: unknown kind {kind!r} in --mix "
+                f"(choose from {', '.join(KIND_PARAMS)})"
+            )
+        mix[kind] = int(weight) if weight else 1
+    if not any(mix.values()):
+        raise SystemExit("error: --mix has no positive weights")
+    return mix
+
+
+def build_workload(
+    mix: dict[str, int], circuits: list[str], requests: int, seed: int,
+    distinct: int,
+) -> list[tuple[str, dict]]:
+    """A seeded request sequence: kinds by weight, ``distinct`` unique
+    seeds per (kind, circuit) so hot-cache hits and fresh computes both
+    occur, in shuffled arrival order."""
+    rng = random.Random(seed)
+    kinds = [k for k, weight in mix.items() for _ in range(weight)]
+    workload = []
+    for index in range(requests):
+        kind = kinds[index % len(kinds)]
+        circuit = circuits[index % len(circuits)]
+        request_seed = 1000 + (index % distinct)
+        workload.append((kind, KIND_PARAMS[kind](circuit, request_seed)))
+    rng.shuffle(workload)
+    return workload
+
+
+def quantile(ordered: list[float], q: float) -> float:
+    if not ordered:
+        return 0.0
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+class LoadStats:
+    """Thread-shared result accumulator (lock-guarded)."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.latencies: dict[str, list[float]] = {}
+        self.retries = 0
+        self.failures: list[str] = []
+        self.first_bytes: dict[str, bytes] = {}
+        self.identity_violations = 0
+
+    def record(self, kind: str, seconds: float) -> None:
+        with self.lock:
+            self.latencies.setdefault(kind, []).append(seconds)
+
+    def check_identity(self, fingerprint: str, body: bytes) -> None:
+        """Byte-identity across repeats of one query (meta differs by
+        timing; the ``result`` member must not)."""
+        _, sep, result = body.partition(b'"result":')
+        if not sep:
+            return
+        with self.lock:
+            seen = self.first_bytes.setdefault(fingerprint, result)
+            if seen != result:
+                self.identity_violations += 1
+
+
+def run_load(
+    address: str, workload: list[tuple[str, dict]], concurrency: int,
+    timeout: float,
+) -> tuple[LoadStats, float]:
+    stats = LoadStats()
+    todo: queue.Queue[tuple[str, dict] | None] = queue.Queue()
+    for item in workload:
+        todo.put(item)
+    for _ in range(concurrency):
+        todo.put(None)
+    policy = RetryPolicy(attempts=8, base_delay=0.1, max_delay=2.0)
+
+    def worker() -> None:
+        client = ServiceClient(address, timeout=timeout)
+        while True:
+            item = todo.get()
+            if item is None:
+                return
+            kind, params = item
+            fingerprint = f"{kind}:{json.dumps(params, sort_keys=True)}"
+
+            def count_retry(attempt, delay, error):
+                with stats.lock:
+                    stats.retries += 1
+
+            t0 = time.perf_counter()
+            try:
+                # call_with_retry parses the body; re-request raw bytes
+                # would double-count, so go through request_raw manually
+                # with the same retry loop.
+                last_error: Exception | None = None
+                for attempt in range(policy.attempts):
+                    try:
+                        status, raw = client.request_raw(
+                            "POST", f"/{kind}", params
+                        )
+                    except OSError as error:
+                        last_error = error
+                    else:
+                        if status == 200:
+                            stats.record(
+                                kind, time.perf_counter() - t0
+                            )
+                            stats.check_identity(fingerprint, raw)
+                            break
+                        if status not in (429, 503):
+                            raise ServiceError(
+                                status, raw[:200].decode("utf-8", "replace")
+                            )
+                        last_error = ServiceError(status, "busy")
+                    if attempt + 1 < policy.attempts:
+                        count_retry(attempt, 0.0, last_error)
+                        time.sleep(policy.delay(attempt))
+                else:
+                    raise last_error  # type: ignore[misc]
+            except Exception as error:  # noqa: BLE001 - recorded, not fatal
+                with stats.lock:
+                    stats.failures.append(f"{fingerprint}: {error}")
+
+    threads = [
+        threading.Thread(target=worker, daemon=True)
+        for _ in range(concurrency)
+    ]
+    t_start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return stats, time.perf_counter() - t_start
+
+
+def summarize(
+    stats: LoadStats, wall: float, args: argparse.Namespace,
+) -> dict:
+    per_kind = {}
+    all_latencies: list[float] = []
+    for kind, latencies in sorted(stats.latencies.items()):
+        ordered = sorted(latencies)
+        all_latencies.extend(ordered)
+        per_kind[kind] = {
+            "count": len(ordered),
+            "p50_ms": round(quantile(ordered, 0.50) * 1000, 3),
+            "p95_ms": round(quantile(ordered, 0.95) * 1000, 3),
+            "p99_ms": round(quantile(ordered, 0.99) * 1000, 3),
+        }
+    all_latencies.sort()
+    completed = len(all_latencies)
+    return {
+        "label": args.label,
+        "server": args.server,
+        "requests": completed,
+        "distinct_queries": len(stats.first_bytes),
+        "concurrency": args.concurrency,
+        "mix": args.mix,
+        "seed": args.seed,
+        "wall_seconds": round(wall, 3),
+        "throughput_rps": round(completed / wall, 2) if wall else 0.0,
+        "p50_ms": round(quantile(all_latencies, 0.50) * 1000, 3),
+        "p95_ms": round(quantile(all_latencies, 0.95) * 1000, 3),
+        "p99_ms": round(quantile(all_latencies, 0.99) * 1000, 3),
+        "retries": stats.retries,
+        "failures": len(stats.failures),
+        "identity_violations": stats.identity_violations,
+        "by_kind": per_kind,
+    }
+
+
+def write_bench_json(path: Path, entry: dict) -> None:
+    """Append the run into ``benchmarks/BENCH_service.json`` (the file
+    keeps every labelled run; reruns of a label replace it)."""
+    if path.exists():
+        document = json.loads(path.read_text())
+    else:
+        document = {
+            "description": (
+                "Design-service latency/throughput measured by "
+                "scripts/loadgen.py: seeded design/sweep/verify mixes "
+                "replayed at fixed concurrency against a daemon or the "
+                "sharded router (p50/p95/p99 in milliseconds; "
+                "identity_violations counts responses whose result "
+                "bytes diverged across servings — must be 0)."
+            ),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "results": [],
+        }
+    document["results"] = [
+        existing for existing in document["results"]
+        if existing.get("label") != entry["label"]
+    ] + [entry]
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2) + "\n")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--server", required=True, metavar="ADDR",
+                        help="daemon or router address "
+                        "(host:port or unix:PATH)")
+    parser.add_argument("--requests", type=int, default=100, metavar="N")
+    parser.add_argument("--concurrency", type=int, default=4, metavar="C")
+    parser.add_argument("--mix", default="design=6,sweep=2,verify=2",
+                        help="kind weights (default %(default)s)")
+    parser.add_argument("--circuits", nargs="*",
+                        default=list(DEFAULT_CIRCUITS))
+    parser.add_argument("--distinct", type=int, default=12, metavar="N",
+                        help="unique seeds per (kind, circuit): smaller "
+                        "means hotter caches (default %(default)s)")
+    parser.add_argument("--seed", type=int, default=2004,
+                        help="workload shuffle seed (default %(default)s)")
+    parser.add_argument("--timeout", type=float, default=600.0)
+    parser.add_argument("--label", default="loadgen",
+                        help="entry label in the benchmark JSON")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="merge the summary into this benchmark "
+                        "JSON (e.g. benchmarks/BENCH_service.json)")
+    args = parser.parse_args()
+
+    mix = parse_mix(args.mix)
+    workload = build_workload(
+        mix, args.circuits, args.requests, args.seed, args.distinct
+    )
+    client = ServiceClient(args.server, timeout=args.timeout)
+    if not client.ping(attempts=100, delay=0.1):
+        print(f"error: no daemon answering at {args.server}",
+              file=sys.stderr)
+        return 1
+    print(
+        f"loadgen: {len(workload)} requests ({args.mix}) at "
+        f"concurrency {args.concurrency} against {args.server}"
+    )
+    stats, wall = run_load(
+        args.server, workload, args.concurrency, args.timeout
+    )
+    summary = summarize(stats, wall, args)
+    print(
+        f"  {summary['requests']}/{len(workload)} ok in "
+        f"{summary['wall_seconds']}s — {summary['throughput_rps']} req/s, "
+        f"p50 {summary['p50_ms']} ms, p95 {summary['p95_ms']} ms, "
+        f"p99 {summary['p99_ms']} ms, {summary['retries']} retries"
+    )
+    for kind, entry in summary["by_kind"].items():
+        print(
+            f"    {kind:7s} n={entry['count']:<4d} p50 {entry['p50_ms']} "
+            f"ms, p95 {entry['p95_ms']} ms, p99 {entry['p99_ms']} ms"
+        )
+    for failure in stats.failures[:5]:
+        print(f"  failure: {failure}", file=sys.stderr)
+    if summary["identity_violations"]:
+        print(
+            f"  FATAL: {summary['identity_violations']} responses were "
+            "not byte-identical across servings", file=sys.stderr,
+        )
+    if args.json:
+        write_bench_json(Path(args.json), summary)
+        print(f"  summary merged into {args.json}")
+    return 1 if (stats.failures or summary["identity_violations"]) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

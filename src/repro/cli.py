@@ -17,12 +17,18 @@ Installed as ``repro-ced`` (also ``python -m repro``).  Subcommands:
 * ``report``           — summarise a run's journal/manifest/table1.json,
   or diff two runs and flag q/cost/runtime regressions;
 * ``serve``            — long-lived design-service daemon (HTTP over TCP
-  or a unix socket; hot cache, request coalescing, worker pool);
+  or a unix socket; hot cache, request coalescing, worker pool;
+  ``--peer ADDR`` enables the read-through peer artifact cache);
+* ``route``            — front-tier router over ``serve`` replicas
+  (rendezvous-hashed dispatch, health-checked failover, bounded retry,
+  hedged re-dispatch of stragglers);
 * ``cache``            — artifact-cache statistics / purge;
 * ``list``             — list available benchmarks.
 
-``design --server ADDR`` delegates the query to a running daemon instead
-of computing locally (see ``docs/service-api.md``).
+``design --server ADDR`` delegates the query to a running daemon (or
+router) instead of computing locally (see ``docs/service-api.md``);
+transient busy/draining answers are absorbed by a bounded jittered-
+backoff retry before the command gives up with exit 3.
 
 ``design``, ``sweep``, ``table1`` and ``campaign`` share the campaign
 runtime flags: ``--jobs N`` (worker processes), ``--cache-dir PATH``,
@@ -81,6 +87,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "campaign": _cmd_campaign,
         "report": _cmd_report,
         "serve": _cmd_serve,
+        "route": _cmd_route,
         "cache": _cmd_cache,
     }[args.command]
     try:
@@ -333,7 +340,70 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="per-request wall-clock budget")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request to stderr")
+    serve.add_argument("--peer", action="append", default=[],
+                       metavar="ADDR", dest="peers",
+                       help="peer replica address (repeatable); a local "
+                       "artifact-cache miss fetches from warm peers "
+                       "before re-solving (more can join at runtime via "
+                       "POST /cache/peer)")
+    serve.add_argument("--peer-timeout", type=float, default=5.0,
+                       metavar="SEC",
+                       help="per-peer-fetch timeout (default %(default)s; "
+                       "a slow peer degrades to a local re-solve)")
+    serve.add_argument("--peer-negative-ttl", type=float, default=30.0,
+                       metavar="SEC",
+                       help="seconds a peer miss is remembered before "
+                       "peers are asked again (default %(default)s)")
     _add_runtime_flags(serve, jobs=False, journal=True)
+
+    route = sub.add_parser(
+        "route",
+        help="run the front-tier router over `serve` replicas",
+    )
+    route.add_argument("--replica", action="append", default=[],
+                       metavar="ADDR", dest="replicas", required=True,
+                       help="replica daemon address (repeatable, at least "
+                       "one): host:port or unix:PATH")
+    route.add_argument("--host", default="127.0.0.1",
+                       help="TCP bind address (default %(default)s)")
+    route.add_argument("--port", type=int, default=8600,
+                       help="TCP port (default %(default)s; 0 = ephemeral)")
+    route.add_argument("--socket", metavar="PATH", default=None,
+                       help="listen on a unix domain socket instead of TCP")
+    route.add_argument("--retries", type=int, default=6, metavar="N",
+                       help="dispatch attempts per request before a "
+                       "saturated fleet surfaces as 503 "
+                       "(default %(default)s)")
+    route.add_argument("--retry-base-delay", type=float, default=0.1,
+                       metavar="SEC",
+                       help="backoff base; the delay before attempt n is "
+                       "uniform(0, min(max, base*2^n)) (default %(default)s)")
+    route.add_argument("--retry-max-delay", type=float, default=2.0,
+                       metavar="SEC",
+                       help="backoff cap (default %(default)s)")
+    route.add_argument("--health-interval", type=float, default=2.0,
+                       metavar="SEC",
+                       help="seconds between replica /healthz probes "
+                       "(default %(default)s)")
+    route.add_argument("--no-hedge", action="store_true",
+                       help="disable hedged re-dispatch of stragglers")
+    route.add_argument("--hedge-multiplier", type=float, default=3.0,
+                       metavar="X",
+                       help="hedge a request after p95 * X seconds in "
+                       "flight (default %(default)s)")
+    route.add_argument("--hedge-min-samples", type=int, default=10,
+                       metavar="N",
+                       help="latency samples per kind before hedging "
+                       "activates (default %(default)s)")
+    route.add_argument("--hedge-floor", type=float, default=0.05,
+                       metavar="SEC",
+                       help="minimum hedge deadline (default %(default)s)")
+    route.add_argument("--timeout", type=float, default=600.0, metavar="SEC",
+                       help="per-leg forwarding timeout (default %(default)s)")
+    route.add_argument("--journal", metavar="PATH",
+                       help="write route.dispatch/route.hedge events (JSONL)")
+    route.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request to stderr")
 
     cache = sub.add_parser("cache", help="artifact cache maintenance")
     cache.add_argument("action", choices=("stats", "purge"))
@@ -395,26 +465,44 @@ def _cmd_synth(args: argparse.Namespace) -> int:
 
 
 def _cmd_design_remote(args: argparse.Namespace) -> int:
-    """``design --server``: ship the query to a running daemon."""
+    """``design --server``: ship the query to a running daemon/router.
+
+    Transient failures (429 busy, 503 draining, unreachable socket) are
+    absorbed by the client's jittered-backoff retry; only a budget-
+    exhausting string of them surfaces as exit 3.
+    """
     from repro.service.client import ServiceClient, ServiceError
 
     if args.verify:
         print("error: --verify runs locally only (the service returns "
               "design summaries, not netlists)", file=sys.stderr)
         return 2
-    client = ServiceClient(args.server)
+
+    def note_retry(attempt: int, delay: float, error: Exception) -> None:
+        print(f"server {args.server} busy ({error}); "
+              f"retry {attempt + 2} in {delay:.2f}s", file=sys.stderr)
+
     try:
-        body = client.design(
-            circuit=args.circuit,
-            latency=args.latency,
-            semantics=args.semantics,
-            encoding=args.encoding,
-            max_faults=args.max_faults,
+        client = ServiceClient(args.server)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        body = client.call_with_retry(
+            "design",
+            {
+                "circuit": args.circuit,
+                "latency": args.latency,
+                "semantics": args.semantics,
+                "encoding": args.encoding,
+                "max_faults": args.max_faults,
+            },
+            on_retry=note_retry,
         )
     except ServiceError as error:
         print(f"error: server {args.server}: {error}", file=sys.stderr)
         if error.busy:
-            return 3  # transient: daemon busy or draining
+            return 3  # transient and the retry budget is spent
         return 2 if error.status == 400 else 1
     except OSError as error:
         print(f"error: cannot reach server {args.server}: {error}",
@@ -756,8 +844,42 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache=not args.no_cache,
         journal_path=args.journal,
         verbose=args.verbose,
+        peers=tuple(args.peers),
+        peer_timeout=args.peer_timeout,
+        peer_negative_ttl=args.peer_negative_ttl,
     )
     return serve(config)
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    from repro.service.client import RetryPolicy, parse_address
+    from repro.service.router import RouterConfig, serve_router
+
+    try:
+        for address in args.replicas:
+            parse_address(address)
+    except ValueError as error:
+        raise CliError(str(error)) from error
+    config = RouterConfig(
+        host=args.host,
+        port=args.port,
+        socket_path=args.socket,
+        replicas=tuple(args.replicas),
+        retry=RetryPolicy(
+            attempts=max(1, args.retries),
+            base_delay=args.retry_base_delay,
+            max_delay=args.retry_max_delay,
+        ),
+        health_interval=args.health_interval,
+        hedge=not args.no_hedge,
+        hedge_multiplier=args.hedge_multiplier,
+        hedge_min_samples=args.hedge_min_samples,
+        hedge_floor=args.hedge_floor,
+        timeout=args.timeout,
+        journal_path=args.journal,
+        verbose=args.verbose,
+    )
+    return serve_router(config)
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:

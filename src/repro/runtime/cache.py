@@ -30,6 +30,7 @@ import dataclasses
 import hashlib
 import os
 import pickle
+import re
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -55,6 +56,20 @@ def _cache_salt() -> str:
     from repro import __version__
 
     return f"repro-{__version__}-schema{SCHEMA}"
+
+
+#: Wire-safe entry coordinates.  The cache-peer protocol
+#: (``GET /cache/<stage>/<key>``, :mod:`repro.service.peering`) embeds
+#: stage and key in URL paths, so both are validated against these before
+#: any filesystem access — a malicious or buggy peer can never turn a
+#: fetch into path traversal.
+STAGE_RE = re.compile(r"^[a-z][a-z0-9_-]{0,63}$")
+KEY_RE = re.compile(r"^[0-9a-f]{64}$")
+
+
+def valid_entry_coords(stage: str, key: str) -> bool:
+    """True when ``stage``/``key`` are safe to splice into a cache path."""
+    return bool(STAGE_RE.fullmatch(stage)) and bool(KEY_RE.fullmatch(key))
 
 
 # ----------------------------------------------------------------------
@@ -259,6 +274,52 @@ class ArtifactCache:
             except OSError:
                 pass
         self._puts += 1
+
+    # -- raw transport (cache-peer protocol) ---------------------------
+    def read_entry_bytes(self, stage: str, key: str) -> bytes | None:
+        """The pickled bytes of one entry, or ``None`` when absent.
+
+        This is the serving side of the cache-peer protocol: a daemon
+        answers ``GET /cache/<stage>/<key>`` with exactly these bytes, so
+        a peer that stores them holds a bit-identical replica of the
+        artifact.  Coordinates are validated (never spliced into a path
+        unchecked) and the read counts as neither hit nor miss — peer
+        traffic must not distort this instance's own reuse counters.
+        """
+        if not valid_entry_coords(stage, key):
+            return None
+        try:
+            return self._path(stage, key).read_bytes()
+        except OSError:
+            return None
+
+    def write_entry_bytes(self, stage: str, key: str, payload: bytes) -> bool:
+        """Store raw pickled bytes fetched from a peer (atomic, like put).
+
+        The bytes are *not* unpickled here — the caller decides whether
+        they deserialize (a corrupt transfer then simply behaves like any
+        corrupt entry: a miss that gets replaced).  Returns False for
+        invalid coordinates instead of raising, so a bad peer response
+        degrades to a miss rather than an error.
+        """
+        if not valid_entry_coords(stage, key):
+            return False
+        path = self._path(stage, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                stream.write(payload)
+            os.replace(tmp_name, path)
+        finally:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+        self._puts += 1
+        return True
 
     # -- maintenance ---------------------------------------------------
     def _entries(self) -> Iterator[Path]:

@@ -1,9 +1,10 @@
-"""Long-lived design service: daemon, hot cache, coalescing, client.
+"""Long-lived design service: daemon, router, peer cache, client.
 
 Every CLI invocation is a cold process — it re-imports numpy, re-opens
 the disk cache and (for parallel runs) spins up a fresh worker pool even
 when the answer is already cached.  This package keeps all of that warm
-in one persistent daemon (``repro-ced serve``):
+in one persistent daemon (``repro-ced serve``), and scales it out to a
+sharded fleet (``repro-ced route``):
 
 * :mod:`repro.service.hotcache`  — in-memory LRU layered above the disk
   :class:`repro.runtime.cache.ArtifactCache` (same fingerprint keying);
@@ -11,13 +12,26 @@ in one persistent daemon (``repro-ced serve``):
   and the picklable worker the daemon's pool executes;
 * :mod:`repro.service.daemon`    — the HTTP daemon itself (TCP or unix
   socket, request coalescing, bounded backpressure, graceful drain);
+* :mod:`repro.service.peering`   — read-through peer artifact cache: a
+  replica missing an artifact fetches it from a warm peer instead of
+  re-solving;
+* :mod:`repro.service.router`    — front-tier router: rendezvous-hashed
+  dispatch over replicas, health-checked failover, bounded retry and
+  hedged re-dispatch of stragglers;
 * :mod:`repro.service.client`    — a stdlib client; ``repro-ced design
-  --server ADDR`` delegates through it.
+  --server ADDR`` delegates through it (with jittered-backoff retry on
+  busy replicas).
 
 See ``docs/service-api.md`` for the wire protocol.
 """
 
-from repro.service.client import ServiceClient, ServiceError, parse_address
+from repro.service.client import (
+    DEFAULT_RETRY,
+    RetryPolicy,
+    ServiceClient,
+    ServiceError,
+    parse_address,
+)
 from repro.service.daemon import (
     DesignService,
     RunningService,
@@ -25,14 +39,29 @@ from repro.service.daemon import (
     serve,
 )
 from repro.service.hotcache import HotCache
+from repro.service.peering import PeerCache, peer_cache_for
+from repro.service.router import (
+    RouterConfig,
+    RouterService,
+    RunningRouter,
+    serve_router,
+)
 
 __all__ = [
+    "DEFAULT_RETRY",
     "DesignService",
     "HotCache",
+    "PeerCache",
+    "RetryPolicy",
+    "RouterConfig",
+    "RouterService",
+    "RunningRouter",
     "RunningService",
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",
     "parse_address",
+    "peer_cache_for",
     "serve",
+    "serve_router",
 ]

@@ -16,11 +16,16 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
+import re
 import socket
 import time
-from typing import Any
+from dataclasses import dataclass
+from typing import Any, Callable
 
 DEFAULT_TIMEOUT = 600.0
+
+_SCHEME_RE = re.compile(r"^([a-zA-Z][a-zA-Z0-9+.-]*)://")
 
 
 class ServiceError(RuntimeError):
@@ -38,7 +43,21 @@ class ServiceError(RuntimeError):
 
 
 def parse_address(address: str) -> tuple:
-    """``("tcp", host, port)`` or ``("unix", path)``."""
+    """``("tcp", host, port)`` or ``("unix", path)``.
+
+    URL schemes are rejected outright: before this check, a pasted
+    ``http://127.0.0.1:8537`` contained a ``/`` and therefore silently
+    became a bogus *unix socket path*, failing much later with a
+    baffling ``OSError`` on connect.  The error now says exactly what to
+    send instead.
+    """
+    scheme = _SCHEME_RE.match(address)
+    if scheme is not None:
+        bare = address[scheme.end():].rstrip("/")
+        raise ValueError(
+            f"bad server address {address!r}: URL schemes are not "
+            f"accepted; pass {bare!r} (host:port) or unix:PATH"
+        )
     if address.startswith("unix:"):
         path = address[len("unix:"):]
         if not path:
@@ -52,6 +71,32 @@ def parse_address(address: str) -> tuple:
             f"bad server address {address!r}: want host:port or unix:PATH"
         )
     return ("tcp", host or "127.0.0.1", int(port))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff and full jitter.
+
+    Applied to *transient* failures only — 429 (busy) and 503
+    (draining) responses, plus connection-level ``OSError`` — never to
+    definitive answers like 400 or 500.  The delay before attempt *n*
+    (0-based) is ``uniform(0, min(max_delay, base_delay * 2**n))``:
+    full jitter, so a thundering herd of identical clients spreads out
+    instead of re-colliding in lockstep.
+    """
+
+    attempts: int = 5
+    base_delay: float = 0.2
+    max_delay: float = 2.0
+
+    def delay(self, attempt: int, rng: random.Random | None = None) -> float:
+        bound = min(self.max_delay, self.base_delay * (2 ** attempt))
+        return (rng or random).uniform(0, bound)
+
+
+#: The client-side default: ~5 attempts over a few seconds absorbs a
+#: replica's momentary 429/503 without hiding a genuinely down fleet.
+DEFAULT_RETRY = RetryPolicy()
 
 
 class _UnixHTTPConnection(http.client.HTTPConnection):
@@ -119,6 +164,39 @@ class ServiceClient:
             )
         return body
 
+    def call_with_retry(
+        self,
+        kind: str,
+        params: dict,
+        policy: RetryPolicy = DEFAULT_RETRY,
+        on_retry: Callable[[int, float, Exception], None] | None = None,
+    ) -> dict:
+        """:meth:`call`, absorbing transient busy/unreachable failures.
+
+        Retries on 429/503 (:attr:`ServiceError.busy`) and ``OSError``
+        with the policy's jittered backoff; any other failure — and a
+        transient one that outlives the attempt budget — propagates.
+        ``on_retry(attempt, delay, error)`` fires before each sleep
+        (progress lines, counters).
+        """
+        last_error: Exception | None = None
+        for attempt in range(policy.attempts):
+            try:
+                return self.call(kind, **params)
+            except ServiceError as error:
+                if not error.busy:
+                    raise
+                last_error = error
+            except OSError as error:
+                last_error = error
+            if attempt + 1 < policy.attempts:
+                delay = policy.delay(attempt)
+                if on_retry is not None:
+                    on_retry(attempt, delay, last_error)
+                time.sleep(delay)
+        assert last_error is not None
+        raise last_error
+
     def design(self, **params: Any) -> dict:
         return self.call("design", **params)
 
@@ -144,11 +222,33 @@ class ServiceClient:
         return body
 
     def ping(self, attempts: int = 50, delay: float = 0.1) -> bool:
-        """Poll ``/healthz`` until the daemon answers (daemon startup)."""
+        """Poll ``/healthz`` until the daemon answers *200 ok*.
+
+        Two deliberate asymmetries, both regression-tested:
+
+        * a **503 draining** healthz keeps polling but never returns
+          True — :meth:`healthz` accepts the 503 body (callers want the
+          ``status: draining`` payload), but "up" here means *accepting
+          work*, and a draining daemon is refusing it;
+        * a definitive **4xx** means something answered HTTP and it is
+          not a repro-ced daemon (or not its API) — failing the full
+          ``attempts × delay`` budget against a wrong port helps nobody,
+          so that raises immediately instead of burning the budget.
+        """
         for _ in range(attempts):
             try:
-                self.healthz()
-                return True
-            except (OSError, ServiceError):
+                status, body = self.request("GET", "/healthz")
+            except OSError:
                 time.sleep(delay)
+                continue
+            if status == 200:
+                return True
+            if 400 <= status < 500:
+                raise ServiceError(
+                    status,
+                    f"{self.address} answers HTTP but not /healthz "
+                    f"(status {status}): not a repro-ced daemon?",
+                    body,
+                )
+            time.sleep(delay)  # 5xx (incl. 503 draining): keep polling
         return False

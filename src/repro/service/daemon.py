@@ -80,6 +80,14 @@ class ServiceConfig:
     cache: bool = True
     journal_path: str | None = None
     verbose: bool = False
+    #: Peer replica addresses for the read-through artifact cache
+    #: (``repro-ced serve --peer``); more can join at runtime via
+    #: ``POST /cache/peer``.
+    peers: tuple[str, ...] = ()
+    #: Per-peer-fetch timeout; a slow peer degrades to a local re-solve.
+    peer_timeout: float = 5.0
+    #: Seconds a peer miss is remembered before peers are asked again.
+    peer_negative_ttl: float = 30.0
 
 
 class _Flight:
@@ -130,6 +138,12 @@ class DesignService:
         self._disk_misses = 0
         self._disk_stage_hits: dict[str, int] = {}
         self._disk_stage_misses: dict[str, int] = {}
+        # Cache peering (guarded by _lock; served entries via _artifacts).
+        self._peers: list[str] = list(config.peers)
+        self._artifacts = None
+        self._peer_totals: dict[str, int] = {}
+        self._cache_serves = 0
+        self._cache_serve_misses = 0
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> None:
@@ -137,6 +151,12 @@ class DesignService:
             self._journal = JournalWriter(
                 Path(self.config.journal_path), name="serve"
             )
+        if self.config.cache:
+            from repro.runtime.cache import open_cache
+
+            # The daemon's own handle on the shared disk cache, used only
+            # to serve raw entry bytes to peers (workers own their own).
+            self._artifacts = open_cache(self.config.cache_dir)
         if self.config.workers > 0:
             from concurrent.futures import ProcessPoolExecutor
 
@@ -177,6 +197,56 @@ class DesignService:
             self._journal.close()
             self._journal = None
 
+    # -- cache peering -------------------------------------------------
+    def peers(self) -> list[str]:
+        with self._lock:
+            return list(self._peers)
+
+    def add_peers(self, addresses: list) -> list[str]:
+        """Register peer daemons at runtime (``POST /cache/peer``).
+
+        Addresses are validated with the client's parser; duplicates are
+        dropped.  Returns the full peer set after the merge.  New
+        computations pick the updated set up immediately (the worker
+        payload carries it per request).
+        """
+        from repro.service.client import parse_address
+
+        if not isinstance(addresses, list) or not all(
+            isinstance(address, str) for address in addresses
+        ):
+            raise ValueError("'peers' must be a list of address strings")
+        for address in addresses:
+            parse_address(address)  # raises ValueError on garbage
+        with self._lock:
+            for address in addresses:
+                if address not in self._peers:
+                    self._peers.append(address)
+            return list(self._peers)
+
+    def serve_cache_entry(self, stage: str, key: str) -> bytes | None:
+        """Raw entry bytes for ``GET /cache/<stage>/<key>`` (None = 404)."""
+        if self._artifacts is None:
+            return None
+        payload = self._artifacts.read_entry_bytes(stage, key)
+        with self._lock:
+            if payload is None:
+                self._cache_serve_misses += 1
+            else:
+                self._cache_serves += 1
+        return payload
+
+    def _peering_payload(self) -> dict | None:
+        with self._lock:
+            peers = list(self._peers)
+        if not peers or not self.config.cache:
+            return None
+        return {
+            "peers": peers,
+            "timeout": self.config.peer_timeout,
+            "negative_ttl": self.config.peer_negative_ttl,
+        }
+
     # -- read endpoints ------------------------------------------------
     def healthz(self) -> dict:
         return {
@@ -204,6 +274,20 @@ class DesignService:
                 "timeouts": self._timeouts,
             },
             "hot_cache": self.hot.stats().as_dict(),
+            "peer_cache": {
+                "peers": list(self._peers),
+                # Read-through fetches by this daemon's workers: a "hit"
+                # is an artifact pulled from a warm peer instead of
+                # re-solved locally.
+                "hits": self._peer_totals.get("hits", 0),
+                "misses": self._peer_totals.get("misses", 0),
+                "cooldown_skips": self._peer_totals.get("cooldown_skips", 0),
+                "errors": self._peer_totals.get("errors", 0),
+                "fetched_bytes": self._peer_totals.get("fetched_bytes", 0),
+                # Entries this daemon served *to* peers.
+                "served": self._cache_serves,
+                "serve_misses": self._cache_serve_misses,
+            },
             "disk_cache": {
                 "hits": self._disk_hits,
                 "misses": self._disk_misses,
@@ -289,6 +373,7 @@ class DesignService:
             self.config.cache_dir,
             self.config.cache,
             self._journal is not None,
+            self._peering_payload(),
         )
         try:
             if self._pool is not None:
@@ -337,6 +422,10 @@ class DesignService:
                 ).items():
                     self._disk_stage_misses[stage] = (
                         self._disk_stage_misses.get(stage, 0) + count
+                    )
+                for name, count in envelope.get("peer_cache", {}).items():
+                    self._peer_totals[name] = (
+                        self._peer_totals.get(name, 0) + count
                     )
         finally:
             with self._idle:
@@ -406,13 +495,32 @@ class ServiceHandler(BaseHTTPRequestHandler):
             self._send(status, canonical_json(health))
         elif path == "/stats":
             self._send(200, canonical_json(self.service.stats()))
+        elif path == "/cache/peers":
+            self._send(200, canonical_json({"peers": self.service.peers()}))
+        elif path.startswith("/cache/"):
+            self._get_cache_entry(path)
         else:
             self._send(404, _error_body(f"no such endpoint {path!r}"))
+
+    def _get_cache_entry(self, path: str) -> None:
+        """``GET /cache/<stage>/<key>`` — raw pickled entry bytes."""
+        parts = path[len("/cache/"):].split("/")
+        if len(parts) != 2:
+            self._send(404, _error_body(f"no such endpoint {path!r}"))
+            return
+        stage, key = parts
+        payload = self.service.serve_cache_entry(stage, key)
+        if payload is None:
+            self._send(
+                404, _error_body(f"no cache entry {stage}/{key[:16]}")
+            )
+            return
+        self._send_bytes(200, payload, "application/octet-stream")
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         path = self.path.split("?", 1)[0]
         kind = path.lstrip("/")
-        if kind not in QUERY_KINDS:
+        if kind not in QUERY_KINDS and path != "/cache/peer":
             self._send(404, _error_body(f"no such endpoint {path!r}"))
             return
         try:
@@ -425,13 +533,25 @@ class ServiceHandler(BaseHTTPRequestHandler):
         if not isinstance(params, dict):
             self._send(400, _error_body("request body must be a JSON object"))
             return
+        if path == "/cache/peer":
+            try:
+                peers = self.service.add_peers(params.get("peers", []))
+            except ValueError as error:
+                self._send(400, _error_body(str(error)))
+                return
+            self._send(200, canonical_json({"peers": peers}))
+            return
         status, body = self.service.handle_query(kind, params)
         self._send(status, body)
 
     def _send(self, status: int, body: str) -> None:
-        payload = body.encode("utf-8")
+        self._send_bytes(status, body.encode("utf-8"), "application/json")
+
+    def _send_bytes(
+        self, status: int, payload: bytes, content_type: str
+    ) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(payload)))
         # One request per connection: drain must never wait on an idle
         # keep-alive socket (server_close joins every handler thread).
@@ -450,24 +570,28 @@ class _TcpServer(ThreadingHTTPServer):
     #: exactly the "finish in-flight work" half of graceful drain.
     daemon_threads = False
 
-    def __init__(self, config: ServiceConfig, service: DesignService) -> None:
+    def __init__(
+        self, config, service, handler: type = ServiceHandler
+    ) -> None:
         self.service = service
         self.verbose = config.verbose
-        super().__init__((config.host, config.port), ServiceHandler)
+        super().__init__((config.host, config.port), handler)
 
 
 class _UnixServer(socketserver.ThreadingUnixStreamServer):
     daemon_threads = False
     allow_reuse_address = False
 
-    def __init__(self, config: ServiceConfig, service: DesignService) -> None:
+    def __init__(
+        self, config, service, handler: type = ServiceHandler
+    ) -> None:
         self.service = service
         self.verbose = config.verbose
         path = Path(config.socket_path)  # type: ignore[arg-type]
         path.parent.mkdir(parents=True, exist_ok=True)
         if path.is_socket():
             path.unlink()  # stale socket from a killed daemon
-        super().__init__(str(path), ServiceHandler)
+        super().__init__(str(path), handler)
         # BaseHTTPRequestHandler expects these TCP-ish attributes.
         self.server_name = "localhost"
         self.server_port = 0
@@ -484,11 +608,16 @@ class _UnixServer(socketserver.ThreadingUnixStreamServer):
             pass
 
 
-def build_server(service: DesignService):
-    """The right socketserver for the config (unix socket wins over TCP)."""
+def build_server(service, handler: type = ServiceHandler):
+    """The right socketserver for the config (unix socket wins over TCP).
+
+    Shared with the router front tier (:mod:`repro.service.router`):
+    any ``service`` with a ``config`` carrying ``host``/``port``/
+    ``socket_path``/``verbose`` and the handler's expected surface works.
+    """
     if service.config.socket_path:
-        return _UnixServer(service.config, service)
-    return _TcpServer(service.config, service)
+        return _UnixServer(service.config, service, handler)
+    return _TcpServer(service.config, service, handler)
 
 
 def server_address_string(server) -> str:

@@ -1,0 +1,230 @@
+"""Peered artifact cache: read-through fetches from warm replica daemons.
+
+A sharded deployment runs several ``repro-ced serve`` replicas, each with
+its own disk :class:`~repro.runtime.cache.ArtifactCache`.  Without
+peering, a request routed to a cold replica re-solves artifacts a warm
+peer already holds.  This module closes that gap with a tiny protocol
+over the existing service transport:
+
+* ``GET /cache/<stage>/<key>`` — a daemon serves the raw pickled bytes
+  of one cache entry (404 when absent); coordinates are validated on
+  both ends (:func:`repro.runtime.cache.valid_entry_coords`).
+* ``POST /cache/peer`` — register peer addresses on a running daemon
+  (``{"peers": ["host:port", ...]}``); ``repro-ced serve --peer`` seeds
+  the same set at startup.
+
+:class:`PeerCache` layers the client side under the local cache: a local
+miss consults each peer in order, stores a hit's bytes locally (so the
+artifact is served from disk forever after — read-through), and
+remembers misses for ``negative_ttl`` seconds so a fleet-wide cold key
+costs each replica at most one round of peer lookups per cooldown
+window (negative-lookup cooldown).
+
+Correctness is inherited, not hoped for: cache entries are
+content-addressed pickles of pure-function values, and the fingerprint
+includes the version salt, so a fetched entry is byte-identical to what
+the local replica would have computed.  A corrupt or truncated transfer
+deserializes like any corrupt entry — a miss, quietly replaced.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import time
+from dataclasses import asdict, dataclass
+
+from repro.runtime.cache import ArtifactCache, valid_entry_coords
+from repro.runtime.trace import current_tracer
+
+#: Default seconds a (stage, key) peer miss is remembered before peers
+#: are asked again.
+DEFAULT_NEGATIVE_TTL = 30.0
+#: Default per-peer-request timeout.  Peer fetches sit on the latency
+#: path of a cold request, so this is deliberately much shorter than the
+#: compute timeout: a slow peer must degrade to "just re-solve locally".
+DEFAULT_PEER_TIMEOUT = 5.0
+
+#: Bound on remembered negative lookups (oldest pruned past this).
+_NEGATIVE_CAP = 4096
+
+
+@dataclass
+class PeerStats:
+    """Counters of one :class:`PeerCache` (daemon ``/stats`` aggregates
+    these across pool workers via the result envelope)."""
+
+    hits: int = 0
+    misses: int = 0
+    cooldown_skips: int = 0
+    errors: int = 0
+    fetched_bytes: int = 0
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+class PeerCache:
+    """Read-through peer layer under a local :class:`ArtifactCache`.
+
+    Implements the same ``get``/``put``/``stats``/``counters`` surface
+    the flow code expects of a cache, delegating everything local to
+    ``base`` — a peer fetch that lands is *written into the base cache*
+    and only then unpickled, so the local disk ends up holding the
+    byte-identical entry and the base's own counters keep meaning "disk
+    truth" (the fetch round-trip shows up in :meth:`peer_stats` instead).
+    """
+
+    def __init__(
+        self,
+        base: ArtifactCache,
+        peers: tuple[str, ...],
+        timeout: float = DEFAULT_PEER_TIMEOUT,
+        negative_ttl: float = DEFAULT_NEGATIVE_TTL,
+    ) -> None:
+        self.base = base
+        self.peers = tuple(peers)
+        self.timeout = timeout
+        self.negative_ttl = negative_ttl
+        self._lock = threading.Lock()
+        self._negative: dict[tuple[str, str], float] = {}
+        self._hits = 0
+        self._misses = 0
+        self._cooldown_skips = 0
+        self._errors = 0
+        self._fetched_bytes = 0
+
+    # -- cache surface (what the flow sees) ----------------------------
+    def get(self, stage: str, key: str) -> tuple[bool, object]:
+        found, value = self.base.get(stage, key)
+        if found or not self.peers:
+            return found, value
+        return self._fetch_from_peers(stage, key)
+
+    def put(self, stage: str, key: str, value: object) -> None:
+        self.base.put(stage, key, value)
+
+    def stats(self):
+        return self.base.stats()
+
+    def counters(self) -> tuple[int, int]:
+        return self.base.counters()
+
+    def stage_counters(self) -> tuple[dict[str, int], dict[str, int]]:
+        return self.base.stage_counters()
+
+    def peer_stats(self) -> PeerStats:
+        with self._lock:
+            return PeerStats(
+                hits=self._hits,
+                misses=self._misses,
+                cooldown_skips=self._cooldown_skips,
+                errors=self._errors,
+                fetched_bytes=self._fetched_bytes,
+            )
+
+    # -- peer side -----------------------------------------------------
+    def _cooling(self, stage: str, key: str) -> bool:
+        now = time.monotonic()
+        with self._lock:
+            expiry = self._negative.get((stage, key))
+            if expiry is not None and expiry > now:
+                self._cooldown_skips += 1
+                return True
+            if expiry is not None:
+                del self._negative[(stage, key)]
+            return False
+
+    def _remember_miss(self, stage: str, key: str) -> None:
+        with self._lock:
+            self._misses += 1
+            if self.negative_ttl <= 0:
+                return
+            self._negative[(stage, key)] = (
+                time.monotonic() + self.negative_ttl
+            )
+            while len(self._negative) > _NEGATIVE_CAP:
+                self._negative.pop(next(iter(self._negative)))
+
+    def _fetch_from_peers(self, stage: str, key: str) -> tuple[bool, object]:
+        if not valid_entry_coords(stage, key):
+            return False, None
+        if self._cooling(stage, key):
+            return False, None
+        tracer = current_tracer()
+        for peer in self.peers:
+            payload = self._fetch_one(peer, stage, key)
+            if payload is None:
+                continue
+            try:
+                value = pickle.loads(payload)
+            except Exception:
+                with self._lock:
+                    self._errors += 1
+                continue
+            self.base.write_entry_bytes(stage, key, payload)
+            with self._lock:
+                self._hits += 1
+                self._fetched_bytes += len(payload)
+            if tracer.enabled:
+                tracer.event(
+                    "cache.peer", stage=stage, peer=peer, hit=True,
+                    bytes=len(payload),
+                )
+            return True, value
+        self._remember_miss(stage, key)
+        if tracer.enabled:
+            tracer.event("cache.peer", stage=stage, peer=None, hit=False)
+        return False, None
+
+    def _fetch_one(self, peer: str, stage: str, key: str) -> bytes | None:
+        # Imported here (not at module top) to keep the runtime layer
+        # free of a hard dependency on the service client.
+        from repro.service.client import ServiceClient
+
+        try:
+            status, payload = ServiceClient(
+                peer, timeout=self.timeout
+            ).request_raw("GET", f"/cache/{stage}/{key}")
+        except OSError:
+            with self._lock:
+                self._errors += 1
+            return None
+        if status != 200:
+            return None
+        return payload
+
+
+# ----------------------------------------------------------------------
+# Worker-side construction
+# ----------------------------------------------------------------------
+#: Process-level PeerCache registry: one instance per (cache identity,
+#: peer set), so the negative-lookup cooldown and counters survive across
+#: requests served by the same pool worker.
+_PEER_CACHES: dict[tuple[int, tuple[str, ...], float, float], PeerCache] = {}
+
+
+def peer_cache_for(
+    base,
+    peers: tuple[str, ...],
+    timeout: float = DEFAULT_PEER_TIMEOUT,
+    negative_ttl: float = DEFAULT_NEGATIVE_TTL,
+):
+    """The worker's cache: ``base`` wrapped in a memoized PeerCache.
+
+    Falls through to ``base`` unchanged when peering is off (no peers)
+    or the base is not a disk cache (``--no-cache``: there is nowhere to
+    store a fetched entry, and a diskless replica should not lean on the
+    fleet for every stage of every request).
+    """
+    peers = tuple(peers)
+    if not peers or not isinstance(base, ArtifactCache):
+        return base
+    memo_key = (id(base), peers, timeout, negative_ttl)
+    cache = _PEER_CACHES.get(memo_key)
+    if cache is None:
+        cache = PeerCache(
+            base, peers, timeout=timeout, negative_ttl=negative_ttl
+        )
+        _PEER_CACHES[memo_key] = cache
+    return cache

@@ -299,9 +299,27 @@ def service_worker(payload: tuple, degraded: bool) -> dict:
     Module-level so it pickles across the daemon's process pool; reuses
     the campaign layer's per-process disk cache so every worker shares
     one :class:`~repro.runtime.cache.ArtifactCache` across requests.
+    The optional sixth payload element carries the daemon's current
+    peer-cache wiring (see :mod:`repro.service.peering`): with peers
+    configured, the disk cache is wrapped in a read-through
+    :class:`~repro.service.peering.PeerCache` so a local artifact miss
+    asks a warm replica before re-solving.
     """
-    kind, spec, cache_dir, cache_enabled, trace = payload
+    kind, spec, cache_dir, cache_enabled, trace = payload[:5]
+    peering = payload[5] if len(payload) > 5 else None
     cache = _worker_cache(cache_dir, cache_enabled)
+    peer_before = None
+    if peering and peering.get("peers"):
+        from repro.service.peering import peer_cache_for
+
+        cache = peer_cache_for(
+            cache,
+            tuple(peering["peers"]),
+            timeout=peering.get("timeout", 5.0),
+            negative_ttl=peering.get("negative_ttl", 30.0),
+        )
+        if hasattr(cache, "peer_stats"):
+            peer_before = cache.peer_stats()
     recorder = MetricsRecorder()
     hits_before, misses_before = cache.counters()
     stage_hits_before, stage_misses_before = cache.stage_counters()
@@ -311,7 +329,7 @@ def service_worker(payload: tuple, degraded: bool) -> dict:
         value = QUERY_KINDS[kind][1](spec, cache, recorder, degraded)
     hits_after, misses_after = cache.counters()
     stage_hits_after, stage_misses_after = cache.stage_counters()
-    return {
+    envelope = {
         "value": value,
         "stages": recorder.as_dicts(),
         "cache_hits": hits_after - hits_before,
@@ -322,6 +340,12 @@ def service_worker(payload: tuple, degraded: bool) -> dict:
         ),
         "trace": tracer.records if tracer is not None else [],
     }
+    if peer_before is not None:
+        peer_after = cache.peer_stats()
+        envelope["peer_cache"] = _counter_delta(
+            peer_before.as_dict(), peer_after.as_dict()
+        )
+    return envelope
 
 
 def _counter_delta(

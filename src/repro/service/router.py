@@ -1,0 +1,621 @@
+"""Front-tier router: fingerprint-sharded dispatch over replica daemons.
+
+``repro-ced route --replica ADDR --replica ADDR ...`` runs a thin,
+stateless-by-design front tier over a fleet of ``repro-ced serve``
+replicas.  It owns no compute and no cache — only the *placement* of
+requests — which keeps it safe to restart at any time:
+
+* **Rendezvous hashing.**  Each request is normalised exactly like a
+  replica would (invalid requests die here with a 400, never touching
+  the fleet) and fingerprinted into the shared content key.  Replicas
+  are ranked by ``sha256(key | replica)`` — highest score wins — so a
+  given fingerprint consistently lands on the same replica (hot-cache
+  affinity) and losing a replica only remaps that replica's keys.
+* **Health-checked failover.**  A background loop polls every replica's
+  ``/healthz``; draining (503) and unreachable replicas drop out of the
+  ranking.  A dispatch that hits a dead socket marks the replica down
+  immediately and fails over to the next-ranked one.
+* **Bounded retry with jittered backoff.**  429/503 answers are
+  absorbed by the router's :class:`~repro.service.client.RetryPolicy`
+  (full-jitter exponential backoff, rotating through the ranking).
+  Only when every attempt stays saturated does the client see a 503.
+* **Hedged re-dispatch.**  Once a request has been in flight past a
+  p95-derived deadline (per query kind, over a sliding window), the
+  router dispatches the same request to the second-ranked replica and
+  serves whichever answers first.  Safe by construction: responses are
+  byte-identical across replicas, so first-response-wins can never mix
+  bytes — the loser is simply discarded.
+
+Replica responses stream through byte-for-byte (the router never
+re-serialises a body), so every byte-identity guarantee of a single
+daemon extends verbatim across the fleet.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import queue
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler
+from pathlib import Path
+from typing import Any, Callable
+
+from repro import __version__
+from repro.fsm.benchmarks import UnknownBenchmarkError
+from repro.runtime.trace import JournalWriter
+from repro.service.client import RetryPolicy, ServiceClient, parse_address
+from repro.service.daemon import build_server, server_address_string
+from repro.service.queries import QUERY_KINDS, canonical_json, query_key
+
+#: Sliding window of per-kind latency samples backing the hedge deadline.
+_SAMPLE_WINDOW = 256
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Router knobs (``repro-ced route`` flags map 1:1 onto these)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8600
+    socket_path: str | None = None
+    #: Replica daemon addresses (at least one).
+    replicas: tuple[str, ...] = ()
+    #: Transient-failure policy per request: total dispatch attempts and
+    #: the jittered-backoff envelope between busy answers.
+    retry: RetryPolicy = RetryPolicy(attempts=6, base_delay=0.1, max_delay=2.0)
+    #: Seconds between background ``/healthz`` probes.
+    health_interval: float = 2.0
+    health_timeout: float = 2.0
+    #: Hedged re-dispatch: after ``max(hedge_floor, p95 * hedge_multiplier)``
+    #: seconds in flight (p95 over the kind's recent latencies, used once
+    #: ``hedge_min_samples`` are recorded), send the request to a second
+    #: replica and serve the first response.  ``hedge=False`` disables it.
+    hedge: bool = True
+    hedge_multiplier: float = 3.0
+    hedge_min_samples: int = 10
+    hedge_floor: float = 0.05
+    #: Per-leg forwarding timeout (seconds).
+    timeout: float = 600.0
+    journal_path: str | None = None
+    verbose: bool = False
+
+
+class _Replica:
+    """One backend daemon: address, health view and counters.
+
+    Mutable fields are guarded by the router's lock; the client is
+    thread-safe (a fresh connection per request, nothing shared).
+    """
+
+    __slots__ = (
+        "address", "client", "healthy", "draining",
+        "dispatched", "ok", "busy", "connect_failures", "hedge_wins",
+    )
+
+    def __init__(self, address: str, timeout: float) -> None:
+        parse_address(address)  # fail fast on a bad --replica flag
+        self.address = address
+        self.client = ServiceClient(address, timeout=timeout)
+        # Optimistic until the first probe: requests may arrive before
+        # the health loop's first pass, and a wrong guess self-corrects
+        # via dispatch failover.
+        self.healthy = True
+        self.draining = False
+        self.dispatched = 0
+        self.ok = 0
+        self.busy = 0
+        self.connect_failures = 0
+        self.hedge_wins = 0
+
+    @property
+    def eligible(self) -> bool:
+        return self.healthy and not self.draining
+
+
+class _Leg:
+    """One dispatched copy of a request (primary or hedge)."""
+
+    __slots__ = ("replica", "hedged", "status", "raw", "error", "seconds")
+
+    def __init__(self, replica: _Replica, hedged: bool) -> None:
+        self.replica = replica
+        self.hedged = hedged
+        self.status: int | None = None
+        self.raw: bytes | None = None
+        self.error: Exception | None = None
+        self.seconds = 0.0
+
+
+class RouterService:
+    """Routing logic and shared state (HTTP layer aside); thread-safe."""
+
+    def __init__(self, config: RouterConfig) -> None:
+        if not config.replicas:
+            raise ValueError("router needs at least one --replica address")
+        self.config = config
+        self._replicas = [
+            _Replica(address, config.timeout) for address in config.replicas
+        ]
+        self._lock = threading.Lock()
+        self._journal: JournalWriter | None = None
+        self._journal_origin = time.perf_counter()
+        self._started = time.monotonic()
+        self._stop = threading.Event()
+        self._health_thread: threading.Thread | None = None
+        # Counters (guarded by _lock).
+        self._requests = 0
+        self._by_kind = {kind: 0 for kind in QUERY_KINDS}
+        self._routed = 0
+        self._rejected = 0
+        self._retries = 0
+        self._failovers = 0
+        self._hedges = 0
+        self._hedge_wins = 0
+        self._exhausted = 0
+        self._samples: dict[str, list[float]] = {k: [] for k in QUERY_KINDS}
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> None:
+        if self.config.journal_path:
+            self._journal = JournalWriter(
+                Path(self.config.journal_path), name="route"
+            )
+        self._health_thread = threading.Thread(
+            target=self._health_loop, name="route-health", daemon=True
+        )
+        self._health_thread.start()
+
+    def close(self) -> None:
+        self._stop.set()
+        if self._health_thread is not None:
+            self._health_thread.join(timeout=10)
+            self._health_thread = None
+        if self._journal is not None:
+            self._journal.write({"type": "summary", **self.stats()})
+            self._journal.close()
+            self._journal = None
+
+    # -- health --------------------------------------------------------
+    def _health_loop(self) -> None:
+        self.probe_replicas()  # initial pass, then periodic
+        while not self._stop.wait(self.config.health_interval):
+            self.probe_replicas()
+
+    def probe_replicas(self) -> None:
+        """One ``/healthz`` round over every replica (health loop body;
+        callable directly from tests for determinism)."""
+        for replica in self._replicas:
+            probe = ServiceClient(
+                replica.address, timeout=self.config.health_timeout
+            )
+            try:
+                status, _body = probe.request("GET", "/healthz")
+            except OSError:
+                healthy, draining = False, False
+            else:
+                healthy = status == 200
+                draining = status == 503
+            with self._lock:
+                replica.healthy = healthy
+                replica.draining = draining
+
+    # -- placement -----------------------------------------------------
+    def _rank(self, key: str) -> list[_Replica]:
+        """Replicas by rendezvous score for ``key``, best first."""
+        def score(replica: _Replica) -> bytes:
+            return hashlib.sha256(
+                f"{key}|{replica.address}".encode()
+            ).digest()
+
+        return sorted(self._replicas, key=score, reverse=True)
+
+    def _hedge_deadline(self, kind: str) -> float | None:
+        if not self.config.hedge or len(self._replicas) < 2:
+            return None
+        with self._lock:
+            samples = sorted(self._samples[kind])
+        if len(samples) < self.config.hedge_min_samples or not samples:
+            # min_samples=0 means "hedge from the first request" (tests,
+            # aggressive deployments): fall back to the floor deadline.
+            return self.config.hedge_floor if (
+                self.config.hedge_min_samples <= 0
+            ) else None
+        p95 = _quantile(samples, 0.95)
+        return max(self.config.hedge_floor,
+                   p95 * self.config.hedge_multiplier)
+
+    def _record_sample(self, kind: str, seconds: float) -> None:
+        with self._lock:
+            samples = self._samples[kind]
+            samples.append(seconds)
+            if len(samples) > _SAMPLE_WINDOW:
+                del samples[: len(samples) - _SAMPLE_WINDOW]
+
+    # -- dispatch ------------------------------------------------------
+    def handle_query(self, kind: str, params: dict) -> tuple[int, bytes]:
+        """One request in, ``(status, body_bytes)`` out (pass-through)."""
+        if kind not in QUERY_KINDS:
+            return 404, _error_bytes(f"unknown query kind {kind!r}")
+        try:
+            spec = QUERY_KINDS[kind][0](params)
+        except (UnknownBenchmarkError, ValueError, TypeError) as error:
+            with self._lock:
+                self._requests += 1
+                self._by_kind[kind] += 1
+                self._rejected += 1
+            return 400, _error_bytes(str(error))
+        key = query_key(kind, spec)
+        with self._lock:
+            self._requests += 1
+            self._by_kind[kind] += 1
+        return self._dispatch(kind, params, key)
+
+    def _dispatch(self, kind: str, params: dict, key: str) -> tuple[int, bytes]:
+        ranking = self._rank(key)
+        policy = self.config.retry
+        last: tuple[int, bytes] | None = None
+        for attempt in range(policy.attempts):
+            candidates = [r for r in ranking if r.eligible] or ranking
+            replica = candidates[attempt % len(candidates)]
+            leg = self._forward(
+                kind, params, key, replica, ranking,
+                hedge_allowed=attempt == 0,
+                attempt=attempt,
+            )
+            if leg.error is not None:
+                # Connection-level failure: mark down, fail over to the
+                # next-ranked replica immediately (no backoff — nothing
+                # was computing).
+                with self._lock:
+                    replica.healthy = False
+                    replica.connect_failures += 1
+                    self._failovers += 1
+                last = (
+                    503,
+                    _error_bytes(
+                        f"replica {replica.address} unreachable: {leg.error}"
+                    ),
+                )
+                continue
+            assert leg.status is not None and leg.raw is not None
+            if leg.status in (429, 503):
+                with self._lock:
+                    leg.replica.busy += 1
+                last = (leg.status, leg.raw)
+                if attempt + 1 < policy.attempts:
+                    with self._lock:
+                        self._retries += 1
+                    time.sleep(policy.delay(attempt))
+                continue
+            if leg.status == 200:
+                self._record_sample(kind, leg.seconds)
+                with self._lock:
+                    leg.replica.ok += 1
+                    self._routed += 1
+                    if leg.hedged:
+                        leg.replica.hedge_wins += 1
+                        self._hedge_wins += 1
+            return leg.status, leg.raw
+        with self._lock:
+            self._exhausted += 1
+        assert last is not None
+        status, raw = last
+        return status, raw
+
+    def _forward(
+        self,
+        kind: str,
+        params: dict,
+        key: str,
+        primary: _Replica,
+        ranking: list[_Replica],
+        hedge_allowed: bool,
+        attempt: int,
+    ) -> _Leg:
+        """One dispatch, possibly hedged; returns the winning leg."""
+        deadline = self._hedge_deadline(kind) if hedge_allowed else None
+        results: queue.Queue[_Leg] = queue.Queue()
+        launched = [self._launch(results, primary, kind, params, key,
+                                 attempt, hedged=False)]
+        if deadline is not None:
+            first = _poll(results, deadline)
+            if first is None:
+                backup = next(
+                    (r for r in ranking
+                     if r is not primary and r.eligible),
+                    None,
+                )
+                if backup is not None:
+                    with self._lock:
+                        self._hedges += 1
+                    self._journal_event(
+                        "route.hedge", kind=kind, key=key[:16],
+                        primary=primary.address, hedge=backup.address,
+                        deadline_ms=round(deadline * 1000, 3),
+                    )
+                    launched.append(
+                        self._launch(results, backup, kind, params, key,
+                                     attempt, hedged=True)
+                    )
+            else:
+                return first
+        # Collect until a leg succeeds or every launched leg reported.
+        collected: list[_Leg] = []
+        while len(collected) < len(launched):
+            leg = results.get()
+            if leg.status == 200:
+                return leg
+            collected.append(leg)
+        # No success: prefer a definitive HTTP answer over a dead socket.
+        for leg in collected:
+            if leg.error is None:
+                return leg
+        return collected[0]
+
+    def _launch(
+        self,
+        results: "queue.Queue[_Leg]",
+        replica: _Replica,
+        kind: str,
+        params: dict,
+        key: str,
+        attempt: int,
+        hedged: bool,
+    ) -> _Leg:
+        leg = _Leg(replica, hedged)
+        with self._lock:
+            replica.dispatched += 1
+
+        def run() -> None:
+            t0 = time.perf_counter()
+            try:
+                leg.status, leg.raw = replica.client.request_raw(
+                    "POST", f"/{kind}", params
+                )
+            except OSError as error:
+                leg.error = error
+            leg.seconds = time.perf_counter() - t0
+            self._journal_event(
+                "route.dispatch", kind=kind, key=key[:16],
+                replica=replica.address, attempt=attempt, hedge=hedged,
+                status=leg.status if leg.status is not None
+                else "unreachable",
+                seconds=round(leg.seconds, 6),
+            )
+            results.put(leg)
+
+        threading.Thread(
+            target=run, name=f"route-leg-{replica.address}", daemon=True
+        ).start()
+        return leg
+
+    # -- read endpoints ------------------------------------------------
+    def healthz(self) -> dict:
+        with self._lock:
+            states = {
+                replica.address: (
+                    "draining" if replica.draining
+                    else "ok" if replica.healthy else "down"
+                )
+                for replica in self._replicas
+            }
+        up = sum(1 for state in states.values() if state == "ok")
+        return {
+            "status": "ok" if up else "no-healthy-replicas",
+            "role": "router",
+            "version": __version__,
+            "uptime_seconds": round(time.monotonic() - self._started, 3),
+            "replicas": states,
+            "replicas_up": up,
+        }
+
+    def stats(self) -> dict:
+        with self._lock:
+            latency = {}
+            for kind, samples in self._samples.items():
+                if not samples:
+                    continue
+                ordered = sorted(samples)
+                latency[kind] = {
+                    "count": len(ordered),
+                    "p50_ms": round(_quantile(ordered, 0.50) * 1000, 3),
+                    "p95_ms": round(_quantile(ordered, 0.95) * 1000, 3),
+                }
+            return {
+                "role": "router",
+                "version": __version__,
+                "uptime_seconds": round(time.monotonic() - self._started, 3),
+                "requests": {
+                    "total": self._requests,
+                    "by_kind": dict(self._by_kind),
+                    "routed": self._routed,
+                    "rejected": self._rejected,
+                    "retries": self._retries,
+                    "failovers": self._failovers,
+                    "hedges": self._hedges,
+                    "hedge_wins": self._hedge_wins,
+                    "retry_exhausted": self._exhausted,
+                },
+                "replicas": [
+                    {
+                        "address": replica.address,
+                        "healthy": replica.healthy,
+                        "draining": replica.draining,
+                        "dispatched": replica.dispatched,
+                        "ok": replica.ok,
+                        "busy": replica.busy,
+                        "connect_failures": replica.connect_failures,
+                        "hedge_wins": replica.hedge_wins,
+                    }
+                    for replica in self._replicas
+                ],
+                "latency": latency,
+            }
+
+    def _journal_event(self, name: str, **attrs: Any) -> None:
+        if self._journal is None:
+            return
+        self._journal.write({
+            "type": "event",
+            "span": None,
+            "name": name,
+            "t": round(time.perf_counter() - self._journal_origin, 6),
+            "attrs": attrs,
+        })
+
+
+def _error_bytes(message: str) -> bytes:
+    return canonical_json({"error": message}).encode("utf-8")
+
+
+def _poll(results: "queue.Queue[_Leg]", timeout: float) -> _Leg | None:
+    try:
+        return results.get(timeout=timeout)
+    except queue.Empty:
+        return None
+
+
+def _quantile(ordered: list[float], q: float) -> float:
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+# ----------------------------------------------------------------------
+# HTTP layer
+# ----------------------------------------------------------------------
+class RouterHandler(BaseHTTPRequestHandler):
+    """Routes HTTP verbs onto the shared :class:`RouterService`."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = f"repro-ced-router/{__version__}"
+
+    @property
+    def service(self) -> RouterService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        if path == "/healthz":
+            health = self.service.healthz()
+            status = 200 if health["status"] == "ok" else 503
+            self._send(status, canonical_json(health).encode("utf-8"))
+        elif path == "/stats":
+            self._send(
+                200, canonical_json(self.service.stats()).encode("utf-8")
+            )
+        else:
+            self._send(404, _error_bytes(f"no such endpoint {path!r}"))
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        kind = path.lstrip("/")
+        if kind not in QUERY_KINDS:
+            self._send(404, _error_bytes(f"no such endpoint {path!r}"))
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length) if length else b"{}"
+            params = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            self._send(400, _error_bytes(f"invalid JSON body: {error}"))
+            return
+        if not isinstance(params, dict):
+            self._send(
+                400, _error_bytes("request body must be a JSON object")
+            )
+            return
+        status, body = self.service.handle_query(kind, params)
+        self._send(status, body)
+
+    def _send(self, status: int, payload: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(payload)
+        self.close_connection = True
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+
+# ----------------------------------------------------------------------
+# Running it
+# ----------------------------------------------------------------------
+class RunningRouter:
+    """A started router on a background thread (tests, embedding)."""
+
+    def __init__(self, config: RouterConfig) -> None:
+        self.service = RouterService(config)
+        self.service.start()
+        self.server = build_server(self.service, handler=RouterHandler)
+        self.address = server_address_string(self.server)
+        self._thread = threading.Thread(
+            target=self.server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-route",
+            daemon=True,
+        )
+        self._stopped = False
+
+    def __enter__(self) -> "RunningRouter":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        self.server.shutdown()
+        self._thread.join()
+        self.server.server_close()
+        self.service.close()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def serve_router(
+    config: RouterConfig,
+    echo: Callable[[str], None] = print,
+    install_signals: bool = True,
+) -> int:
+    """Blocking entry point behind ``repro-ced route``.
+
+    SIGTERM/SIGINT stop accepting requests, finish in-flight forwards
+    and exit 0 — the same graceful-drain contract as the daemon.
+    """
+    service = RouterService(config)
+    service.start()
+    server = build_server(service, handler=RouterHandler)
+    address = server_address_string(server)
+
+    def _drain(signum: int, frame: object) -> None:
+        echo(f"signal {signal.Signals(signum).name}: router stopping")
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    if install_signals:
+        signal.signal(signal.SIGTERM, _drain)
+        signal.signal(signal.SIGINT, _drain)
+    echo(
+        f"repro-ced router listening on {address} over "
+        f"{len(config.replicas)} replica(s): {', '.join(config.replicas)}"
+    )
+    try:
+        server.serve_forever(poll_interval=0.1)
+    finally:
+        server.server_close()
+        service.close()
+        totals = service.stats()["requests"]
+        echo(
+            f"router drained: {totals['total']} requests "
+            f"({totals['routed']} routed, {totals['retries']} retries, "
+            f"{totals['failovers']} failovers, {totals['hedges']} hedges, "
+            f"{totals['hedge_wins']} hedge wins)"
+        )
+    return 0

@@ -1,11 +1,19 @@
-"""Tests for address parsing and the query layer (no daemon needed)."""
+"""Tests for address parsing, retry policy and the query layer
+(no daemon needed — server behaviour is faked via monkeypatching)."""
 
 from __future__ import annotations
+
+import random
 
 import pytest
 
 from repro.fsm.benchmarks import UnknownBenchmarkError
-from repro.service.client import ServiceError, parse_address
+from repro.service.client import (
+    RetryPolicy,
+    ServiceClient,
+    ServiceError,
+    parse_address,
+)
 from repro.service.queries import (
     canonical_json,
     normalize_design,
@@ -33,6 +41,158 @@ class TestParseAddress:
     def test_bad_addresses_raise(self, bad):
         with pytest.raises(ValueError):
             parse_address(bad)
+
+    @pytest.mark.parametrize("url", [
+        "http://127.0.0.1:8537",
+        "https://ced.example.com:8537/",
+        "unix+http://tmp/x.sock",
+    ])
+    def test_url_schemes_rejected_not_misparsed(self, url):
+        # Regression: "http://host:port" contains a "/" and used to be
+        # classified as a *unix socket path*, failing much later with a
+        # baffling connect error.  It must be rejected here, loudly.
+        with pytest.raises(ValueError, match="URL schemes are not accepted"):
+            parse_address(url)
+
+    def test_scheme_rejection_suggests_the_bare_address(self):
+        with pytest.raises(ValueError, match=r"'127\.0\.0\.1:8537'"):
+            parse_address("http://127.0.0.1:8537/")
+
+
+class TestRetryPolicy:
+    def test_delay_envelope_doubles_then_caps(self):
+        policy = RetryPolicy(attempts=9, base_delay=0.2, max_delay=2.0)
+        rng = random.Random(7)
+        for attempt, bound in [(0, 0.2), (1, 0.4), (2, 0.8), (3, 1.6),
+                               (4, 2.0), (8, 2.0)]:
+            for _ in range(50):
+                delay = policy.delay(attempt, rng=rng)
+                assert 0 <= delay <= bound
+
+    def test_full_jitter_is_not_constant(self):
+        policy = RetryPolicy()
+        rng = random.Random(7)
+        delays = {policy.delay(3, rng=rng) for _ in range(20)}
+        assert len(delays) > 1
+
+
+class _ScriptedClient(ServiceClient):
+    """A client whose ``call`` plays back a scripted outcome sequence."""
+
+    def __init__(self, outcomes):
+        super().__init__(":1")
+        self.outcomes = list(outcomes)
+        self.calls = 0
+
+    def call(self, kind, **params):
+        self.calls += 1
+        outcome = self.outcomes.pop(0)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+
+class TestCallWithRetry:
+    def setup_method(self):
+        # Zero-delay policy: retry logic without wall-clock cost.
+        self.policy = RetryPolicy(attempts=3, base_delay=0.0, max_delay=0.0)
+
+    def test_busy_then_success_is_absorbed(self):
+        client = _ScriptedClient([
+            ServiceError(429, "busy"), ServiceError(503, "draining"),
+            {"result": 42},
+        ])
+        body = client.call_with_retry("design", {}, policy=self.policy)
+        assert body == {"result": 42}
+        assert client.calls == 3
+
+    def test_unreachable_then_success_is_absorbed(self):
+        client = _ScriptedClient([OSError("refused"), {"result": 1}])
+        assert client.call_with_retry(
+            "design", {}, policy=self.policy
+        ) == {"result": 1}
+
+    def test_budget_exhaustion_reraises_the_last_transient_error(self):
+        client = _ScriptedClient([ServiceError(429, "busy")] * 3)
+        with pytest.raises(ServiceError) as excinfo:
+            client.call_with_retry("design", {}, policy=self.policy)
+        assert excinfo.value.busy
+        assert client.calls == 3
+
+    def test_definitive_errors_do_not_retry(self):
+        client = _ScriptedClient([ServiceError(400, "bad circuit")])
+        with pytest.raises(ServiceError):
+            client.call_with_retry("design", {}, policy=self.policy)
+        assert client.calls == 1
+
+    def test_on_retry_hook_sees_each_backoff(self):
+        client = _ScriptedClient([
+            ServiceError(429, "busy"), OSError("refused"), {"result": 0},
+        ])
+        seen = []
+        client.call_with_retry(
+            "design", {}, policy=self.policy,
+            on_retry=lambda attempt, delay, error: seen.append(
+                (attempt, type(error).__name__)
+            ),
+        )
+        assert seen == [(0, "ServiceError"), (1, "OSError")]
+
+
+class _HealthScriptedClient(ServiceClient):
+    """A client whose GET /healthz plays back scripted responses."""
+
+    def __init__(self, outcomes):
+        super().__init__(":1")
+        self.outcomes = list(outcomes)
+        self.requests = 0
+
+    def request(self, method, path, payload=None):
+        assert (method, path) == ("GET", "/healthz")
+        self.requests += 1
+        outcome = self.outcomes.pop(0)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+
+class TestPing:
+    def test_waits_through_connection_refusals(self):
+        client = _HealthScriptedClient(
+            [OSError("refused")] * 3 + [(200, {"status": "ok"})]
+        )
+        assert client.ping(attempts=10, delay=0) is True
+        assert client.requests == 4
+
+    def test_draining_daemon_is_not_up(self):
+        # Regression: healthz() accepts the 503 draining body, so a ping
+        # built on it reported a *shutting-down* daemon as ready for
+        # work.  Ping must demand a 200.
+        client = _HealthScriptedClient([(503, {"status": "draining"})] * 4)
+        assert client.ping(attempts=4, delay=0) is False
+        assert client.requests == 4  # kept polling (it may come back)
+
+    def test_drain_window_recovery_is_seen(self):
+        # A daemon mid-restart: draining, then gone, then back up.
+        client = _HealthScriptedClient([
+            (503, {"status": "draining"}), OSError("refused"),
+            (200, {"status": "ok"}),
+        ])
+        assert client.ping(attempts=5, delay=0) is True
+
+    def test_definitive_4xx_fails_fast(self):
+        # Regression: pinging something that answers HTTP but is not a
+        # repro-ced daemon burned the full attempts*delay budget.  A 4xx
+        # is definitive — raise immediately with a pointed message.
+        client = _HealthScriptedClient([(404, {"error": "nope"})] * 50)
+        with pytest.raises(ServiceError, match="not a repro-ced daemon"):
+            client.ping(attempts=50, delay=10.0)
+        assert client.requests == 1
+
+    def test_5xx_keeps_polling_then_gives_up(self):
+        client = _HealthScriptedClient([(500, {"error": "boom"})] * 3)
+        assert client.ping(attempts=3, delay=0) is False
+        assert client.requests == 3
 
 
 class TestServiceError:

@@ -44,7 +44,7 @@ def _config(tmp_path, **overrides) -> ServiceConfig:
 
 
 def _instant_worker(payload, degraded):
-    kind, spec, _cache_dir, _cache_enabled, _trace = payload
+    kind, spec, _cache_dir, _cache_enabled, _trace = payload[:5]
     circuit = getattr(spec, "circuit", None) or spec[0]
     return {"value": {"kind": kind, "circuit": circuit, "answer": 42}}
 
@@ -488,6 +488,15 @@ class TestCliDelegation:
         ])
         assert rc == 2
         assert "--verify runs locally" in capsys.readouterr().err
+
+    def test_design_server_url_scheme_is_usage_error(self, capsys):
+        from repro.cli import main
+
+        rc = main(["design", "seqdet", "--server", "http://127.0.0.1:8537"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "URL schemes are not accepted" in err
+        assert "'127.0.0.1:8537'" in err
 
     def test_design_server_unreachable_is_transient_error(self, capsys):
         from repro.cli import main

@@ -1,0 +1,268 @@
+"""Peer artifact cache tests: coordinate validation, the ``/cache/*``
+endpoints, the read-through :class:`PeerCache` layer, and the two-replica
+end-to-end path (a cold replica fetching a warm peer's artifacts instead
+of re-solving).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+
+import pytest
+
+from repro.runtime.cache import open_cache, valid_entry_coords
+from repro.service import (
+    PeerCache,
+    RunningService,
+    ServiceClient,
+    ServiceConfig,
+    peer_cache_for,
+)
+
+SEMANTIC_KEY = hashlib.sha256(b"entry-1").hexdigest()
+OTHER_KEY = hashlib.sha256(b"entry-2").hexdigest()
+
+
+def _config(tmp_path, name="cache", **overrides) -> ServiceConfig:
+    defaults = dict(
+        port=0,
+        workers=0,
+        hot_cache_size=8,
+        queue_limit=4,
+        cache_dir=str(tmp_path / name),
+    )
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+def _result_bytes(raw: bytes) -> bytes:
+    prefix, sep, rest = raw.partition(b'"result":')
+    assert sep, raw
+    return rest
+
+
+class TestCoordValidation:
+    @pytest.mark.parametrize("stage,key", [
+        ("solve", SEMANTIC_KEY),
+        ("tables-state", OTHER_KEY),
+        ("a" * 64, SEMANTIC_KEY),
+    ])
+    def test_good_coords(self, stage, key):
+        assert valid_entry_coords(stage, key)
+
+    @pytest.mark.parametrize("stage,key", [
+        ("../../../etc", SEMANTIC_KEY),       # traversal in the stage
+        ("solve", "../" + SEMANTIC_KEY[3:]),  # traversal in the key
+        ("solve", SEMANTIC_KEY[:-1]),         # 63 hex chars
+        ("solve", SEMANTIC_KEY + "a"),        # 65 hex chars
+        ("solve", SEMANTIC_KEY[:-1] + "G"),   # not hex
+        ("Solve", SEMANTIC_KEY),              # uppercase stage
+        ("", SEMANTIC_KEY),
+        ("a" * 65, SEMANTIC_KEY),             # stage too long
+        ("sol ve", SEMANTIC_KEY),
+    ])
+    def test_bad_coords(self, stage, key):
+        assert not valid_entry_coords(stage, key)
+
+
+class TestCacheEndpoints:
+    def test_present_entry_served_as_raw_pickle(self, tmp_path):
+        config = _config(tmp_path)
+        with RunningService(config) as run:
+            # Entries land on disk whenever workers write them; the
+            # daemon's serving handle reads the same directory live.
+            open_cache(config.cache_dir).put(
+                "solve", SEMANTIC_KEY, {"answer": 42}
+            )
+            status, payload = ServiceClient(run.address).request_raw(
+                "GET", f"/cache/solve/{SEMANTIC_KEY}"
+            )
+            assert status == 200
+            assert pickle.loads(payload) == {"answer": 42}
+
+    def test_absent_entry_is_404(self, tmp_path):
+        with RunningService(_config(tmp_path)) as run:
+            status, _ = ServiceClient(run.address).request_raw(
+                "GET", f"/cache/solve/{SEMANTIC_KEY}"
+            )
+            assert status == 404
+
+    @pytest.mark.parametrize("path", [
+        "/cache/solve",                      # too few parts
+        "/cache/a/b/c",                      # too many parts
+        "/cache/../journal.jsonl",
+        f"/cache/..%2F..%2Fetc/{SEMANTIC_KEY}",
+        f"/cache/Solve/{SEMANTIC_KEY}",      # invalid stage spelling
+        f"/cache/solve/{SEMANTIC_KEY[:-1]}",  # malformed key
+    ])
+    def test_bad_paths_are_404_never_file_reads(self, tmp_path, path):
+        with RunningService(_config(tmp_path)) as run:
+            status, _ = ServiceClient(run.address).request_raw("GET", path)
+            assert status == 404
+
+    def test_cacheless_daemon_serves_nothing(self, tmp_path):
+        with RunningService(_config(tmp_path, cache=False)) as run:
+            status, _ = ServiceClient(run.address).request_raw(
+                "GET", f"/cache/solve/{SEMANTIC_KEY}"
+            )
+            assert status == 404
+
+    def test_peer_registration_roundtrip(self, tmp_path):
+        with RunningService(_config(tmp_path)) as run:
+            client = ServiceClient(run.address)
+            status, body = client.request("GET", "/cache/peers")
+            assert (status, body) == (200, {"peers": []})
+            status, body = client.request(
+                "POST", "/cache/peer",
+                {"peers": ["127.0.0.1:9001", "unix:/tmp/peer.sock"]},
+            )
+            assert status == 200
+            assert body["peers"] == ["127.0.0.1:9001", "unix:/tmp/peer.sock"]
+            # Duplicates are dropped, the set accumulates.
+            status, body = client.request(
+                "POST", "/cache/peer",
+                {"peers": ["127.0.0.1:9001", ":9002"]},
+            )
+            assert body["peers"] == [
+                "127.0.0.1:9001", "unix:/tmp/peer.sock", ":9002"
+            ]
+
+    @pytest.mark.parametrize("bad", [
+        {"peers": "127.0.0.1:9001"},      # not a list
+        {"peers": [123]},                 # not strings
+        {"peers": ["http://h:1"]},        # URL scheme
+        {"peers": ["not-an-address"]},
+    ])
+    def test_bad_peer_registrations_are_400(self, tmp_path, bad):
+        with RunningService(_config(tmp_path)) as run:
+            status, body = ServiceClient(run.address).request(
+                "POST", "/cache/peer", bad
+            )
+            assert status == 400
+            assert "error" in body
+
+
+class TestPeerCache:
+    """Unit tests against one warm daemon serving a seeded cache."""
+
+    def _warm(self, tmp_path):
+        config = _config(tmp_path, name="warm")
+        warm_disk = open_cache(config.cache_dir)
+        warm_disk.put("solve", SEMANTIC_KEY, {"betas": [3, 5]})
+        return config, warm_disk
+
+    def test_read_through_fetch_lands_in_the_local_cache(self, tmp_path):
+        config, _ = self._warm(tmp_path)
+        with RunningService(config) as warm:
+            cold = open_cache(str(tmp_path / "cold"))
+            peered = PeerCache(cold, (warm.address,))
+            found, value = peered.get("solve", SEMANTIC_KEY)
+            assert (found, value) == (True, {"betas": [3, 5]})
+            stats = peered.peer_stats()
+            assert stats.hits == 1 and stats.fetched_bytes > 0
+        # The entry is now local disk truth: no daemon, still a hit.
+        assert cold.get("solve", SEMANTIC_KEY) == (True, {"betas": [3, 5]})
+
+    def test_fetched_entry_bytes_are_identical_to_the_peers(self, tmp_path):
+        config, warm_disk = self._warm(tmp_path)
+        with RunningService(config) as warm:
+            cold = open_cache(str(tmp_path / "cold"))
+            PeerCache(cold, (warm.address,)).get("solve", SEMANTIC_KEY)
+        assert cold.read_entry_bytes("solve", SEMANTIC_KEY) == \
+            warm_disk.read_entry_bytes("solve", SEMANTIC_KEY)
+
+    def test_negative_cooldown_suppresses_repeat_lookups(self, tmp_path):
+        config, _ = self._warm(tmp_path)
+        with RunningService(config) as warm:
+            cold = open_cache(str(tmp_path / "cold"))
+            peered = PeerCache(cold, (warm.address,), negative_ttl=60.0)
+            assert peered.get("solve", OTHER_KEY) == (False, None)
+            assert peered.get("solve", OTHER_KEY) == (False, None)
+            stats = peered.peer_stats()
+            assert stats.misses == 1  # one real round of peer lookups
+            assert stats.cooldown_skips == 1  # second was remembered
+            served = ServiceClient(warm.address).stats()["peer_cache"]
+            assert served["serve_misses"] == 1  # one HTTP round-trip only
+
+    def test_zero_ttl_disables_the_cooldown(self, tmp_path):
+        config, _ = self._warm(tmp_path)
+        with RunningService(config) as warm:
+            peered = PeerCache(
+                open_cache(str(tmp_path / "cold")), (warm.address,),
+                negative_ttl=0.0,
+            )
+            peered.get("solve", OTHER_KEY)
+            peered.get("solve", OTHER_KEY)
+            stats = peered.peer_stats()
+            assert stats.misses == 2 and stats.cooldown_skips == 0
+
+    def test_unreachable_peer_degrades_to_a_miss(self, tmp_path):
+        peered = PeerCache(
+            open_cache(str(tmp_path / "cold")),
+            ("127.0.0.1:1",),  # nothing listens there
+            timeout=0.5,
+        )
+        assert peered.get("solve", SEMANTIC_KEY) == (False, None)
+        assert peered.peer_stats().errors == 1
+
+    def test_corrupt_transfer_degrades_to_a_miss(self, tmp_path):
+        config, warm_disk = self._warm(tmp_path)
+        warm_disk.write_entry_bytes("solve", OTHER_KEY, b"not a pickle")
+        with RunningService(config) as warm:
+            cold = open_cache(str(tmp_path / "cold"))
+            peered = PeerCache(cold, (warm.address,))
+            assert peered.get("solve", OTHER_KEY) == (False, None)
+            assert peered.peer_stats().errors == 1
+        assert cold.get("solve", OTHER_KEY)[0] is False
+
+    def test_local_hit_never_asks_peers(self, tmp_path):
+        cold = open_cache(str(tmp_path / "cold"))
+        cold.put("solve", SEMANTIC_KEY, "local")
+        # A peer address that would explode if contacted: no listener,
+        # and zero errors recorded proves no contact was attempted.
+        peered = PeerCache(cold, ("127.0.0.1:1",), timeout=0.5)
+        assert peered.get("solve", SEMANTIC_KEY) == (True, "local")
+        stats = peered.peer_stats()
+        assert stats.hits == 0 and stats.errors == 0
+
+    def test_peer_cache_for_falls_through_without_peers(self, tmp_path):
+        base = open_cache(str(tmp_path / "cold"))
+        assert peer_cache_for(base, ()) is base
+        wrapped = peer_cache_for(base, ("127.0.0.1:9001",))
+        assert isinstance(wrapped, PeerCache)
+        # Memoized: same base + same peer set -> same instance, so the
+        # negative cooldown survives across requests in a pool worker.
+        assert peer_cache_for(base, ("127.0.0.1:9001",)) is wrapped
+
+    def test_null_cache_is_never_wrapped(self):
+        from repro.runtime.cache import NullCache
+
+        base = NullCache()
+        assert peer_cache_for(base, ("127.0.0.1:9001",)) is base
+
+
+@pytest.mark.slow
+class TestEndToEndPeering:
+    def test_cold_replica_fetches_instead_of_resolving(self, tmp_path):
+        """Replica A computes; replica B answers the same query by
+        pulling A's artifacts over the peer protocol — byte-identically
+        and with measured peer hits."""
+        with RunningService(_config(tmp_path, name="a")) as a, \
+                RunningService(_config(tmp_path, name="b")) as b:
+            ServiceClient(b.address).request(
+                "POST", "/cache/peer", {"peers": [a.address]}
+            )
+            params = {"circuit": "seqdet", "max_faults": 64}
+            _, raw_a = ServiceClient(a.address).request_raw(
+                "POST", "/design", params
+            )
+            _, raw_b = ServiceClient(b.address).request_raw(
+                "POST", "/design", params
+            )
+            assert _result_bytes(raw_a) == _result_bytes(raw_b)
+            peer_b = ServiceClient(b.address).stats()["peer_cache"]
+            assert peer_b["hits"] > 0
+            assert peer_b["fetched_bytes"] > 0
+            served_a = ServiceClient(a.address).stats()["peer_cache"]
+            assert served_a["served"] == peer_b["hits"]

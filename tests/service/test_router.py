@@ -1,0 +1,446 @@
+"""Router tests: rendezvous placement, byte-identity across serving
+paths, health-checked failover, busy-retry absorption and hedged
+re-dispatch (first-response-wins).
+
+Placement is deterministic (rendezvous hashing of the request
+fingerprint), so tests compute the ranking up front and arrange the
+scenario — gate the primary, kill the primary, saturate the fleet —
+instead of hoping the right replica is picked.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.service import (
+    RouterConfig,
+    RunningRouter,
+    RunningService,
+    ServiceClient,
+    ServiceConfig,
+)
+from repro.service.client import RetryPolicy
+from repro.service.queries import normalize_design, query_key
+from repro.service.router import RouterService
+
+
+def _config(tmp_path, name, **overrides) -> ServiceConfig:
+    defaults = dict(
+        port=0,
+        workers=0,
+        hot_cache_size=8,
+        queue_limit=4,
+        cache_dir=str(tmp_path / name),
+    )
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+def _router_config(*replicas, **overrides) -> RouterConfig:
+    defaults = dict(
+        port=0,
+        replicas=tuple(replicas),
+        retry=RetryPolicy(attempts=4, base_delay=0.02, max_delay=0.1),
+        health_interval=30.0,  # tests probe explicitly, not on a timer
+        hedge=False,
+    )
+    defaults.update(overrides)
+    return RouterConfig(**defaults)
+
+
+def _instant_worker(payload, degraded):
+    kind, spec, _cache_dir, _cache_enabled, _trace = payload[:5]
+    circuit = getattr(spec, "circuit", None) or spec[0]
+    return {"value": {"kind": kind, "circuit": circuit, "answer": 42}}
+
+
+def _result_bytes(raw: bytes) -> bytes:
+    prefix, sep, rest = raw.partition(b'"result":')
+    assert sep, raw
+    return rest
+
+
+def _design_key(params: dict) -> str:
+    return query_key("design", normalize_design(params))
+
+
+def _wait_until(predicate, timeout: float = 10.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return bool(predicate())
+
+
+class TestPlacement:
+    def test_ranking_is_deterministic_and_key_dependent(self, tmp_path):
+        service = RouterService(_router_config(":1", ":2", ":3"))
+        key_a = _design_key({"circuit": "seqdet"})
+        key_b = _design_key({"circuit": "traffic"})
+        rank_a = [r.address for r in service._rank(key_a)]
+        assert rank_a == [r.address for r in service._rank(key_a)]
+        assert sorted(rank_a) == [":1", ":2", ":3"]
+        ranks = {
+            tuple(r.address for r in service._rank(_design_key(
+                {"circuit": "seqdet", "seed": seed}
+            )))
+            for seed in range(20)
+        }
+        assert len(ranks) > 1, "every key routed identically"
+        assert [r.address for r in service._rank(key_b)]  # smoke
+
+    def test_rejects_empty_replica_set(self):
+        with pytest.raises(ValueError, match="at least one"):
+            RouterService(RouterConfig(replicas=()))
+
+    def test_rejects_malformed_replica_address(self):
+        with pytest.raises(ValueError):
+            RouterService(_router_config("http://127.0.0.1:1"))
+
+
+class TestRouting:
+    def test_invalid_requests_die_at_the_router(self, tmp_path):
+        with RunningService(
+            _config(tmp_path, "a"), worker=_instant_worker
+        ) as a:
+            with RunningRouter(_router_config(a.address)) as router:
+                client = ServiceClient(router.address)
+                status, body = client.request(
+                    "POST", "/design", {"circuit": "seqdet", "latencey": 2}
+                )
+                assert status == 400 and "unknown field" in body["error"]
+                status, _ = client.request("POST", "/nonsense", {})
+                assert status == 404
+                status, body = client.request("POST", "/design", {})
+                assert status == 400
+            # The replica never saw any of it.
+            assert ServiceClient(a.address).stats()["requests"]["total"] == 0
+
+    def test_healthz_reflects_replica_states(self, tmp_path):
+        with RunningService(
+            _config(tmp_path, "a"), worker=_instant_worker
+        ) as a:
+            config = _router_config(a.address, ":1")
+            with RunningRouter(config) as router:
+                router.service.probe_replicas()
+                health = ServiceClient(router.address).healthz()
+                assert health["status"] == "ok"
+                assert health["replicas"][a.address] == "ok"
+                assert health["replicas"][":1"] == "down"
+                assert health["replicas_up"] == 1
+
+    def test_all_replicas_down_is_503(self):
+        config = _router_config(":1")
+        service = RouterService(config)
+        service.probe_replicas()
+        health = service.healthz()
+        assert health["status"] == "no-healthy-replicas"
+
+    def test_draining_replica_drops_out_of_rotation(self, tmp_path):
+        with RunningService(
+            _config(tmp_path, "a"), worker=_instant_worker
+        ) as a, RunningService(
+            _config(tmp_path, "b"), worker=_instant_worker
+        ) as b:
+            service = RouterService(_router_config(a.address, b.address))
+            a.service.begin_drain()
+            service.probe_replicas()
+            status, raw = service.handle_query(
+                "design", {"circuit": "seqdet"}
+            )
+            assert status == 200
+            stats = service.stats()
+            by_addr = {r["address"]: r for r in stats["replicas"]}
+            assert by_addr[a.address]["draining"] is True
+            assert by_addr[a.address]["dispatched"] == 0
+            assert by_addr[b.address]["ok"] == 1
+
+
+class TestByteIdentity:
+    @pytest.mark.slow
+    def test_cold_peer_and_hot_paths_are_byte_identical(self, tmp_path):
+        """The tentpole invariant: router->A (cold solve), router->B
+        (artifacts peer-fetched from A) and a direct hot replica answer
+        all carry byte-identical ``result`` members."""
+        with RunningService(_config(tmp_path, "a")) as a, \
+                RunningService(_config(tmp_path, "b")) as b:
+            for target, peer in ((a, b), (b, a)):
+                ServiceClient(target.address).request(
+                    "POST", "/cache/peer", {"peers": [peer.address]}
+                )
+            params = {"circuit": "seqdet", "max_faults": 64}
+            with RunningRouter(
+                _router_config(a.address, b.address)
+            ) as router:
+                client = ServiceClient(router.address)
+                _, cold = client.request_raw("POST", "/design", params)
+                # Force the same query through the *other* replica: it
+                # peer-fetches A's artifacts instead of re-solving.
+                primary = router.service._rank(_design_key(params))[0]
+                other = b if primary.address == a.address else a
+                _, peered = ServiceClient(other.address).request_raw(
+                    "POST", "/design", params
+                )
+                # And through the router again: hot-cache serving.
+                _, hot = client.request_raw("POST", "/design", params)
+            assert _result_bytes(cold) == _result_bytes(peered)
+            assert _result_bytes(cold) == _result_bytes(hot)
+            peer_stats = ServiceClient(other.address).stats()["peer_cache"]
+            assert peer_stats["hits"] > 0
+
+
+class TestFailover:
+    def test_dead_primary_fails_over_to_the_survivor(self, tmp_path):
+        params = {"circuit": "seqdet"}
+        key = _design_key(params)
+        with RunningService(
+            _config(tmp_path, "a"), worker=_instant_worker
+        ) as a, RunningService(
+            _config(tmp_path, "b"), worker=_instant_worker
+        ) as b:
+            service = RouterService(_router_config(a.address, b.address))
+            primary = service._rank(key)[0]
+            victim = a if primary.address == a.address else b
+            survivor = b if victim is a else a
+            victim.stop()
+            status, raw = service.handle_query("design", params)
+            assert status == 200
+            assert b'"answer":42' in raw
+            stats = service.stats()
+            assert stats["requests"]["failovers"] == 1
+            by_addr = {r["address"]: r for r in stats["replicas"]}
+            assert by_addr[victim.address]["healthy"] is False
+            assert by_addr[victim.address]["connect_failures"] == 1
+            assert by_addr[survivor.address]["ok"] == 1
+            # Follow-up requests skip the dead replica outright.
+            status, _ = service.handle_query("design", params)
+            assert status == 200
+            assert service.stats()["requests"]["failovers"] == 1
+
+    def test_whole_fleet_down_surfaces_as_503(self):
+        service = RouterService(_router_config(":1", retry=RetryPolicy(
+            attempts=2, base_delay=0.0, max_delay=0.0
+        )))
+        status, raw = service.handle_query("design", {"circuit": "seqdet"})
+        assert status == 503
+        assert b"unreachable" in raw
+        assert service.stats()["requests"]["retry_exhausted"] == 1
+
+
+class TestBusyRetry:
+    def test_transient_429_is_absorbed_by_backoff(self, tmp_path):
+        """A saturated replica answers 429; the router retries with
+        jittered backoff and succeeds once the slot frees — the client
+        never sees the 429."""
+        gate = threading.Event()
+        entered = threading.Event()
+
+        def gated_worker(payload, degraded):
+            entered.set()
+            assert gate.wait(timeout=30)
+            return _instant_worker(payload, degraded)
+
+        config = _config(tmp_path, "a", queue_limit=1)
+        with RunningService(config, worker=gated_worker) as a:
+            service = RouterService(_router_config(
+                a.address,
+                retry=RetryPolicy(attempts=8, base_delay=0.05,
+                                  max_delay=0.5),
+            ))
+            blocker = threading.Thread(
+                target=ServiceClient(a.address, timeout=60).design,
+                kwargs={"circuit": "traffic"},
+                daemon=True,
+            )
+            blocker.start()
+            assert entered.wait(timeout=10)
+
+            def free_after_first_429():
+                stats = a.service.stats
+                assert _wait_until(
+                    lambda: stats()["requests"]["busy_rejections"] >= 1
+                )
+                gate.set()
+
+            threading.Thread(target=free_after_first_429,
+                             daemon=True).start()
+            status, raw = service.handle_query(
+                "design", {"circuit": "seqdet"}
+            )
+            blocker.join(timeout=30)
+            assert status == 200
+            assert b'"answer":42' in raw
+            assert service.stats()["requests"]["retries"] >= 1
+
+    def test_sustained_saturation_passes_the_429_through(self, tmp_path):
+        gate = threading.Event()
+        entered = threading.Event()
+
+        def gated_worker(payload, degraded):
+            entered.set()
+            assert gate.wait(timeout=30)
+            return _instant_worker(payload, degraded)
+
+        config = _config(tmp_path, "a", queue_limit=1)
+        try:
+            with RunningService(config, worker=gated_worker) as a:
+                service = RouterService(_router_config(
+                    a.address,
+                    retry=RetryPolicy(
+                        attempts=2, base_delay=0.0, max_delay=0.0
+                    ),
+                ))
+                blocker = threading.Thread(
+                    target=ServiceClient(a.address, timeout=60).design,
+                    kwargs={"circuit": "traffic"},
+                    daemon=True,
+                )
+                blocker.start()
+                assert entered.wait(timeout=10)
+                status, raw = service.handle_query(
+                    "design", {"circuit": "seqdet"}
+                )
+                assert status == 429
+                assert b"busy" in raw
+                assert service.stats()["requests"]["retry_exhausted"] == 1
+                gate.set()
+                blocker.join(timeout=30)
+        finally:
+            gate.set()
+
+
+class TestHedging:
+    def test_straggler_is_hedged_and_first_response_wins(self, tmp_path):
+        """The primary stalls past the hedge deadline; the router
+        re-dispatches to the backup and serves its (byte-identical)
+        answer, recording the hedge win.  The stalled leg's eventual
+        response is discarded."""
+        params = {"circuit": "seqdet"}
+        gate = threading.Event()
+        stall = {"a": False, "b": False}
+
+        def make_worker(name):
+            def worker(payload, degraded):
+                if stall[name]:
+                    assert gate.wait(timeout=30)
+                return _instant_worker(payload, degraded)
+            return worker
+
+        try:
+            with RunningService(
+                _config(tmp_path, "a"), worker=make_worker("a")
+            ) as a, RunningService(
+                _config(tmp_path, "b"), worker=make_worker("b")
+            ) as b:
+                service = RouterService(_router_config(
+                    a.address, b.address,
+                    hedge=True, hedge_min_samples=0, hedge_floor=0.05,
+                ))
+                primary = service._rank(_design_key(params))[0]
+                stall["a" if primary.address == a.address else "b"] = True
+                status, raw = service.handle_query("design", params)
+                assert status == 200
+                assert b'"answer":42' in raw
+                stats = service.stats()
+                assert stats["requests"]["hedges"] == 1
+                assert stats["requests"]["hedge_wins"] == 1
+                backup = (
+                    b if primary.address == a.address else a
+                ).address
+                by_addr = {r["address"]: r for r in stats["replicas"]}
+                assert by_addr[backup]["hedge_wins"] == 1
+                assert by_addr[primary.address]["hedge_wins"] == 0
+                gate.set()  # let the stalled leg finish and be discarded
+        finally:
+            gate.set()
+
+    def test_fast_primary_is_never_hedged(self, tmp_path):
+        with RunningService(
+            _config(tmp_path, "a"), worker=_instant_worker
+        ) as a, RunningService(
+            _config(tmp_path, "b"), worker=_instant_worker
+        ) as b:
+            service = RouterService(_router_config(
+                a.address, b.address,
+                hedge=True, hedge_min_samples=0, hedge_floor=5.0,
+            ))
+            for seed in range(3):
+                status, _ = service.handle_query(
+                    "design", {"circuit": "seqdet", "seed": seed}
+                )
+                assert status == 200
+            assert service.stats()["requests"]["hedges"] == 0
+
+    def test_single_replica_never_hedges(self, tmp_path):
+        with RunningService(
+            _config(tmp_path, "a"), worker=_instant_worker
+        ) as a:
+            service = RouterService(_router_config(
+                a.address, hedge=True, hedge_min_samples=0,
+                hedge_floor=0.0,
+            ))
+            status, _ = service.handle_query("design", {"circuit": "seqdet"})
+            assert status == 200
+            assert service.stats()["requests"]["hedges"] == 0
+
+
+class TestJournal:
+    def test_dispatch_and_hedge_events_land_in_the_journal(self, tmp_path):
+        from repro.runtime.trace import read_journal
+
+        journal = tmp_path / "route.jsonl"
+        gate = threading.Event()
+        stall = {"a": False, "b": False}
+
+        def make_worker(name):
+            def worker(payload, degraded):
+                if stall[name]:
+                    assert gate.wait(timeout=30)
+                return _instant_worker(payload, degraded)
+            return worker
+
+        try:
+            with RunningService(
+                _config(tmp_path, "a"), worker=make_worker("a")
+            ) as a, RunningService(
+                _config(tmp_path, "b"), worker=make_worker("b")
+            ) as b:
+                service = RouterService(_router_config(
+                    a.address, b.address,
+                    hedge=True, hedge_min_samples=0, hedge_floor=0.05,
+                    journal_path=str(journal),
+                ))
+                service.start()
+                primary = service._rank(
+                    _design_key({"circuit": "seqdet"})
+                )[0]
+                stall["a" if primary.address == a.address else "b"] = True
+                status, _ = service.handle_query(
+                    "design", {"circuit": "seqdet"}
+                )
+                assert status == 200
+                gate.set()
+                # The discarded leg journals its outcome too — wait for
+                # it (write() flushes per record) before closing.
+                assert _wait_until(
+                    lambda: journal.read_text().count("route.dispatch")
+                    >= 2
+                )
+                a.stop(), b.stop()
+                service.close()
+        finally:
+            gate.set()
+        records = read_journal(journal)
+        names = [r.get("name") for r in records if r["type"] == "event"]
+        assert "route.hedge" in names
+        assert names.count("route.dispatch") == 2  # both legs reported
+        summary = [r for r in records if r["type"] == "summary"]
+        assert summary and summary[0]["requests"]["hedges"] == 1
+        hedge = next(r for r in records if r.get("name") == "route.hedge")
+        assert set(hedge["attrs"]) == {
+            "kind", "key", "primary", "hedge", "deadline_ms"
+        }
