@@ -10,10 +10,15 @@ Measures, per benchmark circuit:
 - **end to end** — ``design_ced_sweep`` on a cold artifact cache vs the
   same sweep re-run warm against the cache the cold run populated.
 
+- **collapse** — the behavior-exact fault-collapsing funnel (universe →
+  structural equivalence → signature classes) per circuit, and the cold
+  tables-stage time checking one representative per class vs the
+  uncollapsed universe and the structural-only list.
+
 Results are merged into ``BENCH_sim.json`` next to the fault-simulation
 series (``bench_sim.py`` owns the top-level ``results`` list; this script
-owns the ``tables`` and ``end_to_end`` sections and leaves the rest of
-the file untouched).
+owns the ``tables``, ``end_to_end`` and ``collapse`` sections and leaves
+the rest of the file untouched).
 
 Run from the repo root:
 
@@ -34,6 +39,7 @@ from repro.core.detectability import (
     new_extraction_state,
     tables_from_state,
 )
+from repro.faults.collapse import select_stuck_at_faults
 from repro.faults.model import StuckAtModel
 from repro.flow import design_ced_sweep
 from repro.fsm.benchmarks import load_benchmark
@@ -44,6 +50,10 @@ CIRCUITS = ("s27", "dk512", "s386")
 LATENCIES = (1, 2, 4)
 MAX_FAULTS = 800
 REPEATS = 3
+
+#: Ratio sweep for the collapse funnel (timing only on CIRCUITS).
+COLLAPSE_CIRCUITS = ("s27", "dk512", "s386", "keyb", "styr", "s1488")
+COLLAPSE_LATENCIES = (1, 2)
 
 
 def _best_of(function, repeats: int = REPEATS) -> float:
@@ -102,6 +112,56 @@ def bench_tables_stage(name: str) -> dict:
     }
 
 
+def bench_collapse(name: str) -> dict:
+    """The collapsing funnel, plus cold tables time per fault-list tier."""
+    synthesis = synthesize_fsm(load_benchmark(name))
+    start = time.perf_counter()
+    selection = select_stuck_at_faults(synthesis)
+    collapse_time = time.perf_counter() - start
+    result = {
+        "circuit": name,
+        "universe": selection.universe,
+        "structural": selection.structural,
+        "classes": selection.num_classes,
+        "signature_patterns": selection.signature_patterns,
+        "collapse_ms": round(collapse_time * 1e3, 2),
+        "reduction_vs_universe": round(
+            1 - selection.num_classes / selection.universe, 4
+        ),
+        "reduction_vs_structural": round(
+            1 - selection.num_classes / selection.structural, 4
+        ),
+    }
+    if name not in CIRCUITS:
+        return result
+    config = TableConfig(latency=max(COLLAPSE_LATENCIES), semantics="checker")
+    latencies = list(COLLAPSE_LATENCIES)
+    tiers = {
+        "universe": {"collapse": False},
+        "structural": {"signature_collapse": False},
+        "classes": {},
+    }
+    timings = {}
+    for tier, knobs in tiers.items():
+        # Fresh model per run: the cold path includes the collapse itself.
+        timings[tier] = _best_of(
+            lambda: extract_tables(
+                synthesis,
+                StuckAtModel(synthesis, max_faults=None, **knobs),
+                config,
+                latencies,
+            )
+        )
+        result[f"tables_cold_{tier}_ms"] = round(timings[tier] * 1e3, 2)
+    result["tables_speedup_vs_universe"] = round(
+        timings["universe"] / timings["classes"], 2
+    )
+    result["tables_speedup_vs_structural"] = round(
+        timings["structural"] / timings["classes"], 2
+    )
+    return result
+
+
 def bench_end_to_end(name: str) -> dict:
     with tempfile.TemporaryDirectory() as scratch:
         cache = ArtifactCache(Path(scratch) / "bench-cache")
@@ -136,6 +196,18 @@ def main() -> None:
             "pools frontier rows without re-enumerating suffixes)."
         ),
         "results": [bench_tables_stage(name) for name in CIRCUITS],
+    }
+    payload["collapse"] = {
+        "description": (
+            "Behavior-exact fault collapsing: universe -> structural "
+            "equivalence -> functional signature classes (one simulated "
+            "representative per class, multiplicity-expanded downstream). "
+            "tables_cold_*_ms times the cold tables stage (including the "
+            "collapse itself) checking each fault-list tier; speedups "
+            "compare the class list against the universe and the "
+            "structural-only list."
+        ),
+        "results": [bench_collapse(name) for name in COLLAPSE_CIRCUITS],
     }
     payload["end_to_end"] = {
         "description": (

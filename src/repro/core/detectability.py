@@ -106,6 +106,10 @@ class TableStats:
     semantics: str
     num_reachable_states: int
     truncated: bool
+    #: Universe faults the extracted fault list stands for (sum of the
+    #: fault model's behavior-equivalence class multiplicities; equals
+    #: ``num_faults`` for models without class collapsing).
+    num_universe_faults: int = 0
 
 
 @dataclass
@@ -344,7 +348,8 @@ def reachable_state_codes(
 
 #: Bump when the pickled state layout changes (the cache salt already
 #: covers released schema changes; this guards same-version skew).
-STATE_SCHEMA = 1
+#: Revision 2: states record the fault model's class multiplicities.
+STATE_SCHEMA = 2
 
 
 @dataclass(frozen=True)
@@ -405,6 +410,9 @@ class ExtractionState:
     reachable: list[int]
     fault_names: tuple[str, ...]
     frontiers: list[ExtractionFrontier]
+    #: Behavior-equivalence class size per fault (aligned with
+    #: ``fault_names``); all ones for models without class collapsing.
+    fault_multiplicities: tuple[int, ...] = ()
     latencies: set[int] = field(default_factory=set)
     schema: int = STATE_SCHEMA
 
@@ -463,7 +471,21 @@ def new_extraction_state(
         frontiers=[
             ExtractionFrontier(fault_name=fault.name) for fault in faults
         ],
+        fault_multiplicities=_fault_multiplicities(fault_model, len(faults)),
     )
+
+
+def _fault_multiplicities(fault_model: FaultModel, count: int) -> tuple[int, ...]:
+    """Per-fault class sizes from the model, or all ones if it has none."""
+    getter = getattr(fault_model, "fault_multiplicities", None)
+    if getter is None:
+        return (1,) * count
+    multiplicities = tuple(int(m) for m in getter())
+    if len(multiplicities) != count:  # pragma: no cover - defensive
+        raise ValueError(
+            "fault model returned multiplicities misaligned with its faults"
+        )
+    return multiplicities
 
 
 def extend_extraction_state(
@@ -553,6 +575,11 @@ def tables_from_state(
             for row, length in zip(rows.tolist(), lengths):
                 target.add(frozenset(row[:length]))
     num_activations = sum(f.activations for f in state.frontiers)
+    num_universe_faults = (
+        sum(state.fault_multiplicities)
+        if state.fault_multiplicities
+        else len(state.frontiers)
+    )
 
     tables: dict[int, DetectabilityTable] = {}
     for p in latencies:
@@ -585,6 +612,7 @@ def tables_from_state(
             semantics=config.semantics,
             num_reachable_states=len(state.reachable),
             truncated=table_truncated,
+            num_universe_faults=num_universe_faults,
         )
         tables[p] = DetectabilityTable(
             num_bits=state.num_bits, latency=p, rows=rows, stats=stats
@@ -611,6 +639,7 @@ def tables_from_state(
             fsm=state.fsm_name,
             semantics=config.semantics,
             faults=len(state.frontiers),
+            universe_faults=num_universe_faults,
             activations=num_activations,
             reachable_states=len(state.reachable),
             alphabet=int(state.alphabet.shape[0]),

@@ -8,7 +8,15 @@ and :mod:`repro.faults.model` ships both the stuck-at universe and a
 specification-level transition-fault model as a second instance.
 """
 
-from repro.faults.collapse import collapse_faults
+from repro.faults.collapse import (
+    CollapseReport,
+    FaultClass,
+    FaultSelection,
+    SignatureEngine,
+    collapse_classes,
+    collapse_faults,
+    select_stuck_at_faults,
+)
 from repro.faults.model import (
     Fault,
     FaultModel,
@@ -19,13 +27,19 @@ from repro.faults.model import (
 from repro.faults.simulator import FaultSimResult, detected_faults, fault_coverage
 
 __all__ = [
+    "CollapseReport",
     "Fault",
+    "FaultClass",
     "FaultModel",
+    "FaultSelection",
     "FaultSimResult",
+    "SignatureEngine",
     "StuckAtModel",
     "TransitionFaultModel",
+    "collapse_classes",
     "collapse_faults",
     "detected_faults",
     "fault_coverage",
+    "select_stuck_at_faults",
     "stuck_at_universe",
 ]

@@ -90,9 +90,16 @@ def _node_label(netlist: Netlist, node: int) -> str:
 class StuckAtModel:
     """Single stuck-at faults on a synthesized FSM's netlist.
 
-    ``max_faults`` (optional) deterministically subsamples the collapsed
-    universe — necessary on the largest benchmarks where the full universe
-    is several thousand faults.  The sample is seeded and recorded.
+    Selection is delegated to
+    :func:`repro.faults.collapse.select_stuck_at_faults` — the one shared
+    recipe (universe → structural collapse → signature classes → seeded
+    subsample) the exhaustive verifier uses too.  ``faults()`` returns one
+    representative per behavior-equivalence class;
+    :meth:`fault_multiplicities` gives the aligned class sizes that expand
+    per-representative results back to the full universe.  ``max_faults``
+    (optional) deterministically subsamples the collapsed classes —
+    necessary on the largest benchmarks where the full universe is several
+    thousand faults.  The sample is seeded and recorded.
     """
 
     synthesis: SynthesisResult
@@ -100,18 +107,45 @@ class StuckAtModel:
     collapse: bool = True
     max_faults: int | None = None
     seed: int = 2004
+    #: Apply the functional signature-class pass on top of the structural
+    #: rules (only meaningful when ``collapse`` is on).
+    signature_collapse: bool = True
+
+    def selection(self):
+        """The full :class:`repro.faults.collapse.FaultSelection` (cached).
+
+        Selection involves a whole-universe packed simulation sweep, so it
+        is computed once per model instance and reused by every
+        ``faults()`` call (table extraction and verification both call
+        repeatedly).
+        """
+        cached = self.__dict__.get("_selection")
+        if cached is None:
+            from repro.faults.collapse import select_stuck_at_faults
+
+            cached = select_stuck_at_faults(
+                self.synthesis,
+                include_inputs=self.include_inputs,
+                collapse=self.collapse,
+                signature=self.collapse and self.signature_collapse,
+                max_faults=self.max_faults,
+                seed=self.seed,
+            )
+            self.__dict__["_selection"] = cached
+        return cached
 
     def faults(self) -> list[Fault]:
-        from repro.faults.collapse import collapse_faults
+        return list(self.selection().checked)
 
-        universe = stuck_at_universe(self.synthesis.netlist, self.include_inputs)
-        if self.collapse:
-            universe = collapse_faults(self.synthesis.netlist, universe)
-        if self.max_faults is not None and len(universe) > self.max_faults:
-            rng = rng_for(self.seed, "stuck-at-sample", self.synthesis.fsm.name)
-            chosen = rng.choice(len(universe), size=self.max_faults, replace=False)
-            universe = [universe[idx] for idx in sorted(chosen.tolist())]
-        return universe
+    def fault_classes(self):
+        """Checked :class:`~repro.faults.collapse.FaultClass` list (aligned
+        with :meth:`faults`)."""
+        return list(self.selection().checked_classes)
+
+    def fault_multiplicities(self) -> list[int]:
+        """Class multiplicity per checked fault (aligned with
+        :meth:`faults`); sums to the universe share the list stands for."""
+        return [cls.multiplicity for cls in self.selection().checked_classes]
 
     def faulty_responses(self, fault: Fault, patterns: np.ndarray) -> np.ndarray:
         node, value = fault.payload  # type: ignore[misc]

@@ -57,6 +57,25 @@ from repro.runtime.trace import current_tracer
 _STATE_PERSIST_LIMIT = 128 * 1024 * 1024
 
 
+#: TableConfig knobs that shape the analysis input alphabet.  Signature
+#: classes are exact with respect to the *default* alphabet; a config that
+#: reshapes it must fall back to structural collapsing only.
+_ALPHABET_KNOBS = (
+    "exhaustive_input_limit",
+    "extra_random_inputs",
+    "max_alphabet",
+    "seed",
+)
+
+
+def _uses_default_alphabet(table_config: TableConfig) -> bool:
+    default = TableConfig()
+    return all(
+        getattr(table_config, knob) == getattr(default, knob)
+        for knob in _ALPHABET_KNOBS
+    )
+
+
 def _config_sans_latency(table_config: TableConfig) -> tuple:
     """The TableConfig fields that shape the extraction *state*.
 
@@ -261,10 +280,14 @@ def design_ced_sweep(
             fingerprint("synthesis", fsm, encoding, multilevel),
             lambda: synthesize_fsm(fsm, encoding=encoding, multilevel=multilevel),
         )
-    if fault_model is None:
-        fault_model = StuckAtModel(synthesis, max_faults=max_faults)
     if table_config is None:
         table_config = TableConfig(latency=max(latencies), semantics=semantics)
+    if fault_model is None:
+        fault_model = StuckAtModel(
+            synthesis,
+            max_faults=max_faults,
+            signature_collapse=_uses_default_alphabet(table_config),
+        )
 
     with recorder.stage("tables") as stage:
         if custom_model:
@@ -272,7 +295,14 @@ def design_ced_sweep(
             # extract fresh rather than risk replaying a stale artifact.
             tables = extract_tables(synthesis, fault_model, table_config, latencies)
         else:
-            fault_desc = ("stuck-at", True, True, max_faults, fault_model.seed)
+            fault_desc = (
+                "stuck-at",
+                fault_model.include_inputs,
+                fault_model.collapse,
+                fault_model.signature_collapse,
+                max_faults,
+                fault_model.seed,
+            )
             tables, stage.cached = cached_call(
                 cache,
                 "tables",

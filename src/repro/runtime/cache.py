@@ -48,8 +48,11 @@ from repro.runtime.trace import current_tracer
 #: incremental and grew a derived ``tables-state`` stage holding pickled
 #: :class:`~repro.core.detectability.ExtractionState` frontiers; the bump
 #: keeps pre-incremental entries from ever being replayed against the new
-#: extension path.
-SCHEMA = 3
+#: extension path.  Revision 4: fault collapsing became sound (output-tap
+#: nets are no longer treated as fanout-free) and behavior-exact
+#: (signature classes), changing the fault lists, tables, certificates
+#: and extraction states embedded in every stage.
+SCHEMA = 4
 
 
 def _cache_salt() -> str:

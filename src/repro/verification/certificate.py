@@ -26,10 +26,17 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.ced.verify import VerificationReport
+    from repro.faults.collapse import FaultSelection
     from repro.flow import CedDesign
     from repro.verification.exhaustive import ExhaustiveConfig, ExhaustiveReport
 
-CERTIFICATE_SCHEMA = 1
+#: Schema history: 1 — original exhaustive/sampled certificates (PR 6);
+#: 2 — behavior-exact fault collapsing: ``faults`` gained ``classes`` /
+#: ``checked_universe``, exhaustive idle/proved/escaped counts and the
+#: latency histogram are multiplicity-expanded to the full universe, and
+#: ``fault_classes`` records every checked class that stands for more
+#: than one universe fault.
+CERTIFICATE_SCHEMA = 2
 CERTIFICATE_KIND = "bounded-latency-certificate"
 
 #: Keys every valid certificate carries, regardless of mode.
@@ -56,9 +63,7 @@ def _common_body(
     fsm_name: str,
     config: "ExhaustiveConfig",
     design: "CedDesign",
-    universe: int,
-    collapsed: int,
-    checked: int,
+    selection: "FaultSelection",
     alphabet_size: int,
     input_mode: str,
     num_patterns: int,
@@ -97,9 +102,11 @@ def _common_body(
         },
         "alphabet": {"size": alphabet_size, "mode": input_mode},
         "faults": {
-            "universe": universe,
-            "collapsed": collapsed,
-            "checked": checked,
+            "universe": selection.universe,
+            "collapsed": selection.structural,
+            "classes": selection.num_classes,
+            "checked": len(selection.checked),
+            "checked_universe": selection.checked_universe,
         },
     }
 
@@ -109,18 +116,23 @@ def build_exhaustive_certificate(
     config: "ExhaustiveConfig",
     design: "CedDesign",
     report: "ExhaustiveReport",
-    universe: int,
-    collapsed: int,
+    selection: "FaultSelection",
 ) -> dict:
-    """Certificate for an exact (``mode: "exhaustive"``) verification."""
-    counts = report.counts()
+    """Certificate for an exact (``mode: "exhaustive"``) verification.
+
+    Fault counts in ``faults`` (idle/proved/escaped), the latency
+    histogram and the summary are **multiplicity-expanded**: every checked
+    representative's verdict is weighted by its behavior-equivalence class
+    size, so the certificate speaks for the full universe share the
+    checked list stands for.  ``fault_classes`` records each checked class
+    with more than one member.
+    """
+    universe_counts = report.universe_counts()
     certificate = _common_body(
         fsm_name,
         config,
         design,
-        universe=universe,
-        collapsed=collapsed,
-        checked=counts["checked"],
+        selection=selection,
         alphabet_size=len(report.alphabet),
         input_mode=report.input_mode,
         num_patterns=report.num_patterns,
@@ -130,15 +142,25 @@ def build_exhaustive_certificate(
         for verdict in report.escapes
         if verdict.witness is not None
     ]
+    fault_classes = [
+        {
+            "representative": cls.representative.name,
+            "multiplicity": cls.multiplicity,
+            "members": list(cls.member_names[1:]),
+        }
+        for cls in selection.checked_classes
+        if cls.multiplicity > 1
+    ]
     certificate.update(
         {
             "mode": "exhaustive",
             "faults": {
                 **certificate["faults"],
-                "idle": counts["idle"],
-                "proved": counts["proved"],
-                "escaped": counts["escaped"],
+                "idle": universe_counts["idle"],
+                "proved": universe_counts["proved"],
+                "escaped": universe_counts["escaped"],
             },
+            "fault_classes": fault_classes,
             "reachable": {
                 "good": report.reachable_good,
                 "good_count": len(report.reachable_good),
@@ -153,8 +175,8 @@ def build_exhaustive_certificate(
             "escapes": escapes,
             "summary": {
                 "bound_holds": report.clean,
-                "proved": counts["proved"],
-                "escaped": counts["escaped"],
+                "proved": universe_counts["proved"],
+                "escaped": universe_counts["escaped"],
                 "worst_latency": report.worst_latency,
             },
         }
@@ -167,8 +189,7 @@ def build_sampled_certificate(
     config: "ExhaustiveConfig",
     design: "CedDesign",
     report: "VerificationReport",
-    universe: int,
-    collapsed: int,
+    selection: "FaultSelection",
     num_patterns: int,
     input_mode: str,
     alphabet_size: int,
@@ -177,15 +198,15 @@ def build_sampled_certificate(
 
     A sampled certificate makes a strictly weaker claim: ``bound_holds``
     means *no violation was observed*, not that none exists, and the
-    latency histogram counts observed detections, not exact worst cases.
+    latency histogram counts observed detections over the sampled runs —
+    it is deliberately **not** multiplicity-expanded (the runs only
+    exercised the representatives that happened to activate).
     """
     certificate = _common_body(
         fsm_name,
         config,
         design,
-        universe=universe,
-        collapsed=collapsed,
-        checked=report.num_faults,
+        selection=selection,
         alphabet_size=alphabet_size,
         input_mode=input_mode,
         num_patterns=num_patterns,
@@ -202,6 +223,9 @@ def build_sampled_certificate(
             "worst_latency": max(observed) if observed else None,
             "escapes": [],
             "sampled": {
+                #: The fuzzer further subsamples the checked representatives
+                #: (its own max_faults cap); this is what it actually ran.
+                "faults": report.num_faults,
                 "runs": report.num_runs,
                 "activated_runs": report.num_activated_runs,
                 "detected_within_bound": report.num_detected_within_bound,
@@ -253,6 +277,17 @@ def validate_certificate(certificate: dict) -> None:
         raise ValueError(f"unknown certificate mode {certificate['mode']!r}")
     if certificate["mode"] == "sampled" and "sampled" not in certificate:
         raise ValueError("sampled certificate missing 'sampled' section")
+    faults = certificate["faults"]
+    missing_fault_keys = [
+        key
+        for key in ("universe", "collapsed", "classes", "checked", "checked_universe")
+        if key not in faults
+    ]
+    if missing_fault_keys:
+        raise ValueError(
+            "certificate faults section missing keys: "
+            + ", ".join(missing_fault_keys)
+        )
 
 
 def render_certificate(certificate: dict) -> str:
@@ -268,9 +303,11 @@ def render_certificate(certificate: dict) -> str:
         f"(p={config['latency']}, mode={mode})",
         f"  design: q={design['q']} betas={design['betas']} "
         f"source={design['source']} gates={design['gates']}",
-        f"  faults: {faults['checked']} checked "
-        f"of {faults['collapsed']} collapsed "
-        f"({faults['universe']} universe)",
+        f"  faults: {faults['checked']} representatives checked, "
+        f"standing for {faults['checked_universe']} of "
+        f"{faults['universe']} universe faults "
+        f"({faults['collapsed']} after equivalence, "
+        f"{faults['classes']} classes)",
     ]
     if mode == "exhaustive":
         reachable = certificate["reachable"]

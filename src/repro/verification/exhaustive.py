@@ -46,6 +46,7 @@ path).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -58,12 +59,11 @@ from repro.core.detectability import (
     _patterns,
     input_alphabet,
 )
-from repro.faults.collapse import collapse_faults
-from repro.faults.model import Fault, is_netlist_fault, stuck_at_universe
+from repro.faults.collapse import FaultSelection, select_stuck_at_faults
+from repro.faults.model import Fault, is_netlist_fault
 from repro.logic.sim import PackedSimulator, evaluate_batch
 from repro.logic.synthesis import SynthesisResult
 from repro.runtime.trace import current_tracer
-from repro.util.rng import rng_for
 
 #: Default ceiling on the enumerated pattern block (``2**s * |alphabet|``).
 #: Every bundled benchmark fits (the largest Table-1 circuits enumerate
@@ -109,6 +109,9 @@ class FaultVerdict:
     activations: int = 0
     #: Replayable escape trace (escapes only; capped per report).
     witness: dict | None = None
+    #: Universe faults this verdict stands for (behavior-equivalence class
+    #: size; equivalent faults share the exact same verdict and latency).
+    multiplicity: int = 1
 
 
 @dataclass
@@ -143,23 +146,39 @@ class ExhaustiveReport:
         return max(proved) if proved else None
 
     def histogram(self) -> dict[int, int]:
-        """faults per exact worst-case latency (proved faults only)."""
+        """Universe faults per exact worst-case latency (proved only).
+
+        Each verdict contributes its class multiplicity, so the histogram
+        counts the full fault universe even though only one representative
+        per behavior-equivalence class was searched.  With unit
+        multiplicities (no class collapsing) this is a plain verdict count.
+        """
         counts: dict[int, int] = {}
         for verdict in self.verdicts:
             if verdict.status == "proved":
                 assert verdict.worst_latency is not None
                 counts[verdict.worst_latency] = (
-                    counts.get(verdict.worst_latency, 0) + 1
+                    counts.get(verdict.worst_latency, 0) + verdict.multiplicity
                 )
         return counts
 
     def counts(self) -> dict[str, int]:
+        """Verdict counts over the checked representatives."""
         return {
             "checked": len(self.verdicts),
             "idle": sum(1 for v in self.verdicts if v.status == "idle"),
             "proved": sum(1 for v in self.verdicts if v.status == "proved"),
             "escaped": len(self.escapes),
         }
+
+    def universe_counts(self) -> dict[str, int]:
+        """Multiplicity-expanded verdict counts (full-universe faithful)."""
+        totals = {"checked": 0, "idle": 0, "proved": 0, "escaped": 0}
+        key = {"idle": "idle", "proved": "proved", "escape": "escaped"}
+        for verdict in self.verdicts:
+            totals["checked"] += verdict.multiplicity
+            totals[key[verdict.status]] += verdict.multiplicity
+        return totals
 
 
 # ----------------------------------------------------------------------
@@ -173,11 +192,16 @@ def exhaustive_check(
     alphabet: np.ndarray | None = None,
     input_mode: str | None = None,
     max_witnesses: int = 8,
+    multiplicities: "dict[str, int] | None" = None,
 ) -> ExhaustiveReport:
     """Exact bounded-latency check of built CED hardware.
 
     Only netlist stuck-at faults (payload ``(node, value)``) participate;
     other fault kinds are skipped, matching the sampled verifier.
+    ``multiplicities`` (fault name → behavior-equivalence class size)
+    weights each verdict so report histograms and universe counts stay
+    faithful to the full fault universe when ``faults`` holds one
+    representative per class.
     """
     if latency < 1:
         raise ValueError("latency must be at least 1")
@@ -248,6 +272,11 @@ def exhaustive_check(
                 shape=(num_states, num_inputs),
                 want_witness=witnesses_left > 0,
             )
+            if multiplicities is not None:
+                verdict = dataclasses.replace(
+                    verdict,
+                    multiplicity=multiplicities.get(verdict.fault, 1),
+                )
             if verdict.witness is not None:
                 witnesses_left -= 1
             activation_union |= act_reach
@@ -258,6 +287,7 @@ def exhaustive_check(
                 status=verdict.status,
                 worst_latency=verdict.worst_latency,
                 activations=verdict.activations,
+                multiplicity=verdict.multiplicity,
             )
     report.activation_states = [
         int(c) for c in np.nonzero(activation_union)[0]
@@ -471,20 +501,19 @@ def replay_witness(
 def collapsed_fault_list(
     synthesis: SynthesisResult, max_faults: int | None, seed: int
 ) -> tuple[int, int, list[Fault]]:
-    """(universe size, collapsed size, checked list) for the certificate.
+    """(universe size, structurally-collapsed size, checked list).
 
-    Selection mirrors :meth:`repro.faults.model.StuckAtModel.faults`
-    token for token, so the exhaustive engine and the sampled verifier
-    see the same fault sample for the same seed.
+    Thin compatibility wrapper over
+    :func:`repro.faults.collapse.select_stuck_at_faults` — the one shared
+    selection recipe :meth:`repro.faults.model.StuckAtModel.faults` uses —
+    so the exhaustive engine and the sampled verifier can never drift
+    apart on the same seed.  Callers needing class multiplicities should
+    use :func:`~repro.faults.collapse.select_stuck_at_faults` directly.
     """
-    universe = stuck_at_universe(synthesis.netlist, include_inputs=True)
-    collapsed = collapse_faults(synthesis.netlist, universe)
-    chosen = collapsed
-    if max_faults is not None and len(collapsed) > max_faults:
-        rng = rng_for(seed, "stuck-at-sample", synthesis.fsm.name)
-        picks = rng.choice(len(collapsed), size=max_faults, replace=False)
-        chosen = [collapsed[idx] for idx in sorted(picks.tolist())]
-    return len(universe), len(collapsed), chosen
+    selection = select_stuck_at_faults(
+        synthesis, max_faults=max_faults, seed=seed
+    )
+    return selection.universe, selection.structural, list(selection.checked)
 
 
 def verify_exhaustive(
@@ -545,9 +574,10 @@ def _compute_certificate(
         degraded=degraded,
     )
     synthesis = design.synthesis
-    universe, collapsed, faults = collapsed_fault_list(
-        synthesis, config.max_faults, config.seed
+    selection: FaultSelection = select_stuck_at_faults(
+        synthesis, max_faults=config.max_faults, seed=config.seed
     )
+    faults = list(selection.checked)
     alphabet, input_mode = input_alphabet(
         synthesis, TableConfig(latency=config.latency)
     )
@@ -574,8 +604,7 @@ def _compute_certificate(
             config=config,
             design=design,
             report=sampled,
-            universe=universe,
-            collapsed=collapsed,
+            selection=selection,
             num_patterns=num_patterns,
             input_mode=input_mode,
             alphabet_size=int(alphabet.shape[0]),
@@ -588,12 +617,12 @@ def _compute_certificate(
         alphabet=alphabet,
         input_mode=input_mode,
         max_witnesses=config.max_witnesses,
+        multiplicities=selection.multiplicities(),
     )
     return build_exhaustive_certificate(
         fsm_name=synthesis.fsm.name,
         config=config,
         design=design,
         report=report,
-        universe=universe,
-        collapsed=collapsed,
+        selection=selection,
     )

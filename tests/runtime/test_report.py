@@ -224,7 +224,7 @@ def _certificate(
 ):
     """A minimal but renderable bounded-latency certificate."""
     payload = {
-        "schema": 1,
+        "schema": 2,
         "kind": "bounded-latency-certificate",
         "circuit": "c",
         "mode": mode,
@@ -237,8 +237,10 @@ def _certificate(
         "machine": {"inputs": 1, "state_bits": 2, "outputs": 1, "bits": 3,
                     "states": 4, "patterns": 8},
         "alphabet": {"size": 2, "mode": "exhaustive"},
-        "faults": {"universe": 30, "collapsed": 20, "checked": 20,
+        "faults": {"universe": 30, "collapsed": 20, "classes": 20,
+                   "checked": 20, "checked_universe": 30,
                    "idle": 0, "proved": 20 - escaped, "escaped": escaped},
+        "fault_classes": [],
         "reachable": {"good": [0, 1, 2], "good_count": 3,
                       "activation": [0, 1], "activation_count": 2},
         "latency_histogram": histogram or {"1": 20 - escaped},

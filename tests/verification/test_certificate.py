@@ -38,8 +38,36 @@ def test_certificate_carries_the_versioned_envelope(certificate):
     assert certificate["circuit"] == "traffic"
     assert certificate["config"]["latency"] == 2
     assert len(certificate["fingerprint"]) == 64  # sha256 hex
-    assert certificate["faults"]["checked"] <= certificate["faults"]["collapsed"]
-    assert certificate["faults"]["collapsed"] <= certificate["faults"]["universe"]
+    faults = certificate["faults"]
+    assert faults["checked"] <= faults["classes"] <= faults["collapsed"]
+    assert faults["collapsed"] <= faults["universe"]
+    assert faults["checked_universe"] == faults["universe"]
+
+
+def test_exhaustive_counts_cover_the_universe(certificate):
+    """Idle/proved/escaped and the histogram are multiplicity-expanded:
+    they account for every universe fault, not just the representatives."""
+    faults = certificate["faults"]
+    assert (
+        faults["idle"] + faults["proved"] + faults["escaped"]
+        == faults["universe"]
+    )
+    histogram_total = sum(certificate["latency_histogram"].values())
+    assert histogram_total == faults["proved"]
+    expanded = sum(
+        cls["multiplicity"] for cls in certificate["fault_classes"]
+    )
+    singletons = faults["checked"] - len(certificate["fault_classes"])
+    assert expanded + singletons == faults["checked_universe"]
+    for cls in certificate["fault_classes"]:
+        assert cls["multiplicity"] == len(cls["members"]) + 1
+
+
+def test_validation_requires_class_accounting(certificate):
+    broken = dict(certificate, faults=dict(certificate["faults"]))
+    del broken["faults"]["checked_universe"]
+    with pytest.raises(ValueError, match="checked_universe"):
+        validate_certificate(broken)
 
 
 def test_certificate_has_no_wall_clock_fields(certificate):
