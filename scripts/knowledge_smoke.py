@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""CI smoke test for the design knowledge base.
+
+Exercises the knowledge-store contract end to end:
+
+1. A small campaign with ``--knowledge`` populates the store (one
+   deduplicated record per circuit x latency) and a re-run appends
+   nothing new.
+2. ``repro-ced query frontier --json`` output is canonical and
+   byte-stable — two independent invocations over two independent
+   store instances produce identical bytes, covering >= 2 circuits.
+3. A warm-started sweep accepts a stored neighbor (``store.warm`` with
+   ``accepted: true`` in the journal) and its q / beta sets / cost are
+   identical to a knowledge-free cold run — acceptance may only
+   relabel the ``source`` provenance, never change the answer.
+
+Run as ``python scripts/knowledge_smoke.py [STORE_PATH]``.  The
+populated store is left at STORE_PATH (default
+``benchmarks/knowledge_smoke.jsonl``) so CI can upload it as an
+artifact.  Exit code 0 = all checks passed.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.cli import main as cli_main  # noqa: E402
+from repro.flow import design_ced_sweep  # noqa: E402
+from repro.knowledge.store import (  # noqa: E402
+    KnowledgeContext,
+    KnowledgeStore,
+)
+from repro.runtime.cache import NullCache  # noqa: E402
+from repro.runtime.campaign import (  # noqa: E402
+    CampaignOptions,
+    design_matrix_jobs,
+    run_campaign,
+)
+from repro.runtime.trace import Tracer, use_tracer  # noqa: E402
+
+CIRCUITS = ["traffic", "seqdet", "serparity"]
+LATENCIES = [1, 2]
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"FAIL: {message}", file=sys.stderr)
+        sys.exit(1)
+
+
+def cli_stdout(argv: list[str]) -> str:
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        code = cli_main(argv)
+    check(code == 0, f"repro-ced {' '.join(argv)} exited {code}")
+    return out.getvalue()
+
+
+def main() -> int:
+    store_path = Path(
+        sys.argv[1] if len(sys.argv) > 1
+        else REPO / "benchmarks" / "knowledge_smoke.jsonl"
+    )
+    store_path.parent.mkdir(parents=True, exist_ok=True)
+    store_path.unlink(missing_ok=True)
+
+    with tempfile.TemporaryDirectory() as scratch:
+        # 1. Populate the store from a small parallel campaign.
+        jobs = design_matrix_jobs(CIRCUITS, latencies=LATENCIES, max_faults=80)
+        options = CampaignOptions(
+            jobs=2,
+            cache_dir=str(Path(scratch) / "cache"),
+            knowledge_path=str(store_path),
+        )
+        run = run_campaign(jobs, options)
+        check(run.failed == [], f"campaign jobs failed: {run.failed}")
+
+        store = KnowledgeStore(store_path)
+        expected = len(CIRCUITS) * len(LATENCIES)
+        check(
+            store.count() == expected,
+            f"store has {store.count()} records, expected {expected}",
+        )
+        check(
+            {r.circuit for r in store.records()} == set(CIRCUITS),
+            "store does not cover every campaign circuit",
+        )
+
+        # Re-running the identical campaign must dedupe, not append.
+        rerun = run_campaign(jobs, options)
+        check(rerun.failed == [], f"campaign re-run failed: {rerun.failed}")
+        check(
+            KnowledgeStore(store_path).count() == expected,
+            "re-run appended duplicate records",
+        )
+        print(f"store populated: {expected} records at {store_path}")
+
+        # 2. Query frontiers are canonical and byte-stable.
+        argv = ["query", "frontier", "--knowledge", str(store_path), "--json"]
+        first = cli_stdout(argv)
+        second = cli_stdout(argv)
+        check(first == second, "query frontier --json is not byte-stable")
+        for circuit in CIRCUITS:
+            check(
+                f'"{circuit}"' in first,
+                f"frontier output missing circuit {circuit}",
+            )
+        print(f"query frontier byte-stable over {len(CIRCUITS)} circuits")
+
+        # 3. Warm start: a stored neighbor is accepted and the accepted
+        # result matches a knowledge-free cold run exactly.
+        def sweep(knowledge, tracer=None):
+            with use_tracer(tracer or Tracer()):
+                return design_ced_sweep(
+                    "traffic",
+                    latencies=LATENCIES,
+                    semantics="trajectory",
+                    max_faults=80,
+                    cache=NullCache(),
+                    knowledge=knowledge,
+                )
+
+        cold = sweep(None)
+        tracer = Tracer()
+        warm = sweep(KnowledgeContext(store), tracer)
+
+        warm_events = [
+            record["attrs"]
+            for record in tracer.records
+            if record.get("type") == "event"
+            and record.get("name") == "store.warm"
+        ]
+        check(
+            any(event["accepted"] for event in warm_events),
+            "no store.warm event with accepted=true",
+        )
+        meta = warm[LATENCIES[0]].warm_start
+        check(
+            meta is not None and meta["accepted"],
+            "warm-start provenance missing from the result",
+        )
+        for latency in LATENCIES:
+            c, w = cold[latency].solve_result, warm[latency].solve_result
+            check(
+                (c.q, c.betas) == (w.q, w.betas)
+                and cold[latency].cost == warm[latency].cost,
+                f"warm result diverged from cold at latency {latency}",
+            )
+        print(
+            "warm start accepted "
+            f"(neighbor {meta['neighbor'][:12]}, distance "
+            f"{meta['distance']:.3f}), result identical to cold run"
+        )
+
+    print("knowledge smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import platform
 import queue
 import random
@@ -100,9 +101,11 @@ def build_workload(
 
 
 def quantile(ordered: list[float], q: float) -> float:
+    """Nearest-rank quantile (ceil(q*n)-th smallest), matching the router."""
     if not ordered:
         return 0.0
-    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+    rank = math.ceil(q * len(ordered))
+    return ordered[min(len(ordered), max(1, rank)) - 1]
 
 
 class LoadStats:

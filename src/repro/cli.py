@@ -14,6 +14,9 @@ Installed as ``repro-ced`` (also ``python -m repro``).  Subcommands:
 * ``sweep CIRCUIT...`` — latency-saturation curves;
 * ``table1``           — reproduce the paper's Table 1 (+ summary stats);
 * ``campaign``         — run a circuits × latencies job matrix in parallel;
+* ``query``            — fleet-wide analytics over the design knowledge
+  base: cost-vs-latency frontiers, per-encoding aggregates, raw record
+  lookup (``--server`` asks a running daemon via ``GET /query``);
 * ``report``           — summarise a run's journal/manifest/table1.json,
   or diff two runs and flag q/cost/runtime regressions;
 * ``serve``            — long-lived design-service daemon (HTTP over TCP
@@ -36,6 +39,13 @@ runtime flags: ``--jobs N`` (worker processes), ``--cache-dir PATH``,
 Results are bit-identical whatever the flags — the cache stores values of
 pure functions, jobs are seeded deterministically, and tracing is
 write-only observability (it never feeds back into results or keys).
+
+``design``, ``sweep``, ``table1``, ``campaign`` and ``serve`` also take
+``--knowledge PATH`` (record every completed solve into the design
+knowledge store and warm-start new solves from structural neighbors)
+and ``--no-warm-start`` (record only — the solver never sees the store,
+so results stay byte-identical to a cold run).  See
+``docs/store-schema.md``.
 """
 
 from __future__ import annotations
@@ -85,6 +95,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "table1": _cmd_table1,
         "campaign": _cmd_campaign,
+        "query": _cmd_query,
         "report": _cmd_report,
         "serve": _cmd_serve,
         "route": _cmd_route,
@@ -148,6 +159,33 @@ def _add_runtime_flags(
                             "render it with `repro-ced report`")
 
 
+def _add_knowledge_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--knowledge", metavar="PATH",
+                        help="design knowledge store (JSONL): record every "
+                        "completed solve and warm-start new solves from "
+                        "structural neighbors (see docs/store-schema.md)")
+    parser.add_argument("--no-warm-start", action="store_true",
+                        help="record into the knowledge store but never "
+                        "seed the solver from it; results stay "
+                        "byte-identical to a cold run")
+
+
+def _knowledge_context(args: argparse.Namespace):
+    """``--knowledge PATH`` → a :class:`KnowledgeContext`, else ``None``.
+
+    The knowledge base is strictly opt-in: without the flag nothing is
+    read or written and results are byte-identical to earlier releases.
+    """
+    if not getattr(args, "knowledge", None):
+        return None
+    from repro.knowledge.store import KnowledgeContext, open_store
+
+    return KnowledgeContext(
+        store=open_store(args.knowledge),
+        warm_start=not args.no_warm_start,
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-ced",
@@ -187,6 +225,7 @@ def _build_parser() -> argparse.ArgumentParser:
                         "daemon (host:port or unix:PATH) instead of "
                         "computing locally")
     _add_runtime_flags(design, journal=True)
+    _add_knowledge_flags(design)
 
     verify = sub.add_parser(
         "verify",
@@ -258,6 +297,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--semantics", default="trajectory",
                        choices=("checker", "trajectory"))
     _add_runtime_flags(sweep, journal=True)
+    _add_knowledge_flags(sweep)
 
     table1 = sub.add_parser("table1", help="reproduce the paper's Table 1")
     table1.add_argument("--circuits", nargs="*", default=list(TABLE1_CIRCUITS))
@@ -274,6 +314,7 @@ def _build_parser() -> argparse.ArgumentParser:
     table1.add_argument("--retries", type=int, default=1,
                         help="extra attempts before the degraded fallback")
     _add_runtime_flags(table1, journal=True)
+    _add_knowledge_flags(table1)
 
     campaign = sub.add_parser(
         "campaign",
@@ -300,6 +341,37 @@ def _build_parser() -> argparse.ArgumentParser:
                           default="repro-campaign-manifest.json",
                           help="run manifest path (default %(default)s)")
     _add_runtime_flags(campaign, journal=True)
+    _add_knowledge_flags(campaign)
+
+    query = sub.add_parser(
+        "query",
+        help="fleet-wide analytics over the design knowledge base",
+    )
+    query.add_argument("kind", choices=("frontier", "aggregates", "lookup"),
+                       help="frontier: cheapest design per (circuit, "
+                       "latency), Pareto-flagged; aggregates: per-encoding "
+                       "counts and means; lookup: raw records")
+    query.add_argument("--circuit", action="append", default=[],
+                       dest="circuits", metavar="NAME",
+                       help="filter by circuit (repeatable for frontier; "
+                       "single for lookup)")
+    query.add_argument("--encoding", default=None,
+                       choices=("binary", "gray", "onehot", "weighted"),
+                       help="frontier filter")
+    query.add_argument("--semantics", default=None,
+                       choices=("checker", "trajectory"),
+                       help="frontier/aggregates filter")
+    query.add_argument("--fingerprint", default=None, metavar="PREFIX",
+                       help="lookup filter: record fingerprint prefix")
+    query.add_argument("--knowledge", metavar="PATH",
+                       help="knowledge store path (default $REPRO_KNOWLEDGE "
+                       "or ~/.cache/repro-ced/knowledge.jsonl)")
+    query.add_argument("--json", action="store_true",
+                       help="emit canonical JSON (byte-stable for frontier/"
+                       "aggregates) instead of a text table")
+    query.add_argument("--server", metavar="ADDR",
+                       help="ask a running daemon or router via GET /query "
+                       "instead of reading a local store")
 
     report = sub.add_parser(
         "report",
@@ -355,6 +427,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="seconds a peer miss is remembered before "
                        "peers are asked again (default %(default)s)")
     _add_runtime_flags(serve, jobs=False, journal=True)
+    _add_knowledge_flags(serve)
 
     route = sub.add_parser(
         "route",
@@ -538,6 +611,7 @@ def _cmd_design(args: argparse.Namespace) -> int:
     if args.server:
         return _cmd_design_remote(args)
     cache = open_cache(args.cache_dir, enabled=not args.no_cache)
+    knowledge = _knowledge_context(args)
     tracer = Tracer() if args.journal else None
     context = use_tracer(tracer) if tracer is not None else nullcontext()
     with context:
@@ -549,6 +623,7 @@ def _cmd_design(args: argparse.Namespace) -> int:
             max_faults=args.max_faults,
             verify=args.verify,
             cache=cache,
+            knowledge=knowledge,
         )
     if tracer is not None:
         with JournalWriter(args.journal, name=f"design-{args.circuit}") as writer:
@@ -556,6 +631,12 @@ def _cmd_design(args: argparse.Namespace) -> int:
         print(f"journal written to {args.journal}")
     print(design.summary())
     print(f"  parity vectors: {[hex(b) for b in design.solve_result.betas]}")
+    if design.warm_start is not None:
+        meta = design.warm_start
+        verdict = "accepted" if meta["accepted"] else "rejected"
+        print(f"  warm start: neighbor {meta['neighbor_circuit']} "
+              f"({meta['neighbor'][:12]}, distance {meta['distance']:.3f}) "
+              f"{verdict}, q delta {meta['q_delta']:+d}")
     breakdown = {
         "parity trees": design.hardware.parity_stats,
         "predictor": design.hardware.predictor_stats,
@@ -691,6 +772,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         cache=not args.no_cache,
         journal_path=args.journal,
+        knowledge_path=args.knowledge,
+        warm_start=not args.no_warm_start,
         name="sweep",
     )
     curves = latency_saturation_curves(
@@ -719,6 +802,8 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         retries=args.retries,
         manifest_path=args.manifest,
         journal_path=args.journal,
+        knowledge_path=args.knowledge,
+        warm_start=not args.no_warm_start,
         name="table1",
     )
     result = run_table1(tuple(args.circuits), config, options=options)
@@ -758,6 +843,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         fallback=not args.no_fallback,
         manifest_path=args.manifest,
         journal_path=args.journal,
+        knowledge_path=args.knowledge,
+        warm_start=not args.no_warm_start,
         name="campaign",
     )
     run = run_campaign(jobs, options, echo=print)
@@ -794,6 +881,100 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.journal:
         print(f"journal written to {args.journal}")
     return 1 if run.failed else 0
+
+
+def _query_params(args: argparse.Namespace) -> dict:
+    """Collect the set query flags; validation happens in ``run_query``
+    so the CLI and the daemon's ``GET /query`` reject the same inputs."""
+    params: dict = {}
+    if args.circuits:
+        if args.kind == "lookup":
+            if len(args.circuits) > 1:
+                raise CliError("lookup takes a single --circuit")
+            params["circuit"] = args.circuits[0]
+        else:
+            params["circuit"] = list(args.circuits)
+    if args.encoding:
+        params["encoding"] = args.encoding
+    if args.semantics:
+        params["semantics"] = args.semantics
+    if args.fingerprint:
+        params["fingerprint"] = args.fingerprint
+    return params
+
+
+def _render_query(result: dict) -> str:
+    from repro.knowledge.analytics import (
+        render_aggregates,
+        render_frontier,
+        render_lookup,
+    )
+
+    renderer = {
+        "frontier": render_frontier,
+        "aggregates": render_aggregates,
+        "lookup": render_lookup,
+    }[result["kind"]]
+    return renderer(result)
+
+
+def _cmd_query_remote(args: argparse.Namespace, params: dict) -> int:
+    """``query --server``: the daemon answers from *its* store."""
+    import json
+    from urllib.parse import urlencode
+
+    from repro.service.client import ServiceClient
+
+    pairs = [("kind", args.kind)]
+    for name in sorted(params):
+        value = params[name]
+        values = value if isinstance(value, list) else [value]
+        pairs.extend((name, entry) for entry in values)
+    try:
+        client = ServiceClient(args.server)
+    except ValueError as error:
+        raise CliError(str(error)) from error
+    try:
+        status, body = client.request_raw(
+            "GET", f"/query?{urlencode(pairs)}"
+        )
+    except OSError as error:
+        print(f"error: cannot reach server {args.server}: {error}",
+              file=sys.stderr)
+        return 3
+    if status != 200:
+        try:
+            message = json.loads(body.decode("utf-8"))["error"]
+        except (ValueError, KeyError, UnicodeDecodeError):
+            message = f"HTTP {status}"
+        print(f"error: server {args.server}: {message}", file=sys.stderr)
+        return 2 if status == 400 else 1
+    if args.json:
+        # The daemon already answers in canonical JSON — pass the bytes
+        # through untouched so two-run comparisons stay byte-stable.
+        sys.stdout.write(body.decode("utf-8") + "\n")
+        return 0
+    print(_render_query(json.loads(body.decode("utf-8"))))
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    params = _query_params(args)
+    if args.server:
+        return _cmd_query_remote(args, params)
+    from repro.knowledge.analytics import canonical_query_json, run_query
+    from repro.knowledge.store import open_store
+
+    store = open_store(args.knowledge)
+    try:
+        result = run_query(store, args.kind, params)
+    except ValueError as error:
+        raise CliError(str(error)) from error
+    if args.json:
+        print(canonical_query_json(result))
+    else:
+        print(_render_query(result))
+    return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -847,6 +1028,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         peers=tuple(args.peers),
         peer_timeout=args.peer_timeout,
         peer_negative_ttl=args.peer_negative_ttl,
+        knowledge_path=args.knowledge,
+        warm_start=not args.no_warm_start,
     )
     return serve(config)
 

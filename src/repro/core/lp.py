@@ -35,7 +35,7 @@ def _trace_solve(
     q: int,
     status: str,
     beta: np.ndarray,
-    objective_value: float,
+    objective_value: float | None,
     iterations: int,
 ) -> None:
     """One ``lp.solve`` journal event (status, iterations, objective, gap)."""
@@ -66,7 +66,9 @@ class LpSolution:
     num_bits: int
     beta_fractional: np.ndarray  # (q, n) in [0, 1]
     status: str
-    objective_value: float
+    #: None when the relaxation is infeasible or the solver failed — a NaN
+    #: here would leak into strict-JSON journal lines and service payloads.
+    objective_value: float | None
 
     @property
     def feasible(self) -> bool:
@@ -117,15 +119,13 @@ def solve_lp_relaxation(
     iterations = int(np.sum(getattr(result, "nit", 0)))
     if not result.success:
         status = "infeasible" if result.status == 2 else f"failed({result.status})"
-        _trace_solve(
-            table, q, status, np.zeros((0,)), float("nan"), iterations
-        )
+        _trace_solve(table, q, status, np.zeros((0,)), None, iterations)
         return LpSolution(
             q=q,
             num_bits=table.num_bits,
             beta_fractional=np.zeros((q, table.num_bits)),
             status=status,
-            objective_value=float("nan"),
+            objective_value=None,
         )
     beta = result.x[: program.num_beta_vars].reshape(q, table.num_bits)
     beta = np.clip(beta, 0.0, 1.0)

@@ -73,6 +73,9 @@ class SolveResult:
     rounding_attempts: int = 0
     per_q_outcome: dict[int, str] = field(default_factory=dict)
     incumbent_source: str = "lp+rr"
+    #: None when no incumbent was offered; otherwise whether the offered β
+    #: set survived verification (``_prune``) against the full table.
+    incumbent_accepted: bool | None = None
 
     def parity_masks(self) -> list[int]:
         return list(self.betas)
@@ -114,6 +117,7 @@ def minimize_parity_bits(
 
     if incumbent is not None:
         pruned = _prune(table.rows, list(incumbent))
+        result.incumbent_accepted = pruned is not None
         if pruned is not None and len(pruned) < len(best):
             best = pruned
             result.incumbent_source = "incumbent"
@@ -162,15 +166,19 @@ def minimize_parity_bits(
 def solve_for_latencies(
     tables: dict[int, DetectabilityTable],
     config: SolveConfig = SolveConfig(),
+    incumbent: list[int] | None = None,
 ) -> dict[int, SolveResult]:
     """Solve a family of same-machine tables, chaining incumbents upward.
 
     A β set covering the latency-p table covers every latency-(p+1) case
     (each longer path's option set contains a shorter path's), so passing
     solutions up the latency chain is sound and makes q monotone.
+
+    ``incumbent`` seeds the *lowest* latency's search with an external β
+    set (e.g. a knowledge-base neighbor); it is verified before use, so a
+    stale or foreign set degrades to the cold path.
     """
     results: dict[int, SolveResult] = {}
-    incumbent: list[int] | None = None
     for latency in sorted(tables):
         result = minimize_parity_bits(tables[latency], config, incumbent=incumbent)
         results[latency] = result

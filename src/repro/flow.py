@@ -47,6 +47,13 @@ from repro.core.search import (
 from repro.faults.model import FaultModel, StuckAtModel
 from repro.fsm.benchmarks import load_benchmark
 from repro.fsm.machine import FSM
+from repro.knowledge.similarity import Neighbor, propose_incumbent
+from repro.knowledge.store import (
+    KnowledgeContext,
+    current_knowledge,
+    make_record,
+    signature_of,
+)
 from repro.logic.synthesis import SynthesisResult, synthesize_fsm
 from repro.runtime.cache import Cache, NullCache, cached_call, fingerprint
 from repro.runtime.metrics import MetricsRecorder
@@ -166,6 +173,103 @@ def _incremental_extract(
     return tables
 
 
+def _warm_lookup(
+    active: KnowledgeContext | None,
+    synthesis: SynthesisResult,
+    table_config: TableConfig,
+    latencies: list[int],
+    fsm_name: str,
+) -> Neighbor | None:
+    """Rank stored records and pick a warm-start incumbent (or None).
+
+    Emits the ``store.lookup`` journal event whenever a store is active
+    with warm start enabled — including empty-store and no-candidate
+    outcomes, so fleet telemetry can see lookup hit rates.
+    """
+    if active is None or not active.warm_start:
+        return None
+    signature = signature_of(
+        synthesis, table_config.semantics, min(latencies)
+    )
+    records = active.store.records()
+    warm = propose_incumbent(records, signature)
+    tracer = current_tracer()
+    if tracer.enabled:
+        tracer.event(
+            "store.lookup",
+            fsm=fsm_name,
+            records=len(records),
+            neighbor=warm.record.fingerprint if warm else None,
+            neighbor_circuit=warm.record.circuit if warm else None,
+            distance=round(warm.distance, 6) if warm else None,
+        )
+    return warm
+
+
+def _warm_provenance(
+    warm: Neighbor | None,
+    results: dict[int, "SolveResult"],
+    latencies: list[int],
+    fsm_name: str,
+) -> dict | None:
+    """Build the ``warm_start`` meta dict and emit ``store.warm``."""
+    if warm is None:
+        return None
+    first = results[min(latencies)]
+    meta = {
+        "neighbor": warm.record.fingerprint,
+        "neighbor_circuit": warm.record.circuit,
+        "neighbor_q": warm.record.q,
+        "distance": round(warm.distance, 6),
+        "accepted": bool(first.incumbent_accepted),
+        "q_delta": first.q - warm.record.q,
+    }
+    tracer = current_tracer()
+    if tracer.enabled:
+        tracer.event("store.warm", fsm=fsm_name, **meta)
+    return meta
+
+
+def _record_designs(
+    active: KnowledgeContext,
+    synthesis: SynthesisResult,
+    table_config: TableConfig,
+    solve_config: SolveConfig,
+    max_faults: int | None,
+    multilevel: bool,
+    designs: dict[int, "CedDesign"],
+) -> None:
+    """Append one store record per designed latency (fingerprint-deduped)."""
+    appended = 0
+    for latency in sorted(designs):
+        design = designs[latency]
+        record = make_record(
+            signature_of(synthesis, table_config.semantics, latency),
+            solve_config,
+            max_faults,
+            multilevel,
+            q=design.solve_result.q,
+            betas=design.solve_result.betas,
+            cost=design.hardware.cost,
+            gates=design.hardware.gates,
+            source=design.solve_result.incumbent_source,
+        )
+        try:
+            if active.store.append(record):
+                appended += 1
+        except OSError:
+            # A read-only or vanished store file must never fail a solve.
+            break
+    tracer = current_tracer()
+    if tracer.enabled:
+        tracer.event(
+            "store.append",
+            fsm=synthesis.fsm.name,
+            appended=appended,
+            latencies=sorted(designs),
+        )
+
+
 @dataclass
 class CedDesign:
     """A complete bounded-latency CED design for one machine."""
@@ -176,6 +280,10 @@ class CedDesign:
     solve_result: SolveResult
     hardware: CedHardware
     verification: VerificationReport | None = None
+    #: Warm-start provenance (neighbor fingerprint, accepted, q delta);
+    #: ``None`` whenever no knowledge-base incumbent was injected, so
+    #: cold-path designs are indistinguishable from pre-knowledge builds.
+    warm_start: dict | None = None
 
     @property
     def num_parity_bits(self) -> int:
@@ -220,6 +328,7 @@ def design_ced(
     cache: Cache | None = None,
     recorder: MetricsRecorder | None = None,
     degraded: bool = False,
+    knowledge: KnowledgeContext | None = None,
 ) -> CedDesign:
     """Design bounded-latency CED hardware for a machine.
 
@@ -243,6 +352,7 @@ def design_ced(
         cache=cache,
         recorder=recorder,
         degraded=degraded,
+        knowledge=knowledge,
     )
     return designs[latency]
 
@@ -261,8 +371,17 @@ def design_ced_sweep(
     cache: Cache | None = None,
     recorder: MetricsRecorder | None = None,
     degraded: bool = False,
+    knowledge: KnowledgeContext | None = None,
 ) -> dict[int, CedDesign]:
-    """Design CED hardware for several latency bounds in one pass."""
+    """Design CED hardware for several latency bounds in one pass.
+
+    ``knowledge`` (or an ambient :func:`current_knowledge` context)
+    activates the design knowledge base: completed solves are recorded,
+    and — unless the context's ``warm_start`` is off — the nearest stored
+    neighbor's β set seeds the search as a verified incumbent.  With no
+    store, an empty store, or ``warm_start=False`` the solve path and its
+    cache keys are byte-identical to a knowledge-free run.
+    """
     if isinstance(fsm, str):
         fsm = load_benchmark(fsm)
     if not latencies:
@@ -316,17 +435,37 @@ def design_ced_sweep(
                 ),
             )
 
+    # Knowledge base: a custom fault model has no stable request
+    # fingerprint, and degraded (greedy-only) q's would poison the
+    # neighbor ranking — both keep the store out of the loop entirely.
+    active = knowledge if knowledge is not None else current_knowledge()
+    if degraded or custom_model:
+        active = None
+    warm = _warm_lookup(active, synthesis, table_config, latencies, fsm.name)
+
     with recorder.stage("solve") as stage:
         solver = solve_greedy_for_latencies if degraded else solve_for_latencies
+        warm_parts = (
+            (("warm", warm.record.fingerprint, list(warm.record.betas)),)
+            if warm is not None
+            else ()
+        )
         solve_key = fingerprint(
             "solve",
             "degraded" if degraded else "full",
             solve_config,
             [(p, tables[p].num_bits, tables[p].rows) for p in sorted(tables)],
+            *warm_parts,
         )
-        results, stage.cached = cached_call(
-            cache, "solve", solve_key, lambda: solver(tables, solve_config)
-        )
+        if warm is not None:
+            compute = lambda: solve_for_latencies(  # noqa: E731
+                tables, solve_config, incumbent=list(warm.record.betas)
+            )
+        else:
+            compute = lambda: solver(tables, solve_config)  # noqa: E731
+        results, stage.cached = cached_call(cache, "solve", solve_key, compute)
+
+    warm_meta = _warm_provenance(warm, results, latencies, fsm.name)
 
     designs: dict[int, CedDesign] = {}
     with recorder.stage("hardware"):
@@ -349,7 +488,13 @@ def design_ced_sweep(
                 table=tables[latency],
                 solve_result=results[latency],
                 hardware=hardware,
+                warm_start=warm_meta,
             )
+    if active is not None:
+        _record_designs(
+            active, synthesis, table_config, solve_config,
+            max_faults, multilevel, designs,
+        )
     if verify:
         with recorder.stage("verify"):
             for latency in latencies:

@@ -1,0 +1,71 @@
+"""Design knowledge base: persistent solve records and warm-start reuse.
+
+Every completed (non-degraded) solve appends a versioned
+:class:`~repro.knowledge.store.DesignRecord` — structure signature,
+latency bound, q, β set, cost, request fingerprint, cache salt — to an
+append-only JSONL :class:`~repro.knowledge.store.KnowledgeStore`.  Before
+the next solve, :mod:`repro.knowledge.similarity` ranks prior records by
+structure-signature distance and feeds the nearest candidate's β set into
+the verified ``incumbent`` hook of Algorithm 1: a good neighbor tightens
+the binary-search bracket below the greedy bound, a bad one fails
+verification and degrades to the cold path.  :mod:`repro.knowledge.analytics`
+answers fleet-wide questions (cost-vs-latency frontiers, per-encoding
+aggregates, record lookup) for the ``repro-ced query`` CLI and the
+daemon's ``GET /query`` endpoint.
+
+Activation mirrors the tracing contextvar idiom: flows consult
+:func:`current_knowledge` so campaign workers and the service install a
+:class:`KnowledgeContext` once per process instead of threading it
+through every call signature.  With no context installed the flow is
+byte-identical to a knowledge-free build.
+"""
+
+from repro.knowledge.analytics import (
+    aggregates,
+    frontier,
+    lookup,
+    render_aggregates,
+    render_frontier,
+    render_lookup,
+    run_query,
+)
+from repro.knowledge.similarity import (
+    Neighbor,
+    propose_incumbent,
+    rank_neighbors,
+    signature_distance,
+)
+from repro.knowledge.store import (
+    STORE_SCHEMA,
+    DesignRecord,
+    KnowledgeContext,
+    KnowledgeStore,
+    StructureSignature,
+    current_knowledge,
+    open_store,
+    signature_of,
+    use_knowledge,
+)
+
+__all__ = [
+    "STORE_SCHEMA",
+    "DesignRecord",
+    "KnowledgeContext",
+    "KnowledgeStore",
+    "Neighbor",
+    "StructureSignature",
+    "aggregates",
+    "current_knowledge",
+    "frontier",
+    "lookup",
+    "open_store",
+    "propose_incumbent",
+    "rank_neighbors",
+    "render_aggregates",
+    "render_frontier",
+    "render_lookup",
+    "run_query",
+    "signature_distance",
+    "signature_of",
+    "use_knowledge",
+]

@@ -1,0 +1,271 @@
+"""Fleet-wide analytics over the knowledge store.
+
+Three query kinds, shared by the ``repro-ced query`` CLI and the
+daemon's ``GET /query`` endpoint:
+
+* ``frontier`` — per-circuit cost-vs-latency frontier (the cheapest
+  stored design at every latency bound, with Pareto flags);
+* ``aggregates`` — per-encoding record counts and mean q / cost;
+* ``lookup`` — raw records by circuit name and/or fingerprint prefix.
+
+Query results are plain dicts of sorted, timestamp-free data (``lookup``
+excepted — it surfaces the raw records, ``created`` included), so the
+canonical JSON rendering of ``frontier`` and ``aggregates`` is
+byte-stable across runs over the same store content.  CI leans on that.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+
+from repro.knowledge.store import DesignRecord, KnowledgeStore
+
+QUERY_KINDS = ("frontier", "aggregates", "lookup")
+
+
+def _filtered(
+    records: list[DesignRecord],
+    circuits: list[str] | None = None,
+    encoding: str | None = None,
+    semantics: str | None = None,
+) -> list[DesignRecord]:
+    chosen = records
+    if circuits:
+        wanted = set(circuits)
+        chosen = [r for r in chosen if r.circuit in wanted]
+    if encoding:
+        chosen = [r for r in chosen if r.signature.encoding == encoding]
+    if semantics:
+        chosen = [r for r in chosen if r.signature.semantics == semantics]
+    return chosen
+
+
+def frontier(
+    records: list[DesignRecord],
+    circuits: list[str] | None = None,
+    encoding: str | None = None,
+    semantics: str | None = None,
+) -> dict:
+    """Cheapest stored design per (circuit, latency), Pareto-flagged."""
+    chosen = _filtered(records, circuits, encoding, semantics)
+    best: dict[tuple[str, int], DesignRecord] = {}
+    for record in chosen:
+        key = (record.circuit, record.signature.latency)
+        holder = best.get(key)
+        if holder is None or (
+            (record.cost, record.q, record.fingerprint)
+            < (holder.cost, holder.q, holder.fingerprint)
+        ):
+            best[key] = record
+    per_circuit: dict[str, list[dict]] = {}
+    for (circuit, latency) in sorted(best):
+        record = best[(circuit, latency)]
+        per_circuit.setdefault(circuit, []).append(
+            {
+                "latency": latency,
+                "q": record.q,
+                "cost": record.cost,
+                "gates": record.gates,
+                "source": record.source,
+                "fingerprint": record.fingerprint,
+            }
+        )
+    for points in per_circuit.values():
+        floor = float("inf")
+        # Points arrive latency-ascending; a point is on the frontier iff
+        # it is strictly cheaper than every lower-latency point.
+        for point in points:
+            point["pareto"] = point["cost"] < floor
+            floor = min(floor, point["cost"])
+    return {
+        "kind": "frontier",
+        "filters": {
+            "circuits": sorted(circuits) if circuits else None,
+            "encoding": encoding or None,
+            "semantics": semantics or None,
+        },
+        "records": len(chosen),
+        "circuits": per_circuit,
+    }
+
+
+def aggregates(
+    records: list[DesignRecord], semantics: str | None = None
+) -> dict:
+    """Per-encoding record counts and means across the fleet."""
+    chosen = _filtered(records, semantics=semantics)
+    groups: dict[str, list[DesignRecord]] = {}
+    for record in chosen:
+        groups.setdefault(record.signature.encoding, []).append(record)
+    encodings = {}
+    for encoding in sorted(groups):
+        members = groups[encoding]
+        cheapest = min(
+            members, key=lambda r: (r.cost, r.q, r.fingerprint)
+        )
+        encodings[encoding] = {
+            "records": len(members),
+            "circuits": len({r.circuit for r in members}),
+            "mean_q": round(sum(r.q for r in members) / len(members), 4),
+            "mean_cost": round(
+                sum(r.cost for r in members) / len(members), 4
+            ),
+            "best": {
+                "circuit": cheapest.circuit,
+                "latency": cheapest.signature.latency,
+                "q": cheapest.q,
+                "cost": cheapest.cost,
+            },
+        }
+    return {
+        "kind": "aggregates",
+        "filters": {"semantics": semantics or None},
+        "records": len(chosen),
+        "encodings": encodings,
+    }
+
+
+def lookup(
+    records: list[DesignRecord],
+    circuit: str | None = None,
+    fingerprint: str | None = None,
+) -> dict:
+    """Raw records by circuit and/or fingerprint prefix."""
+    chosen = records
+    if circuit:
+        chosen = [r for r in chosen if r.circuit == circuit]
+    if fingerprint:
+        chosen = [r for r in chosen if r.fingerprint.startswith(fingerprint)]
+    chosen = sorted(
+        chosen,
+        key=lambda r: (r.circuit, r.signature.latency, r.fingerprint),
+    )
+    payload = []
+    for record in chosen:
+        entry = asdict(record)
+        entry["betas"] = list(record.betas)
+        entry["signature"]["fan_in"] = list(record.signature.fan_in)
+        payload.append(entry)
+    return {
+        "kind": "lookup",
+        "filters": {
+            "circuit": circuit or None,
+            "fingerprint": fingerprint or None,
+        },
+        "records": payload,
+    }
+
+
+def run_query(store: KnowledgeStore, kind: str, params: dict) -> dict:
+    """Dispatch one analytics query against a store.
+
+    ``params`` uses string values throughout (they arrive from CLI flags
+    or URL query strings); unknown kinds and parameters raise
+    ``ValueError`` so both frontends can map them to a clean usage error.
+    """
+    records = store.records()
+    if kind == "frontier":
+        allowed = {"circuit", "encoding", "semantics"}
+        if set(params) - allowed:
+            raise ValueError(
+                f"unknown frontier parameters: {sorted(set(params) - allowed)}"
+            )
+        circuits = params.get("circuit")
+        if isinstance(circuits, str):
+            circuits = [circuits]
+        return frontier(
+            records,
+            circuits=circuits,
+            encoding=params.get("encoding"),
+            semantics=params.get("semantics"),
+        )
+    if kind == "aggregates":
+        allowed = {"semantics"}
+        if set(params) - allowed:
+            raise ValueError(
+                f"unknown aggregates parameters: "
+                f"{sorted(set(params) - allowed)}"
+            )
+        return aggregates(records, semantics=params.get("semantics"))
+    if kind == "lookup":
+        allowed = {"circuit", "fingerprint"}
+        if set(params) - allowed:
+            raise ValueError(
+                f"unknown lookup parameters: {sorted(set(params) - allowed)}"
+            )
+        return lookup(
+            records,
+            circuit=params.get("circuit"),
+            fingerprint=params.get("fingerprint"),
+        )
+    raise ValueError(
+        f"unknown query kind {kind!r}; expected one of {QUERY_KINDS}"
+    )
+
+
+def canonical_query_json(result: dict) -> str:
+    """Byte-stable rendering used by CI's two-run comparison."""
+    return json.dumps(
+        result, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+# ----------------------------------------------------------------------
+# Text rendering (CLI)
+# ----------------------------------------------------------------------
+def render_frontier(result: dict) -> str:
+    lines = [f"knowledge frontier  ({result['records']} records)"]
+    if not result["circuits"]:
+        lines.append("  (no matching records)")
+        return "\n".join(lines)
+    header = (
+        f"  {'circuit':12s} {'latency':>7s} {'q':>3s} "
+        f"{'cost':>10s} {'gates':>6s}  source"
+    )
+    lines.append(header)
+    for circuit, points in result["circuits"].items():
+        for point in points:
+            marker = "*" if point["pareto"] else " "
+            lines.append(
+                f"  {circuit:12s} {point['latency']:>7d} {point['q']:>3d} "
+                f"{point['cost']:>10.1f} {point['gates']:>6d} "
+                f"{marker} {point['source']}"
+            )
+    lines.append("  (* = on the cost-vs-latency Pareto frontier)")
+    return "\n".join(lines)
+
+
+def render_aggregates(result: dict) -> str:
+    lines = [f"knowledge aggregates  ({result['records']} records)"]
+    if not result["encodings"]:
+        lines.append("  (no matching records)")
+        return "\n".join(lines)
+    lines.append(
+        f"  {'encoding':10s} {'records':>7s} {'circuits':>8s} "
+        f"{'mean q':>7s} {'mean cost':>10s}  best"
+    )
+    for encoding, row in result["encodings"].items():
+        best = row["best"]
+        lines.append(
+            f"  {encoding:10s} {row['records']:>7d} {row['circuits']:>8d} "
+            f"{row['mean_q']:>7.2f} {row['mean_cost']:>10.1f}  "
+            f"{best['circuit']} p={best['latency']} q={best['q']} "
+            f"cost={best['cost']:.1f}"
+        )
+    return "\n".join(lines)
+
+
+def render_lookup(result: dict) -> str:
+    records = result["records"]
+    lines = [f"knowledge lookup  ({len(records)} records)"]
+    for entry in records:
+        signature = entry["signature"]
+        lines.append(
+            f"  {entry['fingerprint'][:12]}  {signature['circuit']:12s} "
+            f"p={signature['latency']} q={entry['q']} "
+            f"cost={entry['cost']:.1f} enc={signature['encoding']} "
+            f"sem={signature['semantics']} src={entry['source']} "
+            f"({entry['created']})"
+        )
+    return "\n".join(lines)

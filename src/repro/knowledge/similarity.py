@@ -1,0 +1,110 @@
+"""Structure-signature distance and nearest-neighbor ranking.
+
+The distance is a cheap shape metric, not a guarantee: the β set of the
+chosen neighbor is *always* re-verified against the query's full
+detectability table by the ``incumbent`` hook of Algorithm 1, so ranking
+mistakes cost at most one wasted cover check.  That lets the metric stay
+aggressive — any record over the same observable width is a candidate,
+even from a different circuit or semantics.
+
+Hard constraint: β masks are bitmasks over the n observable bits, so a
+record with a different ``num_bits`` can never be reused and gets
+distance ``None``.  Everything else is soft: relative gaps in state /
+input / output counts, the fan-in profile, and penalty terms for
+encoding, semantics and latency mismatches.  A record solved at a *lower*
+latency is preferred over one solved higher — a β set valid at latency p
+is valid at every p' ≥ p, while the converse may fail verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.knowledge.store import DesignRecord, StructureSignature
+
+#: Soft-mismatch penalties, in units of one "fully different count".
+_ENCODING_PENALTY = 1.0  # β masks depend on the state assignment
+_SEMANTICS_PENALTY = 0.5  # checker tables strictly contain trajectory cases
+_LATENCY_ABOVE_PENALTY = 0.25  # per level: may miss short-path cases
+_LATENCY_BELOW_PENALTY = 0.05  # per level: sound but likely oversized
+
+
+def _relative_gap(a: int, b: int) -> float:
+    return abs(a - b) / max(a, b, 1)
+
+
+def _profile_gap(a: tuple[int, ...], b: tuple[int, ...]) -> float:
+    """Normalized L1 distance between two fan-in histograms."""
+    total = sum(a) + sum(b)
+    if total == 0:
+        return 0.0
+    width = max(len(a), len(b))
+    padded_a = tuple(a) + (0,) * (width - len(a))
+    padded_b = tuple(b) + (0,) * (width - len(b))
+    return sum(abs(x - y) for x, y in zip(padded_a, padded_b)) / total
+
+
+def signature_distance(
+    query: StructureSignature, candidate: StructureSignature
+) -> float | None:
+    """Distance between two signatures; ``None`` when incomparable."""
+    if candidate.num_bits != query.num_bits:
+        return None
+    distance = (
+        _relative_gap(query.num_states, candidate.num_states)
+        + _relative_gap(query.num_inputs, candidate.num_inputs)
+        + _relative_gap(query.num_outputs, candidate.num_outputs)
+        + _profile_gap(query.fan_in, candidate.fan_in)
+    )
+    if candidate.encoding != query.encoding:
+        distance += _ENCODING_PENALTY
+    if candidate.semantics != query.semantics:
+        distance += _SEMANTICS_PENALTY
+    if candidate.latency > query.latency:
+        distance += _LATENCY_ABOVE_PENALTY * (
+            candidate.latency - query.latency
+        )
+    else:
+        distance += _LATENCY_BELOW_PENALTY * (
+            query.latency - candidate.latency
+        )
+    return distance
+
+
+@dataclass(frozen=True)
+class Neighbor:
+    """A ranked candidate record."""
+
+    record: DesignRecord
+    distance: float
+
+
+def rank_neighbors(
+    records: list[DesignRecord],
+    signature: StructureSignature,
+    limit: int = 5,
+) -> list[Neighbor]:
+    """The ``limit`` closest compatible records, deterministically ordered.
+
+    Ties break on (q, fingerprint) so two processes reading the same
+    store always propose the same neighbor — a requirement for the
+    byte-stable warm solve cache keys.
+    """
+    ranked = [
+        Neighbor(record, distance)
+        for record in records
+        if (distance := signature_distance(signature, record.signature))
+        is not None
+    ]
+    ranked.sort(
+        key=lambda n: (n.distance, n.record.q, n.record.fingerprint)
+    )
+    return ranked[:limit]
+
+
+def propose_incumbent(
+    records: list[DesignRecord], signature: StructureSignature
+) -> Neighbor | None:
+    """The single best warm-start candidate, or ``None``."""
+    ranked = rank_neighbors(records, signature, limit=1)
+    return ranked[0] if ranked else None

@@ -1,0 +1,320 @@
+"""Append-only JSONL store of completed CED solves.
+
+One line per record, canonical JSON (sorted keys, ``allow_nan=False``),
+schema-versioned via :data:`STORE_SCHEMA`.  Appends are a single
+``O_APPEND`` ``os.write`` under a process-local lock, so concurrent
+writers — campaign worker processes, daemon threads — interleave whole
+lines, never fragments.  Readers tolerate a torn trailing line (a writer
+killed mid-append) and skip records written by a *newer* schema instead
+of guessing at their layout.
+
+The store is deliberately boring: no indexes, no compaction, no daemon.
+A few million records is a few hundred MB of JSONL — grep-able, rsync-able
+and diff-able, which is worth more to a fleet operator than another
+binary format.  See ``docs/store-schema.md`` for the full record layout.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import threading
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+from repro.runtime.cache import _cache_salt, fingerprint
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (flow imports us)
+    from repro.core.search import SolveConfig
+    from repro.logic.synthesis import SynthesisResult
+
+#: Bump whenever the record layout changes incompatibly.  Readers accept
+#: records with ``schema <= STORE_SCHEMA`` and skip newer ones, so a
+#: fleet can roll forward without quarantining old store files.
+STORE_SCHEMA = 1
+
+#: Fan-in histogram buckets: counts of gates with fan-in 1, 2, …, 7, and
+#: a final bucket for 8+.  Coarse on purpose — the profile is a shape
+#: descriptor for similarity ranking, not a netlist fingerprint.
+_FAN_IN_BUCKETS = 8
+
+
+@dataclass(frozen=True)
+class StructureSignature:
+    """The request-independent shape of one designed machine.
+
+    Similarity ranking works entirely on this tuple: two requests with
+    close signatures likely admit the same β sets.  ``num_bits`` is the
+    observable width n = state bits + outputs — β masks are bitmasks over
+    exactly those n bits, so records with a different ``num_bits`` are
+    never comparable.
+    """
+
+    circuit: str
+    num_states: int
+    num_inputs: int
+    num_outputs: int
+    num_state_bits: int
+    num_bits: int
+    fan_in: tuple[int, ...]
+    encoding: str
+    semantics: str
+    latency: int
+
+
+@dataclass(frozen=True)
+class DesignRecord:
+    """One completed solve, as persisted (one JSONL line)."""
+
+    schema: int
+    fingerprint: str
+    signature: StructureSignature
+    q: int
+    betas: tuple[int, ...]
+    cost: float
+    gates: int
+    source: str
+    seed: int
+    max_faults: int | None
+    multilevel: bool
+    salt: str
+    created: str
+
+    @property
+    def circuit(self) -> str:
+        return self.signature.circuit
+
+
+def signature_of(
+    synthesis: "SynthesisResult", semantics: str, latency: int
+) -> StructureSignature:
+    """Extract the structure signature of a synthesized machine."""
+    histogram = [0] * _FAN_IN_BUCKETS
+    for gate in synthesis.netlist.gates:
+        if not gate.fanin:
+            continue  # primary inputs / constants carry no shape
+        histogram[min(len(gate.fanin), _FAN_IN_BUCKETS) - 1] += 1
+    return StructureSignature(
+        circuit=synthesis.fsm.name,
+        num_states=len(synthesis.fsm.states),
+        num_inputs=synthesis.num_inputs,
+        num_outputs=synthesis.num_fsm_outputs,
+        num_state_bits=synthesis.num_state_bits,
+        num_bits=synthesis.num_bits,
+        fan_in=tuple(histogram),
+        encoding=synthesis.encoding.strategy,
+        semantics=semantics,
+        latency=int(latency),
+    )
+
+
+def record_fingerprint(
+    signature: StructureSignature,
+    solve_config: "SolveConfig",
+    max_faults: int | None,
+    multilevel: bool,
+) -> str:
+    """The request fingerprint: one per (machine shape, solve knobs).
+
+    Deliberately excludes q/β/cost — re-running the same request must
+    dedupe against its earlier record, not append a twin.
+    """
+    return fingerprint(
+        "knowledge-record", signature, solve_config, max_faults, multilevel
+    )
+
+
+def make_record(
+    signature: StructureSignature,
+    solve_config: "SolveConfig",
+    max_faults: int | None,
+    multilevel: bool,
+    q: int,
+    betas: list[int],
+    cost: float,
+    gates: int,
+    source: str,
+) -> DesignRecord:
+    return DesignRecord(
+        schema=STORE_SCHEMA,
+        fingerprint=record_fingerprint(
+            signature, solve_config, max_faults, multilevel
+        ),
+        signature=signature,
+        q=int(q),
+        betas=tuple(int(beta) for beta in betas),
+        cost=float(cost),
+        gates=int(gates),
+        source=source,
+        seed=solve_config.seed,
+        max_faults=max_faults,
+        multilevel=bool(multilevel),
+        salt=_cache_salt(),
+        created=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    )
+
+
+def record_to_json(record: DesignRecord) -> str:
+    payload = dataclasses.asdict(record)
+    payload["betas"] = list(record.betas)
+    payload["signature"]["fan_in"] = list(record.signature.fan_in)
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def record_from_json(line: str) -> DesignRecord | None:
+    """Parse one store line; ``None`` for torn/foreign/newer-schema lines."""
+    try:
+        payload = json.loads(line)
+        if not isinstance(payload, dict):
+            return None
+        if int(payload["schema"]) > STORE_SCHEMA:
+            return None
+        raw_signature = dict(payload["signature"])
+        raw_signature["fan_in"] = tuple(
+            int(x) for x in raw_signature["fan_in"]
+        )
+        return DesignRecord(
+            schema=int(payload["schema"]),
+            fingerprint=str(payload["fingerprint"]),
+            signature=StructureSignature(**raw_signature),
+            q=int(payload["q"]),
+            betas=tuple(int(beta) for beta in payload["betas"]),
+            cost=float(payload["cost"]),
+            gates=int(payload["gates"]),
+            source=str(payload["source"]),
+            seed=int(payload["seed"]),
+            max_faults=(
+                None
+                if payload["max_faults"] is None
+                else int(payload["max_faults"])
+            ),
+            multilevel=bool(payload["multilevel"]),
+            salt=str(payload["salt"]),
+            created=str(payload["created"]),
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+class KnowledgeStore:
+    """The JSONL store: atomic appends, lazy re-reads, fingerprint dedup."""
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        self.path = Path(path).expanduser()
+        self._lock = threading.Lock()
+        self._records: list[DesignRecord] = []
+        self._fingerprints: set[str] = set()
+        self._loaded_size = -1
+
+    # -- reading -------------------------------------------------------
+    def _refresh_locked(self) -> None:
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            size = 0
+        if size == self._loaded_size:
+            return
+        records: list[DesignRecord] = []
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError:
+            text = ""
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            record = record_from_json(line)
+            if record is not None:
+                records.append(record)
+        self._records = records
+        self._fingerprints = {record.fingerprint for record in records}
+        self._loaded_size = size
+
+    def records(self) -> list[DesignRecord]:
+        """All parseable records, re-read when the file grew underneath us."""
+        with self._lock:
+            self._refresh_locked()
+            return list(self._records)
+
+    def count(self) -> int:
+        return len(self.records())
+
+    # -- writing -------------------------------------------------------
+    def append(self, record: DesignRecord) -> bool:
+        """Append one record; False when its fingerprint is already stored.
+
+        The line is written with a single ``O_APPEND`` ``write`` call, so
+        concurrent appenders (worker processes sharing the file) can only
+        interleave whole lines.  Cross-process duplicates are possible in
+        a race and harmless — readers and dedup are fingerprint-driven.
+        """
+        data = (record_to_json(record) + "\n").encode("utf-8")
+        with self._lock:
+            self._refresh_locked()
+            if record.fingerprint in self._fingerprints:
+                return False
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fd = os.open(
+                self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+            try:
+                os.write(fd, data)
+            finally:
+                os.close(fd)
+            self._records.append(record)
+            self._fingerprints.add(record.fingerprint)
+            self._loaded_size += len(data)
+        return True
+
+
+#: ``None`` falls back to ``$REPRO_KNOWLEDGE``, then here.
+DEFAULT_STORE_PATH = "~/.cache/repro-ced/knowledge.jsonl"
+
+
+def open_store(path: str | os.PathLike[str] | None = None) -> KnowledgeStore:
+    """The standard way to honour ``--knowledge PATH``."""
+    if path is None:
+        path = os.environ.get("REPRO_KNOWLEDGE") or DEFAULT_STORE_PATH
+    return KnowledgeStore(path)
+
+
+# ----------------------------------------------------------------------
+# Activation context (mirrors repro.runtime.trace)
+# ----------------------------------------------------------------------
+@dataclass
+class KnowledgeContext:
+    """An installed store plus the warm-start switch.
+
+    ``warm_start=False`` (``--no-warm-start``) keeps recording solves but
+    never injects incumbents — the solve path stays byte-identical to a
+    knowledge-free run.
+    """
+
+    store: KnowledgeStore
+    warm_start: bool = True
+
+
+_ACTIVE: ContextVar[KnowledgeContext | None] = ContextVar(
+    "repro_knowledge", default=None
+)
+
+
+def current_knowledge() -> KnowledgeContext | None:
+    """The installed knowledge context, or ``None`` (knowledge off)."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def use_knowledge(context: KnowledgeContext | None) -> Iterator[None]:
+    """Install ``context`` for the dynamic extent of the block."""
+    token = _ACTIVE.set(context)
+    try:
+        yield
+    finally:
+        _ACTIVE.reset(token)

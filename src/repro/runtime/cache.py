@@ -51,8 +51,12 @@ from repro.runtime.trace import current_tracer
 #: extension path.  Revision 4: fault collapsing became sound (output-tap
 #: nets are no longer treated as fanout-free) and behavior-exact
 #: (signature classes), changing the fault lists, tables, certificates
-#: and extraction states embedded in every stage.
-SCHEMA = 4
+#: and extraction states embedded in every stage.  Revision 5:
+#: :class:`~repro.core.search.SolveResult` grew warm-start provenance
+#: (``incumbent_accepted``) and ``solve`` keys gained a knowledge-base
+#: incumbent dimension; the bump keeps pre-knowledge pickles from ever
+#: resolving attribute lookups against the new field set.
+SCHEMA = 5
 
 
 def _cache_salt() -> str:

@@ -42,6 +42,12 @@ from pathlib import Path
 from typing import Any, Callable, Sequence
 
 from repro.core.search import SolveConfig
+from repro.knowledge.store import (
+    KnowledgeContext,
+    current_knowledge,
+    open_store,
+    use_knowledge,
+)
 from repro.runtime.cache import (
     ArtifactCache,
     Cache,
@@ -101,6 +107,12 @@ class CampaignOptions:
     #: ``docs/journal-schema.md``) is written here.
     journal_path: str | None = None
     name: str = "campaign"
+    #: When set, workers install a design knowledge base at this path
+    #: (``docs/store-schema.md``): completed solves are recorded, and —
+    #: unless ``warm_start`` is off — the nearest stored neighbor seeds
+    #: each search as a verified incumbent.
+    knowledge_path: str | None = None
+    warm_start: bool = True
 
 
 @dataclass
@@ -246,20 +258,38 @@ def _run_design(spec: DesignJobSpec, cache, recorder, degraded: bool) -> dict:
     }
 
 
+def _warm_start_active() -> bool:
+    """True when an ambient knowledge context may inject incumbents.
+
+    The outer ``row``/``curve`` roll-up caches are keyed by the request
+    alone; a warm-started result depends additionally on store content,
+    so those caches are bypassed rather than risk replaying a warm
+    artifact onto a cold request (or vice versa).  The expensive inner
+    stages — synthesis, tables, solve — stay cached (the solve key
+    carries the injected incumbent explicitly).
+    """
+    context = current_knowledge()
+    return context is not None and context.warm_start
+
+
 def _run_table1_row(spec: tuple, cache, recorder, degraded: bool):
     from repro.experiments.table1 import run_circuit
 
     circuit, config = spec
     with recorder.stage("row") as stage:
-        row, stage.cached = cached_call(
-            cache,
-            "row",
-            fingerprint("table1-row", circuit, config, degraded),
-            lambda: run_circuit(
-                circuit, config, cache=cache, recorder=recorder,
-                degraded=degraded,
-            ),
+        compute = lambda: run_circuit(  # noqa: E731
+            circuit, config, cache=cache, recorder=recorder,
+            degraded=degraded,
         )
+        if _warm_start_active():
+            row, stage.cached = compute(), False
+        else:
+            row, stage.cached = cached_call(
+                cache,
+                "row",
+                fingerprint("table1-row", circuit, config, degraded),
+                compute,
+            )
     return row
 
 
@@ -268,25 +298,29 @@ def _run_sweep(spec: tuple, cache, recorder, degraded: bool):
 
     circuit, max_latency, semantics, max_faults, solve, seed = spec
     with recorder.stage("curve") as stage:
-        curve, stage.cached = cached_call(
-            cache,
-            "curve",
-            fingerprint(
-                "sweep", circuit, max_latency, semantics, max_faults,
-                solve, seed, degraded,
-            ),
-            lambda: latency_saturation_curve(
-                circuit,
-                max_latency=max_latency,
-                semantics=semantics,
-                max_faults=max_faults,
-                solve_config=solve,
-                seed=seed,
-                cache=cache,
-                recorder=recorder,
-                degraded=degraded,
-            ),
+        compute = lambda: latency_saturation_curve(  # noqa: E731
+            circuit,
+            max_latency=max_latency,
+            semantics=semantics,
+            max_faults=max_faults,
+            solve_config=solve,
+            seed=seed,
+            cache=cache,
+            recorder=recorder,
+            degraded=degraded,
         )
+        if _warm_start_active():
+            curve, stage.cached = compute(), False
+        else:
+            curve, stage.cached = cached_call(
+                cache,
+                "curve",
+                fingerprint(
+                    "sweep", circuit, max_latency, semantics, max_faults,
+                    solve, seed, degraded,
+                ),
+                compute,
+            )
     return curve
 
 
@@ -334,14 +368,27 @@ def campaign_worker(payload: tuple, degraded: bool) -> dict:
     :class:`Tracer` and its records travel back in the result envelope
     (they are plain dicts, so they pickle across the pool boundary); the
     driver stamps them with the job name and appends them to the journal.
+
+    An optional seventh element ``(knowledge_path, warm_start)`` installs
+    a :class:`~repro.knowledge.store.KnowledgeContext` around the job
+    (older six-element payloads keep working, knowledge off).
     """
-    kind, name, spec, cache_dir, cache_enabled, trace = payload
+    kind, name, spec, cache_dir, cache_enabled, trace = payload[:6]
+    knowledge_desc = payload[6] if len(payload) > 6 else None
     cache = _worker_cache(cache_dir, cache_enabled)
     recorder = MetricsRecorder()
     hits_before, misses_before = cache.counters()
     tracer = Tracer() if trace else None
     context = use_tracer(tracer) if tracer is not None else nullcontext()
-    with context:
+    knowledge = (
+        KnowledgeContext(
+            store=open_store(knowledge_desc[0]),
+            warm_start=bool(knowledge_desc[1]),
+        )
+        if knowledge_desc is not None
+        else None
+    )
+    with context, use_knowledge(knowledge):
         value = _DISPATCH[kind](spec, cache, recorder, degraded)
     hits_after, misses_after = cache.counters()
     return {
@@ -369,8 +416,16 @@ def run_campaign(
     started = time.perf_counter()
     created = datetime.now(timezone.utc).isoformat(timespec="seconds")
     trace = options.journal_path is not None
+    knowledge_desc = (
+        (options.knowledge_path, options.warm_start)
+        if options.knowledge_path is not None
+        else None
+    )
     payloads = [
-        (job.kind, job.name, job.spec, options.cache_dir, options.cache, trace)
+        (
+            job.kind, job.name, job.spec, options.cache_dir, options.cache,
+            trace, knowledge_desc,
+        )
         for job in jobs
     ]
     executor = ExecutorConfig(
@@ -541,6 +596,8 @@ def _build_manifest(
             "retries": options.retries,
             "fallback": options.fallback,
             "journal": options.journal_path,
+            "knowledge": options.knowledge_path,
+            "warm_start": options.warm_start,
         },
         "cache": cache_stats,
         "totals": {

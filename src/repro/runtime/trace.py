@@ -240,7 +240,10 @@ class JournalWriter:
         )
 
     def write(self, record: dict) -> None:
-        line = json.dumps(_jsonable(record)) + "\n"
+        # allow_nan=False turns any non-finite float that slips past
+        # _jsonable into a loud ValueError instead of a bare NaN/Infinity
+        # token that strict RFC-8259 consumers reject.
+        line = json.dumps(_jsonable(record), allow_nan=False) + "\n"
         with self._lock:
             self._stream.write(line)
             self._stream.flush()

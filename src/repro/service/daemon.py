@@ -88,6 +88,13 @@ class ServiceConfig:
     peer_timeout: float = 5.0
     #: Seconds a peer miss is remembered before peers are asked again.
     peer_negative_ttl: float = 30.0
+    #: Design knowledge base (``repro-ced serve --knowledge``): workers
+    #: record completed solves here and — unless ``warm_start`` is off —
+    #: seed searches with the nearest stored neighbor.  ``GET /query``
+    #: analytics read the same store (falling back to the default store
+    #: path when unset; see :func:`repro.knowledge.store.open_store`).
+    knowledge_path: str | None = None
+    warm_start: bool = True
 
 
 class _Flight:
@@ -144,6 +151,10 @@ class DesignService:
         self._peer_totals: dict[str, int] = {}
         self._cache_serves = 0
         self._cache_serve_misses = 0
+        # Knowledge store: lazily re-read, shared by /query and /stats.
+        from repro.knowledge.store import open_store
+
+        self._knowledge = open_store(config.knowledge_path)
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> None:
@@ -288,6 +299,15 @@ class DesignService:
                 "served": self._cache_serves,
                 "serve_misses": self._cache_serve_misses,
             },
+            "knowledge": {
+                "path": str(self._knowledge.path),
+                "recording": self.config.knowledge_path is not None,
+                "warm_start": (
+                    self.config.knowledge_path is not None
+                    and self.config.warm_start
+                ),
+                "records": len(self._knowledge.records()),
+            },
             "disk_cache": {
                 "hits": self._disk_hits,
                 "misses": self._disk_misses,
@@ -374,6 +394,11 @@ class DesignService:
             self.config.cache,
             self._journal is not None,
             self._peering_payload(),
+            (
+                (self.config.knowledge_path, self.config.warm_start)
+                if self.config.knowledge_path is not None
+                else None
+            ),
         )
         try:
             if self._pool is not None:
@@ -433,6 +458,34 @@ class DesignService:
                 if not self._inflight:
                     self._idle.notify_all()
             flight.event.set()
+
+    # -- knowledge analytics (GET /query) ------------------------------
+    def knowledge_query(self, query_string: str) -> tuple[int, str]:
+        """``GET /query?kind=frontier&circuit=...`` → analytics JSON.
+
+        Served inline on the request thread — analytics read the JSONL
+        store, never the solver — and rendered with the same canonical
+        encoder as query results, so identical store content yields
+        byte-identical bodies.
+        """
+        from urllib.parse import parse_qs
+
+        from repro.knowledge.analytics import run_query
+
+        try:
+            parsed = parse_qs(query_string, keep_blank_values=False)
+        except ValueError as error:
+            return 400, _error_body(f"bad query string: {error}")
+        kinds = parsed.pop("kind", ["frontier"])
+        params = {
+            name: values if len(values) > 1 else values[0]
+            for name, values in parsed.items()
+        }
+        try:
+            result = run_query(self._knowledge, kinds[-1], params)
+        except ValueError as error:
+            return 400, _error_body(str(error))
+        return 200, canonical_json(result)
 
     def _journal_request(
         self, kind: str, spec: Any, key: str, t0: float, status: str
@@ -495,6 +548,12 @@ class ServiceHandler(BaseHTTPRequestHandler):
             self._send(status, canonical_json(health))
         elif path == "/stats":
             self._send(200, canonical_json(self.service.stats()))
+        elif path == "/query":
+            query = (
+                self.path.split("?", 1)[1] if "?" in self.path else ""
+            )
+            status, body = self.service.knowledge_query(query)
+            self._send(status, body)
         elif path == "/cache/peers":
             self._send(200, canonical_json({"peers": self.service.peers()}))
         elif path.startswith("/cache/"):

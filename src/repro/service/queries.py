@@ -28,6 +28,7 @@ from dataclasses import asdict
 from typing import Any, Callable
 
 from repro.core.search import SolveConfig
+from repro.knowledge.store import KnowledgeContext, open_store, use_knowledge
 from repro.runtime.cache import fingerprint
 from repro.runtime.campaign import (
     DesignJobSpec,
@@ -303,10 +304,13 @@ def service_worker(payload: tuple, degraded: bool) -> dict:
     peer-cache wiring (see :mod:`repro.service.peering`): with peers
     configured, the disk cache is wrapped in a read-through
     :class:`~repro.service.peering.PeerCache` so a local artifact miss
-    asks a warm replica before re-solving.
+    asks a warm replica before re-solving.  The optional seventh element
+    ``(knowledge_path, warm_start)`` installs a design knowledge base
+    (:mod:`repro.knowledge`) around the query.
     """
     kind, spec, cache_dir, cache_enabled, trace = payload[:5]
     peering = payload[5] if len(payload) > 5 else None
+    knowledge_desc = payload[6] if len(payload) > 6 else None
     cache = _worker_cache(cache_dir, cache_enabled)
     peer_before = None
     if peering and peering.get("peers"):
@@ -325,7 +329,15 @@ def service_worker(payload: tuple, degraded: bool) -> dict:
     stage_hits_before, stage_misses_before = cache.stage_counters()
     tracer = Tracer() if trace else None
     context = use_tracer(tracer) if tracer is not None else nullcontext()
-    with context:
+    knowledge = (
+        KnowledgeContext(
+            store=open_store(knowledge_desc[0]),
+            warm_start=bool(knowledge_desc[1]),
+        )
+        if knowledge_desc is not None
+        else None
+    )
+    with context, use_knowledge(knowledge):
         value = QUERY_KINDS[kind][1](spec, cache, recorder, degraded)
     hits_after, misses_after = cache.counters()
     stage_hits_after, stage_misses_after = cache.stage_counters()

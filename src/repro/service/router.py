@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 import queue
 import signal
 import threading
@@ -393,6 +394,36 @@ class RouterService:
         ).start()
         return leg
 
+    # -- GET passthrough (knowledge analytics) -------------------------
+    def forward_get(self, path: str) -> tuple[int, bytes]:
+        """Forward a read-only GET (``/query``) to a healthy replica.
+
+        Analytics are cheap file reads, so there is no hedging and no
+        retry backoff — just straight failover down the health-ranked
+        replica list until one answers.
+        """
+        ranking = self._rank(path)
+        candidates = [r for r in ranking if r.eligible] or ranking
+        last: tuple[int, bytes] = (
+            503, _error_bytes("no healthy replicas"),
+        )
+        for replica in candidates:
+            try:
+                status, raw = replica.client.request_raw("GET", path)
+            except OSError as error:
+                with self._lock:
+                    replica.healthy = False
+                    replica.connect_failures += 1
+                last = (
+                    503,
+                    _error_bytes(
+                        f"replica {replica.address} unreachable: {error}"
+                    ),
+                )
+                continue
+            return status, raw
+        return last
+
     # -- read endpoints ------------------------------------------------
     def healthz(self) -> dict:
         with self._lock:
@@ -424,6 +455,7 @@ class RouterService:
                     "count": len(ordered),
                     "p50_ms": round(_quantile(ordered, 0.50) * 1000, 3),
                     "p95_ms": round(_quantile(ordered, 0.95) * 1000, 3),
+                    "p99_ms": round(_quantile(ordered, 0.99) * 1000, 3),
                 }
             return {
                 "role": "router",
@@ -480,7 +512,16 @@ def _poll(results: "queue.Queue[_Leg]", timeout: float) -> _Leg | None:
 
 
 def _quantile(ordered: list[float], q: float) -> float:
-    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+    """Nearest-rank quantile: the ceil(q*n)-th smallest sample.
+
+    The naive ``int(q * n)`` index is off by one — the p50 of a 2-sample
+    window would return the *max*, biasing small-window hedge deadlines
+    upward and delaying hedged re-dispatch.
+    """
+    if not ordered:
+        return 0.0
+    rank = math.ceil(q * len(ordered))
+    return ordered[min(len(ordered), max(1, rank)) - 1]
 
 
 # ----------------------------------------------------------------------
@@ -506,6 +547,9 @@ class RouterHandler(BaseHTTPRequestHandler):
             self._send(
                 200, canonical_json(self.service.stats()).encode("utf-8")
             )
+        elif path == "/query":
+            status, body = self.service.forward_get(self.path)
+            self._send(status, body)
         else:
             self._send(404, _error_bytes(f"no such endpoint {path!r}"))
 

@@ -27,6 +27,15 @@ def _isolated_artifact_cache(tmp_path_factory):
     os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("artifact-cache"))
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_knowledge_store(tmp_path_factory):
+    """Same treatment for the knowledge store's default path: tests must
+    never touch a developer's real ``~/.cache/repro-ced/knowledge.jsonl``."""
+    os.environ["REPRO_KNOWLEDGE"] = str(
+        tmp_path_factory.mktemp("knowledge") / "knowledge.jsonl"
+    )
+
+
 @pytest.fixture(scope="session")
 def traffic_fsm():
     return load_benchmark("traffic")

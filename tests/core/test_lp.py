@@ -59,3 +59,46 @@ class TestSubsample:
         assert all(tuple(r) in original for r in sampled.rows.tolist())
         again = subsample_table(table, 16, seed=5)
         assert np.array_equal(sampled.rows, again.rows)
+
+
+class TestInfeasible:
+    def test_uncoverable_row_yields_none_objective(self):
+        # An all-zero row can never be detected: the LP is infeasible.
+        table = table_from([[0, 0], [1, 2]])
+        solution = solve_lp_relaxation(table, q=1)
+        assert solution.status == "infeasible"
+        assert not solution.feasible
+        # Regression: this used to be float("nan"), which leaked bare
+        # NaN literals into journal lines and service payloads.
+        assert solution.objective_value is None
+
+    def test_infeasible_solve_journal_is_strict_rfc8259(self, tmp_path):
+        import json
+
+        from repro.runtime.trace import (
+            JournalWriter,
+            Tracer,
+            read_journal,
+            use_tracer,
+        )
+
+        tracer = Tracer()
+        with use_tracer(tracer):
+            solve_lp_relaxation(table_from([[0, 0], [1, 2]]), q=1)
+        path = tmp_path / "journal.jsonl"
+        with JournalWriter(path, name="lp-infeasible") as writer:
+            writer.write_all(tracer.records)
+        # RFC 8259 has no NaN/Infinity literals; a strict parser must
+        # accept every line of an infeasible-solve journal.
+        for line in path.read_text().splitlines():
+            json.loads(
+                line,
+                parse_constant=lambda c: pytest.fail(
+                    f"non-finite JSON literal {c!r} in journal line {line!r}"
+                ),
+            )
+        event = next(
+            r for r in read_journal(path) if r.get("name") == "lp.solve"
+        )
+        assert event["attrs"]["status"] == "infeasible"
+        assert event["attrs"]["objective"] is None

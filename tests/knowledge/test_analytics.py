@@ -1,0 +1,124 @@
+"""Analytics queries: frontiers, aggregates, lookup, and the dispatcher."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.knowledge.analytics import (
+    aggregates,
+    canonical_query_json,
+    frontier,
+    lookup,
+    run_query,
+)
+from repro.knowledge.store import KnowledgeStore
+
+from tests.knowledge.test_store import record
+
+
+@pytest.fixture()
+def pool():
+    return [
+        record(circuit="traffic", latency=1, q=4,
+               betas=(1, 2, 4, 8), cost=60.0),
+        record(circuit="traffic", latency=2, q=3,
+               betas=(1, 2, 4), cost=50.0),
+        record(circuit="traffic", latency=3, q=3,
+               betas=(1, 2, 4), cost=55.0),  # dominated: pricier, slower
+        record(circuit="seqdet", latency=1, q=2, betas=(1, 2), cost=30.0),
+        record(circuit="seqdet", latency=1, q=5,
+               betas=(1, 2, 4, 8, 3), cost=80.0, encoding="gray"),
+    ]
+
+
+def cost_patch(item, cost):
+    import dataclasses
+
+    return dataclasses.replace(item, cost=cost)
+
+
+class TestFrontier:
+    def test_cheapest_per_latency_with_pareto_flags(self, pool):
+        result = frontier(pool)
+        traffic = result["circuits"]["traffic"]
+        assert [p["latency"] for p in traffic] == [1, 2, 3]
+        assert [p["cost"] for p in traffic] == [60.0, 50.0, 55.0]
+        assert [p["pareto"] for p in traffic] == [True, True, False]
+        assert result["records"] == len(pool)
+
+    def test_duplicate_latency_keeps_cheapest(self, pool):
+        # Same (circuit, latency): min on (cost, q, fingerprint) wins.
+        cheaper = cost_patch(pool[0], 10.0)
+        point = frontier([pool[0], cheaper])["circuits"]["traffic"][0]
+        assert point["cost"] == 10.0
+
+    def test_filters(self, pool):
+        only = frontier(pool, circuits=["seqdet"], encoding="gray")
+        assert list(only["circuits"]) == ["seqdet"]
+        assert only["records"] == 1
+
+    def test_renders_at_least_two_circuits(self, pool):
+        from repro.knowledge.analytics import render_frontier
+
+        text = render_frontier(frontier(pool))
+        assert "traffic" in text and "seqdet" in text
+        assert "Pareto" in text
+
+
+class TestAggregates:
+    def test_per_encoding_groups(self, pool):
+        result = aggregates(pool)
+        assert set(result["encodings"]) == {"binary", "gray"}
+        binary = result["encodings"]["binary"]
+        assert binary["records"] == 4
+        assert binary["circuits"] == 2
+        assert binary["best"]["circuit"] == "seqdet"
+        assert binary["best"]["cost"] == 30.0
+
+    def test_semantics_filter(self, pool):
+        assert aggregates(pool, semantics="checker")["encodings"] == {}
+
+
+class TestLookup:
+    def test_by_circuit_and_fingerprint_prefix(self, pool):
+        by_circuit = lookup(pool, circuit="seqdet")
+        assert len(by_circuit["records"]) == 2
+        target = pool[1]
+        by_prefix = lookup(pool, fingerprint=target.fingerprint[:10])
+        assert any(
+            entry["fingerprint"] == target.fingerprint
+            for entry in by_prefix["records"]
+        )
+
+    def test_records_carry_full_payload(self, pool):
+        entry = lookup(pool, circuit="traffic")["records"][0]
+        assert entry["betas"] == [1, 2, 4, 8]  # latency 1 sorts first
+        assert isinstance(entry["signature"]["fan_in"], list)
+        assert "created" in entry
+
+
+class TestRunQuery:
+    def test_dispatch_and_param_validation(self, pool, tmp_path):
+        store = KnowledgeStore(tmp_path / "kb.jsonl")
+        for item in pool:
+            store.append(item)
+        result = run_query(store, "frontier", {"circuit": "traffic"})
+        assert list(result["circuits"]) == ["traffic"]
+        with pytest.raises(ValueError):
+            run_query(store, "frontier", {"fingerprint": "xx"})
+        with pytest.raises(ValueError):
+            run_query(store, "aggregates", {"circuit": "traffic"})
+        with pytest.raises(ValueError):
+            run_query(store, "nonsense", {})
+
+    def test_canonical_json_is_byte_stable(self, pool, tmp_path):
+        store = KnowledgeStore(tmp_path / "kb.jsonl")
+        for item in pool:
+            store.append(item)
+        first = canonical_query_json(run_query(store, "frontier", {}))
+        # A second store instance re-reads the file from scratch.
+        again = canonical_query_json(
+            run_query(KnowledgeStore(store.path), "frontier", {})
+        )
+        assert first == again
+        assert "\n" not in first

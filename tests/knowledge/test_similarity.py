@@ -1,0 +1,87 @@
+"""Similarity ranking: the hard width constraint and the soft penalties."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.knowledge.similarity import (
+    propose_incumbent,
+    rank_neighbors,
+    signature_distance,
+)
+
+from tests.knowledge.test_store import record, signature
+
+
+class TestDistance:
+    def test_identical_signatures_have_zero_distance(self):
+        assert signature_distance(signature(), signature()) == 0.0
+
+    def test_different_num_bits_is_incomparable(self):
+        # β masks are bitmasks over exactly num_bits observable bits.
+        assert signature_distance(signature(), signature(num_bits=5)) is None
+
+    def test_encoding_mismatch_costs_more_than_semantics(self):
+        query = signature()
+        other_encoding = signature_distance(query, signature(encoding="gray"))
+        other_semantics = signature_distance(
+            query, signature(semantics="checker")
+        )
+        assert other_encoding > other_semantics > 0.0
+
+    def test_lower_latency_records_are_preferred(self):
+        # A β set valid at latency p is valid at every p' >= p; the
+        # converse may fail verification, so "above" costs more.
+        query = signature(latency=2)
+        below = signature_distance(query, signature(latency=1))
+        above = signature_distance(query, signature(latency=3))
+        assert 0.0 < below < above
+
+    def test_count_gaps_are_relative(self):
+        query = signature(num_states=4)
+        near = signature_distance(query, signature(num_states=5))
+        far = signature_distance(query, signature(num_states=16))
+        assert near < far
+
+
+class TestRanking:
+    def test_rank_filters_incompatible_and_sorts(self):
+        query = signature()
+        near = record(latency=2)
+        far = record(encoding="gray", latency=2)
+        alien = record(num_bits=6)
+        ranked = rank_neighbors([far, alien, near], query)
+        assert [n.record.fingerprint for n in ranked] == [
+            near.fingerprint, far.fingerprint,
+        ]
+
+    def test_ties_break_on_q_then_fingerprint(self):
+        query = signature()
+        small_q = record(q=2, betas=(1, 2))
+        big_q = dataclasses.replace(record(q=5, betas=(1, 2, 4, 8, 3)),
+                                    fingerprint="0" * 8)
+        ranked = rank_neighbors([big_q, small_q], query)
+        assert ranked[0].record.q == 2
+        assert ranked[0].distance == ranked[1].distance
+
+    def test_propose_incumbent_empty(self):
+        assert propose_incumbent([], signature()) is None
+
+    def test_propose_incumbent_picks_nearest(self):
+        query = signature()
+        best = record()
+        assert (
+            propose_incumbent([record(encoding="onehot"), best], query).record
+            == best
+        )
+
+    def test_ranking_is_deterministic(self):
+        query = signature()
+        pool = [record(latency=p) for p in (1, 2, 3)] + [
+            record(encoding=e) for e in ("gray", "onehot")
+        ]
+        first = rank_neighbors(pool, query)
+        second = rank_neighbors(list(reversed(pool)), query)
+        assert [n.record.fingerprint for n in first] == [
+            n.record.fingerprint for n in second
+        ]

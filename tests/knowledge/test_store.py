@@ -1,0 +1,175 @@
+"""Knowledge store: round-trip, schema versioning, atomic appends."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.core.search import SolveConfig
+from repro.knowledge.store import (
+    STORE_SCHEMA,
+    DesignRecord,
+    KnowledgeStore,
+    StructureSignature,
+    make_record,
+    open_store,
+    record_from_json,
+    record_to_json,
+    signature_of,
+)
+
+
+def signature(**overrides) -> StructureSignature:
+    fields = dict(
+        circuit="traffic",
+        num_states=4,
+        num_inputs=2,
+        num_outputs=2,
+        num_state_bits=2,
+        num_bits=4,
+        fan_in=(3, 5, 2, 0, 0, 0, 0, 0),
+        encoding="binary",
+        semantics="trajectory",
+        latency=2,
+    )
+    fields.update(overrides)
+    return StructureSignature(**fields)
+
+
+def record(
+    q: int = 3,
+    betas=(0b11, 0b100, 0b1000),
+    cost: float = 42.5,
+    **overrides,
+) -> DesignRecord:
+    return make_record(
+        signature(**overrides),
+        SolveConfig(seed=7),
+        max_faults=100,
+        multilevel=False,
+        q=q,
+        betas=list(betas),
+        cost=cost,
+        gates=17,
+        source="lp+rr",
+    )
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_identity(self):
+        original = record()
+        assert record_from_json(record_to_json(original)) == original
+
+    def test_lines_are_canonical_json(self):
+        line = record_to_json(record())
+        payload = json.loads(line)
+        assert payload["schema"] == STORE_SCHEMA
+        # Canonical: sorted keys, minimal separators — byte-stable.
+        assert line == json.dumps(
+            payload, sort_keys=True, separators=(",", ":")
+        )
+
+    def test_signature_of_synthesis(self, traffic_synthesis):
+        sig = signature_of(traffic_synthesis, "trajectory", 2)
+        assert sig.circuit == "traffic"
+        assert sig.num_bits == traffic_synthesis.num_bits
+        assert sig.encoding == "binary"
+        assert sig.latency == 2
+        assert len(sig.fan_in) == 8
+        assert sum(sig.fan_in) > 0
+
+    def test_fingerprint_excludes_solution(self):
+        # Re-running the same request must dedupe whatever q it found.
+        assert record(q=3).fingerprint == record(q=5, betas=(1, 2)).fingerprint
+        assert record().fingerprint != record(latency=3).fingerprint
+
+
+class TestVersioningAndTornLines:
+    def test_newer_schema_records_are_skipped(self, tmp_path):
+        path = tmp_path / "kb.jsonl"
+        store = KnowledgeStore(path)
+        store.append(record())
+        payload = json.loads(record_to_json(record(latency=3)))
+        payload["schema"] = STORE_SCHEMA + 1
+        with path.open("a") as stream:
+            stream.write(json.dumps(payload) + "\n")
+        fresh = KnowledgeStore(path)
+        assert [r.schema for r in fresh.records()] == [STORE_SCHEMA]
+
+    def test_torn_trailing_line_is_tolerated(self, tmp_path):
+        path = tmp_path / "kb.jsonl"
+        store = KnowledgeStore(path)
+        store.append(record())
+        with path.open("a") as stream:
+            stream.write(record_to_json(record(latency=3))[:25])  # no newline
+        fresh = KnowledgeStore(path)
+        assert len(fresh.records()) == 1
+
+    def test_garbage_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "kb.jsonl"
+        path.write_text('not json\n[1,2]\n{"schema":1}\n')
+        assert KnowledgeStore(path).records() == []
+
+
+class TestAppend:
+    def test_append_dedupes_by_fingerprint(self, tmp_path):
+        store = KnowledgeStore(tmp_path / "kb.jsonl")
+        assert store.append(record()) is True
+        assert store.append(record()) is False
+        assert store.count() == 1
+        assert len((tmp_path / "kb.jsonl").read_text().splitlines()) == 1
+
+    def test_external_appends_are_picked_up(self, tmp_path):
+        path = tmp_path / "kb.jsonl"
+        ours, theirs = KnowledgeStore(path), KnowledgeStore(path)
+        ours.append(record())
+        assert theirs.count() == 1
+        theirs.append(record(latency=3))
+        assert ours.count() == 2
+
+    def test_concurrent_appends_interleave_whole_lines(self, tmp_path):
+        path = tmp_path / "kb.jsonl"
+        records = [record(latency=latency) for latency in range(1, 17)]
+        barrier = threading.Barrier(len(records))
+
+        def run(store: KnowledgeStore, item: DesignRecord) -> None:
+            barrier.wait()
+            store.append(item)
+
+        threads = [
+            # A store instance per thread: the in-process lock must not be
+            # what saves us — the single O_APPEND write must.
+            threading.Thread(target=run, args=(KnowledgeStore(path), item))
+            for item in records
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        lines = path.read_text().splitlines()
+        assert len(lines) == len(records)
+        parsed = [record_from_json(line) for line in lines]
+        assert all(item is not None for item in parsed)
+        assert {item.fingerprint for item in parsed} == {
+            item.fingerprint for item in records
+        }
+
+
+class TestOpenStore:
+    def test_explicit_path_wins(self, tmp_path):
+        store = open_store(tmp_path / "explicit.jsonl")
+        assert store.path == tmp_path / "explicit.jsonl"
+
+    def test_env_fallback(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_KNOWLEDGE", str(tmp_path / "env.jsonl"))
+        assert open_store().path == tmp_path / "env.jsonl"
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert KnowledgeStore(tmp_path / "absent.jsonl").records() == []
+
+
+@pytest.mark.parametrize("bad", ["", "{", '{"schema": 99}'])
+def test_record_from_json_rejects_gracefully(bad):
+    assert record_from_json(bad) is None

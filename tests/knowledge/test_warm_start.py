@@ -1,0 +1,168 @@
+"""Warm-start flow: provenance, byte-identity of the cold path, and the
+never-worse property of verified incumbents."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.core.search import SolveConfig, solve_for_latencies
+from repro.flow import design_ced_sweep
+from repro.knowledge.store import (
+    KnowledgeContext,
+    KnowledgeStore,
+    use_knowledge,
+)
+from repro.runtime.cache import NullCache, fingerprint
+from repro.runtime.trace import Tracer, use_tracer
+from tests.strategies import solver_seeds
+
+LATENCIES = [1, 2]
+
+
+def sweep(knowledge: KnowledgeContext | None = None, circuit: str = "traffic"):
+    return design_ced_sweep(
+        circuit,
+        latencies=LATENCIES,
+        semantics="trajectory",
+        max_faults=120,
+        cache=NullCache(),  # force real solves: identity must not come
+        knowledge=knowledge,  # from artifact-cache hits
+    )
+
+
+def solve_bytes(designs, provenance: bool = True) -> str:
+    """One fingerprint over everything the solver decided.
+
+    ``provenance=False`` drops the ``incumbent_source`` label: an
+    *accepted* warm start must reproduce the cold q/β/cost exactly, but
+    it legitimately relabels where the starting set came from.  The cold
+    paths (empty store, ``--no-warm-start``) must match provenance too.
+    """
+    return fingerprint(
+        "identity",
+        [
+            (p, designs[p].solve_result.q, designs[p].solve_result.betas,
+             designs[p].cost)
+            + ((designs[p].solve_result.incumbent_source,) if provenance
+               else ())
+            for p in sorted(designs)
+        ],
+    )
+
+
+class TestWarmStartFlow:
+    def test_second_run_accepts_self_neighbor(self, tmp_path):
+        context = KnowledgeContext(KnowledgeStore(tmp_path / "kb.jsonl"))
+        cold = sweep(context)
+        assert all(d.warm_start is None for d in cold.values())
+        assert context.store.count() == len(LATENCIES)
+
+        warm = sweep(context)
+        meta = warm[LATENCIES[0]].warm_start
+        assert meta is not None
+        assert meta["accepted"] is True
+        assert meta["neighbor_circuit"] == "traffic"
+        assert meta["distance"] == 0.0
+        assert meta["q_delta"] == 0
+        # Reusing our own record must reproduce the cold answer exactly.
+        assert solve_bytes(warm, provenance=False) == solve_bytes(
+            cold, provenance=False
+        )
+        # Dedup: the re-run appended nothing new.
+        assert context.store.count() == len(LATENCIES)
+
+    def test_ambient_context_is_honoured(self, tmp_path):
+        context = KnowledgeContext(KnowledgeStore(tmp_path / "kb.jsonl"))
+        with use_knowledge(context):
+            sweep()
+            warm = sweep()
+        assert warm[LATENCIES[0]].warm_start is not None
+
+    def test_incompatible_neighbor_is_never_proposed(self, tmp_path):
+        context = KnowledgeContext(KnowledgeStore(tmp_path / "kb.jsonl"))
+        sweep(context, circuit="traffic")
+        other = sweep(context, circuit="seqdet")  # different num_bits
+        assert all(d.warm_start is None for d in other.values())
+        circuits = {r.circuit for r in context.store.records()}
+        assert circuits == {"traffic", "seqdet"}
+
+    def test_journal_events(self, tmp_path):
+        context = KnowledgeContext(KnowledgeStore(tmp_path / "kb.jsonl"))
+        sweep(context)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            sweep(context)
+        by_name = {}
+        for item in tracer.records:
+            if item["type"] == "event":
+                by_name.setdefault(item["name"], []).append(item["attrs"])
+        assert by_name["store.lookup"][0]["records"] == len(LATENCIES)
+        (warm,) = by_name["store.warm"]
+        assert warm["accepted"] is True and warm["q_delta"] == 0
+        (append,) = by_name["store.append"]
+        assert append["appended"] == 0  # dedup: nothing new on a re-run
+
+
+class TestColdByteIdentity:
+    def test_empty_store_matches_cold(self, tmp_path):
+        cold = sweep()
+        empty = sweep(KnowledgeContext(KnowledgeStore(tmp_path / "kb.jsonl")))
+        assert all(d.warm_start is None for d in empty.values())
+        assert solve_bytes(empty) == solve_bytes(cold)
+
+    def test_no_warm_start_records_but_never_injects(self, tmp_path):
+        cold = sweep()
+        context = KnowledgeContext(
+            KnowledgeStore(tmp_path / "kb.jsonl"), warm_start=False
+        )
+        first = sweep(context)
+        assert context.store.count() == len(LATENCIES)  # still recording
+        second = sweep(context)  # store is populated, solver must not see it
+        assert all(d.warm_start is None for d in first.values())
+        assert all(d.warm_start is None for d in second.values())
+        assert solve_bytes(first) == solve_bytes(cold)
+        assert solve_bytes(second) == solve_bytes(cold)
+
+    def test_degraded_runs_bypass_the_store(self, tmp_path):
+        context = KnowledgeContext(KnowledgeStore(tmp_path / "kb.jsonl"))
+        sweep(context)
+        designs = design_ced_sweep(
+            "traffic",
+            latencies=LATENCIES,
+            semantics="trajectory",
+            max_faults=120,
+            cache=NullCache(),
+            degraded=True,
+            knowledge=context,
+        )
+        # Greedy-only q's would poison the ranking: no reads, no writes.
+        assert all(d.warm_start is None for d in designs.values())
+        assert context.store.count() == len(LATENCIES)
+
+
+@settings(max_examples=8, deadline=None)
+@given(donor_seed=solver_seeds(), solve_seed=solver_seeds())
+def test_warm_start_never_increases_q(
+    traffic_tables_trajectory, donor_seed, solve_seed
+):
+    """A verified incumbent can only tighten the search bracket.
+
+    The incumbent is pruned and verified against the full table before
+    use, and only replaces the identity/greedy start when strictly
+    smaller — so for any donor β set and any solver seed, warm-started q
+    never exceeds the cold q at any latency.
+    """
+    tables = traffic_tables_trajectory
+    donor = solve_for_latencies(tables, SolveConfig(seed=donor_seed))
+    cold = solve_for_latencies(tables, SolveConfig(seed=solve_seed))
+    warm = solve_for_latencies(
+        tables,
+        SolveConfig(seed=solve_seed),
+        incumbent=donor[min(tables)].betas,
+    )
+    for latency in sorted(tables):
+        assert warm[latency].q <= cold[latency].q, (
+            f"warm start regressed q at latency {latency}: "
+            f"{warm[latency].q} > {cold[latency].q} "
+            f"(donor={donor_seed}, seed={solve_seed})"
+        )

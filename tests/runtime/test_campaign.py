@@ -100,6 +100,59 @@ class TestRunCampaign:
         assert warm.reports[0].cache_hits > 0
         assert warm.values == cold.values
 
+    def test_knowledge_campaign_populates_store_and_stays_identical(
+        self, tmp_path
+    ):
+        from repro.knowledge.store import KnowledgeStore
+
+        jobs = design_matrix_jobs(["seqdet"], latencies=[1], max_faults=40)
+        cold = run_campaign(jobs, _options(tmp_path))
+        kb = tmp_path / "kb.jsonl"
+        options = _options(tmp_path, knowledge_path=str(kb), jobs=2)
+        first = run_campaign(jobs, options)
+        store = KnowledgeStore(kb)
+        assert store.count() == 1
+        assert {r.circuit for r in store.records()} == {"seqdet"}
+        # Warm-started values must match the knowledge-free baseline —
+        # the incumbent is verified, never trusted.  Only the ``source``
+        # provenance label may differ (it records where the starting β
+        # set came from).
+        second = run_campaign(jobs, options)
+
+        def unlabeled(values):
+            return {
+                name: {
+                    **summary,
+                    "latencies": {
+                        p: {k: v for k, v in entry.items() if k != "source"}
+                        for p, entry in summary["latencies"].items()
+                    },
+                }
+                for name, summary in values.items()
+            }
+
+        assert first.values == cold.values
+        assert unlabeled(second.values) == unlabeled(cold.values)
+        assert (
+            second.values["seqdet"]["latencies"]["1"]["source"] == "incumbent"
+        )
+        assert second.manifest["options"]["knowledge"] == str(kb)
+        assert second.manifest["options"]["warm_start"] is True
+        assert store.count() == 1  # deduped across runs
+
+    def test_no_warm_start_campaign_still_uses_row_cache(self, tmp_path):
+        jobs = design_matrix_jobs(["seqdet"], latencies=[1], max_faults=40)
+        kb = tmp_path / "kb.jsonl"
+        options = _options(
+            tmp_path, knowledge_path=str(kb), warm_start=False
+        )
+        run_campaign(jobs, options)
+        warm = run_campaign(jobs, options)
+        # Recording-only runs keep the outer row cache: with warm start
+        # off the result cannot depend on store content.
+        assert warm.reports[0].cache_misses == 0
+        assert warm.reports[0].cache_hits > 0
+
     def test_failed_job_reported_not_raised(self, tmp_path):
         jobs = [
             CampaignJob(

@@ -146,6 +146,80 @@ class TestEndpoints:
             assert stats["inflight"] == 0  # flight cleaned up after failure
 
 
+class TestKnowledgeEndpoint:
+    """``GET /query``: knowledge-base analytics over the daemon's store."""
+
+    @staticmethod
+    def _populated_store(tmp_path):
+        from repro.knowledge.store import KnowledgeStore
+        from tests.knowledge.test_store import record
+
+        store = KnowledgeStore(tmp_path / "kb.jsonl")
+        store.append(record(circuit="traffic", latency=1, cost=60.0))
+        store.append(record(circuit="traffic", latency=2, cost=50.0))
+        store.append(
+            record(circuit="seqdet", latency=1, q=2, betas=(1, 2), cost=30.0)
+        )
+        return store
+
+    def test_get_query_serves_canonical_frontier(self, tmp_path):
+        store = self._populated_store(tmp_path)
+        config = _config(tmp_path, knowledge_path=str(store.path))
+        with RunningService(config, worker=_instant_worker) as run:
+            client = ServiceClient(run.address, timeout=30)
+            status, body = client.request_raw("GET", "/query?kind=frontier")
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["kind"] == "frontier"
+            assert set(payload["circuits"]) == {"traffic", "seqdet"}
+            # Two identical queries answer with identical bytes.
+            assert client.request_raw("GET", "/query?kind=frontier")[1] == body
+            status, narrowed = client.request_raw(
+                "GET", "/query?kind=frontier&circuit=traffic"
+            )
+            assert status == 200
+            assert set(json.loads(narrowed)["circuits"]) == {"traffic"}
+
+    def test_kind_defaults_to_frontier(self, tmp_path):
+        store = self._populated_store(tmp_path)
+        config = _config(tmp_path, knowledge_path=str(store.path))
+        with RunningService(config, worker=_instant_worker) as run:
+            status, body = ServiceClient(run.address).request_raw(
+                "GET", "/query"
+            )
+            assert status == 200
+            assert json.loads(body)["kind"] == "frontier"
+
+    def test_bad_parameters_are_400(self, tmp_path):
+        with RunningService(_config(tmp_path), worker=_instant_worker) as run:
+            client = ServiceClient(run.address, timeout=30)
+            status, body = client.request_raw(
+                "GET", "/query?kind=frontier&bogus=1"
+            )
+            assert status == 400 and b"bogus" in body
+            status, body = client.request_raw("GET", "/query?kind=nonsense")
+            assert status == 400 and b"unknown query kind" in body
+
+    def test_stats_expose_the_knowledge_section(self, tmp_path):
+        store = self._populated_store(tmp_path)
+        config = _config(tmp_path, knowledge_path=str(store.path))
+        with RunningService(config, worker=_instant_worker) as run:
+            stats = ServiceClient(run.address, timeout=30).stats()
+            knowledge = stats["knowledge"]
+            assert knowledge["records"] == 3
+            assert knowledge["recording"] is True
+            assert knowledge["warm_start"] is True
+            assert knowledge["path"] == str(store.path)
+
+    def test_knowledge_off_by_default(self, tmp_path):
+        with RunningService(_config(tmp_path), worker=_instant_worker) as run:
+            knowledge = ServiceClient(run.address, timeout=30).stats()[
+                "knowledge"
+            ]
+            assert knowledge["recording"] is False
+            assert knowledge["warm_start"] is False
+
+
 class TestHotPath:
     def test_cold_then_hot_is_byte_identical(self, tmp_path):
         params = {"circuit": "seqdet", "max_faults": 60}

@@ -24,7 +24,7 @@ from repro.service import (
 )
 from repro.service.client import RetryPolicy
 from repro.service.queries import normalize_design, query_key
-from repro.service.router import RouterService
+from repro.service.router import RouterService, _quantile
 
 
 def _config(tmp_path, name, **overrides) -> ServiceConfig:
@@ -102,6 +102,44 @@ class TestPlacement:
             RouterService(_router_config("http://127.0.0.1:1"))
 
 
+class TestQuantile:
+    """Nearest-rank quantiles: small windows must not report the max."""
+
+    def test_two_sample_p50_is_the_lower_sample(self):
+        # Regression: int(q * n) indexed past the median — the p50 of a
+        # 2-sample window was its *max*, inflating hedge deadlines.
+        assert _quantile([10.0, 20.0], 0.50) == 10.0
+        assert _quantile([10.0, 20.0], 0.95) == 20.0
+        assert _quantile([10.0, 20.0], 0.99) == 20.0
+
+    def test_single_sample_is_every_quantile(self):
+        for q in (0.50, 0.95, 0.99):
+            assert _quantile([7.0], q) == 7.0
+
+    def test_nearest_rank_on_a_larger_window(self):
+        window = [float(n) for n in range(1, 21)]  # 1..20
+        assert _quantile(window, 0.50) == 10.0
+        assert _quantile(window, 0.95) == 19.0  # ceil(0.95*20)=19, not 20
+        assert _quantile(window, 0.99) == 20.0
+        assert _quantile(window, 0.05) == 1.0
+
+    def test_empty_window(self):
+        assert _quantile([], 0.95) == 0.0
+
+    def test_hedge_deadline_uses_nearest_rank_p95(self):
+        service = RouterService(_router_config(
+            ":1", ":2", hedge=True, hedge_min_samples=2,
+            hedge_multiplier=2.0, hedge_floor=0.01,
+        ))
+        service._record_sample("design", 0.1)
+        service._record_sample("design", 1.0)
+        # p95 of [0.1, 1.0] is the 2nd sample: deadline 1.0 * 2.0.
+        assert service._hedge_deadline("design") == pytest.approx(2.0)
+        # Below min_samples: no hedging for this kind yet.
+        service._record_sample("sweep", 0.1)
+        assert service._hedge_deadline("sweep") is None
+
+
 class TestRouting:
     def test_invalid_requests_die_at_the_router(self, tmp_path):
         with RunningService(
@@ -139,6 +177,36 @@ class TestRouting:
         service.probe_replicas()
         health = service.healthz()
         assert health["status"] == "no-healthy-replicas"
+
+    def test_query_passthrough_reaches_a_replica(self, tmp_path):
+        from repro.knowledge.store import KnowledgeStore
+        from tests.knowledge.test_store import record
+
+        store = KnowledgeStore(tmp_path / "kb.jsonl")
+        store.append(record(circuit="traffic", latency=1))
+        store.append(record(circuit="seqdet", latency=1, q=2, betas=(1, 2)))
+        config = _config(tmp_path, "a", knowledge_path=str(store.path))
+        with RunningService(config, worker=_instant_worker) as a:
+            with RunningRouter(_router_config(a.address)) as router:
+                client = ServiceClient(router.address)
+                status, via_router = client.request_raw(
+                    "GET", "/query?kind=frontier"
+                )
+                assert status == 200
+                direct = ServiceClient(a.address).request_raw(
+                    "GET", "/query?kind=frontier"
+                )[1]
+                assert via_router == direct  # byte-identical passthrough
+                status, body = client.request_raw(
+                    "GET", "/query?kind=nonsense"
+                )
+                assert status == 400  # replica errors pass through too
+
+    def test_query_with_no_healthy_replicas_is_503(self):
+        service = RouterService(_router_config(":1"))
+        service.probe_replicas()
+        status, body = service.forward_get("/query?kind=frontier")
+        assert status == 503
 
     def test_draining_replica_drops_out_of_rotation(self, tmp_path):
         with RunningService(

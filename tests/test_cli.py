@@ -179,6 +179,73 @@ class TestCli:
             main([])
 
 
+class TestKnowledgeCli:
+    def test_design_records_then_warm_starts(self, capsys, tmp_path):
+        kb = str(tmp_path / "kb.jsonl")
+        base = [
+            "design", "traffic", "--latency", "2",
+            "--semantics", "trajectory", "--max-faults", "120",
+            "--no-cache", "--knowledge", kb,
+        ]
+        assert main(base) == 0
+        cold = capsys.readouterr().out
+        assert "warm start" not in cold
+        assert main(base) == 0
+        warm = capsys.readouterr().out
+        assert "warm start: neighbor traffic" in warm
+        assert "accepted, q delta +0" in warm
+        # Everything but the provenance line is byte-identical.
+        assert [l for l in warm.splitlines() if "warm start" not in l] == \
+            cold.splitlines()
+
+    def test_query_frontier_over_two_circuits(self, capsys, tmp_path):
+        kb = str(tmp_path / "kb.jsonl")
+        for circuit in ("traffic", "serparity"):
+            assert main([
+                "design", circuit, "--latency", "1",
+                "--semantics", "trajectory", "--max-faults", "60",
+                "--no-cache", "--knowledge", kb,
+            ]) == 0
+        capsys.readouterr()
+        assert main(["query", "frontier", "--knowledge", kb]) == 0
+        out = capsys.readouterr().out
+        assert "traffic" in out and "serparity" in out
+        assert "Pareto" in out
+        # Canonical JSON is byte-stable across invocations.
+        assert main(["query", "frontier", "--json", "--knowledge", kb]) == 0
+        first = capsys.readouterr().out
+        assert main(["query", "frontier", "--json", "--knowledge", kb]) == 0
+        assert capsys.readouterr().out == first
+        assert json.loads(first)["kind"] == "frontier"
+
+    def test_query_aggregates_and_lookup(self, capsys, tmp_path):
+        kb = str(tmp_path / "kb.jsonl")
+        assert main([
+            "design", "traffic", "--latency", "1",
+            "--semantics", "trajectory", "--max-faults", "60",
+            "--no-cache", "--knowledge", kb,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["query", "aggregates", "--knowledge", kb]) == 0
+        assert "binary" in capsys.readouterr().out
+        assert main([
+            "query", "lookup", "--circuit", "traffic", "--knowledge", kb,
+        ]) == 0
+        assert "traffic" in capsys.readouterr().out
+
+    def test_query_rejects_bad_params(self, capsys, tmp_path):
+        kb = str(tmp_path / "kb.jsonl")
+        assert main([
+            "query", "aggregates", "--circuit", "traffic", "--knowledge", kb,
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
+        assert main([
+            "query", "lookup", "--circuit", "a", "--circuit", "b",
+            "--knowledge", kb,
+        ]) == 2
+        assert "single --circuit" in capsys.readouterr().err
+
+
 class TestUnknownCircuit:
     def test_one_line_error_and_exit_2(self, capsys):
         assert main(["info", "not-a-benchmark"]) == 2
